@@ -1,0 +1,9 @@
+; Bounded repetition via re.++ of re.opt (SMT-LIB has no {m,n} operator;
+; this encodes a{2,3}b at length 4)
+(set-logic QF_S)
+(declare-const s String)
+(assert (str.in_re s (re.++ (str.to_re "a") (str.to_re "a")
+                            (re.opt (str.to_re "a")) (str.to_re "b"))))
+(assert (= (str.len s) 4))
+(check-sat)
+(get-model)

@@ -1,0 +1,8 @@
+; Extension: character pins via str.at
+(set-logic QF_S)
+(declare-const s String)
+(assert (= (str.at s 0) "q"))
+(assert (= (str.at s 2) "z"))
+(assert (= (str.len s) 4))
+(check-sat)
+(get-model)

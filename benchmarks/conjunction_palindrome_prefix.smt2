@@ -1,0 +1,8 @@
+; Extension: simultaneous conjunction — palindrome starting with "ab"
+(set-logic QF_S)
+(declare-const s String)
+(assert (= s (str.rev s)))
+(assert (str.prefixof "ab" s))
+(assert (= (str.len s) 5))
+(check-sat)
+(get-model)

@@ -1,0 +1,7 @@
+; re.range and re.allchar
+(set-logic QF_S)
+(declare-const s String)
+(assert (str.in_re s (re.++ (re.range "a" "f") re.allchar (str.to_re "x"))))
+(assert (= (str.len s) 3))
+(check-sat)
+(get-model)

@@ -1,0 +1,8 @@
+; Prefix and suffix facts conjoin over one variable
+(set-logic QF_S)
+(declare-const s String)
+(assert (str.prefixof "ab" s))
+(assert (str.suffixof "yz" s))
+(assert (= (str.len s) 6))
+(check-sat)
+(get-model)

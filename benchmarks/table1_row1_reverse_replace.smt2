@@ -1,0 +1,6 @@
+; Table 1 row 1: reverse "hello" then replace 'e' with 'a'  => "ollah"
+(set-logic QF_S)
+(declare-const x String)
+(assert (= x (str.replace_all (str.rev "hello") "e" "a")))
+(check-sat)
+(get-model)

@@ -1,0 +1,7 @@
+; Table 1 row 2: a palindrome of length 6
+(set-logic QF_S)
+(declare-const p String)
+(assert (= p (str.rev p)))
+(assert (= (str.len p) 6))
+(check-sat)
+(get-model)

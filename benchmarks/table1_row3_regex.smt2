@@ -1,0 +1,8 @@
+; Table 1 row 3: length-5 string matching a[bc]+
+(set-logic QF_S)
+(declare-const r String)
+(assert (str.in_re r (re.++ (str.to_re "a")
+                            (re.+ (re.union (str.to_re "b") (str.to_re "c"))))))
+(assert (= (str.len r) 5))
+(check-sat)
+(get-model)

@@ -1,0 +1,6 @@
+; Table 1 row 4: concat "hello" and "world" (space join), replaceAll l->x
+(set-logic QF_S)
+(declare-const x String)
+(assert (= x (str.replace_all (str.++ "hello" " " "world") "l" "x")))
+(check-sat)
+(get-model)

@@ -1,0 +1,7 @@
+; Table 1 row 5: a length-6 string containing "hi"
+(set-logic QF_S)
+(declare-const s String)
+(assert (str.contains s "hi"))
+(assert (= (str.len s) 6))
+(check-sat)
+(get-model)

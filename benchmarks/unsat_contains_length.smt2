@@ -1,0 +1,6 @@
+; Provably unsatisfiable: contained substring longer than the string
+(set-logic QF_S)
+(declare-const s String)
+(assert (str.contains s "toolong"))
+(assert (= (str.len s) 3))
+(check-sat)

@@ -1,0 +1,6 @@
+; Provably unsatisfiable: fixed word of length 4 asserted at length 2
+(set-logic QF_S)
+(declare-const s String)
+(assert (str.in_re s (str.to_re "abcd")))
+(assert (= (str.len s) 2))
+(check-sat)

@@ -1,0 +1,184 @@
+//! Greedy steepest-descent local search.
+
+use crate::{SampleSet, Sampler};
+use qsmt_qubo::{CompiledQubo, QuboModel, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Steepest descent: from a random state, repeatedly flip the variable with
+/// the most negative energy delta until no flip improves. Each read lands on
+/// a local minimum; with enough restarts small models are solved exactly.
+///
+/// Also used as a post-processing pass over annealer output (the D-Wave
+/// stack calls this "greedy postprocessing").
+#[derive(Debug, Clone)]
+pub struct SteepestDescent {
+    num_reads: usize,
+    seed: u64,
+    max_steps: usize,
+}
+
+impl Default for SteepestDescent {
+    fn default() -> Self {
+        Self {
+            num_reads: 32,
+            seed: 0,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl SteepestDescent {
+    /// Creates a descent sampler with 32 restarts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of random restarts.
+    pub fn with_num_reads(mut self, n: usize) -> Self {
+        self.num_reads = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of descent steps per read (safety valve; descent on
+    /// a finite landscape always terminates, this guards against
+    /// pathological float behaviour).
+    pub fn with_max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Descends from the given state to its local minimum, returning the
+    /// minimum and its energy.
+    pub fn descend(
+        compiled: &CompiledQubo,
+        mut state: Vec<u8>,
+        max_steps: usize,
+    ) -> (Vec<u8>, f64) {
+        let n = compiled.num_vars();
+        let mut energy = compiled.energy(&state);
+        for _ in 0..max_steps {
+            let mut best_var: Option<Var> = None;
+            let mut best_delta = -1e-12f64;
+            for i in 0..n {
+                let d = compiled.flip_delta(&state, i as Var);
+                if d < best_delta {
+                    best_delta = d;
+                    best_var = Some(i as Var);
+                }
+            }
+            match best_var {
+                Some(i) => {
+                    state[i as usize] ^= 1;
+                    energy += best_delta;
+                }
+                None => break,
+            }
+        }
+        (state, energy)
+    }
+
+    /// Applies descent to every state of an existing sample set (greedy
+    /// post-processing), re-aggregating the results.
+    pub fn polish(&self, model: &QuboModel, set: &SampleSet) -> SampleSet {
+        let compiled = CompiledQubo::compile(model);
+        let reads: Vec<(Vec<u8>, f64)> = set
+            .iter()
+            .flat_map(|s| std::iter::repeat_n(s.state.clone(), s.occurrences as usize))
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|state| Self::descend(&compiled, state, self.max_steps))
+            .collect();
+        SampleSet::from_reads(reads)
+    }
+}
+
+impl Sampler for SteepestDescent {
+    fn sample(&self, model: &QuboModel) -> SampleSet {
+        let compiled = CompiledQubo::compile(model);
+        let n = compiled.num_vars();
+        let reads: Vec<(Vec<u8>, f64)> = (0..self.num_reads)
+            .into_par_iter()
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(r as u64));
+                let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+                Self::descend(&compiled, state, self.max_steps)
+            })
+            .collect();
+        SampleSet::from_reads(reads)
+    }
+
+    fn name(&self) -> &'static str {
+        "steepest-descent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descends_to_local_minimum() {
+        // E = -x0 - x1 + 2 x0 x1 has two local minima (10 and 01) at -1.
+        let mut m = QuboModel::new(2);
+        m.add_linear(0, -1.0);
+        m.add_linear(1, -1.0);
+        m.add_quadratic(0, 1, 2.0);
+        let c = CompiledQubo::compile(&m);
+        let (s, e) = SteepestDescent::descend(&c, vec![0, 0], 100);
+        assert_eq!(e, -1.0);
+        assert!(s == vec![1, 0] || s == vec![0, 1]);
+    }
+
+    #[test]
+    fn local_minimum_is_fixed_point() {
+        let mut m = QuboModel::new(2);
+        m.add_linear(0, -1.0);
+        let c = CompiledQubo::compile(&m);
+        let (s, _) = SteepestDescent::descend(&c, vec![1, 0], 100);
+        let (s2, _) = SteepestDescent::descend(&c, s.clone(), 100);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn restarts_find_global_optimum_on_easy_model() {
+        let mut m = QuboModel::new(5);
+        for i in 0..5u32 {
+            m.add_linear(i, if i % 2 == 0 { -1.0 } else { 1.0 });
+        }
+        let set = SteepestDescent::new().with_seed(1).sample(&m);
+        assert_eq!(set.best().unwrap().state, vec![1, 0, 1, 0, 1]);
+        assert_eq!(set.lowest_energy().unwrap(), -3.0);
+    }
+
+    #[test]
+    fn polish_never_raises_energy() {
+        let mut m = QuboModel::new(4);
+        m.add_linear(0, -1.0);
+        m.add_quadratic(1, 2, -1.0);
+        let rough = SampleSet::from_reads(vec![
+            (vec![0, 0, 0, 0], m.energy(&[0, 0, 0, 0])),
+            (vec![0, 1, 0, 1], m.energy(&[0, 1, 0, 1])),
+        ]);
+        let rough_best = rough.lowest_energy().unwrap();
+        let polished = SteepestDescent::new().polish(&m, &rough);
+        assert!(polished.lowest_energy().unwrap() <= rough_best);
+        assert_eq!(polished.total_reads(), rough.total_reads());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut m = QuboModel::new(6);
+        m.add_quadratic(0, 5, -1.0);
+        let a = SteepestDescent::new().with_seed(4).sample(&m);
+        let b = SteepestDescent::new().with_seed(4).sample(&m);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,79 @@
+//! # qsmt-anneal — classical samplers for QUBO/Ising models
+//!
+//! The paper evaluates its formulations on "DWave's Simulated Annealer"
+//! (§5), a classical Metropolis sampler over the QUBO energy landscape. This
+//! crate is a from-scratch reimplementation of that sampler family — no
+//! quantum SDK involved:
+//!
+//! * [`SimulatedAnnealer`] — single-flip Metropolis with geometric/linear/
+//!   custom β schedules and rayon-parallel independent reads; the workhorse
+//!   and the direct analog of the sampler the paper used.
+//! * [`ParallelTempering`] — replica exchange across a β ladder; better
+//!   mixing on rugged landscapes (used as an ablation).
+//! * [`TabuSearch`] — deterministic local search with a recency tabu list,
+//!   the classical baseline D-Wave ships alongside its annealer.
+//! * [`SteepestDescent`] — greedy post-processing to the nearest local
+//!   minimum.
+//! * [`ExactSolver`] — Gray-code exhaustive enumeration; the ground-truth
+//!   oracle for every encoder test in this workspace.
+//! * [`RandomSampler`] — uniform states; the null baseline.
+//!
+//! All samplers implement [`Sampler`] and return a [`SampleSet`] sorted by
+//! energy with duplicate states aggregated.
+//!
+//! ```
+//! use qsmt_qubo::QuboModel;
+//! use qsmt_anneal::{Sampler, SimulatedAnnealer};
+//!
+//! // ground state 101 of E = -x0 + x1 - x2
+//! let mut m = QuboModel::new(3);
+//! m.add_linear(0, -1.0);
+//! m.add_linear(1, 1.0);
+//! m.add_linear(2, -1.0);
+//! let sa = SimulatedAnnealer::new().with_seed(7).with_num_reads(8);
+//! let set = sa.sample(&m);
+//! assert_eq!(set.best().unwrap().state, vec![1, 0, 1]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod descent;
+mod exact;
+pub mod metrics;
+mod polished;
+mod population;
+mod random;
+mod sa;
+mod sampleset;
+mod schedule;
+mod sqa;
+mod tabu;
+mod tempering;
+pub mod tune;
+
+pub use descent::SteepestDescent;
+pub use exact::ExactSolver;
+pub use polished::Polished;
+pub use population::PopulationAnnealer;
+pub use random::RandomSampler;
+pub use sa::SimulatedAnnealer;
+pub use sampleset::{EnergyStats, Sample, SampleSet};
+pub use schedule::BetaSchedule;
+pub use sqa::SimulatedQuantumAnnealer;
+pub use tabu::TabuSearch;
+pub use tempering::ParallelTempering;
+
+use qsmt_qubo::QuboModel;
+
+/// A sampler draws low-energy binary assignments from a QUBO model.
+///
+/// Implementations are configured at construction (reads, sweeps, seeds,
+/// schedules) so they can be used as trait objects by the solver facade.
+pub trait Sampler: Send + Sync {
+    /// Samples the model and returns an energy-sorted, aggregated
+    /// [`SampleSet`].
+    fn sample(&self, model: &QuboModel) -> SampleSet;
+
+    /// Human-readable sampler name for reports and benches.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,124 @@
+//! Solver-quality metrics: ground-state probability and time-to-solution.
+//!
+//! The annealing literature compares samplers by **TTS(q)** — the expected
+//! wall-clock needed to observe the ground state at least once with
+//! confidence `q`, given a per-read success probability `p` and per-read
+//! time `t`:
+//!
+//! ```text
+//! TTS(q) = t · ⌈ ln(1 − q) / ln(1 − p) ⌉
+//! ```
+//!
+//! These helpers turn a [`crate::SampleSet`] plus a known (or exactly
+//! computed) ground energy into that metric, used by the sampler benches
+//! and EXPERIMENTS.md.
+
+use crate::SampleSet;
+use std::time::Duration;
+
+/// Per-read ground-state success probability against a known ground
+/// energy (within `tol`). Returns 0.0 for empty sets and when the ground
+/// state was never observed.
+pub fn ground_state_probability(set: &SampleSet, ground_energy: f64, tol: f64) -> f64 {
+    let total = set.total_reads();
+    if total == 0 {
+        return 0.0;
+    }
+    let hits: u32 = set
+        .iter()
+        .filter(|s| s.energy <= ground_energy + tol)
+        .map(|s| s.occurrences)
+        .sum();
+    hits as f64 / total as f64
+}
+
+/// Number of repetitions needed to reach confidence `q` given per-read
+/// success probability `p`.
+///
+/// Edge cases: `p ≤ 0` → `None` (never succeeds); `p ≥ 1` → `Some(1)`.
+///
+/// # Panics
+/// Panics unless `0 < q < 1`.
+pub fn repetitions_to_confidence(p: f64, q: f64) -> Option<u64> {
+    assert!(q > 0.0 && q < 1.0, "confidence must be in (0, 1)");
+    if p <= 0.0 {
+        return None;
+    }
+    if p >= 1.0 {
+        return Some(1);
+    }
+    let reps = ((1.0 - q).ln() / (1.0 - p).ln()).ceil();
+    Some(reps.max(1.0) as u64)
+}
+
+/// Time-to-solution at confidence `q` (`None` when the sampler never hit
+/// the ground state).
+pub fn time_to_solution(
+    set: &SampleSet,
+    ground_energy: f64,
+    tol: f64,
+    time_per_read: Duration,
+    q: f64,
+) -> Option<Duration> {
+    let p = ground_state_probability(set, ground_energy, tol);
+    let reps = repetitions_to_confidence(p, q)?;
+    Some(time_per_read.saturating_mul(reps.min(u32::MAX as u64) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_with(hits: usize, misses: usize) -> SampleSet {
+        let mut reads = Vec::new();
+        for _ in 0..hits {
+            reads.push((vec![1u8], 0.0));
+        }
+        for _ in 0..misses {
+            reads.push((vec![0u8], 5.0));
+        }
+        SampleSet::from_reads(reads)
+    }
+
+    #[test]
+    fn probability_counts_reads() {
+        let set = set_with(3, 1);
+        assert!((ground_state_probability(&set, 0.0, 1e-9) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_zero_when_ground_never_seen() {
+        let set = set_with(0, 4);
+        assert_eq!(ground_state_probability(&set, -1.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn repetitions_standard_r99() {
+        // p = 0.5 → ln(0.01)/ln(0.5) ≈ 6.64 → 7 repetitions.
+        assert_eq!(repetitions_to_confidence(0.5, 0.99), Some(7));
+        assert_eq!(repetitions_to_confidence(1.0, 0.99), Some(1));
+        assert_eq!(repetitions_to_confidence(0.0, 0.99), None);
+    }
+
+    #[test]
+    fn repetitions_monotone_in_p() {
+        let r_low = repetitions_to_confidence(0.1, 0.99).unwrap();
+        let r_high = repetitions_to_confidence(0.9, 0.99).unwrap();
+        assert!(r_low > r_high);
+    }
+
+    #[test]
+    fn tts_combines_reps_and_read_time() {
+        let set = set_with(2, 2); // p = 0.5 → 7 reps
+        let tts = time_to_solution(&set, 0.0, 1e-9, Duration::from_millis(10), 0.99).unwrap();
+        assert_eq!(tts, Duration::from_millis(70));
+        let never = set_with(0, 4);
+        assert!(time_to_solution(&never, -1.0, 1e-9, Duration::from_millis(1), 0.99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_panics() {
+        repetitions_to_confidence(0.5, 1.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Population annealing: sequential Monte Carlo over an annealing
+//! schedule.
+//!
+//! A population of R replicas is cooled through the β schedule; at each
+//! step every replica is **resampled** with weight `exp(−Δβ·E)` (so
+//! low-energy replicas multiply and high-energy ones die out) and then
+//! decorrelated with a few Metropolis sweeps at the new β. Population
+//! annealing is embarrassingly parallel like independent-restart SA but
+//! shares information through the resampling step, which concentrates
+//! compute on promising basins — a strong classical competitor for the
+//! sampler benches.
+
+use crate::{BetaSchedule, SampleSet, Sampler};
+use qsmt_qubo::{CompiledQubo, QuboModel, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// The population annealing sampler.
+#[derive(Debug, Clone)]
+pub struct PopulationAnnealer {
+    population: usize,
+    sweeps_per_step: usize,
+    schedule: Option<BetaSchedule>,
+    steps: usize,
+    seed: u64,
+}
+
+impl Default for PopulationAnnealer {
+    fn default() -> Self {
+        Self {
+            population: 64,
+            sweeps_per_step: 2,
+            schedule: None,
+            steps: 64,
+            seed: 0,
+        }
+    }
+}
+
+impl PopulationAnnealer {
+    /// Creates a sampler with a population of 64, 64 schedule steps, and
+    /// 2 equilibration sweeps per step.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the population size (number of replicas).
+    pub fn with_population(mut self, r: usize) -> Self {
+        assert!(r >= 2, "population annealing needs at least two replicas");
+        self.population = r;
+        self
+    }
+
+    /// Sets the number of β steps (used with the auto schedule).
+    pub fn with_steps(mut self, s: usize) -> Self {
+        assert!(s > 0, "need at least one step");
+        self.steps = s;
+        self
+    }
+
+    /// Sets the Metropolis sweeps run after each resampling.
+    pub fn with_sweeps_per_step(mut self, s: usize) -> Self {
+        self.sweeps_per_step = s;
+        self
+    }
+
+    /// Uses an explicit β schedule.
+    pub fn with_schedule(mut self, schedule: BetaSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn sweep(
+        compiled: &CompiledQubo,
+        state: &mut [u8],
+        energy: &mut f64,
+        beta: f64,
+        rng: &mut SmallRng,
+    ) {
+        for i in 0..compiled.num_vars() {
+            let delta = compiled.flip_delta(state, i as Var);
+            if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
+                state[i] ^= 1;
+                *energy += delta;
+            }
+        }
+    }
+}
+
+impl Sampler for PopulationAnnealer {
+    fn sample(&self, model: &QuboModel) -> SampleSet {
+        let compiled = CompiledQubo::compile(model);
+        let n = compiled.num_vars();
+        let betas = match &self.schedule {
+            Some(s) => s.realize(),
+            None => BetaSchedule::auto(&compiled, self.steps).realize(),
+        };
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut population: Vec<(Vec<u8>, f64)> = (0..self.population)
+            .map(|_| {
+                let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+                let e = compiled.energy(&state);
+                (state, e)
+            })
+            .collect();
+        let mut prev_beta = 0.0f64;
+        for &beta in &betas {
+            let dbeta = beta - prev_beta;
+            prev_beta = beta;
+            // Resampling: multinomial by normalized Boltzmann reweighting.
+            if dbeta > 0.0 {
+                let min_e = population
+                    .iter()
+                    .map(|(_, e)| *e)
+                    .fold(f64::INFINITY, f64::min);
+                let weights: Vec<f64> = population
+                    .iter()
+                    .map(|(_, e)| (-dbeta * (e - min_e)).exp())
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut next = Vec::with_capacity(self.population);
+                for _ in 0..self.population {
+                    let mut pick = rng.gen::<f64>() * total;
+                    let mut idx = 0;
+                    for (k, w) in weights.iter().enumerate() {
+                        pick -= w;
+                        if pick <= 0.0 {
+                            idx = k;
+                            break;
+                        }
+                    }
+                    next.push(population[idx].clone());
+                }
+                population = next;
+            }
+            // Equilibrate each replica independently (parallel).
+            let sweeps = self.sweeps_per_step;
+            let seed_base = self.seed.wrapping_add(beta.to_bits().rotate_left(17));
+            population
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(k, (state, energy))| {
+                    let mut r = SmallRng::seed_from_u64(seed_base.wrapping_add(k as u64));
+                    for _ in 0..sweeps {
+                        Self::sweep(&compiled, state, energy, beta, &mut r);
+                    }
+                });
+        }
+        debug_assert!(population
+            .iter()
+            .all(|(s, e)| (compiled.energy(s) - e).abs() < 1e-6));
+        SampleSet::from_reads(population)
+    }
+
+    fn name(&self) -> &'static str {
+        "population-annealing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactSolver;
+
+    fn hard_model() -> QuboModel {
+        // Two competing wells (from the tempering tests) — needs global
+        // information flow to solve reliably.
+        let mut m = QuboModel::new(8);
+        for i in 0..4u32 {
+            m.add_linear(i, -1.0);
+            for j in (i + 1)..4 {
+                m.add_quadratic(i, j, -0.5);
+            }
+        }
+        for i in 4..8u32 {
+            m.add_linear(i, -1.2);
+            for j in (i + 1)..8 {
+                m.add_quadratic(i, j, -0.5);
+            }
+        }
+        for i in 0..4u32 {
+            for j in 4..8u32 {
+                m.add_quadratic(i, j, 2.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn reaches_exact_ground_state() {
+        let m = hard_model();
+        let (ground, _) = ExactSolver::new().ground_states(&m);
+        let pa = PopulationAnnealer::new().with_seed(2);
+        let set = pa.sample(&m);
+        assert!((set.lowest_energy().unwrap() - ground).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_size_is_preserved() {
+        let m = hard_model();
+        let set = PopulationAnnealer::new()
+            .with_seed(1)
+            .with_population(40)
+            .sample(&m);
+        assert_eq!(set.total_reads(), 40);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let m = hard_model();
+        let a = PopulationAnnealer::new().with_seed(7).sample(&m);
+        let b = PopulationAnnealer::new().with_seed(7).sample(&m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resampling_concentrates_low_energies() {
+        // After annealing, most of the population should sit at the
+        // ground energy, not just one lucky replica.
+        let m = hard_model();
+        let (ground, _) = ExactSolver::new().ground_states(&m);
+        let set = PopulationAnnealer::new().with_seed(3).sample(&m);
+        let frac = crate::metrics::ground_state_probability(&set, ground, 1e-9);
+        assert!(
+            frac > 0.5,
+            "resampling should concentrate the population (got {frac})"
+        );
+    }
+
+    #[test]
+    fn energies_are_consistent() {
+        let m = hard_model();
+        let set = PopulationAnnealer::new().with_seed(5).sample(&m);
+        for s in set.iter() {
+            assert!((m.energy(&s.state) - s.energy).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_variable_model() {
+        let m = QuboModel::new(0);
+        let set = PopulationAnnealer::new().with_seed(0).sample(&m);
+        assert_eq!(set.lowest_energy().unwrap(), 0.0);
+    }
+}

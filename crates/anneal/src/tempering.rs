@@ -1,0 +1,241 @@
+//! Parallel tempering (replica exchange) sampler.
+
+use crate::{SampleSet, Sampler};
+use qsmt_qubo::{CompiledQubo, QuboModel, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Parallel tempering: `num_replicas` Metropolis walkers run at a ladder of
+/// fixed inverse temperatures; after every `sweeps_per_round` sweeps,
+/// adjacent replicas propose to swap configurations with probability
+/// `min(1, exp((β_a − β_b)(E_a − E_b)))`. Hot replicas roam the landscape
+/// while cold replicas refine minima, and exchanges carry good
+/// configurations down the ladder — markedly better mixing than plain SA on
+/// rugged landscapes.
+///
+/// Replica sweeps run in parallel (rayon); the exchange pass is sequential
+/// and cheap. Deterministic for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct ParallelTempering {
+    num_replicas: usize,
+    rounds: usize,
+    sweeps_per_round: usize,
+    beta_min: f64,
+    beta_max: f64,
+    seed: u64,
+}
+
+impl Default for ParallelTempering {
+    fn default() -> Self {
+        Self {
+            num_replicas: 8,
+            rounds: 64,
+            sweeps_per_round: 4,
+            beta_min: 0.05,
+            beta_max: 10.0,
+            seed: 0,
+        }
+    }
+}
+
+struct Replica {
+    state: Vec<u8>,
+    energy: f64,
+    rng: SmallRng,
+}
+
+impl ParallelTempering {
+    /// Creates a tempering sampler with 8 replicas, 64 exchange rounds of 4
+    /// sweeps each, and a geometric β ladder on [0.05, 10].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of replicas (ladder rungs). Must be ≥ 2.
+    pub fn with_num_replicas(mut self, n: usize) -> Self {
+        assert!(n >= 2, "tempering needs at least two replicas");
+        self.num_replicas = n;
+        self
+    }
+
+    /// Sets the number of exchange rounds.
+    pub fn with_rounds(mut self, r: usize) -> Self {
+        self.rounds = r;
+        self
+    }
+
+    /// Sets the sweeps performed between exchanges.
+    pub fn with_sweeps_per_round(mut self, s: usize) -> Self {
+        self.sweeps_per_round = s;
+        self
+    }
+
+    /// Sets the β ladder endpoints.
+    pub fn with_beta_range(mut self, beta_min: f64, beta_max: f64) -> Self {
+        assert!(
+            beta_min > 0.0 && beta_min < beta_max,
+            "need 0 < beta_min < beta_max"
+        );
+        self.beta_min = beta_min;
+        self.beta_max = beta_max;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn ladder(&self) -> Vec<f64> {
+        let k = self.num_replicas;
+        let ratio = (self.beta_max / self.beta_min).powf(1.0 / (k as f64 - 1.0));
+        (0..k)
+            .map(|i| self.beta_min * ratio.powi(i as i32))
+            .collect()
+    }
+
+    fn sweep(compiled: &CompiledQubo, replica: &mut Replica, beta: f64, sweeps: usize) {
+        let n = compiled.num_vars();
+        for _ in 0..sweeps {
+            for i in 0..n {
+                let delta = compiled.flip_delta(&replica.state, i as Var);
+                if delta <= 0.0 || replica.rng.gen::<f64>() < (-beta * delta).exp() {
+                    replica.state[i] ^= 1;
+                    replica.energy += delta;
+                }
+            }
+        }
+    }
+}
+
+impl Sampler for ParallelTempering {
+    fn sample(&self, model: &QuboModel) -> SampleSet {
+        let compiled = CompiledQubo::compile(model);
+        let n = compiled.num_vars();
+        let betas = self.ladder();
+        let mut replicas: Vec<Replica> = (0..self.num_replicas)
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(r as u64));
+                let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+                let energy = compiled.energy(&state);
+                Replica { state, energy, rng }
+            })
+            .collect();
+        let mut swap_rng = SmallRng::seed_from_u64(self.seed.wrapping_add(0x5157_2026));
+        let mut reads: Vec<(Vec<u8>, f64)> = Vec::with_capacity(self.rounds);
+
+        for round in 0..self.rounds {
+            replicas
+                .par_iter_mut()
+                .zip(betas.par_iter())
+                .for_each(|(rep, &beta)| {
+                    Self::sweep(&compiled, rep, beta, self.sweeps_per_round);
+                });
+            // Exchange pass: alternate even/odd adjacent pairs per round so
+            // every rung participates.
+            let start = round % 2;
+            for a in (start..self.num_replicas - 1).step_by(2) {
+                let b = a + 1;
+                let log_ratio = (betas[a] - betas[b]) * (replicas[a].energy - replicas[b].energy);
+                if log_ratio >= 0.0 || swap_rng.gen::<f64>() < log_ratio.exp() {
+                    let (left, right) = replicas.split_at_mut(b);
+                    std::mem::swap(&mut left[a].state, &mut right[0].state);
+                    std::mem::swap(&mut left[a].energy, &mut right[0].energy);
+                }
+            }
+            // Record the coldest replica each round.
+            let coldest = replicas.last().expect("at least two replicas");
+            reads.push((coldest.state.clone(), coldest.energy));
+        }
+        SampleSet::from_reads(reads)
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel-tempering"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_well() -> (QuboModel, f64) {
+        // Two competing cliques; global minimum requires crossing a barrier.
+        let mut m = QuboModel::new(8);
+        for i in 0..4u32 {
+            m.add_linear(i, -1.0);
+            for j in (i + 1)..4 {
+                m.add_quadratic(i, j, -0.5);
+            }
+        }
+        for i in 4..8u32 {
+            m.add_linear(i, -1.2);
+            for j in (i + 1)..8 {
+                m.add_quadratic(i, j, -0.5);
+            }
+        }
+        // make the wells mutually exclusive
+        for i in 0..4u32 {
+            for j in 4..8u32 {
+                m.add_quadratic(i, j, 2.0);
+            }
+        }
+        let (e, _) = m.brute_force_ground_states();
+        (m, e)
+    }
+
+    #[test]
+    fn reaches_ground_state_of_double_well() {
+        let (m, exact) = double_well();
+        let pt = ParallelTempering::new().with_seed(3).with_rounds(128);
+        let set = pt.sample(&m);
+        assert!(
+            (set.lowest_energy().unwrap() - exact).abs() < 1e-9,
+            "PT missed ground state: {} vs {exact}",
+            set.lowest_energy().unwrap()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (m, _) = double_well();
+        let a = ParallelTempering::new().with_seed(5).sample(&m);
+        let b = ParallelTempering::new().with_seed(5).sample(&m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ladder_is_geometric_and_ordered() {
+        let pt = ParallelTempering::new()
+            .with_num_replicas(4)
+            .with_beta_range(0.1, 0.8);
+        let l = pt.ladder();
+        assert_eq!(l.len(), 4);
+        assert!((l[0] - 0.1).abs() < 1e-12);
+        assert!((l[3] - 0.8).abs() < 1e-9);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        let r1 = l[1] / l[0];
+        let r2 = l[2] / l[1];
+        assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two replicas")]
+    fn single_replica_rejected() {
+        ParallelTempering::new().with_num_replicas(1);
+    }
+
+    #[test]
+    fn incremental_energies_consistent() {
+        let (m, _) = double_well();
+        let set = ParallelTempering::new()
+            .with_seed(1)
+            .with_rounds(16)
+            .sample(&m);
+        for s in set.iter() {
+            assert!((m.energy(&s.state) - s.energy).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Budget auto-tuning for the simulated annealer.
+//!
+//! The paper fixes `A = 1` and leaves sweep counts implicit; in practice
+//! the right sweep budget varies with model ruggedness. [`tune_sweeps`]
+//! finds a sweep count empirically: starting from a small budget, it
+//! doubles the sweeps until the best energy found stops improving for
+//! `patience` consecutive doublings (or a known target energy is hit),
+//! and reports the search trail so benches can show the
+//! quality-vs-budget curve.
+
+use crate::{Sampler, SimulatedAnnealer};
+use qsmt_qubo::QuboModel;
+
+/// One step of the tuning trail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneStep {
+    /// Sweeps used at this step.
+    pub sweeps: usize,
+    /// Best energy observed at this step.
+    pub best_energy: f64,
+}
+
+/// The tuning result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// The recommended sweep budget (the smallest budget that achieved
+    /// the final best energy).
+    pub sweeps: usize,
+    /// Best energy achieved overall.
+    pub best_energy: f64,
+    /// Whether the known target energy (when given) was reached.
+    pub reached_target: bool,
+    /// The full doubling trail, in order.
+    pub trail: Vec<TuneStep>,
+}
+
+/// Tunes the sweep budget for `model`.
+///
+/// * `reads` — reads per probe (kept modest; the budget knob is sweeps);
+/// * `target` — a known ground energy to stop at (e.g. from the exact
+///   solver), or `None` to stop on stabilization alone;
+/// * `patience` — how many consecutive non-improving doublings end the
+///   search;
+/// * `max_sweeps` — hard budget cap.
+pub fn tune_sweeps(
+    model: &QuboModel,
+    seed: u64,
+    reads: usize,
+    target: Option<f64>,
+    patience: usize,
+    max_sweeps: usize,
+) -> TuneResult {
+    assert!(reads > 0, "need at least one read");
+    assert!(patience > 0, "patience must be positive");
+    let mut sweeps = 32usize.min(max_sweeps.max(1));
+    let mut trail = Vec::new();
+    let mut best = f64::INFINITY;
+    let mut best_sweeps = sweeps;
+    let mut stale = 0usize;
+    loop {
+        let sa = SimulatedAnnealer::new()
+            .with_seed(seed)
+            .with_num_reads(reads)
+            .with_sweeps(sweeps);
+        let found = sa.sample(model).lowest_energy().unwrap_or(f64::INFINITY);
+        trail.push(TuneStep {
+            sweeps,
+            best_energy: found,
+        });
+        if found < best - 1e-12 {
+            best = found;
+            best_sweeps = sweeps;
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+        let reached_target = target.is_some_and(|t| best <= t + 1e-9);
+        if reached_target || stale >= patience || sweeps >= max_sweeps {
+            return TuneResult {
+                sweeps: best_sweeps,
+                best_energy: best,
+                reached_target,
+                trail,
+            };
+        }
+        sweeps = (sweeps * 2).min(max_sweeps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactSolver;
+
+    fn rugged() -> QuboModel {
+        let mut m = QuboModel::new(10);
+        for i in 0..10u32 {
+            m.add_linear(i, if i % 2 == 0 { -1.0 } else { 0.7 });
+        }
+        for i in 0..9u32 {
+            m.add_quadratic(i, i + 1, if i % 3 == 0 { 1.3 } else { -0.8 });
+        }
+        m
+    }
+
+    #[test]
+    fn reaches_known_ground_and_stops() {
+        let m = rugged();
+        let (ground, _) = ExactSolver::new().ground_states(&m);
+        let r = tune_sweeps(&m, 1, 8, Some(ground), 3, 4096);
+        assert!(r.reached_target);
+        assert!((r.best_energy - ground).abs() < 1e-9);
+        assert!(!r.trail.is_empty());
+    }
+
+    #[test]
+    fn stabilizes_without_a_target() {
+        let m = rugged();
+        let r = tune_sweeps(&m, 2, 8, None, 2, 4096);
+        assert!(!r.trail.is_empty());
+        // The recommendation must be one of the probed budgets and must
+        // have achieved the reported best energy.
+        let hit = r
+            .trail
+            .iter()
+            .find(|s| s.sweeps == r.sweeps)
+            .expect("recommended budget was probed");
+        assert!((hit.best_energy - r.best_energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_max_sweeps_cap() {
+        let m = rugged();
+        let r = tune_sweeps(&m, 3, 4, None, 10, 64);
+        assert!(r.trail.iter().all(|s| s.sweeps <= 64));
+    }
+
+    #[test]
+    fn trail_budgets_double() {
+        let m = rugged();
+        let r = tune_sweeps(&m, 4, 4, None, 2, 1024);
+        for w in r.trail.windows(2) {
+            assert_eq!(w[1].sweeps, (w[0].sweeps * 2).min(1024));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "patience")]
+    fn zero_patience_rejected() {
+        tune_sweeps(&QuboModel::new(1), 0, 1, None, 0, 10);
+    }
+}

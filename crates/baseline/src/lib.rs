@@ -1,0 +1,26 @@
+//! # qsmt-baseline — classical comparator for the quantum string solver
+//!
+//! The paper motivates QUBO annealing by the cost of classical string
+//! solving ("as a search space becomes larger and larger, the complexity
+//! of finding a solution to a given formula also grows", §1) but never
+//! benchmarks a classical solver. This crate supplies that comparator:
+//! a bounded-length, backtracking generate-and-test solver over the same
+//! [`qsmt_core::Constraint`] AST, in two configurations:
+//!
+//! * [`ClassicalSolver`] — depth-first search **with** constraint
+//!   propagation (prefix pruning), representative of how a simple
+//!   dedicated string solver explores the space;
+//! * [`ClassicalSolver::without_pruning`] — pure generate-and-test, the
+//!   worst-case enumeration whose blow-up the crossover bench (Bench S5)
+//!   plots against annealer wall time.
+//!
+//! Both report the number of search nodes explored so benches can compare
+//! *work*, not just wall time.
+
+#![warn(missing_docs)]
+
+mod search;
+mod solver;
+
+pub use search::SearchStats;
+pub use solver::{ClassicalResult, ClassicalSolver};

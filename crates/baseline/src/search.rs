@@ -1,0 +1,23 @@
+//! Search bookkeeping shared by the classical solver.
+
+/// Statistics from one classical solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Prefix nodes expanded during the search (1 for direct computes).
+    pub nodes: u64,
+    /// Candidate strings fully constructed and tested.
+    pub candidates_tested: u64,
+    /// Whether the node budget was exhausted before an answer was found.
+    pub budget_exhausted: bool,
+}
+
+impl SearchStats {
+    /// A single-node stat block for directly-computed answers.
+    pub fn direct() -> Self {
+        Self {
+            nodes: 1,
+            candidates_tested: 1,
+            budget_exhausted: false,
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The classical bounded-length string solver.
+
+use crate::search::SearchStats;
+use qsmt_core::{Constraint, Solution};
+use qsmt_redex::{parse, Nfa};
+
+/// Result of one classical solve.
+#[derive(Debug, Clone)]
+pub struct ClassicalResult {
+    /// The answer, if one was found within the budget.
+    pub solution: Option<Solution>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// A classical generate-and-test solver over the paper's constraint AST.
+///
+/// Generation constraints (substring, placement, palindrome, regex,
+/// length) are solved by depth-first search over strings of the target
+/// length; transformation constraints (equality, concat, replace, reverse)
+/// and `includes` are computed directly, as a classical solver would.
+#[derive(Debug, Clone)]
+pub struct ClassicalSolver {
+    alphabet: Vec<char>,
+    node_budget: u64,
+    prune: bool,
+}
+
+impl Default for ClassicalSolver {
+    fn default() -> Self {
+        Self {
+            alphabet: qsmt_redex::lowercase_ascii(),
+            node_budget: 50_000_000,
+            prune: true,
+        }
+    }
+}
+
+impl ClassicalSolver {
+    /// Creates a pruning solver over the lowercase alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Disables constraint propagation: pure generate-and-test. This is
+    /// the worst-case enumeration arm of the crossover bench.
+    pub fn without_pruning(mut self) -> Self {
+        self.prune = false;
+        self
+    }
+
+    /// Sets the generation alphabet.
+    pub fn with_alphabet(mut self, alphabet: Vec<char>) -> Self {
+        assert!(!alphabet.is_empty(), "alphabet must be nonempty");
+        self.alphabet = alphabet;
+        self
+    }
+
+    /// Caps the number of search nodes.
+    pub fn with_node_budget(mut self, budget: u64) -> Self {
+        self.node_budget = budget;
+        self
+    }
+
+    /// Solves a constraint classically.
+    pub fn solve(&self, constraint: &Constraint) -> ClassicalResult {
+        match constraint {
+            Constraint::Equality { target } => direct_text(target.clone()),
+            Constraint::Concat { parts, separator } => direct_text(parts.join(separator)),
+            Constraint::ReplaceAll { input, from, to } => {
+                direct_text(input.replace(*from, &to.to_string()))
+            }
+            Constraint::ReplaceFirst { input, from, to } => {
+                direct_text(input.replacen(*from, &to.to_string(), 1))
+            }
+            Constraint::Reverse { input } => direct_text(input.chars().rev().collect()),
+            Constraint::Includes { haystack, needle } => {
+                // A classical scan; count character comparisons as nodes.
+                let mut nodes = 0u64;
+                let hay: Vec<char> = haystack.chars().collect();
+                let nee: Vec<char> = needle.chars().collect();
+                let mut found = None;
+                if nee.len() <= hay.len() {
+                    'outer: for i in 0..=(hay.len() - nee.len()) {
+                        for j in 0..nee.len() {
+                            nodes += 1;
+                            if hay[i + j] != nee[j] {
+                                continue 'outer;
+                            }
+                        }
+                        found = Some(i);
+                        break;
+                    }
+                }
+                ClassicalResult {
+                    solution: Some(Solution::Index(found)),
+                    stats: SearchStats {
+                        nodes: nodes.max(1),
+                        candidates_tested: 1,
+                        budget_exhausted: false,
+                    },
+                }
+            }
+            Constraint::LengthUnary { desired, slots } => {
+                if desired <= slots {
+                    ClassicalResult {
+                        solution: Some(Solution::Length(*desired)),
+                        stats: SearchStats::direct(),
+                    }
+                } else {
+                    ClassicalResult {
+                        solution: None,
+                        stats: SearchStats::direct(),
+                    }
+                }
+            }
+            Constraint::LengthFill { desired, slots } => {
+                if desired > slots {
+                    return ClassicalResult {
+                        solution: None,
+                        stats: SearchStats::direct(),
+                    };
+                }
+                let fill: String = std::iter::repeat_n(self.alphabet[0], *desired)
+                    .chain(std::iter::repeat_n('\0', slots - desired))
+                    .collect();
+                direct_text(fill)
+            }
+            Constraint::SubstringMatch { substring, len } => {
+                self.search(constraint, *len, |prefix, remaining| {
+                    if !self.prune {
+                        return true;
+                    }
+                    // Feasible iff the substring already occurs, or can
+                    // still be completed: best overlap of a substring
+                    // prefix with the current suffix plus remaining slots.
+                    let p: &str = prefix;
+                    if p.contains(substring.as_str()) {
+                        return true;
+                    }
+                    let m = substring.len();
+                    let max_started = (1..m.min(p.len() + 1))
+                        .rev()
+                        .find(|&k| p.ends_with(&substring[..k]))
+                        .unwrap_or(0);
+                    remaining + max_started >= m
+                })
+            }
+            Constraint::IndexOfPlacement {
+                substring,
+                index,
+                len,
+            } => self.search(constraint, *len, |prefix, _| {
+                if !self.prune {
+                    return true;
+                }
+                // Every character already placed inside the window must
+                // agree with the substring.
+                let start = *index;
+                prefix
+                    .char_indices()
+                    .skip(start)
+                    .take(substring.len())
+                    .all(|(i, c)| substring.as_bytes()[i - start] as char == c)
+            }),
+            Constraint::Palindrome { len } => self.search(constraint, *len, |prefix, _| {
+                if !self.prune {
+                    return true;
+                }
+                // Characters in the second half must mirror the first.
+                let n = *len;
+                let chars: Vec<char> = prefix.chars().collect();
+                chars
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &c)| i < n - 1 - i || chars[n - 1 - i] == c)
+            }),
+            Constraint::Regex { pattern, len } => {
+                let Ok(re) = parse(pattern) else {
+                    return ClassicalResult {
+                        solution: None,
+                        stats: SearchStats::direct(),
+                    };
+                };
+                if self.prune {
+                    // NFA-guided enumeration: effectively DFS with exact
+                    // propagation.
+                    let matches = qsmt_redex::enumerate_matches(&re, *len, &self.alphabet, 1);
+                    ClassicalResult {
+                        solution: matches.into_iter().next().map(Solution::Text),
+                        stats: SearchStats {
+                            nodes: 1,
+                            candidates_tested: 1,
+                            budget_exhausted: false,
+                        },
+                    }
+                } else {
+                    let nfa = Nfa::compile(&re);
+                    self.search_with(*len, |_, _| true, |s| nfa.matches(s))
+                }
+            }
+            Constraint::Prefix { prefix, len } => self.search(constraint, *len, |p, _| {
+                !self.prune || prefix.starts_with(&p[..p.len().min(prefix.len())])
+            }),
+            Constraint::Suffix { suffix, len } => {
+                self.search(constraint, *len, |p, remaining| {
+                    if !self.prune {
+                        return true;
+                    }
+                    // Characters already inside the suffix window must
+                    // agree with the suffix.
+                    let start = len - suffix.len();
+                    p.char_indices()
+                        .skip(start)
+                        .all(|(i, c)| suffix.as_bytes()[i - start] as char == c)
+                        && remaining + p.len() >= *len
+                })
+            }
+            Constraint::CharAt { ch, index, len } => self.search(constraint, *len, |p, _| {
+                !self.prune
+                    || p.char_indices()
+                        .find(|(i, _)| i == index)
+                        .is_none_or(|(_, c)| c == *ch)
+            }),
+            Constraint::All(parts) => {
+                // Conjunctions must share one generated length; take it
+                // from the first part that exposes one.
+                let Some(len) = parts.iter().find_map(part_len) else {
+                    return ClassicalResult {
+                        solution: None,
+                        stats: SearchStats::direct(),
+                    };
+                };
+                self.search(constraint, len, |_, _| true)
+            }
+        }
+    }
+
+    /// DFS over strings of length `len` with a prefix-feasibility check,
+    /// testing full candidates against the constraint's real semantics.
+    fn search<F>(&self, constraint: &Constraint, len: usize, feasible: F) -> ClassicalResult
+    where
+        F: Fn(&str, usize) -> bool,
+    {
+        self.search_with(len, feasible, |s| {
+            constraint.validate(&Solution::Text(s.to_string()))
+        })
+    }
+
+    fn search_with<F, T>(&self, len: usize, feasible: F, test: T) -> ClassicalResult
+    where
+        F: Fn(&str, usize) -> bool,
+        T: Fn(&str) -> bool,
+    {
+        let mut stats = SearchStats::default();
+        let mut buf = String::with_capacity(len);
+        let found = self.dfs(len, &feasible, &test, &mut buf, &mut stats);
+        ClassicalResult {
+            solution: found.map(Solution::Text),
+            stats,
+        }
+    }
+
+    fn dfs<F, T>(
+        &self,
+        len: usize,
+        feasible: &F,
+        test: &T,
+        buf: &mut String,
+        stats: &mut SearchStats,
+    ) -> Option<String>
+    where
+        F: Fn(&str, usize) -> bool,
+        T: Fn(&str) -> bool,
+    {
+        if stats.nodes >= self.node_budget {
+            stats.budget_exhausted = true;
+            return None;
+        }
+        stats.nodes += 1;
+        if buf.len() == len {
+            stats.candidates_tested += 1;
+            return test(buf).then(|| buf.clone());
+        }
+        for &c in &self.alphabet {
+            buf.push(c);
+            let remaining = len - buf.len();
+            if feasible(buf, remaining) {
+                if let Some(hit) = self.dfs(len, feasible, test, buf, stats) {
+                    buf.pop();
+                    return Some(hit);
+                }
+            }
+            buf.pop();
+            if stats.budget_exhausted {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// The generated-string length a constraint implies, when it has one.
+fn part_len(c: &Constraint) -> Option<usize> {
+    match c {
+        Constraint::SubstringMatch { len, .. }
+        | Constraint::IndexOfPlacement { len, .. }
+        | Constraint::Palindrome { len }
+        | Constraint::Regex { len, .. }
+        | Constraint::Prefix { len, .. }
+        | Constraint::Suffix { len, .. }
+        | Constraint::CharAt { len, .. } => Some(*len),
+        Constraint::LengthFill { slots, .. } => Some(*slots),
+        Constraint::Equality { target } => Some(target.len()),
+        Constraint::All(parts) => parts.iter().find_map(part_len),
+        _ => None,
+    }
+}
+
+fn direct_text(s: String) -> ClassicalResult {
+    ClassicalResult {
+        solution: Some(Solution::Text(s)),
+        stats: SearchStats::direct(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> ClassicalSolver {
+        ClassicalSolver::new()
+    }
+
+    #[test]
+    fn direct_operations() {
+        let r = solver().solve(&Constraint::Reverse {
+            input: "hello".into(),
+        });
+        assert_eq!(r.solution, Some(Solution::Text("olleh".into())));
+        assert_eq!(r.stats.nodes, 1);
+
+        let r = solver().solve(&Constraint::ReplaceAll {
+            input: "hello world".into(),
+            from: 'l',
+            to: 'x',
+        });
+        assert_eq!(r.solution, Some(Solution::Text("hexxo worxd".into())));
+    }
+
+    #[test]
+    fn includes_scan() {
+        let r = solver().solve(&Constraint::Includes {
+            haystack: "hello world".into(),
+            needle: "world".into(),
+        });
+        assert_eq!(r.solution, Some(Solution::Index(Some(6))));
+        let r = solver().solve(&Constraint::Includes {
+            haystack: "abc".into(),
+            needle: "zz".into(),
+        });
+        assert_eq!(r.solution, Some(Solution::Index(None)));
+    }
+
+    #[test]
+    fn substring_search_finds_valid_string() {
+        let c = Constraint::SubstringMatch {
+            substring: "cat".into(),
+            len: 5,
+        };
+        let r = solver().solve(&c);
+        let Some(Solution::Text(s)) = &r.solution else {
+            panic!("no solution")
+        };
+        assert!(c.validate(&Solution::Text(s.clone())), "{s:?}");
+    }
+
+    #[test]
+    fn pruning_explores_fewer_nodes() {
+        let c = Constraint::SubstringMatch {
+            substring: "zz".into(),
+            len: 4,
+        };
+        let pruned = solver().solve(&c);
+        let blind = solver().without_pruning().solve(&c);
+        assert!(pruned.solution.is_some());
+        assert!(blind.solution.is_some());
+        assert!(
+            pruned.stats.nodes < blind.stats.nodes,
+            "pruning must reduce work: {} vs {}",
+            pruned.stats.nodes,
+            blind.stats.nodes
+        );
+    }
+
+    #[test]
+    fn palindrome_search() {
+        let c = Constraint::Palindrome { len: 5 };
+        let r = solver().solve(&c);
+        let Some(Solution::Text(s)) = &r.solution else {
+            panic!()
+        };
+        assert_eq!(s.chars().rev().collect::<String>(), *s);
+    }
+
+    #[test]
+    fn placement_search() {
+        let c = Constraint::IndexOfPlacement {
+            substring: "hi".into(),
+            index: 2,
+            len: 6,
+        };
+        let r = solver().solve(&c);
+        let Some(Solution::Text(s)) = &r.solution else {
+            panic!()
+        };
+        assert_eq!(&s[2..4], "hi");
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn regex_via_nfa_guidance() {
+        let c = Constraint::Regex {
+            pattern: "a[bc]+".into(),
+            len: 5,
+        };
+        let r = solver().solve(&c);
+        let Some(Solution::Text(s)) = &r.solution else {
+            panic!()
+        };
+        assert!(c.validate(&Solution::Text(s.clone())));
+    }
+
+    #[test]
+    fn regex_without_pruning_enumerates() {
+        let c = Constraint::Regex {
+            pattern: "ab".into(),
+            len: 2,
+        };
+        let r = solver().without_pruning().solve(&c);
+        assert_eq!(r.solution, Some(Solution::Text("ab".into())));
+        assert!(r.stats.nodes > 1);
+    }
+
+    #[test]
+    fn node_budget_is_honored() {
+        // Without pruning the DFS visits "aaaa…", "aaab…", … and only
+        // reaches a string containing "zz" near the end of the order, so
+        // a tiny budget must exhaust first.
+        let c = Constraint::SubstringMatch {
+            substring: "zz".into(),
+            len: 6,
+        };
+        let r = solver().without_pruning().with_node_budget(100).solve(&c);
+        assert!(r.stats.budget_exhausted);
+        assert!(r.solution.is_none());
+        assert!(r.stats.nodes <= 101);
+    }
+
+    #[test]
+    fn restricted_alphabet() {
+        let c = Constraint::Palindrome { len: 3 };
+        let r = solver().with_alphabet(vec!['x', 'y']).solve(&c);
+        let Some(Solution::Text(s)) = &r.solution else {
+            panic!()
+        };
+        assert!(s.chars().all(|ch| ch == 'x' || ch == 'y'));
+    }
+
+    #[test]
+    fn unsatisfiable_length_fill() {
+        let r = solver().solve(&Constraint::LengthFill {
+            desired: 5,
+            slots: 3,
+        });
+        assert!(r.solution.is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Bench S4 — the cost of the hardware path: direct annealing vs solving
+//! through Chimera / Pegasus-style minor embedding, the embedding search
+//! itself, and the chain-strength heuristic ablation (DESIGN.md choice
+//! #4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsmt_anneal::{Sampler, SimulatedAnnealer};
+use qsmt_core::Constraint;
+use qsmt_qpu::{embed, ChainStrength, QpuSimulator, Topology};
+use std::hint::black_box;
+
+fn problem() -> qsmt_core::EncodedProblem {
+    Constraint::Palindrome { len: 3 }.encode().expect("encodes")
+}
+
+fn bench_direct_vs_embedded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qpu-path");
+    g.sample_size(10);
+    let p = problem();
+
+    let sa = SimulatedAnnealer::new().with_seed(1).with_num_reads(32);
+    g.bench_function("direct", |b| b.iter(|| black_box(sa.sample(&p.qubo))));
+
+    for (name, topo) in [
+        ("chimera", Topology::chimera(4, 4, 4)),
+        ("pegasus-like", Topology::pegasus_like(4)),
+    ] {
+        let qpu = QpuSimulator::new(topo).with_seed(1).with_num_reads(32);
+        g.bench_function(BenchmarkId::new("embedded", name), |b| {
+            b.iter(|| black_box(qpu.sample_qubo(&p.qubo).expect("embeds")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_embedding_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minor-embedding");
+    g.sample_size(10);
+    let p = problem();
+    let graph = QpuSimulator::problem_graph(&p.qubo);
+    for (name, topo) in [
+        ("chimera", Topology::chimera(4, 4, 4)),
+        ("pegasus-like", Topology::pegasus_like(4)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(embed(&graph, topo.graph(), 1, 8).expect("embeds")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain_strength(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain-strength");
+    g.sample_size(10);
+    let p = problem();
+    for (name, strategy) in [
+        ("fixed-2", ChainStrength::Fixed(2.0)),
+        (
+            "max-coeff-1.5",
+            ChainStrength::MaxCoefficient { prefactor: 1.5 },
+        ),
+        (
+            "utc-1.414",
+            ChainStrength::UniformTorqueCompensation { prefactor: 1.414 },
+        ),
+    ] {
+        let qpu = QpuSimulator::new(Topology::chimera(4, 4, 4))
+            .with_seed(2)
+            .with_num_reads(32)
+            .with_chain_strength(strategy);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(qpu.sample_qubo(&p.qubo).expect("embeds")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_vs_embedded,
+    bench_embedding_search,
+    bench_chain_strength
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench S3 — rayon-parallel vs sequential annealing reads, across read
+//! counts: where does the data-parallel fan-out start paying for itself?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qsmt_anneal::{Sampler, SimulatedAnnealer};
+use qsmt_bench::sized_palindrome;
+use std::hint::black_box;
+
+fn bench_parallel_reads(c: &mut Criterion) {
+    let problem = sized_palindrome(8).encode().expect("encodes");
+    let mut g = c.benchmark_group("parallel-reads");
+    g.sample_size(10);
+    for reads in [8usize, 32, 128] {
+        g.throughput(Throughput::Elements(reads as u64));
+        g.bench_with_input(BenchmarkId::new("parallel", reads), &reads, |b, &reads| {
+            let sa = SimulatedAnnealer::new()
+                .with_seed(3)
+                .with_num_reads(reads)
+                .with_parallel(true);
+            b.iter(|| black_box(sa.sample(&problem.qubo)));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("sequential", reads),
+            &reads,
+            |b, &reads| {
+                let sa = SimulatedAnnealer::new()
+                    .with_seed(3)
+                    .with_num_reads(reads)
+                    .with_parallel(false);
+                b.iter(|| black_box(sa.sample(&problem.qubo)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_reads);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench S1 — encoding and solve-time scaling vs string length, plus the
+//! incremental-delta vs full-recompute energy ablation (DESIGN.md choice
+//! #1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsmt_anneal::{Sampler, SimulatedAnnealer};
+use qsmt_bench::{sized_equality, sized_palindrome};
+use qsmt_qubo::{CompiledQubo, Var};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for n in [4usize, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("equality", n), &n, |b, &n| {
+            let constraint = sized_equality(n);
+            b.iter(|| black_box(constraint.encode().expect("encodes")));
+        });
+        g.bench_with_input(BenchmarkId::new("palindrome", n), &n, |b, &n| {
+            let constraint = sized_palindrome(n);
+            b.iter(|| black_box(constraint.encode().expect("encodes")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("anneal-solve");
+    g.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let sa = SimulatedAnnealer::new().with_seed(1).with_num_reads(16);
+        let eq = sized_equality(n).encode().expect("encodes");
+        g.bench_with_input(BenchmarkId::new("equality", n), &n, |b, _| {
+            b.iter(|| black_box(sa.sample(&eq.qubo)));
+        });
+        let pal = sized_palindrome(n).encode().expect("encodes");
+        g.bench_with_input(BenchmarkId::new("palindrome", n), &n, |b, _| {
+            b.iter(|| black_box(sa.sample(&pal.qubo)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_energy_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("energy-kernel");
+    let pal = sized_palindrome(16).encode().expect("encodes");
+    let compiled = CompiledQubo::compile(&pal.qubo);
+    let n = compiled.num_vars();
+    let state: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+    g.bench_function("full-recompute", |b| {
+        b.iter(|| black_box(compiled.energy(&state)))
+    });
+    g.bench_function("incremental-delta", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % n as u32;
+            black_box(compiled.flip_delta(&state, i as Var))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_solve, bench_energy_kernels);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! 7-bit ASCII binary variable encoding (paper §4, preamble).
+//!
+//! Each character is mapped to seven binary variables, most significant bit
+//! first, exactly as in the paper's example: `'a'` (ASCII 97 = `1100001`)
+//! becomes the diagonal `[-A, -A, +A, +A, +A, +A, -A]`. A string of length
+//! `n` therefore occupies `7n` variables:
+//! `f(s) = bin(s₁) ‖ bin(s₂) ‖ … ‖ bin(sₙ)`.
+
+/// Bits per encoded character (the paper uses 7-bit ASCII).
+pub const BITS_PER_CHAR: usize = 7;
+
+/// Error for characters outside 7-bit ASCII.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// The offending character.
+    pub ch: char,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "character {:?} (U+{:04X}) is outside the 7-bit ASCII alphabet",
+            self.ch, self.ch as u32
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error decoding a bit vector back to a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Bit vector length is not a multiple of [`BITS_PER_CHAR`].
+    BadLength {
+        /// The offending length.
+        len: usize,
+    },
+    /// An entry was neither 0 nor 1.
+    NonBinary {
+        /// Index of the offending entry.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadLength { len } => {
+                write!(
+                    f,
+                    "bit vector length {len} is not a multiple of {BITS_PER_CHAR}"
+                )
+            }
+            DecodeError::NonBinary { index } => {
+                write!(f, "bit vector entry {index} is not binary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// `bin : Σ → {0,1}⁷` — encodes one ASCII character, MSB first.
+///
+/// # Errors
+/// Returns [`EncodeError`] for non-ASCII characters.
+pub fn char_to_bits(c: char) -> Result<[u8; BITS_PER_CHAR], EncodeError> {
+    if !c.is_ascii() {
+        return Err(EncodeError { ch: c });
+    }
+    let code = c as u8;
+    let mut bits = [0u8; BITS_PER_CHAR];
+    for (i, b) in bits.iter_mut().enumerate() {
+        *b = (code >> (BITS_PER_CHAR - 1 - i)) & 1;
+    }
+    Ok(bits)
+}
+
+/// Decodes seven bits (MSB first) into an ASCII character.
+pub fn bits_to_char(bits: &[u8; BITS_PER_CHAR]) -> char {
+    let mut code = 0u8;
+    for &b in bits.iter() {
+        code = (code << 1) | (b & 1);
+    }
+    code as char
+}
+
+/// `f : Σⁿ → {0,1}⁷ⁿ` — encodes a string by concatenating per-character
+/// encodings.
+///
+/// # Errors
+/// Returns [`EncodeError`] on the first non-ASCII character.
+pub fn string_to_bits(s: &str) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(s.len() * BITS_PER_CHAR);
+    for c in s.chars() {
+        out.extend_from_slice(&char_to_bits(c)?);
+    }
+    Ok(out)
+}
+
+/// Inverse of [`string_to_bits`]: decodes a bit vector into a string.
+///
+/// # Errors
+/// Returns [`DecodeError`] when the length is not a multiple of 7 or an
+/// entry is non-binary.
+pub fn bits_to_string(bits: &[u8]) -> Result<String, DecodeError> {
+    if !bits.len().is_multiple_of(BITS_PER_CHAR) {
+        return Err(DecodeError::BadLength { len: bits.len() });
+    }
+    if let Some(index) = bits.iter().position(|&b| b > 1) {
+        return Err(DecodeError::NonBinary { index });
+    }
+    let mut s = String::with_capacity(bits.len() / BITS_PER_CHAR);
+    for chunk in bits.chunks_exact(BITS_PER_CHAR) {
+        let mut arr = [0u8; BITS_PER_CHAR];
+        arr.copy_from_slice(chunk);
+        s.push(bits_to_char(&arr));
+    }
+    Ok(s)
+}
+
+/// Variable index of bit `bit` of the character at `char_pos` — the
+/// `x_{7·pos + i}` indexing used throughout the paper's formulations.
+#[inline]
+pub fn bit_index(char_pos: usize, bit: usize) -> u32 {
+    debug_assert!(bit < BITS_PER_CHAR);
+    (char_pos * BITS_PER_CHAR + bit) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_a_is_1100001() {
+        assert_eq!(char_to_bits('a').unwrap(), [1, 1, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn char_round_trip_over_full_alphabet() {
+        for code in 0u8..128 {
+            let c = code as char;
+            let bits = char_to_bits(c).unwrap();
+            assert_eq!(bits_to_char(&bits), c);
+        }
+    }
+
+    #[test]
+    fn string_round_trip() {
+        for s in ["", "a", "hello world", "OnFFnO", "\x00\x7f"] {
+            let bits = string_to_bits(s).unwrap();
+            assert_eq!(bits.len(), s.len() * BITS_PER_CHAR);
+            assert_eq!(bits_to_string(&bits).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn non_ascii_rejected() {
+        assert_eq!(char_to_bits('é'), Err(EncodeError { ch: 'é' }));
+        assert!(string_to_bits("héllo").is_err());
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert_eq!(
+            bits_to_string(&[1, 0, 1]),
+            Err(DecodeError::BadLength { len: 3 })
+        );
+    }
+
+    #[test]
+    fn non_binary_rejected() {
+        let mut bits = string_to_bits("a").unwrap();
+        bits[2] = 2;
+        assert_eq!(
+            bits_to_string(&bits),
+            Err(DecodeError::NonBinary { index: 2 })
+        );
+    }
+
+    #[test]
+    fn bit_index_layout() {
+        assert_eq!(bit_index(0, 0), 0);
+        assert_eq!(bit_index(0, 6), 6);
+        assert_eq!(bit_index(1, 0), 7);
+        assert_eq!(bit_index(3, 2), 23);
+    }
+}

@@ -1,0 +1,101 @@
+//! Errors raised while compiling constraints to QUBO form.
+
+use crate::encode::EncodeError;
+use qsmt_redex::ParseError;
+
+/// A constraint could not be encoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintError {
+    /// A string argument contained a non-ASCII character.
+    NonAscii(EncodeError),
+    /// The substring is longer than the string that must contain it.
+    SubstringTooLong {
+        /// Substring length.
+        substring: usize,
+        /// Containing string length.
+        total: usize,
+    },
+    /// A placement index does not leave room for the substring.
+    IndexOutOfRange {
+        /// Requested start index.
+        index: usize,
+        /// Substring length.
+        substring: usize,
+        /// Containing string length.
+        total: usize,
+    },
+    /// The desired length exceeds the number of available slots.
+    LengthOutOfRange {
+        /// Desired length.
+        desired: usize,
+        /// Available character slots.
+        slots: usize,
+    },
+    /// The regex pattern failed to parse.
+    RegexSyntax(ParseError),
+    /// The regex has no match of the requested length.
+    RegexUnsatisfiable {
+        /// The pattern text.
+        pattern: String,
+        /// The requested length.
+        len: usize,
+    },
+    /// An argument that must be nonempty was empty.
+    EmptyArgument {
+        /// Which argument.
+        what: &'static str,
+    },
+    /// A conjunction combined constraints that do not share one string
+    /// variable space (different generated lengths or non-text decodes).
+    IncompatibleConjunction {
+        /// Why the parts cannot be merged.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintError::NonAscii(e) => write!(f, "{e}"),
+            ConstraintError::SubstringTooLong { substring, total } => write!(
+                f,
+                "substring of length {substring} cannot fit in a string of length {total}"
+            ),
+            ConstraintError::IndexOutOfRange {
+                index,
+                substring,
+                total,
+            } => write!(
+                f,
+                "substring of length {substring} at index {index} overflows a string of length {total}"
+            ),
+            ConstraintError::LengthOutOfRange { desired, slots } => {
+                write!(f, "desired length {desired} exceeds the {slots} available slots")
+            }
+            ConstraintError::RegexSyntax(e) => write!(f, "{e}"),
+            ConstraintError::RegexUnsatisfiable { pattern, len } => {
+                write!(f, "regex {pattern:?} has no match of length {len}")
+            }
+            ConstraintError::EmptyArgument { what } => {
+                write!(f, "argument {what:?} must be nonempty")
+            }
+            ConstraintError::IncompatibleConjunction { reason } => {
+                write!(f, "constraints cannot be conjoined: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+impl From<EncodeError> for ConstraintError {
+    fn from(e: EncodeError) -> Self {
+        ConstraintError::NonAscii(e)
+    }
+}
+
+impl From<ParseError> for ConstraintError {
+    fn from(e: ParseError) -> Self {
+        ConstraintError::RegexSyntax(e)
+    }
+}

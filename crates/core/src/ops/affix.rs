@@ -1,0 +1,224 @@
+//! Prefix, suffix, and character-pinning encoders — natural extensions of
+//! the paper's §4.5 placement formulation, needed by the SMT-LIB front
+//! end's `str.prefixof`, `str.suffixof`, and `str.at` operators.
+//!
+//! All three are window placements: strong `2A` bit constraints inside
+//! the pinned window, a soft [`BiasProfile`] elsewhere. They exist as
+//! separate types (rather than callers reusing
+//! [`crate::ops::index_of::IndexOfPlacement`] directly) so constraints
+//! carry their own semantics for validation and error reporting.
+
+use crate::error::ConstraintError;
+use crate::ops::index_of::IndexOfPlacement;
+use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
+use crate::problem::EncodedProblem;
+
+/// Generate a string of a given length starting with `prefix`
+/// (SMT-LIB `str.prefixof`).
+#[derive(Debug, Clone)]
+pub struct Prefix {
+    prefix: String,
+    total_len: usize,
+    strength: f64,
+    bias: BiasProfile,
+}
+
+impl Prefix {
+    /// Pins `prefix` at the start of a `total_len`-character string.
+    pub fn new(prefix: impl Into<String>, total_len: usize) -> Self {
+        Self {
+            prefix: prefix.into(),
+            total_len,
+            strength: DEFAULT_STRENGTH,
+            bias: BiasProfile::lowercase_block(),
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// Overrides the free-position bias.
+    pub fn with_bias(mut self, bias: BiasProfile) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails when the prefix is empty, too long, or non-ASCII.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        let mut p = IndexOfPlacement::new(&self.prefix, 0, self.total_len)
+            .with_strength(self.strength)
+            .with_bias(self.bias)
+            .encode()?;
+        p.name = "string-prefix";
+        p.description = format!(
+            "generate a {}-character string starting with {:?}",
+            self.total_len, self.prefix
+        );
+        Ok(p)
+    }
+}
+
+/// Generate a string of a given length ending with `suffix`
+/// (SMT-LIB `str.suffixof`).
+#[derive(Debug, Clone)]
+pub struct Suffix {
+    suffix: String,
+    total_len: usize,
+    strength: f64,
+    bias: BiasProfile,
+}
+
+impl Suffix {
+    /// Pins `suffix` at the end of a `total_len`-character string.
+    pub fn new(suffix: impl Into<String>, total_len: usize) -> Self {
+        Self {
+            suffix: suffix.into(),
+            total_len,
+            strength: DEFAULT_STRENGTH,
+            bias: BiasProfile::lowercase_block(),
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// Overrides the free-position bias.
+    pub fn with_bias(mut self, bias: BiasProfile) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails when the suffix is empty, too long, or non-ASCII.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        let m = self.suffix.len();
+        if m > self.total_len {
+            return Err(ConstraintError::SubstringTooLong {
+                substring: m,
+                total: self.total_len,
+            });
+        }
+        let mut p = IndexOfPlacement::new(&self.suffix, self.total_len - m, self.total_len)
+            .with_strength(self.strength)
+            .with_bias(self.bias)
+            .encode()?;
+        p.name = "string-suffix";
+        p.description = format!(
+            "generate a {}-character string ending with {:?}",
+            self.total_len, self.suffix
+        );
+        Ok(p)
+    }
+}
+
+/// Pin a single character at a single index (SMT-LIB `str.at`).
+#[derive(Debug, Clone)]
+pub struct CharAt {
+    ch: char,
+    index: usize,
+    total_len: usize,
+    strength: f64,
+    bias: BiasProfile,
+}
+
+impl CharAt {
+    /// Pins `ch` at `index` of a `total_len`-character string.
+    pub fn new(ch: char, index: usize, total_len: usize) -> Self {
+        Self {
+            ch,
+            index,
+            total_len,
+            strength: DEFAULT_STRENGTH,
+            bias: BiasProfile::lowercase_block(),
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// Overrides the free-position bias.
+    pub fn with_bias(mut self, bias: BiasProfile) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails when the index is out of range or the character non-ASCII.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        let mut p = IndexOfPlacement::new(self.ch.to_string(), self.index, self.total_len)
+            .with_strength(self.strength)
+            .with_bias(self.bias)
+            .encode()?;
+        p.name = "string-char-at";
+        p.description = format!(
+            "generate a {}-character string with {:?} at index {}",
+            self.total_len, self.ch, self.index
+        );
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::exact_texts;
+
+    #[test]
+    fn prefix_pins_the_start() {
+        let p = Prefix::new("ab", 3).encode().unwrap();
+        for t in exact_texts(&p) {
+            assert!(t.starts_with("ab"), "{t:?}");
+        }
+        assert_eq!(p.name, "string-prefix");
+    }
+
+    #[test]
+    fn suffix_pins_the_end() {
+        let p = Suffix::new("yz", 3).encode().unwrap();
+        for t in exact_texts(&p) {
+            assert!(t.ends_with("yz"), "{t:?}");
+        }
+        assert_eq!(p.name, "string-suffix");
+    }
+
+    #[test]
+    fn char_at_pins_one_slot() {
+        let p = CharAt::new('q', 1, 3).encode().unwrap();
+        for t in exact_texts(&p) {
+            assert_eq!(t.as_bytes()[1], b'q', "{t:?}");
+        }
+    }
+
+    #[test]
+    fn full_length_prefix_is_equality_shaped() {
+        let p = Prefix::new("ok", 2).encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["ok".to_string()]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Prefix::new("abc", 2).encode().is_err());
+        assert!(Suffix::new("abc", 2).encode().is_err());
+        assert!(CharAt::new('x', 3, 3).encode().is_err());
+        assert!(Prefix::new("é", 3).encode().is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! §4.1 String equality: generate a string `S` matching a target `T`.
+
+use crate::encode::string_to_bits;
+use crate::error::ConstraintError;
+use crate::ops::{add_target_diagonal, DEFAULT_STRENGTH};
+use crate::problem::{DecodeScheme, EncodedProblem};
+
+/// The string-equality encoder (paper §4.1).
+///
+/// Builds a `7n × 7n` diagonal-only QUBO: `q_ii = −A` where the target bit
+/// should be 1 and `+A` where it should be 0. The unique ground state is
+/// the bit encoding of the target string, at energy `−A · (#one-bits)`.
+///
+/// ```
+/// use qsmt_core::ops::equality::Equality;
+///
+/// let p = Equality::new("hi").encode().unwrap();
+/// assert_eq!(p.num_vars(), 14);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Equality {
+    target: String,
+    strength: f64,
+}
+
+impl Equality {
+    /// Targets the given string with the paper's default `A = 1`.
+    pub fn new(target: impl Into<String>) -> Self {
+        Self {
+            target: target.into(),
+            strength: DEFAULT_STRENGTH,
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// The target string.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Returns [`ConstraintError::NonAscii`] for non-ASCII targets.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        let bits = string_to_bits(&self.target)?;
+        let mut qubo = qsmt_qubo::QuboModel::new(bits.len());
+        add_target_diagonal(&mut qubo, &bits, self.strength);
+        Ok(EncodedProblem {
+            qubo,
+            decode: DecodeScheme::AsciiString {
+                len: self.target.len(),
+            },
+            name: "string-equality",
+            description: format!("generate a string equal to {:?}", self.target),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::exact_texts;
+    use qsmt_qubo::DenseQubo;
+
+    #[test]
+    fn ground_state_is_target() {
+        let p = Equality::new("ab").encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["ab".to_string()]);
+    }
+
+    #[test]
+    fn ground_energy_counts_one_bits() {
+        // 'a' = 1100001 has three 1-bits → ground energy −3A.
+        let p = Equality::new("a").with_strength(2.0).encode().unwrap();
+        let (e, _) = crate::ops::test_support::exact_solutions(&p);
+        assert_eq!(e, -6.0);
+    }
+
+    #[test]
+    fn matrix_is_diagonal_as_in_table1() {
+        let p = Equality::new("abc").encode().unwrap();
+        assert!(DenseQubo::from_model(&p.qubo).is_diagonal());
+        assert_eq!(p.qubo.num_interactions(), 0);
+    }
+
+    #[test]
+    fn empty_target_is_trivially_satisfied() {
+        let p = Equality::new("").encode().unwrap();
+        assert_eq!(p.num_vars(), 0);
+        assert_eq!(p.decode_state(&[]).unwrap().as_text(), Some(""));
+    }
+
+    #[test]
+    fn non_ascii_rejected() {
+        assert!(matches!(
+            Equality::new("héllo").encode(),
+            Err(ConstraintError::NonAscii(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_states_pay_energy_per_flipped_bit() {
+        let p = Equality::new("a").encode().unwrap();
+        let target = crate::encode::string_to_bits("a").unwrap();
+        let ground = p.qubo.energy(&target);
+        let mut flipped = target.clone();
+        flipped[0] ^= 1;
+        assert_eq!(p.qubo.energy(&flipped), ground + 1.0);
+        let mut two = flipped.clone();
+        two[3] ^= 1;
+        assert_eq!(p.qubo.energy(&two), ground + 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strength must be positive")]
+    fn zero_strength_rejected() {
+        let _ = Equality::new("a").with_strength(0.0);
+    }
+}

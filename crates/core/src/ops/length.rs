@@ -1,0 +1,235 @@
+//! §4.6 String length: unary slot-occupancy encoding, plus a practical
+//! generation variant.
+
+use crate::encode::{bit_index, BITS_PER_CHAR};
+use crate::error::ConstraintError;
+use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
+use crate::problem::{DecodeScheme, EncodedProblem};
+
+/// The paper-faithful length encoder (paper §4.6).
+///
+/// The paper's objective sets the first `L` *bits* of the binary string to
+/// 1 and the rest to 0:
+///
+/// ```text
+/// Q = Σ_{i=1..L} (−x_i) + Σ_{i=L+1..n} x_i
+/// ```
+///
+/// over a `7n × 7n` diagonal matrix. Read literally this is a **unary
+/// slot-occupancy encoding**: a 1-bit means "this slot is occupied", and a
+/// string "has length L" when exactly the first `7L` slots are occupied.
+/// (Under the paper's own ASCII decoding the occupied characters read back
+/// as `0x7F`; DESIGN.md documents this interpretation gap.) Decoding
+/// counts fully-occupied 7-bit groups.
+#[derive(Debug, Clone)]
+pub struct LengthUnary {
+    desired: usize,
+    slots: usize,
+    strength: f64,
+}
+
+impl LengthUnary {
+    /// Wants length `desired` out of `slots` available character slots.
+    pub fn new(desired: usize, slots: usize) -> Self {
+        Self {
+            desired,
+            slots,
+            strength: DEFAULT_STRENGTH,
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails when `desired > slots`.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        if self.desired > self.slots {
+            return Err(ConstraintError::LengthOutOfRange {
+                desired: self.desired,
+                slots: self.slots,
+            });
+        }
+        let n_bits = self.slots * BITS_PER_CHAR;
+        let l_bits = self.desired * BITS_PER_CHAR;
+        let mut qubo = qsmt_qubo::QuboModel::new(n_bits);
+        for i in 0..n_bits {
+            qubo.add_linear(
+                i as u32,
+                if i < l_bits {
+                    -self.strength
+                } else {
+                    self.strength
+                },
+            );
+        }
+        Ok(EncodedProblem {
+            qubo,
+            decode: DecodeScheme::LengthUnary { chars: self.slots },
+            name: "string-length-unary",
+            description: format!(
+                "occupy exactly {} of {} character slots (paper §4.6 unary encoding)",
+                self.desired, self.slots
+            ),
+        })
+    }
+}
+
+/// A practical generation variant: produce a *printable* string of exactly
+/// the desired length inside a larger buffer.
+///
+/// The first `L` character slots receive a soft character bias (so any
+/// biased-block character satisfies them), and the trailing slots are
+/// strongly pinned to NUL (`0000000`). Decoding yields the full buffer;
+/// trimming trailing NULs gives the length-`L` string. This is the variant
+/// the solver uses when a *string* (not just an occupancy pattern) of a
+/// given length must be produced.
+#[derive(Debug, Clone)]
+pub struct LengthWithFill {
+    desired: usize,
+    slots: usize,
+    strength: f64,
+    bias: BiasProfile,
+}
+
+impl LengthWithFill {
+    /// Generates a printable string of `desired` characters in a buffer of
+    /// `slots`.
+    pub fn new(desired: usize, slots: usize) -> Self {
+        Self {
+            desired,
+            slots,
+            strength: DEFAULT_STRENGTH,
+            bias: BiasProfile::lowercase_block(),
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// Overrides the fill-character bias.
+    pub fn with_bias(mut self, bias: BiasProfile) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails when `desired > slots`.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        if self.desired > self.slots {
+            return Err(ConstraintError::LengthOutOfRange {
+                desired: self.desired,
+                slots: self.slots,
+            });
+        }
+        let mut qubo = qsmt_qubo::QuboModel::new(self.slots * BITS_PER_CHAR);
+        for pos in 0..self.desired {
+            self.bias.apply(&mut qubo, pos, self.strength);
+            // Ensure occupied slots cannot decode to NUL: pull the low bit
+            // weakly toward 1 if the bias is otherwise empty there.
+            if self.bias.is_none() {
+                qubo.add_linear(bit_index(pos, BITS_PER_CHAR - 1), -0.05 * self.strength);
+            }
+        }
+        for pos in self.desired..self.slots {
+            for i in 0..BITS_PER_CHAR {
+                qubo.add_linear(bit_index(pos, i), self.strength);
+            }
+        }
+        Ok(EncodedProblem {
+            qubo,
+            decode: DecodeScheme::AsciiString { len: self.slots },
+            name: "string-length-fill",
+            description: format!(
+                "generate a printable string of length {} in a {}-slot buffer",
+                self.desired, self.slots
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::{exact_solutions, exact_texts};
+    use crate::problem::Solution;
+
+    #[test]
+    fn unary_ground_state_is_exactly_l_groups() {
+        let p = LengthUnary::new(2, 3).encode().unwrap();
+        let (_, sols) = exact_solutions(&p);
+        assert_eq!(sols, vec![Solution::Length(2)]);
+    }
+
+    #[test]
+    fn unary_ground_energy() {
+        // 14 bits at −A, 7 bits at +A kept 0 → energy −14A.
+        let p = LengthUnary::new(2, 3).with_strength(1.0).encode().unwrap();
+        let (e, _) = exact_solutions(&p);
+        assert_eq!(e, -14.0);
+    }
+
+    #[test]
+    fn unary_zero_length() {
+        let p = LengthUnary::new(0, 2).encode().unwrap();
+        let (_, sols) = exact_solutions(&p);
+        assert_eq!(sols, vec![Solution::Length(0)]);
+    }
+
+    #[test]
+    fn unary_full_length() {
+        let p = LengthUnary::new(3, 3).encode().unwrap();
+        let (_, sols) = exact_solutions(&p);
+        assert_eq!(sols, vec![Solution::Length(3)]);
+    }
+
+    #[test]
+    fn unary_rejects_oversized_length() {
+        assert!(matches!(
+            LengthUnary::new(4, 3).encode(),
+            Err(ConstraintError::LengthOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn fill_variant_generates_printable_prefix_and_nul_tail() {
+        let p = LengthWithFill::new(2, 3).encode().unwrap();
+        for t in exact_texts(&p) {
+            let bytes = t.as_bytes();
+            assert_eq!(bytes.len(), 3);
+            assert!((0x60..=0x7f).contains(&bytes[0]));
+            assert!((0x60..=0x7f).contains(&bytes[1]));
+            assert_eq!(bytes[2], 0, "tail must be NUL");
+            assert_eq!(t.trim_end_matches('\0').len(), 2);
+        }
+    }
+
+    #[test]
+    fn fill_variant_without_bias_still_avoids_nul_prefix() {
+        let p = LengthWithFill::new(1, 2)
+            .with_bias(BiasProfile::none())
+            .encode()
+            .unwrap();
+        for t in exact_texts(&p) {
+            assert_ne!(t.as_bytes()[0], 0, "occupied slot must not be NUL");
+            assert_eq!(t.as_bytes()[1], 0);
+        }
+    }
+
+    #[test]
+    fn fill_variant_rejects_oversized_length() {
+        assert!(LengthWithFill::new(5, 3).encode().is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The twelve string-constraint encoders of the paper's §4.
+//!
+//! Each submodule implements one formulation; all follow the same recipe
+//! (paper §4, preamble): define binary variables, define the objective to
+//! minimize, encode it into a QUBO matrix, optionally add penalty
+//! functions. Unless stated otherwise, binary variables are the 7-bit
+//! ASCII encoding of the target string and the coefficient is `A = 1`.
+
+pub mod affix;
+pub mod concat;
+pub mod equality;
+pub mod includes;
+pub mod index_of;
+pub mod length;
+pub mod palindrome;
+pub mod regex;
+pub mod replace;
+pub mod reverse;
+pub mod substring;
+
+use crate::encode::{bit_index, BITS_PER_CHAR};
+use qsmt_qubo::QuboModel;
+
+/// The paper's default penalty strength: "our coefficients are A = 1 for
+/// all formulations. We find that this coefficient works best with our
+/// simulated annealer."
+pub const DEFAULT_STRENGTH: f64 = 1.0;
+
+/// Writes the diagonal ±A encoding of a target bit string (paper §4.1):
+/// `q_ii = −A` where the target bit is 1, `+A` where it is 0. Coefficients
+/// are *added*, composing with anything already in the model.
+pub(crate) fn add_target_diagonal(model: &mut QuboModel, bits: &[u8], strength: f64) {
+    for (i, &b) in bits.iter().enumerate() {
+        model.add_linear(i as u32, if b == 1 { -strength } else { strength });
+    }
+}
+
+/// Overwrites the diagonal entries for the character window starting at
+/// `char_pos` — the "conflicting entries overwrite the previous entries"
+/// semantics of §4.3's substring encoder.
+pub(crate) fn set_char_diagonal(
+    model: &mut QuboModel,
+    char_pos: usize,
+    char_bits: &[u8; BITS_PER_CHAR],
+    strength: f64,
+) {
+    for (i, &b) in char_bits.iter().enumerate() {
+        model.set_linear(
+            bit_index(char_pos, i),
+            if b == 1 { -strength } else { strength },
+        );
+    }
+}
+
+/// A per-bit soft bias applied to otherwise-unconstrained character
+/// positions, scaled by the encoder's strength `A`.
+///
+/// The paper's §4.5 leaves free positions "softer" (0.1·A) so "other valid
+/// ascii characters can be generated"; its sample fill characters are
+/// lowercase (`qphiqp`), which corresponds to gently pulling the two high
+/// bits toward 1 (the `0x60..=0x7F` block containing the lowercase
+/// letters). [`BiasProfile::lowercase_block`] reproduces exactly that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasProfile {
+    /// Bias added to the linear term of each of a character's 7 bits
+    /// (MSB first); negative values attract the bit toward 1.
+    pub per_bit: [f64; BITS_PER_CHAR],
+}
+
+impl BiasProfile {
+    /// No bias: free positions are fully degenerate (any character).
+    pub const fn none() -> Self {
+        Self {
+            per_bit: [0.0; BITS_PER_CHAR],
+        }
+    }
+
+    /// The paper's soft constraint: `0.1·A` pull on the two high bits,
+    /// biasing free characters into the lowercase block.
+    pub const fn lowercase_block() -> Self {
+        Self {
+            per_bit: [-0.1, -0.1, 0.0, 0.0, 0.0, 0.0, 0.0],
+        }
+    }
+
+    /// A gentler bias that only avoids control characters (pulls bit 1,
+    /// the 32s place, toward 1), leaving the rest of printable ASCII
+    /// equally likely.
+    pub const fn printable() -> Self {
+        Self {
+            per_bit: [0.0, -0.05, 0.0, 0.0, 0.0, 0.0, 0.0],
+        }
+    }
+
+    /// Derives a bias that pulls free characters toward an arbitrary
+    /// character set, using the same superposition idea as the paper's
+    /// class encoding (§4.11): each bit on which *every* member agrees is
+    /// biased toward that shared value (strength `factor`), bits on which
+    /// members disagree are left free.
+    ///
+    /// `BiasProfile::from_charset(&('a'..='z').collect::<Vec<_>>(), 0.1)`
+    /// reproduces [`BiasProfile::lowercase_block`] exactly; digits,
+    /// uppercase, or application-specific alphabets work the same way.
+    ///
+    /// # Errors
+    /// Returns an error for an empty set or non-ASCII members.
+    pub fn from_charset(chars: &[char], factor: f64) -> Result<Self, crate::encode::EncodeError> {
+        assert!(factor >= 0.0, "bias factor must be non-negative");
+        let first = chars
+            .first()
+            .copied()
+            .ok_or(crate::encode::EncodeError { ch: '\0' })?;
+        let mut agreed = crate::encode::char_to_bits(first)?;
+        let mut varies = [false; BITS_PER_CHAR];
+        for &c in &chars[1..] {
+            let bits = crate::encode::char_to_bits(c)?;
+            for i in 0..BITS_PER_CHAR {
+                if bits[i] != agreed[i] {
+                    varies[i] = true;
+                }
+            }
+            let _ = &mut agreed;
+        }
+        let mut per_bit = [0.0; BITS_PER_CHAR];
+        for i in 0..BITS_PER_CHAR {
+            if !varies[i] {
+                per_bit[i] = if agreed[i] == 1 { -factor } else { factor };
+            }
+        }
+        Ok(Self { per_bit })
+    }
+
+    /// True when every per-bit bias is zero.
+    pub fn is_none(&self) -> bool {
+        self.per_bit.iter().all(|&b| b == 0.0)
+    }
+
+    /// Applies the bias (scaled by `strength`) to the character slot at
+    /// `char_pos`.
+    pub(crate) fn apply(&self, model: &mut QuboModel, char_pos: usize, strength: f64) {
+        for (i, &b) in self.per_bit.iter().enumerate() {
+            if b != 0.0 {
+                model.add_linear(bit_index(char_pos, i), b * strength);
+            }
+        }
+    }
+}
+
+impl Default for BiasProfile {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared oracle helpers for encoder tests.
+
+    use crate::problem::{EncodedProblem, Solution};
+    use qsmt_anneal::ExactSolver;
+
+    /// Exhaustively finds all ground states of an encoded problem and
+    /// decodes them. Panics if the model exceeds the exact-solver limit —
+    /// encoder tests must use small instances.
+    pub fn exact_solutions(p: &EncodedProblem) -> (f64, Vec<Solution>) {
+        let solver = ExactSolver::new().with_max_vars(26);
+        let (e, states) = solver.ground_states(&p.qubo);
+        let sols = states
+            .iter()
+            .map(|s| p.decode_state(s).expect("ground state must decode"))
+            .collect();
+        (e, sols)
+    }
+
+    /// Convenience: all ground states decoded as text.
+    pub fn exact_texts(p: &EncodedProblem) -> Vec<String> {
+        exact_solutions(p)
+            .1
+            .into_iter()
+            .map(|s| match s {
+                Solution::Text(t) => t,
+                other => panic!("expected text solution, got {other}"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::string_to_bits;
+
+    #[test]
+    fn add_target_diagonal_matches_paper_example() {
+        // 'a' = 1100001 → [-A, -A, +A, +A, +A, +A, -A]
+        let mut m = QuboModel::new(7);
+        add_target_diagonal(&mut m, &string_to_bits("a").unwrap(), 1.0);
+        let diag: Vec<f64> = (0..7).map(|i| m.linear(i)).collect();
+        assert_eq!(diag, vec![-1.0, -1.0, 1.0, 1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn set_char_diagonal_overwrites() {
+        let mut m = QuboModel::new(14);
+        add_target_diagonal(&mut m, &string_to_bits("ab").unwrap(), 1.0);
+        let c = crate::encode::char_to_bits('z').unwrap();
+        set_char_diagonal(&mut m, 1, &c, 1.0);
+        // slot 1 now encodes 'z' exactly, not 'b' + 'z'
+        let expect: Vec<f64> = c.iter().map(|&b| if b == 1 { -1.0 } else { 1.0 }).collect();
+        let got: Vec<f64> = (7..14).map(|i| m.linear(i)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn charset_bias_matches_lowercase_block_for_lowercase() {
+        let letters: Vec<char> = ('a'..='z').collect();
+        let b = BiasProfile::from_charset(&letters, 0.1).unwrap();
+        // Lowercase letters are 11xxxxx: the two high bits agree at 1.
+        assert_eq!(b.per_bit[0], -0.1);
+        assert_eq!(b.per_bit[1], -0.1);
+        assert!(b.per_bit[2..].iter().all(|&v| v == 0.0));
+        assert_eq!(b, BiasProfile::lowercase_block());
+    }
+
+    #[test]
+    fn charset_bias_for_digits() {
+        let digits: Vec<char> = ('0'..='9').collect();
+        // Digits are 011xxxx: bit0 = 0 (+f), bits 1-2 = 1 (−f), rest vary
+        // except... '0'=0110000 .. '9'=0111001: bit3 varies (0 for 0-7,
+        // 1 for 8-9), bits 4-6 vary.
+        let b = BiasProfile::from_charset(&digits, 0.2).unwrap();
+        assert_eq!(b.per_bit[0], 0.2);
+        assert_eq!(b.per_bit[1], -0.2);
+        assert_eq!(b.per_bit[2], -0.2);
+        assert!(b.per_bit[3..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn charset_bias_singleton_pins_every_bit() {
+        let b = BiasProfile::from_charset(&['a'], 1.0).unwrap();
+        // 'a' = 1100001
+        assert_eq!(b.per_bit, [-1.0, -1.0, 1.0, 1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn charset_bias_errors() {
+        assert!(BiasProfile::from_charset(&[], 0.1).is_err());
+        assert!(BiasProfile::from_charset(&['é'], 0.1).is_err());
+    }
+
+    #[test]
+    fn bias_profiles() {
+        assert!(BiasProfile::none().is_none());
+        assert!(!BiasProfile::lowercase_block().is_none());
+        let mut m = QuboModel::new(7);
+        BiasProfile::lowercase_block().apply(&mut m, 0, 2.0);
+        assert_eq!(m.linear(0), -0.2);
+        assert_eq!(m.linear(1), -0.2);
+        assert_eq!(m.linear(2), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! §4.10 Palindrome generation.
+
+use crate::encode::{bit_index, BITS_PER_CHAR};
+use crate::error::ConstraintError;
+use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
+use crate::problem::{DecodeScheme, EncodedProblem};
+use qsmt_qubo::PenaltyBuilder;
+
+/// The palindrome-generation encoder (paper §4.10) — a constraint the
+/// paper highlights as unsupported by z3.
+///
+/// For every mirrored character pair `(j, N−1−j)` and every bit `i`, the
+/// agreement term
+///
+/// ```text
+/// A · (x_{7j+i} + x_{7(N−1−j)+i} − 2·x_{7j+i}·x_{7(N−1−j)+i})
+/// ```
+///
+/// contributes 0 when the mirrored bits agree and `A` when they differ, so
+/// the ground states (energy 0) are exactly the bit-level palindromes. On
+/// the matrix this is `+A` on the two diagonal entries and `−2A` on the
+/// off-diagonal coupling, matching Table 1's second row.
+///
+/// Ground states are massively degenerate (any mirrored content); an
+/// optional [`BiasProfile`] steers the content toward printable characters
+/// without breaking the mirror symmetry (the bias is identical per slot).
+#[derive(Debug, Clone)]
+pub struct Palindrome {
+    len: usize,
+    strength: f64,
+    bias: BiasProfile,
+}
+
+impl Palindrome {
+    /// Generates a palindrome of `len` characters.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            strength: DEFAULT_STRENGTH,
+            bias: BiasProfile::none(),
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// Applies a symmetric content bias (for printable output).
+    pub fn with_bias(mut self, bias: BiasProfile) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails for zero length (an empty palindrome has no variables to
+    /// generate).
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        if self.len == 0 {
+            return Err(ConstraintError::EmptyArgument { what: "length" });
+        }
+        let n = self.len;
+        let mut qubo = qsmt_qubo::QuboModel::new(n * BITS_PER_CHAR);
+        for j in 0..n / 2 {
+            let mirror = n - 1 - j;
+            for i in 0..BITS_PER_CHAR {
+                PenaltyBuilder::new(&mut qubo).bits_equal(
+                    bit_index(j, i),
+                    bit_index(mirror, i),
+                    self.strength,
+                );
+            }
+        }
+        if !self.bias.is_none() {
+            for pos in 0..n {
+                self.bias.apply(&mut qubo, pos, self.strength);
+            }
+        }
+        Ok(EncodedProblem {
+            qubo,
+            decode: DecodeScheme::AsciiString { len: n },
+            name: "palindrome",
+            description: format!("generate a palindrome of length {n}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::string_to_bits;
+    use crate::ops::test_support::exact_texts;
+
+    fn is_palindrome(s: &str) -> bool {
+        let f: Vec<char> = s.chars().collect();
+        let r: Vec<char> = s.chars().rev().collect();
+        f == r
+    }
+
+    #[test]
+    fn ground_states_of_length_2_are_exactly_palindromes() {
+        // 14 vars: exhaustively checkable. 2^7 = 128 palindromes "cc".
+        let p = Palindrome::new(2).encode().unwrap();
+        let texts = exact_texts(&p);
+        assert_eq!(texts.len(), 128);
+        for t in &texts {
+            assert!(is_palindrome(t), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn length_3_middle_char_is_free() {
+        // 21 vars: mirrored outer chars (128) × free middle (128) = 16384.
+        let p = Palindrome::new(3).encode().unwrap();
+        let texts = exact_texts(&p);
+        assert_eq!(texts.len(), 128 * 128);
+        for t in texts.iter().take(50) {
+            assert!(is_palindrome(t));
+        }
+    }
+
+    #[test]
+    fn non_palindromes_pay_per_disagreeing_bit() {
+        let p = Palindrome::new(2).encode().unwrap();
+        let good = string_to_bits("aa").unwrap();
+        assert_eq!(p.qubo.energy(&good), 0.0);
+        // 'a' vs 'b': 1100001 vs 1100010 differ in two bits.
+        let bad = string_to_bits("ab").unwrap();
+        assert_eq!(p.qubo.energy(&bad), 2.0);
+    }
+
+    #[test]
+    fn matrix_shape_matches_table1() {
+        // Diagonal +A, mirrored coupling −2A.
+        let p = Palindrome::new(2).encode().unwrap();
+        assert_eq!(p.qubo.linear(0), 1.0);
+        assert_eq!(p.qubo.linear(7), 1.0);
+        assert_eq!(p.qubo.quadratic(0, 7), -2.0);
+    }
+
+    #[test]
+    fn symmetric_bias_preserves_palindromes() {
+        let p = Palindrome::new(2)
+            .with_bias(BiasProfile::lowercase_block())
+            .encode()
+            .unwrap();
+        for t in exact_texts(&p) {
+            assert!(is_palindrome(&t));
+            let b = t.as_bytes()[0];
+            assert!((0x60..=0x7f).contains(&b));
+        }
+    }
+
+    #[test]
+    fn single_character_is_trivially_palindromic() {
+        let p = Palindrome::new(1).encode().unwrap();
+        assert_eq!(exact_texts(&p).len(), 128);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(Palindrome::new(0).encode().is_err());
+    }
+}

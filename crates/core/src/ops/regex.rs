@@ -1,0 +1,215 @@
+//! §4.11 Regex matching: generate a fixed-length string matching a
+//! pattern.
+
+use crate::encode::{bit_index, char_to_bits, BITS_PER_CHAR};
+use crate::error::ConstraintError;
+use crate::ops::DEFAULT_STRENGTH;
+use crate::problem::{DecodeScheme, EncodedProblem};
+use qsmt_redex::{parse, positional_sets, printable_ascii, Regex};
+
+/// The regex-matching encoder (paper §4.11).
+///
+/// The pattern is expanded into a per-position plan for the requested
+/// length: a literal at a position uses the full-strength character
+/// objective (±A per bit); a character class *superposes* all its members
+/// with coefficients `q_{i,j} / |chars|` — "equal and shared preference"
+/// in the paper's words. A `+` after a literal extends the literal; after
+/// a class, the class (paper's expansion rule).
+///
+/// The paper supports literals, classes, and plus. This encoder also
+/// accepts the future-work extensions (`*`, `?`, `.`, alternation,
+/// groups): positions are planned from the NFA's exact per-position
+/// character marginals ([`qsmt_redex::positional_sets`]), which coincide
+/// with the paper's plan on its subset.
+///
+/// **Known relaxation (inherited from the paper):** superposing a class's
+/// members averages their bit patterns, so bits on which members disagree
+/// become free and the ground-state set can include characters *outside*
+/// the class (e.g. `[bc]` admits `` ` `` and `a`). The solver layer closes
+/// this gap by validating decoded strings against the real NFA and
+/// retrying/post-selecting, mirroring the check-and-refine loop of the
+/// DPLL(T) architecture the paper describes in §1.
+#[derive(Debug, Clone)]
+pub struct RegexMatch {
+    pattern: String,
+    len: usize,
+    strength: f64,
+    alphabet: Vec<char>,
+}
+
+impl RegexMatch {
+    /// Generates a `len`-character string matching `pattern`.
+    pub fn new(pattern: impl Into<String>, len: usize) -> Self {
+        Self {
+            pattern: pattern.into(),
+            len,
+            strength: DEFAULT_STRENGTH,
+            alphabet: printable_ascii(),
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// Restricts the alphabet used for positional planning.
+    pub fn with_alphabet(mut self, alphabet: Vec<char>) -> Self {
+        assert!(!alphabet.is_empty(), "alphabet must be nonempty");
+        self.alphabet = alphabet;
+        self
+    }
+
+    /// The parsed pattern.
+    ///
+    /// # Errors
+    /// Returns the syntax error for malformed patterns.
+    pub fn regex(&self) -> Result<Regex, ConstraintError> {
+        Ok(parse(&self.pattern)?)
+    }
+
+    /// The per-position character plan for the requested length.
+    ///
+    /// # Errors
+    /// Fails on syntax errors or when no match of this length exists.
+    pub fn plan(&self) -> Result<Vec<Vec<char>>, ConstraintError> {
+        let re = self.regex()?;
+        positional_sets(&re, self.len, &self.alphabet).ok_or_else(|| {
+            ConstraintError::RegexUnsatisfiable {
+                pattern: self.pattern.clone(),
+                len: self.len,
+            }
+        })
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails on syntax errors, unsatisfiable lengths, or non-ASCII
+    /// alphabet members.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        let plan = self.plan()?;
+        let a = self.strength;
+        let mut qubo = qsmt_qubo::QuboModel::new(self.len * BITS_PER_CHAR);
+        for (pos, chars) in plan.iter().enumerate() {
+            let share = a / chars.len() as f64;
+            for &c in chars {
+                let bits = char_to_bits(c)?;
+                for (i, &b) in bits.iter().enumerate() {
+                    qubo.add_linear(bit_index(pos, i), if b == 1 { -share } else { share });
+                }
+            }
+        }
+        Ok(EncodedProblem {
+            qubo,
+            decode: DecodeScheme::AsciiString { len: self.len },
+            name: "regex-match",
+            description: format!(
+                "generate a {}-character string matching /{}/",
+                self.len, self.pattern
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::exact_texts;
+    use qsmt_redex::Nfa;
+
+    #[test]
+    fn literal_pattern_reduces_to_equality() {
+        let p = RegexMatch::new("ab", 2).encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["ab".to_string()]);
+    }
+
+    #[test]
+    fn paper_plan_for_a_bc_plus() {
+        let plan = RegexMatch::new("a[bc]+", 3).plan().unwrap();
+        assert_eq!(plan, vec![vec!['a'], vec!['b', 'c'], vec!['b', 'c']]);
+    }
+
+    #[test]
+    fn class_superposition_admits_members() {
+        let p = RegexMatch::new("a[bc]", 2).encode().unwrap();
+        let texts = exact_texts(&p);
+        assert!(texts.contains(&"ab".to_string()));
+        assert!(texts.contains(&"ac".to_string()));
+    }
+
+    #[test]
+    fn class_superposition_exact_when_members_differ_in_one_bit() {
+        // 'b' (1100010) and 'c' (1100011) differ only in the last bit, so
+        // the superposed encoding's ground set is exactly {b, c}.
+        let p = RegexMatch::new("a[bc]", 2).encode().unwrap();
+        assert_eq!(exact_texts(&p).len(), 2);
+    }
+
+    #[test]
+    fn class_superposition_relaxation_is_the_papers() {
+        // 'b' (1100010) and 'd' (1100100) differ in two bits; averaging
+        // frees both, so '`' (1100000) and 'f' (1100110) join the ground
+        // set — the documented paper-inherited relaxation the solver's
+        // validation layer closes.
+        let p = RegexMatch::new("a[bd]", 2).encode().unwrap();
+        let texts = exact_texts(&p);
+        assert_eq!(texts.len(), 4);
+        let nfa = Nfa::compile(&parse("a[bd]").unwrap());
+        let valid: Vec<&String> = texts.iter().filter(|t| nfa.matches(t)).collect();
+        assert_eq!(valid.len(), 2);
+    }
+
+    #[test]
+    fn plus_after_literal_extends_literal() {
+        let plan = RegexMatch::new("ab+", 3).plan().unwrap();
+        assert_eq!(plan, vec![vec!['a'], vec!['b'], vec!['b']]);
+        let p = RegexMatch::new("ab+", 3).encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["abb".to_string()]);
+    }
+
+    #[test]
+    fn extension_alternation_plans_unions() {
+        let plan = RegexMatch::new("ab|cd", 2).plan().unwrap();
+        assert_eq!(plan, vec![vec!['a', 'c'], vec!['b', 'd']]);
+    }
+
+    #[test]
+    fn extension_star_and_optional() {
+        let plan = RegexMatch::new("ab*", 3).plan().unwrap();
+        assert_eq!(plan, vec![vec!['a'], vec!['b'], vec!['b']]);
+        let plan2 = RegexMatch::new("ax?b", 2).plan().unwrap();
+        assert_eq!(plan2, vec![vec!['a'], vec!['b']]);
+    }
+
+    #[test]
+    fn unsatisfiable_length_is_an_error() {
+        assert!(matches!(
+            RegexMatch::new("abc", 2).encode(),
+            Err(ConstraintError::RegexUnsatisfiable { .. })
+        ));
+        assert!(matches!(
+            RegexMatch::new("a[bc]+", 1).encode(),
+            Err(ConstraintError::RegexUnsatisfiable { .. })
+        ));
+    }
+
+    #[test]
+    fn syntax_error_is_reported() {
+        assert!(matches!(
+            RegexMatch::new("a[", 2).encode(),
+            Err(ConstraintError::RegexSyntax(_))
+        ));
+    }
+
+    #[test]
+    fn restricted_alphabet_narrows_plan() {
+        let plan = RegexMatch::new("a.", 2)
+            .with_alphabet(vec!['a', 'b'])
+            .plan()
+            .unwrap();
+        assert_eq!(plan, vec![vec!['a'], vec!['a', 'b']]);
+    }
+}

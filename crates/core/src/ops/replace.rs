@@ -1,0 +1,154 @@
+//! §4.7 String replaceAll and §4.8 string replace.
+
+use crate::encode::string_to_bits;
+use crate::error::ConstraintError;
+use crate::ops::{add_target_diagonal, DEFAULT_STRENGTH};
+use crate::problem::{DecodeScheme, EncodedProblem};
+
+/// Which occurrences of the source character to replace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplaceMode {
+    /// §4.7: every occurrence (`replaceAll`) — the operation the paper
+    /// highlights as missing from z3.
+    All,
+    /// §4.8: only the first occurrence.
+    First,
+}
+
+/// The replace/replaceAll encoder (paper §4.7–§4.8).
+///
+/// "We thus treat this operation similarly to our string equality
+/// operation, in that we generate our desired string": while building the
+/// `7n × 7n` diagonal matrix, each character position `j` is checked
+/// against the character `x` to replace; matching positions get the bit
+/// pattern of the replacement `y` instead.
+#[derive(Debug, Clone)]
+pub struct Replace {
+    input: String,
+    from: char,
+    to: char,
+    mode: ReplaceMode,
+    strength: f64,
+}
+
+impl Replace {
+    /// Replaces occurrences of `from` with `to` within `input`.
+    pub fn new(input: impl Into<String>, from: char, to: char, mode: ReplaceMode) -> Self {
+        Self {
+            input: input.into(),
+            from,
+            to,
+            mode,
+            strength: DEFAULT_STRENGTH,
+        }
+    }
+
+    /// Shorthand for [`ReplaceMode::All`].
+    pub fn all(input: impl Into<String>, from: char, to: char) -> Self {
+        Self::new(input, from, to, ReplaceMode::All)
+    }
+
+    /// Shorthand for [`ReplaceMode::First`].
+    pub fn first(input: impl Into<String>, from: char, to: char) -> Self {
+        Self::new(input, from, to, ReplaceMode::First)
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// The string the encoder pins as the ground state (the classical
+    /// reference result of the replacement).
+    pub fn expected(&self) -> String {
+        match self.mode {
+            ReplaceMode::All => self.input.replace(self.from, &self.to.to_string()),
+            ReplaceMode::First => self.input.replacen(self.from, &self.to.to_string(), 1),
+        }
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails on non-ASCII input or replacement characters.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        // Validate the replacement character even if it never applies.
+        crate::encode::char_to_bits(self.to)?;
+        let target = self.expected();
+        let bits = string_to_bits(&target)?;
+        let mut qubo = qsmt_qubo::QuboModel::new(bits.len());
+        add_target_diagonal(&mut qubo, &bits, self.strength);
+        Ok(EncodedProblem {
+            qubo,
+            decode: DecodeScheme::AsciiString { len: target.len() },
+            name: match self.mode {
+                ReplaceMode::All => "string-replace-all",
+                ReplaceMode::First => "string-replace",
+            },
+            description: format!(
+                "replace {} occurrence(s) of {:?} with {:?} in {:?}",
+                match self.mode {
+                    ReplaceMode::All => "all",
+                    ReplaceMode::First => "the first",
+                },
+                self.from,
+                self.to,
+                self.input
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::exact_texts;
+
+    #[test]
+    fn replace_all_rewrites_every_occurrence() {
+        let p = Replace::all("aba", 'a', 'z').encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["zbz".to_string()]);
+    }
+
+    #[test]
+    fn replace_first_rewrites_only_first() {
+        let p = Replace::first("aba", 'a', 'z').encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["zba".to_string()]);
+    }
+
+    #[test]
+    fn absent_character_leaves_input_unchanged() {
+        let p = Replace::all("abc", 'x', 'y').encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["abc".to_string()]);
+    }
+
+    #[test]
+    fn expected_matches_std_semantics() {
+        assert_eq!(
+            Replace::all("hello world", 'l', 'x').expected(),
+            "hexxo worxd"
+        );
+        assert_eq!(Replace::first("hello", 'l', 'x').expected(), "hexlo");
+        assert_eq!(Replace::all("olleh", 'e', 'a').expected(), "ollah");
+    }
+
+    #[test]
+    fn replacing_with_same_character_is_identity() {
+        let p = Replace::all("ab", 'a', 'a').encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["ab".to_string()]);
+    }
+
+    #[test]
+    fn non_ascii_rejected() {
+        assert!(Replace::all("héllo", 'l', 'x').encode().is_err());
+        assert!(Replace::all("hello", 'l', 'λ').encode().is_err());
+    }
+
+    #[test]
+    fn matrix_stays_diagonal() {
+        let p = Replace::all("ab", 'a', 'b').encode().unwrap();
+        assert_eq!(p.qubo.num_interactions(), 0);
+    }
+}

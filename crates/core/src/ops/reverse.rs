@@ -1,0 +1,91 @@
+//! §4.9 String reversal.
+
+use crate::encode::string_to_bits;
+use crate::error::ConstraintError;
+use crate::ops::{add_target_diagonal, DEFAULT_STRENGTH};
+use crate::problem::{DecodeScheme, EncodedProblem};
+
+/// The string-reversal encoder (paper §4.9).
+///
+/// "We encode our string backwards (e.g., the reverse of the string) into
+/// the QUBO matrix": a `7n × 7n` diagonal matrix with `+A` for 0-bits and
+/// `−A` for 1-bits of the reversed string.
+#[derive(Debug, Clone)]
+pub struct Reverse {
+    input: String,
+    strength: f64,
+}
+
+impl Reverse {
+    /// Reverses the given string.
+    pub fn new(input: impl Into<String>) -> Self {
+        Self {
+            input: input.into(),
+            strength: DEFAULT_STRENGTH,
+        }
+    }
+
+    /// Overrides the penalty strength `A`.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// The classical reference result.
+    pub fn expected(&self) -> String {
+        self.input.chars().rev().collect()
+    }
+
+    /// Compiles to QUBO form.
+    ///
+    /// # Errors
+    /// Fails on non-ASCII input.
+    pub fn encode(&self) -> Result<EncodedProblem, ConstraintError> {
+        let target = self.expected();
+        let bits = string_to_bits(&target)?;
+        let mut qubo = qsmt_qubo::QuboModel::new(bits.len());
+        add_target_diagonal(&mut qubo, &bits, self.strength);
+        Ok(EncodedProblem {
+            qubo,
+            decode: DecodeScheme::AsciiString { len: target.len() },
+            name: "string-reverse",
+            description: format!("generate the reverse of {:?}", self.input),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_support::exact_texts;
+
+    #[test]
+    fn reverses_short_string() {
+        let p = Reverse::new("abc").encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["cba".to_string()]);
+    }
+
+    #[test]
+    fn paper_example_hello_to_olleh() {
+        assert_eq!(Reverse::new("hello").expected(), "olleh");
+    }
+
+    #[test]
+    fn palindromic_input_is_fixed_point() {
+        let p = Reverse::new("aba").encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["aba".to_string()]);
+    }
+
+    #[test]
+    fn empty_and_single_char() {
+        assert_eq!(Reverse::new("").expected(), "");
+        let p = Reverse::new("x").encode().unwrap();
+        assert_eq!(exact_texts(&p), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn non_ascii_rejected() {
+        assert!(Reverse::new("café").encode().is_err());
+    }
+}

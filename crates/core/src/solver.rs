@@ -1,0 +1,484 @@
+//! The solver facade: constraint → QUBO → sampler → decoded, validated
+//! answer, with a stage trace reproducing the paper's Figure 1 pipeline.
+
+use crate::constraint::Constraint;
+use crate::error::ConstraintError;
+use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
+use crate::problem::{EncodedProblem, Solution};
+use qsmt_anneal::{SampleSet, Sampler, SimulatedAnnealer};
+use qsmt_qubo::DenseQubo;
+use std::sync::Arc;
+
+/// The quantum(-simulated) string SMT solver.
+///
+/// Implements the paper's Figure 1 pipeline: take a string operation and
+/// its arguments, generate binary variables, encode objective and penalty
+/// functions into a QUBO matrix, pass it to a (simulated) annealer, and
+/// decode the output back to a string.
+///
+/// On top of the paper, the solver adds the *consistency check* that the
+/// SMT architecture in the paper's §1 calls for: decoded candidates are
+/// validated against the constraint's real semantics, and the reported
+/// answer is the lowest-energy **valid** sample when one exists
+/// (post-selection closes the known relaxations of the superposed-class
+/// and degenerate-ground-state encodings).
+///
+/// ```
+/// use qsmt_core::{Constraint, StringSolver};
+///
+/// let solver = StringSolver::with_defaults().with_seed(7);
+/// let out = solver
+///     .solve(&Constraint::Reverse { input: "hello".into() })
+///     .unwrap();
+/// assert_eq!(out.solution.as_text(), Some("olleh"));
+/// assert!(out.valid);
+/// ```
+#[derive(Clone)]
+pub struct StringSolver {
+    sampler: Arc<dyn Sampler>,
+    strength: f64,
+    bias: Option<BiasProfile>,
+    seed: u64,
+    reads: usize,
+}
+
+impl StringSolver {
+    /// Builds a solver around any sampler.
+    pub fn new(sampler: Arc<dyn Sampler>) -> Self {
+        Self {
+            sampler,
+            strength: DEFAULT_STRENGTH,
+            bias: None,
+            seed: 0,
+            reads: 64,
+        }
+    }
+
+    /// Default configuration: simulated annealing with 64 reads — the
+    /// paper's experimental setup.
+    pub fn with_defaults() -> Self {
+        Self::new(Arc::new(
+            SimulatedAnnealer::new().with_num_reads(64).with_sweeps(384),
+        ))
+    }
+
+    /// Overrides the penalty strength `A` for all encodings.
+    pub fn with_strength(mut self, a: f64) -> Self {
+        assert!(a > 0.0, "strength must be positive");
+        self.strength = a;
+        self
+    }
+
+    /// Forces a specific bias profile for all flexible encoders
+    /// (otherwise each constraint's documented default applies).
+    pub fn with_bias(mut self, bias: BiasProfile) -> Self {
+        self.bias = Some(bias);
+        self
+    }
+
+    /// Reseeds the default sampler (rebuilds it; a custom sampler passed
+    /// via [`StringSolver::new`] keeps its own seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rebuild_default_sampler();
+        self
+    }
+
+    /// Sets the default sampler's read count. Deeply degenerate encodings
+    /// (regex classes over many positions) need more reads for
+    /// post-selection to find a valid sample; shallow ones are fine with
+    /// fewer. Only affects the built-in annealer, not a custom sampler.
+    pub fn with_reads(mut self, reads: usize) -> Self {
+        assert!(reads > 0, "need at least one read");
+        self.reads = reads;
+        self.rebuild_default_sampler();
+        self
+    }
+
+    fn rebuild_default_sampler(&mut self) {
+        self.sampler = Arc::new(
+            SimulatedAnnealer::new()
+                .with_num_reads(self.reads)
+                .with_sweeps(384)
+                .with_seed(self.seed),
+        );
+    }
+
+    /// The sampler's reported name.
+    pub fn sampler_name(&self) -> &'static str {
+        self.sampler.name()
+    }
+
+    /// Encodes a constraint using this solver's strength/bias settings.
+    ///
+    /// # Errors
+    /// Propagates encoding failures.
+    pub fn encode(&self, constraint: &Constraint) -> Result<EncodedProblem, ConstraintError> {
+        match self.bias {
+            Some(bias) => constraint.encode_with(self.strength, bias),
+            None if self.strength == DEFAULT_STRENGTH => constraint.encode(),
+            None => {
+                // Custom strength, default per-constraint bias.
+                constraint.encode_with(self.strength, Constraint::default_bias(constraint))
+            }
+        }
+    }
+
+    /// Solves a constraint end to end.
+    ///
+    /// # Errors
+    /// Propagates encoding failures. Sampling itself is infallible.
+    pub fn solve(&self, constraint: &Constraint) -> Result<SolveOutcome, ConstraintError> {
+        let problem = self.encode(constraint)?;
+        let samples = self.sampler.sample(&problem.qubo);
+        Ok(self.select(constraint, problem, samples))
+    }
+
+    /// Solves with a full stage trace (the paper's Figure 1).
+    ///
+    /// # Errors
+    /// Propagates encoding failures.
+    pub fn solve_traced(
+        &self,
+        constraint: &Constraint,
+    ) -> Result<(SolveOutcome, SolveTrace), ConstraintError> {
+        let problem = self.encode(constraint)?;
+        let dense = DenseQubo::from_model(&problem.qubo);
+        let trace_matrix = dense.abbreviated(4, 4);
+        let stages = vec![
+            TraceStage {
+                label: "operation + args".into(),
+                detail: constraint.describe(),
+            },
+            TraceStage {
+                label: "binary variables".into(),
+                detail: format!("{} binary variables ({})", problem.num_vars(), problem.name),
+            },
+            TraceStage {
+                label: "QUBO matrix".into(),
+                detail: format!(
+                    "{0}×{0} matrix, {1} off-diagonal interactions, diagonal: {2}\n{3}",
+                    problem.num_vars(),
+                    problem.qubo.num_interactions(),
+                    if dense.is_diagonal() { "yes" } else { "no" },
+                    trace_matrix
+                ),
+            },
+            TraceStage {
+                label: "annealer".into(),
+                detail: format!("sampler: {}", self.sampler.name()),
+            },
+        ];
+        let samples = self.sampler.sample(&problem.qubo);
+        let outcome = self.select(constraint, problem, samples);
+        let mut stages = stages;
+        stages.push(TraceStage {
+            label: "decoded output".into(),
+            detail: format!(
+                "{} (energy {:.3}, valid: {})",
+                outcome.solution, outcome.energy, outcome.valid
+            ),
+        });
+        Ok((outcome, SolveTrace { stages }))
+    }
+
+    /// Returns up to `limit` *distinct, valid* solutions ordered by
+    /// energy — model enumeration for test-generation workloads, where
+    /// one witness per branch is rarely enough.
+    ///
+    /// The degenerate ground states of the paper's generation encodings
+    /// (palindromes, regexes, flexible fills) make this natural: one
+    /// sampling pass usually surfaces many distinct witnesses.
+    ///
+    /// # Errors
+    /// Propagates encoding failures.
+    pub fn solve_many(
+        &self,
+        constraint: &Constraint,
+        limit: usize,
+    ) -> Result<Vec<Solution>, ConstraintError> {
+        let problem = self.encode(constraint)?;
+        let samples = self.sampler.sample(&problem.qubo);
+        let mut out = Vec::new();
+        for sample in samples.iter() {
+            if out.len() >= limit {
+                break;
+            }
+            let Ok(solution) = problem.decode_state(&sample.state) else {
+                continue;
+            };
+            if constraint.validate(&solution) && !out.contains(&solution) {
+                out.push(solution);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Post-selection: lowest-energy sample whose decoding validates;
+    /// falls back to the overall best sample when none validates.
+    fn select(
+        &self,
+        constraint: &Constraint,
+        problem: EncodedProblem,
+        samples: SampleSet,
+    ) -> SolveOutcome {
+        let mut best: Option<(Solution, f64)> = None;
+        let mut valid_pick: Option<(Solution, f64)> = None;
+        for sample in samples.iter() {
+            let Ok(solution) = problem.decode_state(&sample.state) else {
+                continue;
+            };
+            if best.is_none() {
+                best = Some((solution.clone(), sample.energy));
+            }
+            if valid_pick.is_none() && constraint.validate(&solution) {
+                valid_pick = Some((solution, sample.energy));
+            }
+            if valid_pick.is_some() {
+                break;
+            }
+        }
+        let (solution, energy, valid) = match (valid_pick, best) {
+            (Some((s, e)), _) => (s, e, true),
+            (None, Some((s, e))) => (s, e, false),
+            (None, None) => (Solution::Text(String::new()), f64::NAN, false),
+        };
+        SolveOutcome {
+            problem,
+            samples,
+            solution,
+            energy,
+            valid,
+        }
+    }
+}
+
+impl std::fmt::Debug for StringSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StringSolver")
+            .field("sampler", &self.sampler.name())
+            .field("strength", &self.strength)
+            .field("bias", &self.bias)
+            .finish()
+    }
+}
+
+/// The result of one end-to-end solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The encoded problem (QUBO + decode scheme).
+    pub problem: EncodedProblem,
+    /// The full aggregated sample set from the sampler.
+    pub samples: SampleSet,
+    /// The reported answer (lowest-energy valid sample, or lowest-energy
+    /// sample when nothing validated).
+    pub solution: Solution,
+    /// QUBO energy of the reported answer.
+    pub energy: f64,
+    /// Whether the reported answer passed semantic validation.
+    pub valid: bool,
+}
+
+/// One stage of the Figure 1 pipeline trace.
+#[derive(Debug, Clone)]
+pub struct TraceStage {
+    /// Stage name (matches a box in the paper's Figure 1).
+    pub label: String,
+    /// Stage payload.
+    pub detail: String,
+}
+
+/// A full pipeline trace: input → binary variables → QUBO matrix →
+/// annealer → decoded output.
+#[derive(Debug, Clone)]
+pub struct SolveTrace {
+    /// The ordered stages.
+    pub stages: Vec<TraceStage>,
+}
+
+impl std::fmt::Display for SolveTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, stage) in self.stages.iter().enumerate() {
+            writeln!(f, "[{}] {}", i + 1, stage.label)?;
+            for line in stage.detail.lines() {
+                writeln!(f, "      {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsmt_anneal::ExactSolver;
+
+    fn solver() -> StringSolver {
+        StringSolver::with_defaults().with_seed(42)
+    }
+
+    #[test]
+    fn solves_equality() {
+        let out = solver()
+            .solve(&Constraint::Equality {
+                target: "hi".into(),
+            })
+            .unwrap();
+        assert_eq!(out.solution.as_text(), Some("hi"));
+        assert!(out.valid);
+    }
+
+    #[test]
+    fn solves_reverse_and_replace() {
+        let out = solver()
+            .solve(&Constraint::Reverse {
+                input: "abc".into(),
+            })
+            .unwrap();
+        assert_eq!(out.solution.as_text(), Some("cba"));
+        let out = solver()
+            .solve(&Constraint::ReplaceAll {
+                input: "aba".into(),
+                from: 'a',
+                to: 'z',
+            })
+            .unwrap();
+        assert_eq!(out.solution.as_text(), Some("zbz"));
+    }
+
+    #[test]
+    fn solves_palindrome_with_validation() {
+        let out = solver().solve(&Constraint::Palindrome { len: 4 }).unwrap();
+        assert!(out.valid, "post-selected palindrome must validate");
+        let t = out.solution.as_text().unwrap();
+        assert_eq!(t.chars().rev().collect::<String>(), t);
+    }
+
+    #[test]
+    fn solves_regex_with_post_selection() {
+        let out = solver()
+            .solve(&Constraint::Regex {
+                pattern: "a[bc]+".into(),
+                len: 4,
+            })
+            .unwrap();
+        assert!(out.valid, "post-selection must find an NFA-valid sample");
+        let t = out.solution.as_text().unwrap();
+        assert!(t.starts_with('a'));
+        assert!(t[1..].chars().all(|c| c == 'b' || c == 'c'), "{t:?}");
+    }
+
+    #[test]
+    fn solves_includes_index() {
+        let out = solver()
+            .solve(&Constraint::Includes {
+                haystack: "hello world".into(),
+                needle: "world".into(),
+            })
+            .unwrap();
+        assert_eq!(out.solution.as_index(), Some(6));
+        assert!(out.valid);
+    }
+
+    #[test]
+    fn custom_sampler_is_used() {
+        let s = StringSolver::new(Arc::new(ExactSolver::new()));
+        assert_eq!(s.sampler_name(), "exact");
+        let out = s
+            .solve(&Constraint::Equality {
+                target: "ab".into(),
+            })
+            .unwrap();
+        assert_eq!(out.solution.as_text(), Some("ab"));
+        assert!(out.valid);
+    }
+
+    #[test]
+    fn trace_contains_all_figure1_stages() {
+        let (_, trace) = solver()
+            .solve_traced(&Constraint::Equality {
+                target: "ok".into(),
+            })
+            .unwrap();
+        assert_eq!(trace.stages.len(), 5);
+        let labels: Vec<&str> = trace.stages.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels[0].contains("operation"));
+        assert!(labels[2].contains("QUBO"));
+        assert!(labels[4].contains("decoded"));
+        let rendered = trace.to_string();
+        assert!(rendered.contains("[1]"));
+        assert!(rendered.contains("[5]"));
+    }
+
+    #[test]
+    fn with_reads_controls_sampling_depth() {
+        let out = StringSolver::with_defaults()
+            .with_seed(2)
+            .with_reads(8)
+            .solve(&Constraint::Equality {
+                target: "ab".into(),
+            })
+            .unwrap();
+        assert_eq!(out.samples.total_reads(), 8);
+        assert!(out.valid);
+    }
+
+    #[test]
+    fn solve_many_returns_distinct_valid_witnesses() {
+        let sols = solver()
+            .solve_many(&Constraint::Palindrome { len: 3 }, 5)
+            .unwrap();
+        assert!(sols.len() > 1, "palindromes are degenerate: expect several");
+        let mut seen = std::collections::HashSet::new();
+        for s in &sols {
+            let t = s.as_text().expect("text").to_string();
+            assert_eq!(t.chars().rev().collect::<String>(), t);
+            assert!(seen.insert(t), "witnesses must be distinct");
+        }
+    }
+
+    #[test]
+    fn solve_many_respects_limit_and_unique_answers() {
+        let sols = solver()
+            .solve_many(
+                &Constraint::Equality {
+                    target: "ab".into(),
+                },
+                5,
+            )
+            .unwrap();
+        // Equality has exactly one satisfying string.
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].as_text(), Some("ab"));
+        let limited = solver()
+            .solve_many(&Constraint::Palindrome { len: 3 }, 2)
+            .unwrap();
+        assert!(limited.len() <= 2);
+    }
+
+    #[test]
+    fn encode_error_propagates() {
+        assert!(solver()
+            .solve(&Constraint::Equality {
+                target: "héllo".into()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_outcome_is_flagged_not_hidden() {
+        // Unsatisfiable semantics: includes over a haystack without the
+        // needle — decoded index will not match find() == None unless the
+        // annealer lands on the all-zero state; either way valid reflects
+        // the truth.
+        let out = solver()
+            .solve(&Constraint::Includes {
+                haystack: "xyz".into(),
+                needle: "ab".into(),
+            })
+            .unwrap();
+        if out.valid {
+            assert_eq!(out.solution.as_index(), None);
+        }
+    }
+}

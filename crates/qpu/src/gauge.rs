@@ -1,0 +1,143 @@
+//! Spin-reversal (gauge) transforms — the standard QPU error-mitigation
+//! technique.
+//!
+//! A gauge `g ∈ {±1}ⁿ` maps the Ising Hamiltonian to an equivalent one
+//! (`h'_i = g_i·h_i`, `J'_ij = g_i·g_j·J_ij`) whose states relate by
+//! `s'_i = g_i·s_i` with identical energies. Programming the *same*
+//! problem under several gauges and un-gauging the samples averages out
+//! systematic per-qubit control biases: an error that always pulls qubit
+//! `i` toward `+1` helps under one gauge and hurts under another.
+//!
+//! In QUBO space the state transform is a per-bit XOR: where `g_i = −1`,
+//! `x'_i = 1 − x_i`.
+
+use qsmt_qubo::{IsingModel, QuboModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a uniformly random gauge over `n` qubits.
+pub fn random_gauge(n: usize, seed: u64) -> Vec<i8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect()
+}
+
+/// The identity gauge (no transformation).
+pub fn identity_gauge(n: usize) -> Vec<i8> {
+    vec![1; n]
+}
+
+/// Applies a gauge to a QUBO model (via the exact Ising equivalence),
+/// returning the transformed model. For any state `x` and its gauged
+/// image [`gauge_state`]`(x, g)`, the energies agree.
+///
+/// # Panics
+/// Panics if the gauge length does not match the model.
+pub fn apply_gauge(model: &QuboModel, gauge: &[i8]) -> QuboModel {
+    assert_eq!(
+        gauge.len(),
+        model.num_vars(),
+        "gauge length must match the variable count"
+    );
+    assert!(
+        gauge.iter().all(|&g| g == 1 || g == -1),
+        "gauge entries must be ±1"
+    );
+    let ising = IsingModel::from_qubo(model);
+    let mut gauged = IsingModel::new(ising.num_spins());
+    gauged.add_offset(ising.offset());
+    for i in 0..ising.num_spins() as u32 {
+        let h = ising.field(i);
+        if h != 0.0 {
+            gauged.add_field(i, h * gauge[i as usize] as f64);
+        }
+    }
+    for (i, j, v) in ising.coupling_iter() {
+        gauged.add_coupling(i, j, v * (gauge[i as usize] * gauge[j as usize]) as f64);
+    }
+    gauged.to_qubo()
+}
+
+/// Transforms a binary state between the original and gauged problems
+/// (the map is an involution: applying it twice is the identity).
+pub fn gauge_state(state: &[u8], gauge: &[i8]) -> Vec<u8> {
+    assert_eq!(state.len(), gauge.len(), "state/gauge length mismatch");
+    state
+        .iter()
+        .zip(gauge)
+        .map(|(&x, &g)| if g == 1 { x } else { 1 - x })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_model(n: usize, seed: u64) -> QuboModel {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = QuboModel::new(n);
+        for i in 0..n as u32 {
+            m.add_linear(i, rng.gen_range(-2.0..2.0));
+        }
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if rng.gen_bool(0.5) {
+                    m.add_quadratic(i, j, rng.gen_range(-2.0..2.0));
+                }
+            }
+        }
+        m.add_offset(0.5);
+        m
+    }
+
+    #[test]
+    fn gauged_energies_match_on_all_states() {
+        for seed in 0..5 {
+            let m = random_model(6, seed);
+            let g = random_gauge(6, seed + 100);
+            let gauged = apply_gauge(&m, &g);
+            for bits in 0u32..(1 << 6) {
+                let state: Vec<u8> = (0..6).map(|i| ((bits >> i) & 1) as u8).collect();
+                let gauged_state = gauge_state(&state, &g);
+                assert!(
+                    (m.energy(&state) - gauged.energy(&gauged_state)).abs() < 1e-9,
+                    "seed {seed} bits {bits:06b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gauge_state_is_an_involution() {
+        let g = random_gauge(8, 3);
+        let state: Vec<u8> = vec![0, 1, 1, 0, 1, 0, 0, 1];
+        assert_eq!(gauge_state(&gauge_state(&state, &g), &g), state);
+    }
+
+    #[test]
+    fn identity_gauge_is_identity() {
+        let m = random_model(4, 9);
+        let g = identity_gauge(4);
+        let gauged = apply_gauge(&m, &g);
+        for bits in 0u32..16 {
+            let s: Vec<u8> = (0..4).map(|i| ((bits >> i) & 1) as u8).collect();
+            assert!((m.energy(&s) - gauged.energy(&s)).abs() < 1e-9);
+        }
+        assert_eq!(gauge_state(&[1, 0, 1, 0], &g), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn random_gauge_is_deterministic_per_seed() {
+        assert_eq!(random_gauge(16, 7), random_gauge(16, 7));
+        assert_ne!(random_gauge(16, 7), random_gauge(16, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "gauge length")]
+    fn mismatched_gauge_panics() {
+        apply_gauge(&QuboModel::new(3), &[1, -1]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Compiled CSR adjacency form of a QUBO model for fast sampling.
+//!
+//! Samplers flip one bit at a time; recomputing the full energy per flip is
+//! O(n + m). [`CompiledQubo`] stores, per variable, the list of (neighbor,
+//! coefficient) pairs so a flip delta costs O(degree), and energy can be
+//! maintained incrementally across an entire anneal.
+
+use crate::{QuboModel, Var};
+
+/// An immutable, cache-friendly compilation of a [`QuboModel`].
+///
+/// The neighbor lists are stored in one contiguous arena (`neighbors`) with
+/// per-variable extents (`starts`), i.e. compressed sparse row layout. Each
+/// undirected interaction `(i, j, q)` appears twice: once under `i` and once
+/// under `j`.
+#[derive(Debug, Clone)]
+pub struct CompiledQubo {
+    num_vars: usize,
+    linear: Vec<f64>,
+    offset: f64,
+    starts: Vec<u32>,
+    neighbors: Vec<(Var, f64)>,
+}
+
+impl CompiledQubo {
+    /// Compiles a sparse model into CSR form.
+    pub fn compile(model: &QuboModel) -> Self {
+        let n = model.num_vars();
+        let mut degree = vec![0u32; n];
+        for (i, j, _) in model.quadratic_iter() {
+            degree[i as usize] += 1;
+            degree[j as usize] += 1;
+        }
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for &d in &degree {
+            starts.push(acc);
+            acc += d;
+        }
+        starts.push(acc);
+        let mut cursor: Vec<u32> = starts[..n].to_vec();
+        let mut neighbors = vec![(0 as Var, 0.0f64); acc as usize];
+        for (i, j, q) in model.quadratic_iter() {
+            neighbors[cursor[i as usize] as usize] = (j, q);
+            cursor[i as usize] += 1;
+            neighbors[cursor[j as usize] as usize] = (i, q);
+            cursor[j as usize] += 1;
+        }
+        Self {
+            num_vars: n,
+            linear: model.linear_terms().to_vec(),
+            offset: model.offset(),
+            starts,
+            neighbors,
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Constant offset carried over from the source model.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Linear coefficient of variable `i`.
+    #[inline]
+    pub fn linear(&self, i: Var) -> f64 {
+        self.linear[i as usize]
+    }
+
+    /// Neighbor list of variable `i` as `(neighbor, coefficient)` pairs.
+    #[inline]
+    pub fn neighbors(&self, i: Var) -> &[(Var, f64)] {
+        let s = self.starts[i as usize] as usize;
+        let e = self.starts[i as usize + 1] as usize;
+        &self.neighbors[s..e]
+    }
+
+    /// Degree (number of quadratic interactions) of variable `i`.
+    #[inline]
+    pub fn degree(&self, i: Var) -> usize {
+        self.neighbors(i).len()
+    }
+
+    /// Full energy of a state; O(n + m). Matches [`QuboModel::energy`].
+    pub fn energy(&self, state: &[u8]) -> f64 {
+        assert_eq!(state.len(), self.num_vars, "state length mismatch");
+        crate::debug_check_state(state);
+        let mut e = self.offset;
+        for i in 0..self.num_vars {
+            if state[i] == 1 {
+                e += self.linear[i];
+                // Each interaction appears twice in CSR; count it only from
+                // the lower-indexed endpoint to avoid double counting.
+                for &(j, q) in self.neighbors(i as Var) {
+                    if (j as usize) > i && state[j as usize] == 1 {
+                        e += q;
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// Energy change from flipping variable `i` in `state`, in O(degree).
+    ///
+    /// If `x_i` is currently 0 this is the cost of setting it; if 1, of
+    /// clearing it:
+    ///
+    /// ```text
+    /// ΔE = (1 - 2·x_i) · (q_ii + Σ_j q_ij·x_j)
+    /// ```
+    #[inline]
+    pub fn flip_delta(&self, state: &[u8], i: Var) -> f64 {
+        let mut field = self.linear[i as usize];
+        for &(j, q) in self.neighbors(i) {
+            if state[j as usize] == 1 {
+                field += q;
+            }
+        }
+        let sign = 1.0 - 2.0 * state[i as usize] as f64;
+        sign * field
+    }
+
+    /// The largest possible |ΔE| of any single flip, ignoring the state:
+    /// `max_i (|q_ii| + Σ_j |q_ij|)`. Used to pick annealing temperature
+    /// ranges. Returns 0.0 for an empty model.
+    pub fn max_flip_magnitude(&self) -> f64 {
+        (0..self.num_vars)
+            .map(|i| {
+                let mut m = self.linear[i].abs();
+                for &(_, q) in self.neighbors(i as Var) {
+                    m += q.abs();
+                }
+                m
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    /// The smallest nonzero |coefficient| in the model; used as a proxy for
+    /// the smallest energy barrier when auto-deriving β schedules. Returns
+    /// `None` for an all-zero model.
+    pub fn min_nonzero_magnitude(&self) -> Option<f64> {
+        let mut m = f64::INFINITY;
+        for &l in &self.linear {
+            if l != 0.0 {
+                m = m.min(l.abs());
+            }
+        }
+        for &(_, q) in &self.neighbors {
+            if q != 0.0 {
+                m = m.min(q.abs());
+            }
+        }
+        (m != f64::INFINITY).then_some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_model(n: usize, seed: u64) -> QuboModel {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = QuboModel::new(n);
+        for i in 0..n as Var {
+            m.add_linear(i, rng.gen_range(-2.0..2.0));
+        }
+        for i in 0..n as Var {
+            for j in (i + 1)..n as Var {
+                if rng.gen_bool(0.4) {
+                    m.add_quadratic(i, j, rng.gen_range(-2.0..2.0));
+                }
+            }
+        }
+        m.add_offset(rng.gen_range(-1.0..1.0));
+        m
+    }
+
+    fn random_state(n: usize, rng: &mut SmallRng) -> Vec<u8> {
+        (0..n).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn compiled_energy_matches_sparse_energy() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for seed in 0..20 {
+            let m = random_model(12, seed);
+            let c = CompiledQubo::compile(&m);
+            for _ in 0..10 {
+                let s = random_state(12, &mut rng);
+                assert!((m.energy(&s) - c.energy(&s)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_delta_matches_recomputed_energy() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let m = random_model(10, 3);
+        let c = CompiledQubo::compile(&m);
+        for _ in 0..50 {
+            let mut s = random_state(10, &mut rng);
+            let i = rng.gen_range(0..10) as Var;
+            let before = c.energy(&s);
+            let delta = c.flip_delta(&s, i);
+            s[i as usize] ^= 1;
+            let after = c.energy(&s);
+            assert!(
+                (after - before - delta).abs() < 1e-9,
+                "delta mismatch: {delta} vs {}",
+                after - before
+            );
+        }
+    }
+
+    #[test]
+    fn degrees_count_both_endpoints() {
+        let mut m = QuboModel::new(3);
+        m.add_quadratic(0, 1, 1.0);
+        m.add_quadratic(0, 2, 1.0);
+        let c = CompiledQubo::compile(&m);
+        assert_eq!(c.degree(0), 2);
+        assert_eq!(c.degree(1), 1);
+        assert_eq!(c.degree(2), 1);
+    }
+
+    #[test]
+    fn max_flip_magnitude_bounds_every_delta() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = random_model(8, 9);
+        let c = CompiledQubo::compile(&m);
+        let bound = c.max_flip_magnitude();
+        for _ in 0..200 {
+            let s = random_state(8, &mut rng);
+            let i = rng.gen_range(0..8) as Var;
+            assert!(c.flip_delta(&s, i).abs() <= bound + 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_nonzero_magnitude_none_for_zero_model() {
+        let c = CompiledQubo::compile(&QuboModel::new(4));
+        assert!(c.min_nonzero_magnitude().is_none());
+        assert_eq!(c.max_flip_magnitude(), 0.0);
+    }
+}

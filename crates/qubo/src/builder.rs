@@ -1,0 +1,202 @@
+//! Penalty-function builders.
+//!
+//! QUBO problems (paper §2.3) consist of binary variables, an objective
+//! function, and optional *penalty functions* that "add energy to the system
+//! when certain constraints are violated". This module provides the standard
+//! penalty shapes used by the string encoders:
+//!
+//! * bit-target penalties (force `x_i = 0/1`) — the diagonal ±A encoding,
+//! * pairwise at-most-one penalties — the paper's §4.4.3 one-hot guard,
+//! * exactly-one penalties `(Σx − 1)²`,
+//! * bit-equality penalties `x_i ⊕ x_j` — the palindrome mirror term §4.10.
+
+use crate::{QuboModel, Var};
+
+/// Fluent builder that accumulates penalty terms into a [`QuboModel`].
+///
+/// ```
+/// use qsmt_qubo::{PenaltyBuilder, QuboModel};
+///
+/// let mut m = QuboModel::new(3);
+/// PenaltyBuilder::new(&mut m)
+///     .bit_target(0, true, 1.0)   // want x0 = 1
+///     .bit_target(1, false, 1.0)  // want x1 = 0
+///     .bits_equal(0, 2, 1.0);     // want x0 == x2
+/// let (e, states) = m.brute_force_ground_states();
+/// assert_eq!(e, -1.0);
+/// assert_eq!(states, vec![vec![1, 0, 1]]);
+/// ```
+pub struct PenaltyBuilder<'m> {
+    model: &'m mut QuboModel,
+}
+
+impl<'m> PenaltyBuilder<'m> {
+    /// Wraps a model for penalty accumulation.
+    pub fn new(model: &'m mut QuboModel) -> Self {
+        Self { model }
+    }
+
+    /// Encourages `x_i` to take `value`: adds `−A` to the diagonal when the
+    /// target bit should be 1 and `+A` when it should be 0 (paper §4.1).
+    ///
+    /// With strength `A > 0` the single-bit ground state is exactly `value`;
+    /// the energy gap between the two assignments is `A`.
+    pub fn bit_target(self, i: Var, value: bool, strength: f64) -> Self {
+        let q = if value { -strength } else { strength };
+        self.model.add_linear(i, q);
+        self
+    }
+
+    /// Penalizes any pair of the given variables being simultaneously 1:
+    /// `B·Σ_{i<j} x_i·x_j` (paper §4.4.3). Zero-energy iff at most one of
+    /// `vars` is set.
+    pub fn at_most_one(self, vars: &[Var], strength: f64) -> Self {
+        for (a, &i) in vars.iter().enumerate() {
+            for &j in &vars[a + 1..] {
+                self.model.add_quadratic(i, j, strength);
+            }
+        }
+        self
+    }
+
+    /// Adds the quadratic penalty `strength·(Σ_i x_i − 1)²`, whose ground
+    /// states are exactly the one-hot assignments of `vars`.
+    ///
+    /// Expansion: `Σ x_i² − 2·Σ x_i + 2·Σ_{i<j} x_i x_j + 1`, using
+    /// `x² = x`.
+    pub fn exactly_one(self, vars: &[Var], strength: f64) -> Self {
+        for &i in vars {
+            self.model.add_linear(i, -strength);
+        }
+        for (a, &i) in vars.iter().enumerate() {
+            for &j in &vars[a + 1..] {
+                self.model.add_quadratic(i, j, 2.0 * strength);
+            }
+        }
+        self.model.add_offset(strength);
+        self
+    }
+
+    /// Penalizes disagreement between two bits: `A·(x_i + x_j − 2·x_i·x_j)`
+    /// (paper §4.10). Energy 0 when `x_i == x_j`, `A` otherwise.
+    pub fn bits_equal(self, i: Var, j: Var, strength: f64) -> Self {
+        assert_ne!(i, j, "bits_equal requires distinct variables");
+        self.model.add_linear(i, strength);
+        self.model.add_linear(j, strength);
+        self.model.add_quadratic(i, j, -2.0 * strength);
+        self
+    }
+
+    /// Penalizes agreement between two bits: `A·(1 − x_i − x_j + 2·x_i·x_j)`.
+    /// Energy 0 when `x_i != x_j`, `A` otherwise. (Used by the extended
+    /// regex encoder's negated classes.)
+    pub fn bits_differ(self, i: Var, j: Var, strength: f64) -> Self {
+        assert_ne!(i, j, "bits_differ requires distinct variables");
+        self.model.add_linear(i, -strength);
+        self.model.add_linear(j, -strength);
+        self.model.add_quadratic(i, j, 2.0 * strength);
+        self.model.add_offset(strength);
+        self
+    }
+
+    /// Adds the implication penalty `strength·x_i·(1 − x_j)`: energy is
+    /// incurred when `x_i = 1` but `x_j = 0` (i.e. enforces `x_i ⇒ x_j`).
+    pub fn implies(self, i: Var, j: Var, strength: f64) -> Self {
+        assert_ne!(i, j, "implies requires distinct variables");
+        self.model.add_linear(i, strength);
+        self.model.add_quadratic(i, j, -strength);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ground(m: &QuboModel) -> (f64, Vec<Vec<u8>>) {
+        m.brute_force_ground_states()
+    }
+
+    #[test]
+    fn bit_target_one_prefers_one() {
+        let mut m = QuboModel::new(1);
+        PenaltyBuilder::new(&mut m).bit_target(0, true, 2.0);
+        let (e, s) = ground(&m);
+        assert_eq!(e, -2.0);
+        assert_eq!(s, vec![vec![1]]);
+    }
+
+    #[test]
+    fn bit_target_zero_prefers_zero() {
+        let mut m = QuboModel::new(1);
+        PenaltyBuilder::new(&mut m).bit_target(0, false, 2.0);
+        let (e, s) = ground(&m);
+        assert_eq!(e, 0.0);
+        assert_eq!(s, vec![vec![0]]);
+    }
+
+    #[test]
+    fn at_most_one_ground_states() {
+        let mut m = QuboModel::new(3);
+        PenaltyBuilder::new(&mut m).at_most_one(&[0, 1, 2], 1.0);
+        let (e, s) = ground(&m);
+        assert_eq!(e, 0.0);
+        // empty set + three singletons
+        assert_eq!(s.len(), 4);
+        for state in &s {
+            assert!(state.iter().map(|&b| b as u32).sum::<u32>() <= 1);
+        }
+    }
+
+    #[test]
+    fn exactly_one_ground_states() {
+        let mut m = QuboModel::new(3);
+        PenaltyBuilder::new(&mut m).exactly_one(&[0, 1, 2], 2.0);
+        let (e, s) = ground(&m);
+        assert_eq!(e, 0.0);
+        assert_eq!(s.len(), 3);
+        for state in &s {
+            assert_eq!(state.iter().map(|&b| b as u32).sum::<u32>(), 1);
+        }
+        // violating states pay at least the strength
+        assert!(m.energy(&[0, 0, 0]) >= 2.0);
+        assert!(m.energy(&[1, 1, 0]) >= 2.0);
+    }
+
+    #[test]
+    fn bits_equal_energy_levels() {
+        let mut m = QuboModel::new(2);
+        PenaltyBuilder::new(&mut m).bits_equal(0, 1, 3.0);
+        assert_eq!(m.energy(&[0, 0]), 0.0);
+        assert_eq!(m.energy(&[1, 1]), 0.0);
+        assert_eq!(m.energy(&[0, 1]), 3.0);
+        assert_eq!(m.energy(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn bits_differ_energy_levels() {
+        let mut m = QuboModel::new(2);
+        PenaltyBuilder::new(&mut m).bits_differ(0, 1, 3.0);
+        assert_eq!(m.energy(&[0, 0]), 3.0);
+        assert_eq!(m.energy(&[1, 1]), 3.0);
+        assert_eq!(m.energy(&[0, 1]), 0.0);
+        assert_eq!(m.energy(&[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn implies_penalizes_only_violation() {
+        let mut m = QuboModel::new(2);
+        PenaltyBuilder::new(&mut m).implies(0, 1, 5.0);
+        assert_eq!(m.energy(&[0, 0]), 0.0);
+        assert_eq!(m.energy(&[0, 1]), 0.0);
+        assert_eq!(m.energy(&[1, 1]), 0.0);
+        assert_eq!(m.energy(&[1, 0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn bits_equal_same_var_panics() {
+        let mut m = QuboModel::new(1);
+        PenaltyBuilder::new(&mut m).bits_equal(0, 0, 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Dense upper-triangular matrix view of a QUBO model.
+//!
+//! The paper presents every formulation as a matrix ("we encode our
+//! objective function into a QUBO matrix") and Table 1 prints abbreviated
+//! matrices. This module provides that view: conversion to/from the sparse
+//! model and a pretty-printer that elides interior rows/columns the way the
+//! paper's table does.
+
+use crate::{QuboModel, Var};
+use std::fmt;
+
+/// A dense, row-major, upper-triangular QUBO matrix.
+///
+/// Entry `(i, i)` is the linear coefficient of `x_i`; entry `(i, j)` with
+/// `i < j` is the coefficient of `x_i·x_j`; entries below the diagonal are
+/// kept at zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseQubo {
+    n: usize,
+    data: Vec<f64>,
+    offset: f64,
+}
+
+impl DenseQubo {
+    /// Builds the dense view of a sparse model.
+    pub fn from_model(model: &QuboModel) -> Self {
+        let n = model.num_vars();
+        let mut data = vec![0.0; n * n];
+        for (i, &q) in model.linear_terms().iter().enumerate() {
+            data[i * n + i] = q;
+        }
+        for (i, j, q) in model.quadratic_iter() {
+            data[i as usize * n + j as usize] = q;
+        }
+        Self {
+            n,
+            data,
+            offset: model.offset(),
+        }
+    }
+
+    /// Converts back to the sparse representation.
+    pub fn to_model(&self) -> QuboModel {
+        let mut m = QuboModel::new(self.n);
+        m.add_offset(self.offset);
+        for i in 0..self.n {
+            let d = self.data[i * self.n + i];
+            if d != 0.0 {
+                m.add_linear(i as Var, d);
+            }
+            for j in (i + 1)..self.n {
+                let q = self.data[i * self.n + j];
+                if q != 0.0 {
+                    m.add_quadratic(i as Var, j as Var, q);
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension (number of variables).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// True when every nonzero entry lies on the diagonal — the structure of
+    /// the paper's generation-style encodings (equality, concat, replace,
+    /// reversal).
+    pub fn is_diagonal(&self) -> bool {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self.data[i * self.n + j] != 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The diagonal as a vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.data[i * self.n + i]).collect()
+    }
+
+    /// Renders an abbreviated matrix like the paper's Table 1: at most
+    /// `head` leading and `tail` trailing rows/columns, with `…` markers for
+    /// the elided interior.
+    pub fn abbreviated(&self, head: usize, tail: usize) -> String {
+        let n = self.n;
+        let cols: Vec<usize> = visible_indices(n, head, tail);
+        let mut out = String::new();
+        let elide = n > head + tail;
+        for (ri, &r) in cols.iter().enumerate() {
+            if elide && ri == head {
+                out.push_str("  ⋮\n");
+            }
+            let mut row = String::from("[");
+            for (ci, &c) in cols.iter().enumerate() {
+                if elide && ci == head {
+                    row.push_str("  … ");
+                }
+                let v = self.data[r * n + c];
+                if (v.fract()).abs() < 1e-12 {
+                    row.push_str(&format!(" {:>5}", format!("{:.0}", v)));
+                } else {
+                    row.push_str(&format!(" {:>5.2}", v));
+                }
+            }
+            row.push_str(" ]");
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn visible_indices(n: usize, head: usize, tail: usize) -> Vec<usize> {
+    if n <= head + tail {
+        (0..n).collect()
+    } else {
+        (0..head).chain(n - tail..n).collect()
+    }
+}
+
+impl fmt::Display for DenseQubo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbreviated(4, 4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> QuboModel {
+        let mut m = QuboModel::new(4);
+        m.add_linear(0, -1.0);
+        m.add_linear(3, 1.0);
+        m.add_quadratic(0, 3, -2.0);
+        m.add_offset(0.25);
+        m
+    }
+
+    #[test]
+    fn dense_round_trip_preserves_energies() {
+        let m = sample_model();
+        let back = DenseQubo::from_model(&m).to_model();
+        for bits in 0u32..16 {
+            let s: Vec<u8> = (0..4).map(|i| ((bits >> i) & 1) as u8).collect();
+            assert!((m.energy(&s) - back.energy(&s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_triangular_placement() {
+        let d = DenseQubo::from_model(&sample_model());
+        assert_eq!(d.get(0, 3), -2.0);
+        assert_eq!(d.get(3, 0), 0.0);
+        assert_eq!(d.get(0, 0), -1.0);
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        let mut m = QuboModel::new(3);
+        m.add_linear(1, 5.0);
+        assert!(DenseQubo::from_model(&m).is_diagonal());
+        m.add_quadratic(0, 2, 1.0);
+        assert!(!DenseQubo::from_model(&m).is_diagonal());
+    }
+
+    #[test]
+    fn abbreviation_elides_interior() {
+        let m = QuboModel::new(20);
+        let d = DenseQubo::from_model(&m);
+        let s = d.abbreviated(2, 2);
+        assert!(s.contains('⋮'));
+        assert!(s.contains('…'));
+        // 4 visible rows + 1 ellipsis line
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn small_matrix_is_not_abbreviated() {
+        let m = QuboModel::new(3);
+        let d = DenseQubo::from_model(&m);
+        let s = d.abbreviated(4, 4);
+        assert!(!s.contains('⋮'));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn diagonal_vector_matches_linear_terms() {
+        let d = DenseQubo::from_model(&sample_model());
+        assert_eq!(d.diagonal(), vec![-1.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! A small, fast, non-cryptographic hasher for integer keys.
+//!
+//! The quadratic terms of a [`crate::QuboModel`] are keyed by packed
+//! `(i, j)` variable pairs. The default SipHash hasher is a measurable cost
+//! on model-construction hot paths; this is the classic Fx multiply-rotate
+//! scheme (as used by rustc), implemented locally to keep the dependency
+//! closure to the offline-approved set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast `Hasher` for small integer keys. Not HashDoS-resistant; only used
+/// for internal maps whose keys are program-generated variable indices.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], for use as the `S` parameter of
+/// `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn distinct_keys_hash_distinctly_in_map() {
+        let mut m: HashMap<u64, u64, FxBuildHasher> = HashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m[&i], i * 2);
+        }
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn write_bytes_matches_chunked_words() {
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,160 @@
+//! Compiled CSR form of an Ising model for fast spin-flip sampling.
+//!
+//! The simulated *quantum* annealer works natively in spin space (the
+//! transverse-field term couples the same spin across Trotter replicas),
+//! so it needs O(degree) flip deltas on the Ising representation, mirroring
+//! what [`crate::CompiledQubo`] provides for QUBO states.
+
+use crate::{IsingModel, Var};
+
+/// An immutable CSR compilation of an [`IsingModel`].
+#[derive(Debug, Clone)]
+pub struct CompiledIsing {
+    num_spins: usize,
+    fields: Vec<f64>,
+    offset: f64,
+    starts: Vec<u32>,
+    neighbors: Vec<(Var, f64)>,
+}
+
+impl CompiledIsing {
+    /// Compiles the sparse model.
+    pub fn compile(model: &IsingModel) -> Self {
+        let n = model.num_spins();
+        let mut degree = vec![0u32; n];
+        for (i, j, _) in model.coupling_iter() {
+            degree[i as usize] += 1;
+            degree[j as usize] += 1;
+        }
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for &d in &degree {
+            starts.push(acc);
+            acc += d;
+        }
+        starts.push(acc);
+        let mut cursor: Vec<u32> = starts[..n].to_vec();
+        let mut neighbors = vec![(0 as Var, 0.0f64); acc as usize];
+        for (i, j, v) in model.coupling_iter() {
+            neighbors[cursor[i as usize] as usize] = (j, v);
+            cursor[i as usize] += 1;
+            neighbors[cursor[j as usize] as usize] = (i, v);
+            cursor[j as usize] += 1;
+        }
+        Self {
+            num_spins: n,
+            fields: (0..n as Var).map(|i| model.field(i)).collect(),
+            offset: model.offset(),
+            starts,
+            neighbors,
+        }
+    }
+
+    /// Number of spins.
+    #[inline]
+    pub fn num_spins(&self) -> usize {
+        self.num_spins
+    }
+
+    /// Constant offset.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Full energy of a spin configuration; O(n + m).
+    pub fn energy(&self, spins: &[i8]) -> f64 {
+        assert_eq!(spins.len(), self.num_spins, "spin vector length mismatch");
+        let mut e = self.offset;
+        for i in 0..self.num_spins {
+            let s = spins[i] as f64;
+            e += self.fields[i] * s;
+            let lo = self.starts[i] as usize;
+            let hi = self.starts[i + 1] as usize;
+            for &(j, v) in &self.neighbors[lo..hi] {
+                if (j as usize) > i {
+                    e += v * s * spins[j as usize] as f64;
+                }
+            }
+        }
+        e
+    }
+
+    /// Energy change from flipping spin `i` (s → −s), in O(degree):
+    /// `ΔE = −2·s_i·(h_i + Σ_j J_ij·s_j)`.
+    #[inline]
+    pub fn flip_delta(&self, spins: &[i8], i: Var) -> f64 {
+        let mut field = self.fields[i as usize];
+        let lo = self.starts[i as usize] as usize;
+        let hi = self.starts[i as usize + 1] as usize;
+        for &(j, v) in &self.neighbors[lo..hi] {
+            field += v * spins[j as usize] as f64;
+        }
+        -2.0 * spins[i as usize] as f64 * field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuboModel;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_ising(n: usize, seed: u64) -> IsingModel {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut q = QuboModel::new(n);
+        for i in 0..n as Var {
+            q.add_linear(i, rng.gen_range(-2.0..2.0));
+        }
+        for i in 0..n as Var {
+            for j in (i + 1)..n as Var {
+                if rng.gen_bool(0.5) {
+                    q.add_quadratic(i, j, rng.gen_range(-2.0..2.0));
+                }
+            }
+        }
+        IsingModel::from_qubo(&q)
+    }
+
+    fn random_spins(n: usize, rng: &mut SmallRng) -> Vec<i8> {
+        (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect()
+    }
+
+    #[test]
+    fn compiled_energy_matches_sparse() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for seed in 0..10 {
+            let m = random_ising(8, seed);
+            let c = CompiledIsing::compile(&m);
+            for _ in 0..10 {
+                let s = random_spins(8, &mut rng);
+                assert!((m.energy(&s) - c.energy(&s)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_delta_matches_recompute() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = random_ising(10, 5);
+        let c = CompiledIsing::compile(&m);
+        for _ in 0..100 {
+            let mut s = random_spins(10, &mut rng);
+            let i = rng.gen_range(0..10) as Var;
+            let before = c.energy(&s);
+            let d = c.flip_delta(&s, i);
+            s[i as usize] = -s[i as usize];
+            assert!((c.energy(&s) - before - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_model() {
+        let c = CompiledIsing::compile(&IsingModel::new(0));
+        assert_eq!(c.energy(&[]), 0.0);
+        assert_eq!(c.num_spins(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text QUBO interchange format (qbsolv-compatible).
+//!
+//! The de-facto exchange format for QUBO instances is the `qbsolv` file
+//! layout:
+//!
+//! ```text
+//! c comment lines
+//! p qubo 0 maxNodes nNodes nCouplers
+//! i i value      (diagonal / linear terms)
+//! i j value      (i < j, off-diagonal terms)
+//! ```
+//!
+//! Writing and parsing this format lets instances produced by the string
+//! encoders round-trip through external tooling (and gives the repo a
+//! stable on-disk corpus format for benches).
+
+use crate::{QuboModel, Var};
+
+/// Serialization/parsing error for the qbsolv text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "qubo format error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Serializes a model to the qbsolv text format. The constant offset is
+/// carried in a `c offset <v>` comment (the format itself has no offset
+/// field).
+pub fn to_qbsolv(model: &QuboModel) -> String {
+    let n = model.num_vars();
+    let mut diag: Vec<(usize, f64)> = model
+        .linear_terms()
+        .iter()
+        .enumerate()
+        .filter(|(_, &q)| q != 0.0)
+        .map(|(i, &q)| (i, q))
+        .collect();
+    diag.sort_by_key(|&(i, _)| i);
+    let mut quad: Vec<(Var, Var, f64)> = model.quadratic_iter().collect();
+    quad.sort_by_key(|&(i, j, _)| (i, j));
+
+    let mut out = String::new();
+    out.push_str("c qsmt qubo instance\n");
+    if model.offset() != 0.0 {
+        out.push_str(&format!("c offset {}\n", model.offset()));
+    }
+    out.push_str(&format!("p qubo 0 {} {} {}\n", n, diag.len(), quad.len()));
+    for (i, q) in diag {
+        out.push_str(&format!("{i} {i} {q}\n"));
+    }
+    for (i, j, q) in quad {
+        out.push_str(&format!("{i} {j} {q}\n"));
+    }
+    out
+}
+
+/// Parses a model from the qbsolv text format (inverse of
+/// [`to_qbsolv`]). Duplicate entries accumulate, matching qbsolv.
+pub fn from_qbsolv(text: &str) -> Result<QuboModel, FormatError> {
+    let mut model: Option<QuboModel> = None;
+    let mut offset = 0.0f64;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('c') {
+            let parts: Vec<&str> = comment.split_whitespace().collect();
+            if parts.len() == 2 && parts[0] == "offset" {
+                offset = parts[1].parse().map_err(|_| FormatError {
+                    line: line_no,
+                    message: "malformed offset comment".into(),
+                })?;
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 5 || parts[0] != "qubo" {
+                return Err(FormatError {
+                    line: line_no,
+                    message: "expected 'p qubo 0 maxNodes nNodes nCouplers'".into(),
+                });
+            }
+            let n: usize = parts[2].parse().map_err(|_| FormatError {
+                line: line_no,
+                message: "malformed node count".into(),
+            })?;
+            model = Some(QuboModel::new(n));
+            continue;
+        }
+        let m = model.as_mut().ok_or(FormatError {
+            line: line_no,
+            message: "entry before the problem line".into(),
+        })?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(FormatError {
+                line: line_no,
+                message: "expected 'i j value'".into(),
+            });
+        }
+        let i: Var = parts[0].parse().map_err(|_| FormatError {
+            line: line_no,
+            message: "malformed index".into(),
+        })?;
+        let j: Var = parts[1].parse().map_err(|_| FormatError {
+            line: line_no,
+            message: "malformed index".into(),
+        })?;
+        let v: f64 = parts[2].parse().map_err(|_| FormatError {
+            line: line_no,
+            message: "malformed coefficient".into(),
+        })?;
+        if (i as usize) >= m.num_vars() || (j as usize) >= m.num_vars() {
+            return Err(FormatError {
+                line: line_no,
+                message: format!("index out of range: {i} {j}"),
+            });
+        }
+        if i == j {
+            m.add_linear(i, v);
+        } else {
+            m.add_quadratic(i, j, v);
+        }
+    }
+    let mut m = model.ok_or(FormatError {
+        line: 0,
+        message: "missing problem line".into(),
+    })?;
+    m.add_offset(offset);
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QuboModel {
+        let mut m = QuboModel::new(4);
+        m.add_linear(0, -1.5);
+        m.add_linear(3, 2.0);
+        m.add_quadratic(0, 3, -2.25);
+        m.add_quadratic(1, 2, 0.5);
+        m.add_offset(7.5);
+        m
+    }
+
+    #[test]
+    fn round_trip_preserves_energies() {
+        let m = sample();
+        let text = to_qbsolv(&m);
+        let back = from_qbsolv(&text).unwrap();
+        assert_eq!(back.num_vars(), 4);
+        for bits in 0u32..16 {
+            let s: Vec<u8> = (0..4).map(|i| ((bits >> i) & 1) as u8).collect();
+            assert!((m.energy(&s) - back.energy(&s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn header_counts_are_correct() {
+        let text = to_qbsolv(&sample());
+        let p_line = text.lines().find(|l| l.starts_with('p')).unwrap();
+        assert_eq!(p_line, "p qubo 0 4 2 2");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "c hello\n\np qubo 0 2 1 0\n0 0 -1\n";
+        let m = from_qbsolv(text).unwrap();
+        assert_eq!(m.linear(0), -1.0);
+    }
+
+    #[test]
+    fn duplicate_entries_accumulate() {
+        let text = "p qubo 0 2 0 0\n0 1 1.0\n0 1 0.5\n";
+        let m = from_qbsolv(text).unwrap();
+        assert_eq!(m.quadratic(0, 1), 1.5);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(from_qbsolv("0 0 1\n").unwrap_err().line, 1);
+        assert_eq!(from_qbsolv("p qubo 0 2 0 0\n9 9 1\n").unwrap_err().line, 2);
+        assert_eq!(from_qbsolv("p qubo 0 2 0 0\n0 0\n").unwrap_err().line, 2);
+        assert!(from_qbsolv("").is_err());
+    }
+
+    #[test]
+    fn zero_model_round_trips() {
+        let m = QuboModel::new(3);
+        let back = from_qbsolv(&to_qbsolv(&m)).unwrap();
+        assert_eq!(back.num_vars(), 3);
+        assert_eq!(back.energy(&[1, 1, 1]), 0.0);
+    }
+}

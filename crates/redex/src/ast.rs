@@ -1,0 +1,278 @@
+//! Regular expression abstract syntax.
+
+use std::fmt;
+
+/// A character class: an explicit, sorted, deduplicated set of ASCII
+/// characters, possibly negated relative to printable ASCII.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSet {
+    chars: Vec<char>,
+    negated: bool,
+}
+
+impl ClassSet {
+    /// Builds a (positive) class from the given characters.
+    pub fn new(mut chars: Vec<char>) -> Self {
+        chars.sort_unstable();
+        chars.dedup();
+        Self {
+            chars,
+            negated: false,
+        }
+    }
+
+    /// Builds a negated class (`[^…]`), interpreted against printable
+    /// ASCII.
+    pub fn negated(mut chars: Vec<char>) -> Self {
+        chars.sort_unstable();
+        chars.dedup();
+        Self {
+            chars,
+            negated: true,
+        }
+    }
+
+    /// True when `c` is a member of the class.
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self.chars.binary_search(&c).is_ok();
+        if self.negated {
+            !inside && (' '..='~').contains(&c)
+        } else {
+            inside
+        }
+    }
+
+    /// True if the class was written negated.
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    /// The concrete member characters (expanding negation against
+    /// printable ASCII).
+    pub fn members(&self) -> Vec<char> {
+        if self.negated {
+            (0x20u8..=0x7e)
+                .map(|b| b as char)
+                .filter(|c| self.chars.binary_search(c).is_err())
+                .collect()
+        } else {
+            self.chars.clone()
+        }
+    }
+
+    /// Number of member characters.
+    pub fn len(&self) -> usize {
+        self.members().len()
+    }
+
+    /// True when the class matches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for ClassSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", if self.negated { "^" } else { "" })?;
+        for &c in &self.chars {
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A regular expression over ASCII characters.
+///
+/// The paper's §4.11 subset is `Literal`, `Class`, and `Plus`; the rest are
+/// the "future work" extensions supported by the extended encoder and the
+/// classical baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// A character class `[abc]` / `[a-z]` / `[^abc]`.
+    Class(ClassSet),
+    /// Any printable ASCII character (`.`).
+    Dot,
+    /// Sequence `r₁ r₂ … rₖ`.
+    Concat(Vec<Regex>),
+    /// Alternation `r₁ | r₂ | … | rₖ`.
+    Alt(Vec<Regex>),
+    /// One or more repetitions (`r+`) — in the paper's subset.
+    Plus(Box<Regex>),
+    /// Zero or more repetitions (`r*`) — extension.
+    Star(Box<Regex>),
+    /// Zero or one occurrence (`r?`) — extension.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// True when the expression uses only the paper's §4.11 subset:
+    /// a flat sequence of literals and character classes, each optionally
+    /// followed by `+`.
+    pub fn is_paper_subset(&self) -> bool {
+        fn atom_ok(r: &Regex) -> bool {
+            match r {
+                Regex::Literal(_) => true,
+                Regex::Class(c) => !c.is_negated(),
+                _ => false,
+            }
+        }
+        fn elem_ok(r: &Regex) -> bool {
+            match r {
+                Regex::Plus(inner) => atom_ok(inner),
+                other => atom_ok(other),
+            }
+        }
+        match self {
+            Regex::Concat(parts) => parts.iter().all(elem_ok),
+            other => elem_ok(other),
+        }
+    }
+
+    /// Minimum match length (number of characters).
+    pub fn min_len(&self) -> usize {
+        match self {
+            Regex::Empty => 0,
+            Regex::Literal(_) | Regex::Class(_) | Regex::Dot => 1,
+            Regex::Concat(parts) => parts.iter().map(Regex::min_len).sum(),
+            Regex::Alt(parts) => parts.iter().map(Regex::min_len).min().unwrap_or(0),
+            // One mandatory iteration — which may itself match empty
+            // (e.g. `(a*)+` accepts the empty string).
+            Regex::Plus(inner) => inner.min_len(),
+            Regex::Star(_) | Regex::Opt(_) => 0,
+        }
+    }
+
+    /// Maximum match length, or `None` when unbounded.
+    pub fn max_len(&self) -> Option<usize> {
+        match self {
+            Regex::Empty => Some(0),
+            Regex::Literal(_) | Regex::Class(_) | Regex::Dot => Some(1),
+            Regex::Concat(parts) => parts.iter().map(Regex::max_len).sum(),
+            Regex::Alt(parts) => {
+                let mut m = 0usize;
+                for p in parts {
+                    m = m.max(p.max_len()?);
+                }
+                Some(m)
+            }
+            Regex::Plus(_) | Regex::Star(_) => None,
+            Regex::Opt(inner) => inner.max_len(),
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => Ok(()),
+            Regex::Literal(c) => {
+                if "[]()+*?|.\\^".contains(*c) {
+                    write!(f, "\\{c}")
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Regex::Class(cs) => write!(f, "{cs}"),
+            Regex::Dot => write!(f, "."),
+            Regex::Concat(parts) => {
+                for p in parts {
+                    match p {
+                        Regex::Alt(_) => write!(f, "({p})")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            Regex::Alt(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Regex::Plus(inner) => write_repeat(f, inner, '+'),
+            Regex::Star(inner) => write_repeat(f, inner, '*'),
+            Regex::Opt(inner) => write_repeat(f, inner, '?'),
+        }
+    }
+}
+
+fn write_repeat(f: &mut fmt::Formatter<'_>, inner: &Regex, op: char) -> fmt::Result {
+    match inner {
+        Regex::Literal(_) | Regex::Class(_) | Regex::Dot => write!(f, "{inner}{op}"),
+        _ => write!(f, "({inner}){op}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_membership_and_dedup() {
+        let c = ClassSet::new(vec!['b', 'a', 'b']);
+        assert!(c.contains('a') && c.contains('b'));
+        assert!(!c.contains('c'));
+        assert_eq!(c.members(), vec!['a', 'b']);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn negated_class_against_printable_ascii() {
+        let c = ClassSet::negated(vec!['a']);
+        assert!(!c.contains('a'));
+        assert!(c.contains('b'));
+        assert!(c.contains(' '));
+        assert!(!c.contains('\n'));
+        assert_eq!(c.len(), 94); // 95 printable minus 'a'
+    }
+
+    #[test]
+    fn paper_subset_detection() {
+        let ok = Regex::Concat(vec![
+            Regex::Literal('a'),
+            Regex::Plus(Box::new(Regex::Class(ClassSet::new(vec!['b', 'c'])))),
+        ]);
+        assert!(ok.is_paper_subset());
+        let not = Regex::Star(Box::new(Regex::Literal('a')));
+        assert!(!not.is_paper_subset());
+        let nested = Regex::Concat(vec![Regex::Alt(vec![
+            Regex::Literal('a'),
+            Regex::Literal('b'),
+        ])]);
+        assert!(!nested.is_paper_subset());
+    }
+
+    #[test]
+    fn min_max_lengths() {
+        let r = Regex::Concat(vec![
+            Regex::Literal('a'),
+            Regex::Plus(Box::new(Regex::Class(ClassSet::new(vec!['b', 'c'])))),
+        ]);
+        assert_eq!(r.min_len(), 2);
+        assert_eq!(r.max_len(), None);
+        let o = Regex::Concat(vec![Regex::Opt(Box::new(Regex::Literal('x'))), Regex::Dot]);
+        assert_eq!(o.min_len(), 1);
+        assert_eq!(o.max_len(), Some(2));
+    }
+
+    #[test]
+    fn display_round_trips_syntax() {
+        let r = Regex::Concat(vec![
+            Regex::Literal('a'),
+            Regex::Plus(Box::new(Regex::Class(ClassSet::new(vec!['b', 'c'])))),
+        ]);
+        assert_eq!(r.to_string(), "a[bc]+");
+    }
+
+    #[test]
+    fn display_escapes_metacharacters() {
+        assert_eq!(Regex::Literal('+').to_string(), "\\+");
+    }
+}

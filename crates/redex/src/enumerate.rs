@@ -1,0 +1,309 @@
+//! Bounded-length enumeration and positional analysis.
+//!
+//! These are the oracles behind the workspace's tests and the extended
+//! regex encoder: [`enumerate_matches`] lists every string of an exact
+//! length matching a regex (over a finite alphabet), and
+//! [`positional_sets`] computes, per string position, the set of characters
+//! that can appear there on *some* accepting path of that exact length.
+
+use crate::{Nfa, Regex};
+
+/// Enumerates all strings of exactly `len` characters over `alphabet` that
+/// match `re`, up to `limit` results (depth-first, lexicographic in
+/// alphabet order). Used as a test oracle and by the classical baseline.
+pub fn enumerate_matches(re: &Regex, len: usize, alphabet: &[char], limit: usize) -> Vec<String> {
+    let nfa = Nfa::compile(re);
+    let accept = nfa.acceptance_table(len);
+    let mut out = Vec::new();
+    let mut buf = String::with_capacity(len);
+    dfs(
+        &nfa,
+        &accept,
+        nfa.start_set(),
+        len,
+        alphabet,
+        limit,
+        &mut buf,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    nfa: &Nfa,
+    accept: &[Vec<bool>],
+    set: Vec<bool>,
+    remaining: usize,
+    alphabet: &[char],
+    limit: usize,
+    buf: &mut String,
+    out: &mut Vec<String>,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    if remaining == 0 {
+        if nfa.is_accepting(&set) {
+            out.push(buf.clone());
+        }
+        return;
+    }
+    // Prune: some live state must be able to finish in `remaining` chars.
+    let viable = set
+        .iter()
+        .zip(&accept[remaining])
+        .any(|(&alive, &ok)| alive && ok);
+    if !viable {
+        return;
+    }
+    for &c in alphabet {
+        let next = nfa.step(&set, c);
+        if next.iter().any(|&b| b) {
+            buf.push(c);
+            dfs(nfa, accept, next, remaining - 1, alphabet, limit, buf, out);
+            buf.pop();
+        }
+        if out.len() >= limit {
+            return;
+        }
+    }
+}
+
+/// For strings of exactly `len` characters over `alphabet`, computes the
+/// per-position admissible character sets: `result[i]` contains `c` iff
+/// some accepting path of length `len` has `c` at position `i`.
+///
+/// Returns `None` when the regex has no match of that length at all.
+///
+/// This is the *marginal* of the length-`len` language — the positional
+/// view the paper's §4.11 encoder needs (a literal at a position shows up
+/// as a singleton set; a character class as its member set).
+pub fn positional_sets(re: &Regex, len: usize, alphabet: &[char]) -> Option<Vec<Vec<char>>> {
+    let nfa = Nfa::compile(re);
+    let accept = nfa.acceptance_table(len);
+
+    // viable[i]: states reachable after i characters along paths that can
+    // still finish in len - i characters.
+    let mut viable: Vec<Vec<bool>> = Vec::with_capacity(len + 1);
+    let start: Vec<bool> = nfa
+        .start_set()
+        .iter()
+        .zip(&accept[len])
+        .map(|(&a, &ok)| a && ok)
+        .collect();
+    if start.iter().all(|&b| !b) {
+        return None;
+    }
+    viable.push(start);
+    let mut sets: Vec<Vec<char>> = Vec::with_capacity(len);
+    for i in 0..len {
+        let remaining_after = len - i - 1;
+        let cur = &viable[i];
+        let mut allowed = Vec::new();
+        let mut next_union = vec![false; nfa.num_states()];
+        for &c in alphabet {
+            let stepped = nfa.step(cur, c);
+            let filtered: Vec<bool> = stepped
+                .iter()
+                .zip(&accept[remaining_after])
+                .map(|(&a, &ok)| a && ok)
+                .collect();
+            if filtered.iter().any(|&b| b) {
+                allowed.push(c);
+                for (u, f) in next_union.iter_mut().zip(&filtered) {
+                    *u |= f;
+                }
+            }
+        }
+        if allowed.is_empty() {
+            return None;
+        }
+        sets.push(allowed);
+        viable.push(next_union);
+    }
+    Some(sets)
+}
+
+/// Counts the strings of exactly `len` characters over `alphabet` that
+/// match `re`, without enumerating them: dynamic programming over
+/// on-the-fly determinized NFA state sets, memoized per `(set, remaining)`.
+///
+/// This is the search-space-size oracle the crossover bench (Bench S5)
+/// reports: the classical blind solver must wade through `|Σ|^len`
+/// candidates of which `count_matches` are accepting.
+pub fn count_matches(re: &Regex, len: usize, alphabet: &[char]) -> u128 {
+    use std::collections::HashMap;
+    let nfa = Nfa::compile(re);
+    let mut memo: HashMap<(Vec<bool>, usize), u128> = HashMap::new();
+
+    fn go(
+        nfa: &Nfa,
+        set: Vec<bool>,
+        remaining: usize,
+        alphabet: &[char],
+        memo: &mut std::collections::HashMap<(Vec<bool>, usize), u128>,
+    ) -> u128 {
+        if remaining == 0 {
+            return u128::from(nfa.is_accepting(&set));
+        }
+        if let Some(&v) = memo.get(&(set.clone(), remaining)) {
+            return v;
+        }
+        // Group alphabet characters by the state set they lead to, so each
+        // distinct successor is recursed into once.
+        let mut groups: std::collections::HashMap<Vec<bool>, u128> =
+            std::collections::HashMap::new();
+        for &c in alphabet {
+            let next = nfa.step(&set, c);
+            if next.iter().any(|&b| b) {
+                *groups.entry(next).or_insert(0) += 1;
+            }
+        }
+        let mut total = 0u128;
+        for (next, multiplicity) in groups {
+            total += multiplicity * go(nfa, next, remaining - 1, alphabet, memo);
+        }
+        memo.insert((set, remaining), total);
+        total
+    }
+
+    go(&nfa, nfa.start_set(), len, alphabet, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lowercase_ascii, parse};
+
+    #[test]
+    fn enumerates_paper_regex_length_5() {
+        let re = parse("a[bc]+").unwrap();
+        let got = enumerate_matches(&re, 5, &lowercase_ascii(), 100);
+        // a then 4 chars from {b, c}: 16 strings, all starting with 'a'.
+        assert_eq!(got.len(), 16);
+        assert!(got.contains(&"abcbb".to_string())); // the paper's output
+        assert!(got
+            .iter()
+            .all(|s| s.starts_with('a') && s[1..].chars().all(|c| c == 'b' || c == 'c')));
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let re = parse("[ab]+").unwrap();
+        let got = enumerate_matches(&re, 10, &lowercase_ascii(), 7);
+        assert_eq!(got.len(), 7);
+    }
+
+    #[test]
+    fn impossible_length_enumerates_nothing() {
+        let re = parse("abc").unwrap();
+        assert!(enumerate_matches(&re, 2, &lowercase_ascii(), 10).is_empty());
+        assert!(enumerate_matches(&re, 4, &lowercase_ascii(), 10).is_empty());
+    }
+
+    #[test]
+    fn zero_length_enumeration() {
+        let re = parse("a*").unwrap();
+        assert_eq!(
+            enumerate_matches(&re, 0, &lowercase_ascii(), 10),
+            vec![String::new()]
+        );
+    }
+
+    #[test]
+    fn positional_sets_for_paper_regex() {
+        let re = parse("a[bc]+").unwrap();
+        let sets = positional_sets(&re, 3, &lowercase_ascii()).unwrap();
+        assert_eq!(sets, vec![vec!['a'], vec!['b', 'c'], vec!['b', 'c']]);
+    }
+
+    #[test]
+    fn positional_sets_with_alternation() {
+        let re = parse("ab|cd").unwrap();
+        let sets = positional_sets(&re, 2, &lowercase_ascii()).unwrap();
+        assert_eq!(sets, vec![vec!['a', 'c'], vec!['b', 'd']]);
+    }
+
+    #[test]
+    fn positional_sets_prune_dead_branches() {
+        // Branch `x[yz]` can't fill length 3; only `p..` path survives.
+        let re = parse("x[yz]|p[qr][st]").unwrap();
+        let sets = positional_sets(&re, 3, &lowercase_ascii()).unwrap();
+        assert_eq!(sets[0], vec!['p']);
+        assert_eq!(sets[1], vec!['q', 'r']);
+        assert_eq!(sets[2], vec!['s', 't']);
+    }
+
+    #[test]
+    fn positional_sets_none_for_impossible_length() {
+        let re = parse("ab").unwrap();
+        assert!(positional_sets(&re, 3, &lowercase_ascii()).is_none());
+        assert!(positional_sets(&re, 1, &lowercase_ascii()).is_none());
+    }
+
+    #[test]
+    fn positional_sets_star_absorbs_length() {
+        let re = parse("ab*").unwrap();
+        let sets = positional_sets(&re, 4, &lowercase_ascii()).unwrap();
+        assert_eq!(sets, vec![vec!['a'], vec!['b'], vec!['b'], vec!['b']]);
+    }
+
+    #[test]
+    fn positional_marginals_can_overapproximate_language() {
+        // (ab|ba): marginals are {a,b} × {a,b} but "aa" is not in the
+        // language — positional encoding is a relaxation, which the tests
+        // of the QUBO encoder must account for. Document the fact here.
+        let re = parse("ab|ba").unwrap();
+        let sets = positional_sets(&re, 2, &lowercase_ascii()).unwrap();
+        assert_eq!(sets, vec![vec!['a', 'b'], vec!['a', 'b']]);
+        let nfa = Nfa::compile(&re);
+        assert!(!nfa.matches("aa"));
+    }
+
+    #[test]
+    fn count_matches_agrees_with_enumeration() {
+        for (pat, len) in [
+            ("a[bc]+", 5usize),
+            ("(a|b)c*d?", 3),
+            ("x{1,3}y", 3),
+            ("a*", 4),
+        ] {
+            let re = parse(pat).unwrap();
+            let listed = enumerate_matches(&re, len, &lowercase_ascii(), 1_000_000).len() as u128;
+            assert_eq!(
+                count_matches(&re, len, &lowercase_ascii()),
+                listed,
+                "pattern {pat} length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_matches_scales_without_enumeration() {
+        // 26^10 ≈ 1.4e14 — enumeration is hopeless; counting is instant.
+        let re = parse("[a-z]+").unwrap();
+        assert_eq!(count_matches(&re, 10, &lowercase_ascii()), 26u128.pow(10));
+        let half = parse("a[a-z]+").unwrap();
+        assert_eq!(count_matches(&half, 10, &lowercase_ascii()), 26u128.pow(9));
+    }
+
+    #[test]
+    fn count_matches_zero_for_impossible_lengths() {
+        let re = parse("abc").unwrap();
+        assert_eq!(count_matches(&re, 2, &lowercase_ascii()), 0);
+        assert_eq!(count_matches(&re, 3, &lowercase_ascii()), 1);
+    }
+
+    #[test]
+    fn every_enumerated_string_matches() {
+        let re = parse("(a|b)c*d?").unwrap();
+        let nfa = Nfa::compile(&re);
+        for len in 0..=4 {
+            for s in enumerate_matches(&re, len, &lowercase_ascii(), 1000) {
+                assert!(nfa.matches(&s), "{s} must match");
+                assert_eq!(s.chars().count(), len);
+            }
+        }
+    }
+}

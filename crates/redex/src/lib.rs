@@ -1,0 +1,48 @@
+//! # qsmt-redex — from-scratch regular expression substrate
+//!
+//! The paper's regex-matching encoder (§4.11) needs a regex representation
+//! (literals, character classes, `+`), and the classical baseline needs a
+//! real matcher to verify and enumerate solutions. No external regex crate
+//! is used; this crate implements the whole stack:
+//!
+//! * [`Regex`] — AST covering the paper's subset (literals, classes, plus)
+//!   and the future-work extensions (`*`, `?`, `.`, alternation, groups,
+//!   class ranges and negation);
+//! * [`parse`] — a recursive-descent parser for the textual syntax;
+//! * [`Nfa`] — Thompson construction with subset-simulation matching;
+//! * bounded-length **enumeration** and **positional analysis** used as
+//!   the test oracle and by the QUBO encoder: for a fixed target length,
+//!   which characters may appear at each position on some accepting path.
+//!
+//! ```
+//! use qsmt_redex::{parse, Nfa};
+//!
+//! let re = parse("a[bc]+").unwrap();
+//! let nfa = Nfa::compile(&re);
+//! assert!(nfa.matches("abcbb"));
+//! assert!(!nfa.matches("a"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod dfa;
+mod enumerate;
+mod nfa;
+mod parser;
+
+pub use ast::{ClassSet, Regex};
+pub use dfa::Dfa;
+pub use enumerate::{count_matches, enumerate_matches, positional_sets};
+pub use nfa::Nfa;
+pub use parser::{parse, ParseError};
+
+/// The default generation alphabet: printable ASCII (space through `~`).
+pub fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7e).map(|b| b as char).collect()
+}
+
+/// The lowercase ASCII letters, a common restricted generation alphabet.
+pub fn lowercase_ascii() -> Vec<char> {
+    ('a'..='z').collect()
+}

@@ -1,0 +1,332 @@
+//! Thompson NFA construction and subset-simulation matching.
+
+use crate::{ClassSet, Regex};
+
+/// One NFA transition label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Label {
+    /// Consume one character matching the predicate.
+    Char(CharPred),
+    /// Consume nothing.
+    Epsilon,
+}
+
+/// A character predicate on an NFA edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CharPred {
+    Lit(char),
+    Class(ClassSet),
+    Dot,
+}
+
+impl CharPred {
+    pub(crate) fn matches(&self, c: char) -> bool {
+        match self {
+            CharPred::Lit(l) => *l == c,
+            CharPred::Class(cs) => cs.contains(c),
+            CharPred::Dot => (' '..='~').contains(&c),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    label: Label,
+    to: usize,
+}
+
+/// A Thompson NFA with a single start and single accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    edges: Vec<Vec<Edge>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Compiles a regex into an NFA via Thompson's construction.
+    pub fn compile(re: &Regex) -> Self {
+        let mut nfa = Nfa {
+            edges: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let start = nfa.new_state();
+        let accept = nfa.new_state();
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa.build(re, start, accept);
+        nfa
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.edges.push(Vec::new());
+        self.edges.len() - 1
+    }
+
+    fn add(&mut self, from: usize, label: Label, to: usize) {
+        self.edges[from].push(Edge { label, to });
+    }
+
+    fn build(&mut self, re: &Regex, from: usize, to: usize) {
+        match re {
+            Regex::Empty => self.add(from, Label::Epsilon, to),
+            Regex::Literal(c) => self.add(from, Label::Char(CharPred::Lit(*c)), to),
+            Regex::Class(cs) => self.add(from, Label::Char(CharPred::Class(cs.clone())), to),
+            Regex::Dot => self.add(from, Label::Char(CharPred::Dot), to),
+            Regex::Concat(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.new_state()
+                    };
+                    self.build(p, cur, next);
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.add(from, Label::Epsilon, to);
+                }
+            }
+            Regex::Alt(parts) => {
+                for p in parts {
+                    self.build(p, from, to);
+                }
+            }
+            Regex::Plus(inner) => {
+                // from -> s -inner-> t -> to, with t -> s loop
+                let s = self.new_state();
+                let t = self.new_state();
+                self.add(from, Label::Epsilon, s);
+                self.build(inner, s, t);
+                self.add(t, Label::Epsilon, s);
+                self.add(t, Label::Epsilon, to);
+            }
+            Regex::Star(inner) => {
+                let s = self.new_state();
+                let t = self.new_state();
+                self.add(from, Label::Epsilon, s);
+                self.add(from, Label::Epsilon, to);
+                self.build(inner, s, t);
+                self.add(t, Label::Epsilon, s);
+                self.add(t, Label::Epsilon, to);
+            }
+            Regex::Opt(inner) => {
+                self.add(from, Label::Epsilon, to);
+                self.build(inner, from, to);
+            }
+        }
+    }
+
+    /// Number of NFA states.
+    pub fn num_states(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Epsilon closure of a state set (in place, as a boolean mask).
+    pub(crate) fn closure(&self, set: &mut [bool]) {
+        let mut stack: Vec<usize> = set
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        while let Some(s) = stack.pop() {
+            for e in &self.edges[s] {
+                if e.label == Label::Epsilon && !set[e.to] {
+                    set[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+    }
+
+    /// One simulation step: from `set`, consume `c`.
+    pub(crate) fn step(&self, set: &[bool], c: char) -> Vec<bool> {
+        let mut next = vec![false; self.edges.len()];
+        for (s, &alive) in set.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            for e in &self.edges[s] {
+                if let Label::Char(p) = &e.label {
+                    if p.matches(c) {
+                        next[e.to] = true;
+                    }
+                }
+            }
+        }
+        self.closure(&mut next);
+        next
+    }
+
+    /// The start state set (epsilon-closed).
+    pub(crate) fn start_set(&self) -> Vec<bool> {
+        let mut set = vec![false; self.edges.len()];
+        set[self.start] = true;
+        self.closure(&mut set);
+        set
+    }
+
+    /// True when the set contains the accept state.
+    pub(crate) fn is_accepting(&self, set: &[bool]) -> bool {
+        set[self.accept]
+    }
+
+    /// Whole-string match (anchored at both ends, as in the paper's
+    /// generation semantics).
+    pub fn matches(&self, input: &str) -> bool {
+        let mut set = self.start_set();
+        for c in input.chars() {
+            set = self.step(&set, c);
+            if set.iter().all(|&b| !b) {
+                return false;
+            }
+        }
+        self.is_accepting(&set)
+    }
+
+    /// For each state, can it reach the accept state consuming exactly `k`
+    /// characters? Returns a table `reach[k][state]` for `k ∈ 0..=max_len`.
+    /// Used by positional analysis and the QUBO encoder.
+    pub(crate) fn acceptance_table(&self, max_len: usize) -> Vec<Vec<bool>> {
+        let n = self.edges.len();
+        // reach[0]: states that can reach accept via epsilons only.
+        // Compute reverse-epsilon reachability from accept.
+        let mut rev_eps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut rev_char: Vec<Vec<(usize, CharPred)>> = vec![Vec::new(); n];
+        for (s, edges) in self.edges.iter().enumerate() {
+            for e in edges {
+                match &e.label {
+                    Label::Epsilon => rev_eps[e.to].push(s),
+                    Label::Char(p) => rev_char[e.to].push((s, p.clone())),
+                }
+            }
+        }
+        let eps_close_rev = |set: &mut Vec<bool>| {
+            let mut stack: Vec<usize> = set
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i))
+                .collect();
+            while let Some(s) = stack.pop() {
+                for &p in &rev_eps[s] {
+                    if !set[p] {
+                        set[p] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+        };
+        let mut table = Vec::with_capacity(max_len + 1);
+        let mut cur = vec![false; n];
+        cur[self.accept] = true;
+        eps_close_rev(&mut cur);
+        table.push(cur);
+        for _ in 0..max_len {
+            let prev = table.last().expect("nonempty");
+            let mut next = vec![false; n];
+            for (t, alive) in prev.iter().enumerate() {
+                if !alive {
+                    continue;
+                }
+                for (s, _pred) in &rev_char[t] {
+                    next[*s] = true;
+                }
+            }
+            eps_close_rev(&mut next);
+            table.push(next);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn nfa(p: &str) -> Nfa {
+        Nfa::compile(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn paper_example_semantics() {
+        let n = nfa("a[tyz]+b");
+        for good in ["atytyzb", "azb", "atyzb", "atb"] {
+            assert!(n.matches(good), "{good} should match");
+        }
+        for bad in ["ab", "ab b", "atyz", "tyzb", "axb"] {
+            assert!(!n.matches(bad), "{bad} should not match");
+        }
+    }
+
+    #[test]
+    fn anchored_matching() {
+        let n = nfa("abc");
+        assert!(n.matches("abc"));
+        assert!(!n.matches("xabc"));
+        assert!(!n.matches("abcx"));
+    }
+
+    #[test]
+    fn star_and_opt() {
+        let n = nfa("ab*c?");
+        for good in ["a", "ab", "abbb", "ac", "abc", "abbc"] {
+            assert!(n.matches(good), "{good}");
+        }
+        assert!(!n.matches("acc"));
+        assert!(!n.matches(""));
+    }
+
+    #[test]
+    fn alternation() {
+        let n = nfa("cat|dog");
+        assert!(n.matches("cat") && n.matches("dog"));
+        assert!(!n.matches("cog"));
+    }
+
+    #[test]
+    fn dot_matches_printables_only() {
+        let n = nfa("a.c");
+        assert!(n.matches("abc") && n.matches("a c"));
+        assert!(!n.matches("a\nc"));
+    }
+
+    #[test]
+    fn empty_regex_matches_only_empty() {
+        let n = nfa("");
+        assert!(n.matches(""));
+        assert!(!n.matches("a"));
+    }
+
+    #[test]
+    fn acceptance_table_counts_remaining_chars() {
+        let n = nfa("ab");
+        let table = n.acceptance_table(3);
+        // start set can accept after exactly 2 chars
+        let start = n.start_set();
+        let can = |k: usize| start.iter().zip(&table[k]).any(|(&a, &b)| a && b);
+        assert!(!can(0));
+        assert!(!can(1));
+        assert!(can(2));
+        assert!(!can(3));
+    }
+
+    #[test]
+    fn acceptance_table_with_plus() {
+        let n = nfa("a+");
+        let table = n.acceptance_table(4);
+        let start = n.start_set();
+        let can = |k: usize| start.iter().zip(&table[k]).any(|(&a, &b)| a && b);
+        assert!(!can(0));
+        assert!(can(1) && can(2) && can(4));
+    }
+
+    #[test]
+    fn negated_class_in_nfa() {
+        let n = nfa("[^a]b");
+        assert!(n.matches("xb"));
+        assert!(!n.matches("ab"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Recursive-descent regex parser.
+//!
+//! Grammar (standard precedence — repetition binds tighter than
+//! concatenation binds tighter than alternation):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat*
+//! repeat := atom ('+' | '*' | '?')?
+//! atom   := literal | '.' | class | '(' alt ')'
+//! class  := '[' '^'? (char | char '-' char)+ ']'
+//! ```
+//!
+//! Escapes: `\x` makes any character literal.
+
+use crate::{ClassSet, Regex};
+
+/// A regex syntax error with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the pattern.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a regex pattern.
+pub fn parse(pattern: &str) -> Result<Regex, ParseError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let r = p.alt()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(r)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            parts.push(self.concat()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Regex::Alt(parts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Regex::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Regex::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Regex, ParseError> {
+        let atom = self.atom()?;
+        match self.peek() {
+            Some('+') => {
+                self.bump();
+                Ok(Regex::Plus(Box::new(atom)))
+            }
+            Some('*') => {
+                self.bump();
+                Ok(Regex::Star(Box::new(atom)))
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Regex::Opt(Box::new(atom)))
+            }
+            Some('{') => {
+                self.bump();
+                self.bounded(atom)
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    /// Parses `{m}`, `{m,}`, or `{m,n}` after its opening brace and
+    /// desugars the bounded repetition into the core AST
+    /// (`r{2,4} → r r (r (r)?)?`, `r{2,} → r r r*`), so the NFA and every
+    /// analysis work unchanged.
+    fn bounded(&mut self, atom: Regex) -> Result<Regex, ParseError> {
+        let min = self.number()?;
+        let max = match self.peek() {
+            Some(',') => {
+                self.bump();
+                match self.peek() {
+                    Some('}') => None,
+                    _ => Some(self.number()?),
+                }
+            }
+            _ => Some(min),
+        };
+        if self.bump() != Some('}') {
+            return Err(self.err("unclosed bounded repetition"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.err("bounded repetition with max < min"));
+            }
+        }
+        let mut parts: Vec<Regex> = std::iter::repeat_n(atom.clone(), min).collect();
+        match max {
+            None => parts.push(Regex::Star(Box::new(atom))),
+            Some(max) => {
+                // Nested optional tail for the (max − min) extra copies.
+                let mut tail: Option<Regex> = None;
+                for _ in 0..(max - min) {
+                    let inner = match tail.take() {
+                        None => atom.clone(),
+                        Some(t) => Regex::Concat(vec![atom.clone(), t]),
+                    };
+                    tail = Some(Regex::Opt(Box::new(inner)));
+                }
+                if let Some(t) = tail {
+                    parts.push(t);
+                }
+            }
+        }
+        Ok(match parts.len() {
+            0 => Regex::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Regex::Concat(parts),
+        })
+    }
+
+    fn number(&mut self) -> Result<usize, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map_err(|_| self.err("repetition count out of range"))
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        match self.peek() {
+            None => Err(self.err("expected an atom, found end of pattern")),
+            Some('(') => {
+                self.bump();
+                let inner = self.alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('.') => {
+                self.bump();
+                Ok(Regex::Dot)
+            }
+            Some('\\') => {
+                self.bump();
+                let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                Ok(Regex::Literal(c))
+            }
+            Some(c) if "+*?|)".contains(c) => {
+                Err(self.err("repetition operator with nothing to repeat"))
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Regex::Literal(c))
+            }
+        }
+    }
+
+    fn class(&mut self) -> Result<Regex, ParseError> {
+        assert_eq!(self.bump(), Some('['));
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut members = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') => break,
+                Some('\\') => {
+                    let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                    members.push(c);
+                }
+                Some(lo) => {
+                    // Range a-z (a literal '-' at the end of the class is
+                    // taken verbatim).
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().expect("checked above");
+                        if hi < lo {
+                            return Err(self.err("inverted character range"));
+                        }
+                        members.extend((lo..=hi).filter(|c| c.is_ascii()));
+                    } else {
+                        members.push(lo);
+                    }
+                }
+            }
+        }
+        if members.is_empty() && !negated {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Regex::Class(if negated {
+            ClassSet::negated(members)
+        } else {
+            ClassSet::new(members)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_parses() {
+        let r = parse("a[tyz]+b").unwrap();
+        assert_eq!(r.to_string(), "a[tyz]+b");
+        assert!(r.is_paper_subset());
+    }
+
+    #[test]
+    fn literal_sequence() {
+        assert_eq!(
+            parse("abc").unwrap(),
+            Regex::Concat(vec![
+                Regex::Literal('a'),
+                Regex::Literal('b'),
+                Regex::Literal('c'),
+            ])
+        );
+    }
+
+    #[test]
+    fn class_with_range() {
+        let r = parse("[a-cz]").unwrap();
+        let Regex::Class(cs) = r else {
+            panic!("expected class")
+        };
+        assert_eq!(cs.members(), vec!['a', 'b', 'c', 'z']);
+    }
+
+    #[test]
+    fn negated_class() {
+        let r = parse("[^ab]").unwrap();
+        let Regex::Class(cs) = r else {
+            panic!("expected class")
+        };
+        assert!(cs.is_negated());
+        assert!(!cs.contains('a'));
+        assert!(cs.contains('z'));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = parse("(ab|c)d").unwrap();
+        assert_eq!(
+            r,
+            Regex::Concat(vec![
+                Regex::Alt(vec![
+                    Regex::Concat(vec![Regex::Literal('a'), Regex::Literal('b')]),
+                    Regex::Literal('c'),
+                ]),
+                Regex::Literal('d'),
+            ])
+        );
+    }
+
+    #[test]
+    fn repetition_operators() {
+        assert_eq!(
+            parse("a+").unwrap(),
+            Regex::Plus(Box::new(Regex::Literal('a')))
+        );
+        assert_eq!(
+            parse("a*").unwrap(),
+            Regex::Star(Box::new(Regex::Literal('a')))
+        );
+        assert_eq!(
+            parse("a?").unwrap(),
+            Regex::Opt(Box::new(Regex::Literal('a')))
+        );
+    }
+
+    #[test]
+    fn escapes_make_literals() {
+        assert_eq!(parse("\\+").unwrap(), Regex::Literal('+'));
+        let r = parse("[a\\]]").unwrap();
+        let Regex::Class(cs) = r else {
+            panic!("expected class")
+        };
+        assert!(cs.contains(']'));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert_eq!(parse("").unwrap(), Regex::Empty);
+    }
+
+    #[test]
+    fn trailing_dash_in_class_is_literal() {
+        let r = parse("[a-]").unwrap();
+        let Regex::Class(cs) = r else {
+            panic!("expected class")
+        };
+        assert!(cs.contains('-') && cs.contains('a'));
+    }
+
+    #[test]
+    fn bounded_repetition_exact() {
+        let n = crate::Nfa::compile(&parse("a{3}").unwrap());
+        assert!(n.matches("aaa"));
+        assert!(!n.matches("aa") && !n.matches("aaaa"));
+    }
+
+    #[test]
+    fn bounded_repetition_range() {
+        let n = crate::Nfa::compile(&parse("a{2,4}").unwrap());
+        assert!(!n.matches("a"));
+        assert!(n.matches("aa") && n.matches("aaa") && n.matches("aaaa"));
+        assert!(!n.matches("aaaaa"));
+    }
+
+    #[test]
+    fn bounded_repetition_open_ended() {
+        let n = crate::Nfa::compile(&parse("[ab]{2,}c").unwrap());
+        assert!(!n.matches("ac"));
+        assert!(n.matches("abc"));
+        assert!(!n.matches("ababab"));
+        assert!(n.matches("aababc"));
+    }
+
+    #[test]
+    fn bounded_repetition_zero_allows_empty() {
+        let n = crate::Nfa::compile(&parse("a{0,2}").unwrap());
+        assert!(n.matches("") && n.matches("a") && n.matches("aa"));
+        assert!(!n.matches("aaa"));
+    }
+
+    #[test]
+    fn bounded_repetition_errors() {
+        assert!(parse("a{2,1}").is_err());
+        assert!(parse("a{2").is_err());
+        assert!(parse("a{x}").is_err());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse("[ab").unwrap_err();
+        assert_eq!(e.position, 3);
+        assert!(parse("+a").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("[]").is_err());
+        assert!(parse("[z-a]").is_err());
+        assert!(parse("a\\").is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the regex substrate: display/parse round
+//! trips, NFA/enumeration/counting agreement, and positional-set
+//! soundness on randomly generated patterns.
+
+use proptest::prelude::*;
+use qsmt_redex::{count_matches, enumerate_matches, parse, positional_sets, ClassSet, Nfa, Regex};
+
+/// Small alphabet so exhaustive language checks stay cheap.
+const SIGMA: &[char] = &['a', 'b', 'c'];
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        proptest::char::range('a', 'c').prop_map(Regex::Literal),
+        proptest::collection::vec(proptest::char::range('a', 'c'), 1..=3)
+            .prop_map(|cs| Regex::Class(ClassSet::new(cs))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..=3).prop_map(Regex::Concat),
+            proptest::collection::vec(inner.clone(), 2..=3).prop_map(Regex::Alt),
+            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))),
+            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
+            inner.prop_map(|r| Regex::Opt(Box::new(r))),
+        ]
+    })
+}
+
+/// All strings over SIGMA of length ≤ max_len.
+fn small_strings(max_len: usize) -> Vec<String> {
+    let mut out = vec![String::new()];
+    let mut frontier = vec![String::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for &c in SIGMA {
+                let mut t = s.clone();
+                t.push(c);
+                next.push(t);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn display_parse_round_trip_preserves_language(re in arb_regex()) {
+        let printed = re.to_string();
+        let reparsed = parse(&printed).expect("printed regex must reparse");
+        let nfa_a = Nfa::compile(&re);
+        let nfa_b = Nfa::compile(&reparsed);
+        for s in small_strings(4) {
+            prop_assert_eq!(
+                nfa_a.matches(&s),
+                nfa_b.matches(&s),
+                "language changed through print/parse for /{}/ on {:?}", printed, s
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_is_exactly_the_fixed_length_language(re in arb_regex(), len in 0usize..=4) {
+        let nfa = Nfa::compile(&re);
+        let enumerated = enumerate_matches(&re, len, SIGMA, 10_000);
+        // Everything enumerated matches and has the right length.
+        for s in &enumerated {
+            prop_assert!(nfa.matches(s));
+            prop_assert_eq!(s.chars().count(), len);
+        }
+        // Nothing is missed.
+        let expected: Vec<String> = small_strings(len)
+            .into_iter()
+            .filter(|s| s.chars().count() == len && nfa.matches(s))
+            .collect();
+        let mut a = enumerated;
+        let mut b = expected;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counting_agrees_with_enumeration(re in arb_regex(), len in 0usize..=4) {
+        let listed = enumerate_matches(&re, len, SIGMA, 100_000).len() as u128;
+        prop_assert_eq!(count_matches(&re, len, SIGMA), listed);
+    }
+
+    #[test]
+    fn positional_sets_are_sound_and_complete_marginals(re in arb_regex(), len in 1usize..=4) {
+        let matches = enumerate_matches(&re, len, SIGMA, 100_000);
+        match positional_sets(&re, len, SIGMA) {
+            None => prop_assert!(matches.is_empty()),
+            Some(sets) => {
+                prop_assert!(!matches.is_empty());
+                prop_assert_eq!(sets.len(), len);
+                // Sound: every matching string stays inside the sets.
+                for s in &matches {
+                    for (i, c) in s.chars().enumerate() {
+                        prop_assert!(sets[i].contains(&c),
+                            "char {:?} at {} outside marginal for /{}/", c, i, re);
+                    }
+                }
+                // Complete: every marginal char is witnessed by some match.
+                for (i, set) in sets.iter().enumerate() {
+                    for &c in set {
+                        prop_assert!(
+                            matches.iter().any(|s| s.chars().nth(i) == Some(c)),
+                            "marginal char {:?} at {} has no witness for /{}/", c, i, re
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_len_bounds_are_respected(re in arb_regex()) {
+        let nfa = Nfa::compile(&re);
+        let min = re.min_len();
+        // Nothing shorter than min_len matches.
+        for s in small_strings(min.saturating_sub(1).min(3)) {
+            if s.chars().count() < min {
+                prop_assert!(!nfa.matches(&s));
+            }
+        }
+        if let Some(max) = re.max_len() {
+            if max < 4 {
+                for s in small_strings(4) {
+                    if s.chars().count() > max {
+                        prop_assert!(!nfa.matches(&s));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! SMT-LIB command/term AST, parsing from S-expressions, and sort
+//! checking for the string-theory fragment.
+
+use crate::sexpr::SExpr;
+use std::collections::HashMap;
+
+/// A sort in the supported fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sort {
+    /// `String`
+    String,
+    /// `Int`
+    Int,
+    /// `Bool`
+    Bool,
+    /// `RegLan` (regular language terms)
+    RegLan,
+}
+
+/// A regular-language term (the `re.*` operators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegLan {
+    /// `(str.to_re "lit")`
+    ToRe(String),
+    /// `(re.+ r)`
+    Plus(Box<RegLan>),
+    /// `(re.* r)`
+    Star(Box<RegLan>),
+    /// `(re.opt r)`
+    Opt(Box<RegLan>),
+    /// `(re.union r₁ r₂ …)`
+    Union(Vec<RegLan>),
+    /// `(re.++ r₁ r₂ …)`
+    Concat(Vec<RegLan>),
+    /// `(re.range "a" "z")`
+    Range(char, char),
+    /// `re.allchar`
+    AllChar,
+}
+
+/// A term in the supported fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A declared constant.
+    Var(String),
+    /// A string literal.
+    StrLit(String),
+    /// An integer literal.
+    IntLit(u64),
+    /// `(= t₁ t₂)`
+    Eq(Box<Term>, Box<Term>),
+    /// `(str.++ t₁ t₂ …)`
+    StrConcat(Vec<Term>),
+    /// `(str.len t)`
+    StrLen(Box<Term>),
+    /// `(str.replace t from to)` — first occurrence.
+    StrReplace(Box<Term>, Box<Term>, Box<Term>),
+    /// `(str.replace_all t from to)`
+    StrReplaceAll(Box<Term>, Box<Term>, Box<Term>),
+    /// `(str.contains t sub)`
+    StrContains(Box<Term>, Box<Term>),
+    /// `(str.indexof t sub from)`
+    StrIndexOf(Box<Term>, Box<Term>, Box<Term>),
+    /// `(str.rev t)` (solver extension, as in z3/cvc5).
+    StrRev(Box<Term>),
+    /// `(str.prefixof pre t)`
+    StrPrefixOf(Box<Term>, Box<Term>),
+    /// `(str.suffixof suf t)`
+    StrSuffixOf(Box<Term>, Box<Term>),
+    /// `(str.at t i)`
+    StrAt(Box<Term>, Box<Term>),
+    /// `(str.in_re t r)`
+    StrInRe(Box<Term>, RegLan),
+}
+
+/// A top-level command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `(set-logic QF_S)` etc. — recorded, not enforced.
+    SetLogic(String),
+    /// `(set-info …)` / `(set-option …)` — ignored.
+    Meta,
+    /// `(declare-const name Sort)` or 0-ary `declare-fun`.
+    DeclareConst(String, Sort),
+    /// `(assert term)`
+    Assert(Term),
+    /// `(check-sat)`
+    CheckSat,
+    /// `(get-model)`
+    GetModel,
+    /// `(exit)`
+    Exit,
+}
+
+/// Parsing / sort-checking error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstError {
+    /// Description, including offending form.
+    pub message: String,
+}
+
+impl std::fmt::Display for AstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "smt-lib error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AstError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, AstError> {
+    Err(AstError {
+        message: message.into(),
+    })
+}
+
+/// Parses one top-level S-expression into a command.
+pub fn parse_command(e: &SExpr) -> Result<Command, AstError> {
+    let list = match e.as_list() {
+        Some(l) if !l.is_empty() => l,
+        _ => return err(format!("expected a command list, found {e:?}")),
+    };
+    let head = list[0].as_symbol().ok_or_else(|| AstError {
+        message: format!("command head must be a symbol: {e:?}"),
+    })?;
+    match head {
+        "set-logic" => match list.get(1).and_then(SExpr::as_symbol) {
+            Some(l) => Ok(Command::SetLogic(l.to_string())),
+            None => err("set-logic requires a logic name"),
+        },
+        "set-info" | "set-option" | "push" | "pop" => Ok(Command::Meta),
+        "declare-const" => {
+            let (name, sort) = match (list.get(1), list.get(2)) {
+                (Some(SExpr::Symbol(n)), Some(s)) => (n.clone(), parse_sort(s)?),
+                _ => return err("declare-const requires a name and a sort"),
+            };
+            Ok(Command::DeclareConst(name, sort))
+        }
+        "declare-fun" => {
+            // Only 0-ary functions (constants) are in the fragment.
+            match (list.get(1), list.get(2), list.get(3)) {
+                (Some(SExpr::Symbol(n)), Some(SExpr::List(args)), Some(s)) if args.is_empty() => {
+                    Ok(Command::DeclareConst(n.clone(), parse_sort(s)?))
+                }
+                _ => err("only 0-ary declare-fun is supported"),
+            }
+        }
+        "assert" => match list.get(1) {
+            Some(t) => Ok(Command::Assert(parse_term(t)?)),
+            None => err("assert requires a term"),
+        },
+        "check-sat" => Ok(Command::CheckSat),
+        "get-model" | "get-value" => Ok(Command::GetModel),
+        "exit" => Ok(Command::Exit),
+        other => err(format!("unsupported command {other:?}")),
+    }
+}
+
+fn parse_sort(e: &SExpr) -> Result<Sort, AstError> {
+    match e.as_symbol() {
+        Some("String") => Ok(Sort::String),
+        Some("Int") => Ok(Sort::Int),
+        Some("Bool") => Ok(Sort::Bool),
+        Some("RegLan") => Ok(Sort::RegLan),
+        _ => err(format!("unsupported sort {e:?}")),
+    }
+}
+
+/// Parses a term S-expression.
+pub fn parse_term(e: &SExpr) -> Result<Term, AstError> {
+    match e {
+        SExpr::Symbol(s) => Ok(Term::Var(s.clone())),
+        SExpr::Str(s) => Ok(Term::StrLit(s.clone())),
+        SExpr::Num(n) => Ok(Term::IntLit(*n)),
+        SExpr::Keyword(k) => err(format!("keyword :{k} is not a term")),
+        SExpr::List(items) => {
+            let head = items
+                .first()
+                .and_then(SExpr::as_symbol)
+                .ok_or_else(|| AstError {
+                    message: format!("application head must be a symbol: {e:?}"),
+                })?;
+            let args = &items[1..];
+            let unary = |args: &[SExpr]| -> Result<Box<Term>, AstError> {
+                match args {
+                    [a] => Ok(Box::new(parse_term(a)?)),
+                    _ => err(format!("{head} expects 1 argument")),
+                }
+            };
+            type Triple = (Box<Term>, Box<Term>, Box<Term>);
+            let ternary = |args: &[SExpr]| -> Result<Triple, AstError> {
+                match args {
+                    [a, b, c] => Ok((
+                        Box::new(parse_term(a)?),
+                        Box::new(parse_term(b)?),
+                        Box::new(parse_term(c)?),
+                    )),
+                    _ => err(format!("{head} expects 3 arguments")),
+                }
+            };
+            match head {
+                "=" => match args {
+                    [a, b] => Ok(Term::Eq(Box::new(parse_term(a)?), Box::new(parse_term(b)?))),
+                    _ => err("= expects 2 arguments"),
+                },
+                "str.++" => {
+                    if args.len() < 2 {
+                        return err("str.++ expects at least 2 arguments");
+                    }
+                    Ok(Term::StrConcat(
+                        args.iter().map(parse_term).collect::<Result<_, _>>()?,
+                    ))
+                }
+                "str.len" => Ok(Term::StrLen(unary(args)?)),
+                "str.rev" => Ok(Term::StrRev(unary(args)?)),
+                "str.replace" => {
+                    let (a, b, c) = ternary(args)?;
+                    Ok(Term::StrReplace(a, b, c))
+                }
+                "str.replace_all" => {
+                    let (a, b, c) = ternary(args)?;
+                    Ok(Term::StrReplaceAll(a, b, c))
+                }
+                "str.prefixof" => match args {
+                    [a, b] => Ok(Term::StrPrefixOf(
+                        Box::new(parse_term(a)?),
+                        Box::new(parse_term(b)?),
+                    )),
+                    _ => err("str.prefixof expects 2 arguments"),
+                },
+                "str.suffixof" => match args {
+                    [a, b] => Ok(Term::StrSuffixOf(
+                        Box::new(parse_term(a)?),
+                        Box::new(parse_term(b)?),
+                    )),
+                    _ => err("str.suffixof expects 2 arguments"),
+                },
+                "str.at" => match args {
+                    [a, b] => Ok(Term::StrAt(
+                        Box::new(parse_term(a)?),
+                        Box::new(parse_term(b)?),
+                    )),
+                    _ => err("str.at expects 2 arguments"),
+                },
+                "str.contains" => match args {
+                    [a, b] => Ok(Term::StrContains(
+                        Box::new(parse_term(a)?),
+                        Box::new(parse_term(b)?),
+                    )),
+                    _ => err("str.contains expects 2 arguments"),
+                },
+                "str.indexof" => {
+                    let (a, b, c) = ternary(args)?;
+                    Ok(Term::StrIndexOf(a, b, c))
+                }
+                "str.in_re" | "str.in.re" => match args {
+                    [a, r] => Ok(Term::StrInRe(Box::new(parse_term(a)?), parse_reglan(r)?)),
+                    _ => err("str.in_re expects 2 arguments"),
+                },
+                other => err(format!("unsupported operator {other:?}")),
+            }
+        }
+    }
+}
+
+fn parse_reglan(e: &SExpr) -> Result<RegLan, AstError> {
+    match e {
+        SExpr::Symbol(s) if s == "re.allchar" => Ok(RegLan::AllChar),
+        SExpr::List(items) => {
+            let head = items
+                .first()
+                .and_then(SExpr::as_symbol)
+                .ok_or_else(|| AstError {
+                    message: format!("regex head must be a symbol: {e:?}"),
+                })?;
+            let args = &items[1..];
+            let rec = |args: &[SExpr]| -> Result<Vec<RegLan>, AstError> {
+                args.iter().map(parse_reglan).collect()
+            };
+            match head {
+                "str.to_re" | "str.to.re" => match args {
+                    [SExpr::Str(s)] => Ok(RegLan::ToRe(s.clone())),
+                    _ => err("str.to_re expects a string literal"),
+                },
+                "re.+" => match &rec(args)?[..] {
+                    [r] => Ok(RegLan::Plus(Box::new(r.clone()))),
+                    _ => err("re.+ expects 1 argument"),
+                },
+                "re.*" => match &rec(args)?[..] {
+                    [r] => Ok(RegLan::Star(Box::new(r.clone()))),
+                    _ => err("re.* expects 1 argument"),
+                },
+                "re.opt" => match &rec(args)?[..] {
+                    [r] => Ok(RegLan::Opt(Box::new(r.clone()))),
+                    _ => err("re.opt expects 1 argument"),
+                },
+                "re.union" => {
+                    if args.len() < 2 {
+                        return err("re.union expects at least 2 arguments");
+                    }
+                    Ok(RegLan::Union(rec(args)?))
+                }
+                "re.++" => {
+                    if args.len() < 2 {
+                        return err("re.++ expects at least 2 arguments");
+                    }
+                    Ok(RegLan::Concat(rec(args)?))
+                }
+                "re.range" => match args {
+                    [SExpr::Str(a), SExpr::Str(b)]
+                        if a.chars().count() == 1 && b.chars().count() == 1 =>
+                    {
+                        Ok(RegLan::Range(
+                            a.chars().next().expect("checked"),
+                            b.chars().next().expect("checked"),
+                        ))
+                    }
+                    _ => err("re.range expects two single-character string literals"),
+                },
+                other => err(format!("unsupported regex operator {other:?}")),
+            }
+        }
+        _ => err(format!("expected a regex term, found {e:?}")),
+    }
+}
+
+/// Infers the sort of a term in an environment of declared constants.
+pub fn sort_of(term: &Term, env: &HashMap<String, Sort>) -> Result<Sort, AstError> {
+    match term {
+        Term::Var(name) => env.get(name).copied().ok_or_else(|| AstError {
+            message: format!("undeclared constant {name:?}"),
+        }),
+        Term::StrLit(_) => Ok(Sort::String),
+        Term::IntLit(_) => Ok(Sort::Int),
+        Term::Eq(a, b) => {
+            let sa = sort_of(a, env)?;
+            let sb = sort_of(b, env)?;
+            if sa != sb {
+                return err(format!("= applied to mismatched sorts {sa:?} and {sb:?}"));
+            }
+            Ok(Sort::Bool)
+        }
+        Term::StrConcat(parts) => {
+            for p in parts {
+                expect(p, Sort::String, env)?;
+            }
+            Ok(Sort::String)
+        }
+        Term::StrLen(t) => {
+            expect(t, Sort::String, env)?;
+            Ok(Sort::Int)
+        }
+        Term::StrReplace(a, b, c) | Term::StrReplaceAll(a, b, c) => {
+            expect(a, Sort::String, env)?;
+            expect(b, Sort::String, env)?;
+            expect(c, Sort::String, env)?;
+            Ok(Sort::String)
+        }
+        Term::StrContains(a, b) => {
+            expect(a, Sort::String, env)?;
+            expect(b, Sort::String, env)?;
+            Ok(Sort::Bool)
+        }
+        Term::StrPrefixOf(a, b) | Term::StrSuffixOf(a, b) => {
+            expect(a, Sort::String, env)?;
+            expect(b, Sort::String, env)?;
+            Ok(Sort::Bool)
+        }
+        Term::StrAt(a, b) => {
+            expect(a, Sort::String, env)?;
+            expect(b, Sort::Int, env)?;
+            Ok(Sort::String)
+        }
+        Term::StrIndexOf(a, b, c) => {
+            expect(a, Sort::String, env)?;
+            expect(b, Sort::String, env)?;
+            expect(c, Sort::Int, env)?;
+            Ok(Sort::Int)
+        }
+        Term::StrRev(t) => {
+            expect(t, Sort::String, env)?;
+            Ok(Sort::String)
+        }
+        Term::StrInRe(t, _) => {
+            expect(t, Sort::String, env)?;
+            Ok(Sort::Bool)
+        }
+    }
+}
+
+fn expect(term: &Term, want: Sort, env: &HashMap<String, Sort>) -> Result<(), AstError> {
+    let got = sort_of(term, env)?;
+    if got != want {
+        return err(format!(
+            "expected sort {want:?}, found {got:?} for {term:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sexpr::parse_sexprs;
+
+    fn cmd(src: &str) -> Command {
+        let es = parse_sexprs(src).unwrap();
+        parse_command(&es[0]).unwrap()
+    }
+
+    #[test]
+    fn parses_declare_const() {
+        assert_eq!(
+            cmd("(declare-const x String)"),
+            Command::DeclareConst("x".into(), Sort::String)
+        );
+        assert_eq!(
+            cmd("(declare-fun i () Int)"),
+            Command::DeclareConst("i".into(), Sort::Int)
+        );
+    }
+
+    #[test]
+    fn parses_equality_assert() {
+        let c = cmd("(assert (= x \"hi\"))");
+        assert_eq!(
+            c,
+            Command::Assert(Term::Eq(
+                Box::new(Term::Var("x".into())),
+                Box::new(Term::StrLit("hi".into()))
+            ))
+        );
+    }
+
+    #[test]
+    fn parses_string_ops() {
+        let c = cmd("(assert (= x (str.replace_all (str.++ \"a\" \"b\") \"a\" \"z\")))");
+        let Command::Assert(Term::Eq(_, rhs)) = c else {
+            panic!()
+        };
+        assert!(matches!(*rhs, Term::StrReplaceAll(..)));
+    }
+
+    #[test]
+    fn parses_regex_terms() {
+        let c = cmd(
+            "(assert (str.in_re x (re.++ (str.to_re \"a\") (re.+ (re.union (str.to_re \"b\") (str.to_re \"c\"))))))",
+        );
+        let Command::Assert(Term::StrInRe(_, r)) = c else {
+            panic!()
+        };
+        assert_eq!(
+            r,
+            RegLan::Concat(vec![
+                RegLan::ToRe("a".into()),
+                RegLan::Plus(Box::new(RegLan::Union(vec![
+                    RegLan::ToRe("b".into()),
+                    RegLan::ToRe("c".into()),
+                ]))),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_range_and_allchar() {
+        let c = cmd("(assert (str.in_re x (re.++ (re.range \"a\" \"z\") re.allchar)))");
+        let Command::Assert(Term::StrInRe(_, r)) = c else {
+            panic!()
+        };
+        assert_eq!(
+            r,
+            RegLan::Concat(vec![RegLan::Range('a', 'z'), RegLan::AllChar])
+        );
+    }
+
+    #[test]
+    fn sort_checking_accepts_good_terms() {
+        let mut env = HashMap::new();
+        env.insert("x".to_string(), Sort::String);
+        env.insert("i".to_string(), Sort::Int);
+        let t = Term::Eq(
+            Box::new(Term::Var("i".into())),
+            Box::new(Term::StrIndexOf(
+                Box::new(Term::StrLit("hay".into())),
+                Box::new(Term::StrLit("a".into())),
+                Box::new(Term::IntLit(0)),
+            )),
+        );
+        assert_eq!(sort_of(&t, &env).unwrap(), Sort::Bool);
+    }
+
+    #[test]
+    fn sort_checking_rejects_mismatches() {
+        let mut env = HashMap::new();
+        env.insert("x".to_string(), Sort::String);
+        // (= x 3) — String vs Int
+        let t = Term::Eq(Box::new(Term::Var("x".into())), Box::new(Term::IntLit(3)));
+        assert!(sort_of(&t, &env).is_err());
+        // undeclared variable
+        let u = Term::Var("nope".into());
+        assert!(sort_of(&u, &env).is_err());
+        // str.len of an Int
+        let v = Term::StrLen(Box::new(Term::IntLit(3)));
+        assert!(sort_of(&v, &env).is_err());
+    }
+
+    #[test]
+    fn unsupported_forms_error() {
+        let es = parse_sexprs("(frobnicate x)").unwrap();
+        assert!(parse_command(&es[0]).is_err());
+        let es = parse_sexprs("(assert (str.foo x))").unwrap();
+        assert!(parse_command(&es[0]).is_err());
+    }
+
+    #[test]
+    fn meta_commands_are_ignored() {
+        assert_eq!(cmd("(set-info :status sat)"), Command::Meta);
+        assert_eq!(cmd("(set-logic QF_S)"), Command::SetLogic("QF_S".into()));
+    }
+}

@@ -1,0 +1,658 @@
+//! Compilation of SMT-LIB assertions to QUBO constraint pipelines.
+//!
+//! The supported fragment mirrors what the paper's solver can express: per
+//! string variable, a conjunction of length, containment, regex, reversal,
+//! and ground-transformation facts; per integer variable, an `indexof`
+//! definition. Each variable compiles independently to a
+//! [`qsmt_core::Constraint`] or a [`qsmt_core::Pipeline`] (the §4.12
+//! sequential composition).
+
+use crate::ast::{Command, RegLan, Sort, Term};
+use qsmt_core::{Constraint, Pipeline, Start, Step};
+use qsmt_redex::{ClassSet, Regex};
+use std::collections::HashMap;
+
+/// One solvable goal extracted from the script.
+#[derive(Debug, Clone)]
+pub enum Goal {
+    /// A string variable defined by one constraint.
+    StringConstraint {
+        /// Variable name.
+        name: String,
+        /// The compiled constraint.
+        constraint: Constraint,
+    },
+    /// A string variable defined by a sequential pipeline (§4.12).
+    StringPipeline {
+        /// Variable name.
+        name: String,
+        /// The compiled pipeline.
+        pipeline: Pipeline,
+    },
+    /// An integer variable defined as an `indexof` query.
+    IndexQuery {
+        /// Variable name.
+        name: String,
+        /// The compiled includes constraint.
+        constraint: Constraint,
+    },
+}
+
+impl Goal {
+    /// The variable this goal defines.
+    pub fn name(&self) -> &str {
+        match self {
+            Goal::StringConstraint { name, .. }
+            | Goal::StringPipeline { name, .. }
+            | Goal::IndexQuery { name, .. } => name,
+        }
+    }
+}
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description of the unsupported or inconsistent form.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError {
+        message: message.into(),
+    })
+}
+
+/// Per-variable facts accumulated from assertions.
+#[derive(Debug, Default, Clone)]
+struct Facts {
+    len: Option<usize>,
+    contains: Vec<String>,
+    regexes: Vec<RegLan>,
+    ground_eq: Option<Term>,
+    self_reverse: bool,
+    index_of: Option<(String, String)>,
+    prefixes: Vec<String>,
+    suffixes: Vec<String>,
+    pins: Vec<(usize, char)>,
+}
+
+/// Converts an SMT-LIB `RegLan` term into the redex AST.
+pub fn reglan_to_regex(r: &RegLan) -> Regex {
+    match r {
+        RegLan::ToRe(s) => {
+            let lits: Vec<Regex> = s.chars().map(Regex::Literal).collect();
+            match lits.len() {
+                0 => Regex::Empty,
+                1 => lits.into_iter().next().expect("one"),
+                _ => Regex::Concat(lits),
+            }
+        }
+        RegLan::Plus(inner) => Regex::Plus(Box::new(reglan_to_regex(inner))),
+        RegLan::Star(inner) => Regex::Star(Box::new(reglan_to_regex(inner))),
+        RegLan::Opt(inner) => Regex::Opt(Box::new(reglan_to_regex(inner))),
+        RegLan::Union(parts) => Regex::Alt(parts.iter().map(reglan_to_regex).collect()),
+        RegLan::Concat(parts) => Regex::Concat(parts.iter().map(reglan_to_regex).collect()),
+        RegLan::Range(a, b) => Regex::Class(ClassSet::new((*a..=*b).collect())),
+        RegLan::AllChar => Regex::Dot,
+    }
+}
+
+/// Compiles a command stream into per-variable goals.
+///
+/// # Errors
+/// Fails on undeclared variables, contradictory facts, and forms outside
+/// the supported fragment.
+pub fn compile(commands: &[Command]) -> Result<Vec<Goal>, CompileError> {
+    let mut env: HashMap<String, Sort> = HashMap::new();
+    let mut facts: HashMap<String, Facts> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    for cmd in commands {
+        match cmd {
+            Command::DeclareConst(name, sort) => {
+                env.insert(name.clone(), *sort);
+                facts.entry(name.clone()).or_default();
+                order.push(name.clone());
+            }
+            Command::Assert(term) => {
+                crate::ast::sort_of(term, &env).map_err(|e| CompileError { message: e.message })?;
+                absorb(term, &mut facts)?;
+            }
+            _ => {}
+        }
+    }
+
+    let mut goals = Vec::new();
+    for name in &order {
+        let sort = env[name];
+        let f = &facts[name];
+        match sort {
+            Sort::String => {
+                if let Some(goal) = compile_string_var(name, f)? {
+                    goals.push(goal);
+                }
+            }
+            Sort::Int => {
+                if let Some((hay, needle)) = &f.index_of {
+                    goals.push(Goal::IndexQuery {
+                        name: name.clone(),
+                        constraint: Constraint::Includes {
+                            haystack: hay.clone(),
+                            needle: needle.clone(),
+                        },
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(goals)
+}
+
+fn absorb(term: &Term, facts: &mut HashMap<String, Facts>) -> Result<(), CompileError> {
+    match term {
+        Term::Eq(a, b) => match (a.as_ref(), b.as_ref()) {
+            // (= (str.len x) N) or (= N (str.len x))
+            (Term::StrLen(inner), Term::IntLit(n)) | (Term::IntLit(n), Term::StrLen(inner)) => {
+                let Term::Var(name) = inner.as_ref() else {
+                    return err("str.len is only supported on a variable");
+                };
+                let f = get(facts, name)?;
+                if let Some(prev) = f.len {
+                    if prev != *n as usize {
+                        return err(format!("conflicting lengths for {name}: {prev} vs {n}"));
+                    }
+                }
+                f.len = Some(*n as usize);
+                Ok(())
+            }
+            // (= (str.at x N) "c") — character pin
+            (Term::StrAt(inner, idx), Term::StrLit(c))
+            | (Term::StrLit(c), Term::StrAt(inner, idx)) => {
+                let (Term::Var(name), Term::IntLit(n)) = (inner.as_ref(), idx.as_ref()) else {
+                    return err("str.at is only supported as (str.at var N)");
+                };
+                if c.chars().count() != 1 {
+                    return err("str.at pins require a single-character literal");
+                }
+                get(facts, name)?
+                    .pins
+                    .push((*n as usize, c.chars().next().expect("checked")));
+                Ok(())
+            }
+            // (= x (str.rev x)) → palindrome
+            (Term::Var(v1), Term::StrRev(inner)) | (Term::StrRev(inner), Term::Var(v1)) if matches!(inner.as_ref(), Term::Var(v2) if v2 == v1) =>
+            {
+                get(facts, v1)?.self_reverse = true;
+                Ok(())
+            }
+            // (= x <ground string term>)
+            (Term::Var(name), ground) | (ground, Term::Var(name)) => {
+                if term_is_ground(ground) {
+                    let f = get(facts, name)?;
+                    if f.ground_eq.is_some() {
+                        return err(format!("multiple definitions for {name}"));
+                    }
+                    f.ground_eq = Some(ground.clone());
+                    Ok(())
+                } else if let Term::StrIndexOf(hay, needle, from) = ground {
+                    let (Term::StrLit(h), Term::StrLit(s), Term::IntLit(0)) =
+                        (hay.as_ref(), needle.as_ref(), from.as_ref())
+                    else {
+                        return err("str.indexof requires literal arguments and offset 0");
+                    };
+                    get(facts, name)?.index_of = Some((h.clone(), s.clone()));
+                    Ok(())
+                } else {
+                    err(format!("unsupported equality shape: {term:?}"))
+                }
+            }
+            _ => err(format!("unsupported equality shape: {term:?}")),
+        },
+        Term::StrPrefixOf(pre, t) => {
+            let (Term::StrLit(p), Term::Var(name)) = (pre.as_ref(), t.as_ref()) else {
+                return err("str.prefixof requires (str.prefixof \"lit\" var)");
+            };
+            get(facts, name)?.prefixes.push(p.clone());
+            Ok(())
+        }
+        Term::StrSuffixOf(suf, t) => {
+            let (Term::StrLit(sfx), Term::Var(name)) = (suf.as_ref(), t.as_ref()) else {
+                return err("str.suffixof requires (str.suffixof \"lit\" var)");
+            };
+            get(facts, name)?.suffixes.push(sfx.clone());
+            Ok(())
+        }
+        Term::StrContains(hay, sub) => {
+            let (Term::Var(name), Term::StrLit(s)) = (hay.as_ref(), sub.as_ref()) else {
+                return err("str.contains requires (str.contains var \"lit\")");
+            };
+            get(facts, name)?.contains.push(s.clone());
+            Ok(())
+        }
+        Term::StrInRe(t, r) => {
+            let Term::Var(name) = t.as_ref() else {
+                return err("str.in_re requires a variable on the left");
+            };
+            get(facts, name)?.regexes.push(r.clone());
+            Ok(())
+        }
+        _ => err(format!("unsupported assertion: {term:?}")),
+    }
+}
+
+fn get<'f>(
+    facts: &'f mut HashMap<String, Facts>,
+    name: &str,
+) -> Result<&'f mut Facts, CompileError> {
+    facts.get_mut(name).ok_or_else(|| CompileError {
+        message: format!("undeclared constant {name:?}"),
+    })
+}
+
+fn term_is_ground(term: &Term) -> bool {
+    match term {
+        Term::StrLit(_) => true,
+        Term::StrRev(t) => term_is_ground(t),
+        Term::StrConcat(parts) => parts.iter().all(term_is_ground),
+        Term::StrReplace(a, b, c) | Term::StrReplaceAll(a, b, c) => {
+            term_is_ground(a) && term_is_ground(b) && term_is_ground(c)
+        }
+        _ => false,
+    }
+}
+
+fn compile_string_var(name: &str, f: &Facts) -> Result<Option<Goal>, CompileError> {
+    // A ground definition is exclusive: it fully determines the variable.
+    if let Some(ground) = &f.ground_eq {
+        let pipeline = ground_to_pipeline(ground)?;
+        return Ok(Some(Goal::StringPipeline {
+            name: name.to_string(),
+            pipeline,
+        }));
+    }
+    // Gather generation facts; each needs the asserted length.
+    let mut parts: Vec<Constraint> = Vec::new();
+    let needs_len = f.self_reverse
+        || !f.regexes.is_empty()
+        || !f.contains.is_empty()
+        || !f.prefixes.is_empty()
+        || !f.suffixes.is_empty()
+        || !f.pins.is_empty();
+    if needs_len {
+        let Some(len) = f.len else {
+            return err(format!(
+                "generation constraints on {name} require a str.len assertion"
+            ));
+        };
+        if f.self_reverse {
+            parts.push(Constraint::Palindrome { len });
+        }
+        for r in &f.regexes {
+            parts.push(Constraint::Regex {
+                pattern: reglan_to_regex(r).to_string(),
+                len,
+            });
+        }
+        for sub in &f.contains {
+            parts.push(Constraint::SubstringMatch {
+                substring: sub.clone(),
+                len,
+            });
+        }
+        for p in &f.prefixes {
+            parts.push(Constraint::Prefix {
+                prefix: p.clone(),
+                len,
+            });
+        }
+        for sfx in &f.suffixes {
+            parts.push(Constraint::Suffix {
+                suffix: sfx.clone(),
+                len,
+            });
+        }
+        for &(index, ch) in &f.pins {
+            parts.push(Constraint::CharAt { ch, index, len });
+        }
+    }
+    match parts.len() {
+        0 => {
+            if let Some(len) = f.len {
+                Ok(Some(Goal::StringConstraint {
+                    name: name.to_string(),
+                    constraint: Constraint::LengthFill {
+                        desired: len,
+                        slots: len,
+                    },
+                }))
+            } else {
+                // Unconstrained variable: nothing to solve.
+                Ok(None)
+            }
+        }
+        1 => Ok(Some(Goal::StringConstraint {
+            name: name.to_string(),
+            constraint: parts.pop().expect("one part"),
+        })),
+        _ => Ok(Some(Goal::StringConstraint {
+            name: name.to_string(),
+            constraint: Constraint::All(parts),
+        })),
+    }
+}
+
+/// Lowers a ground string term to a §4.12 pipeline: the innermost literal
+/// becomes the start and each wrapping operation becomes a step.
+fn ground_to_pipeline(term: &Term) -> Result<Pipeline, CompileError> {
+    fn build(term: &Term, steps: &mut Vec<Step>) -> Result<String, CompileError> {
+        match term {
+            Term::StrLit(s) => Ok(s.clone()),
+            Term::StrRev(inner) => {
+                let start = build(inner, steps)?;
+                steps.push(Step::Reverse);
+                Ok(start)
+            }
+            Term::StrReplaceAll(inner, from, to) => {
+                let (f, t) = single_chars(from, to)?;
+                let start = build(inner, steps)?;
+                steps.push(Step::ReplaceAll { from: f, to: t });
+                Ok(start)
+            }
+            Term::StrReplace(inner, from, to) => {
+                let (f, t) = single_chars(from, to)?;
+                let start = build(inner, steps)?;
+                steps.push(Step::ReplaceFirst { from: f, to: t });
+                Ok(start)
+            }
+            Term::StrConcat(parts) => {
+                let mut iter = parts.iter();
+                let first = iter.next().expect("str.++ arity checked at parse");
+                let start = build(first, steps)?;
+                for p in iter {
+                    let Term::StrLit(suffix) = p else {
+                        return err(
+                            "str.++ supports a complex first argument and literal suffixes",
+                        );
+                    };
+                    steps.push(Step::Append {
+                        suffix: suffix.clone(),
+                        separator: String::new(),
+                    });
+                }
+                Ok(start)
+            }
+            other => err(format!("unsupported ground term {other:?}")),
+        }
+    }
+    let mut steps = Vec::new();
+    let start = build(term, &mut steps)?;
+    let mut p = Pipeline::new(Start::Literal(start));
+    for s in steps {
+        p = p.then(s);
+    }
+    Ok(p)
+}
+
+fn single_chars(from: &Term, to: &Term) -> Result<(char, char), CompileError> {
+    match (from, to) {
+        (Term::StrLit(f), Term::StrLit(t)) if f.chars().count() == 1 && t.chars().count() == 1 => {
+            Ok((
+                f.chars().next().expect("checked"),
+                t.chars().next().expect("checked"),
+            ))
+        }
+        _ => err("replace arguments must be single-character literals (paper §4.7)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_command;
+    use crate::sexpr::parse_sexprs;
+
+    fn goals(src: &str) -> Vec<Goal> {
+        let cmds: Vec<Command> = parse_sexprs(src)
+            .unwrap()
+            .iter()
+            .map(|e| parse_command(e).unwrap())
+            .collect();
+        compile(&cmds).unwrap()
+    }
+
+    #[test]
+    fn equality_compiles_to_pipeline_with_literal_start() {
+        let g = goals("(declare-const x String)(assert (= x \"hi\"))");
+        assert_eq!(g.len(), 1);
+        assert!(matches!(&g[0], Goal::StringPipeline { name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn nested_ground_term_becomes_multi_stage_pipeline() {
+        let g = goals(
+            "(declare-const x String)\
+             (assert (= x (str.replace_all (str.rev \"hello\") \"e\" \"a\")))",
+        );
+        let Goal::StringPipeline { pipeline, .. } = &g[0] else {
+            panic!()
+        };
+        assert_eq!(pipeline.num_stages(), 2);
+    }
+
+    #[test]
+    fn palindrome_from_self_reverse() {
+        let g = goals(
+            "(declare-const p String)\
+             (assert (= p (str.rev p)))\
+             (assert (= (str.len p) 6))",
+        );
+        let Goal::StringConstraint { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        assert_eq!(constraint, &Constraint::Palindrome { len: 6 });
+    }
+
+    #[test]
+    fn regex_with_length() {
+        let g = goals(
+            "(declare-const r String)\
+             (assert (str.in_re r (re.++ (str.to_re \"a\") (re.+ (re.union (str.to_re \"b\") (str.to_re \"c\"))))))\
+             (assert (= (str.len r) 5))",
+        );
+        let Goal::StringConstraint { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        assert_eq!(
+            constraint,
+            &Constraint::Regex {
+                pattern: "a(b|c)+".into(),
+                len: 5
+            }
+        );
+    }
+
+    #[test]
+    fn contains_with_length() {
+        let g = goals(
+            "(declare-const s String)\
+             (assert (str.contains s \"hi\"))\
+             (assert (= (str.len s) 6))",
+        );
+        let Goal::StringConstraint { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        assert_eq!(
+            constraint,
+            &Constraint::SubstringMatch {
+                substring: "hi".into(),
+                len: 6
+            }
+        );
+    }
+
+    #[test]
+    fn indexof_compiles_to_includes() {
+        let g = goals(
+            "(declare-const i Int)\
+             (assert (= i (str.indexof \"hello world\" \"world\" 0)))",
+        );
+        let Goal::IndexQuery { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        assert_eq!(
+            constraint,
+            &Constraint::Includes {
+                haystack: "hello world".into(),
+                needle: "world".into()
+            }
+        );
+    }
+
+    #[test]
+    fn length_only_compiles_to_fill() {
+        let g = goals("(declare-const s String)(assert (= (str.len s) 3))");
+        let Goal::StringConstraint { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        assert_eq!(
+            constraint,
+            &Constraint::LengthFill {
+                desired: 3,
+                slots: 3
+            }
+        );
+    }
+
+    #[test]
+    fn unconstrained_variable_produces_no_goal() {
+        assert!(goals("(declare-const s String)(check-sat)").is_empty());
+    }
+
+    #[test]
+    fn prefix_suffix_and_pins_compile() {
+        let g = goals(
+            "(declare-const s String)\
+             (assert (str.prefixof \"ab\" s))\
+             (assert (= (str.len s) 4))",
+        );
+        let Goal::StringConstraint { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        assert_eq!(
+            constraint,
+            &Constraint::Prefix {
+                prefix: "ab".into(),
+                len: 4
+            }
+        );
+
+        let g = goals(
+            "(declare-const s String)\
+             (assert (= (str.at s 1) \"q\"))\
+             (assert (= (str.len s) 3))",
+        );
+        let Goal::StringConstraint { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        assert_eq!(
+            constraint,
+            &Constraint::CharAt {
+                ch: 'q',
+                index: 1,
+                len: 3
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_facts_compile_to_conjunction() {
+        let g = goals(
+            "(declare-const s String)\
+             (assert (str.prefixof \"a\" s))\
+             (assert (str.suffixof \"z\" s))\
+             (assert (= s (str.rev s)))\
+             (assert (= (str.len s) 5))",
+        );
+        let Goal::StringConstraint { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        let Constraint::All(parts) = constraint else {
+            panic!("expected a conjunction, got {constraint:?}")
+        };
+        assert_eq!(parts.len(), 3);
+        assert!(parts.contains(&Constraint::Palindrome { len: 5 }));
+        assert!(parts.contains(&Constraint::Prefix {
+            prefix: "a".into(),
+            len: 5
+        }));
+        assert!(parts.contains(&Constraint::Suffix {
+            suffix: "z".into(),
+            len: 5
+        }));
+    }
+
+    #[test]
+    fn multiple_regexes_now_conjoin() {
+        let g = goals(
+            "(declare-const r String)\
+             (assert (str.in_re r (re.+ (re.range \"a\" \"c\"))))\
+             (assert (str.in_re r (re.+ (re.range \"b\" \"d\"))))\
+             (assert (= (str.len r) 3))",
+        );
+        let Goal::StringConstraint { constraint, .. } = &g[0] else {
+            panic!()
+        };
+        assert!(matches!(constraint, Constraint::All(parts) if parts.len() == 2));
+    }
+
+    #[test]
+    fn reglan_conversion() {
+        let r = RegLan::Concat(vec![
+            RegLan::ToRe("a".into()),
+            RegLan::Plus(Box::new(RegLan::Union(vec![
+                RegLan::ToRe("b".into()),
+                RegLan::ToRe("c".into()),
+            ]))),
+        ]);
+        assert_eq!(reglan_to_regex(&r).to_string(), "a(b|c)+");
+        assert_eq!(
+            reglan_to_regex(&RegLan::Range('a', 'c')).to_string(),
+            "[abc]"
+        );
+    }
+
+    #[test]
+    fn errors_on_unsupported_shapes() {
+        fn try_goals(src: &str) -> Result<Vec<Goal>, CompileError> {
+            let cmds: Vec<Command> = parse_sexprs(src)
+                .unwrap()
+                .iter()
+                .map(|e| parse_command(e).unwrap())
+                .collect();
+            compile(&cmds)
+        }
+        // palindrome without length
+        assert!(try_goals("(declare-const p String)(assert (= p (str.rev p)))").is_err());
+        // conflicting lengths
+        assert!(try_goals(
+            "(declare-const s String)(assert (= (str.len s) 2))(assert (= (str.len s) 3))"
+        )
+        .is_err());
+        // sort error
+        assert!(try_goals("(declare-const s String)(assert (= s 3))").is_err());
+        // multi-char replace
+        assert!(try_goals(
+            "(declare-const x String)(assert (= x (str.replace_all \"ab\" \"ab\" \"c\")))"
+        )
+        .is_err());
+    }
+}

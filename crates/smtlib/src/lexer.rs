@@ -1,0 +1,218 @@
+//! SMT-LIB v2 lexer.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// A symbol (identifier or operator name like `str.++`).
+    Symbol(String),
+    /// A keyword (`:status`, `:named`, …).
+    Keyword(String),
+    /// A string literal with SMT-LIB `""` escaping already resolved.
+    StringLit(String),
+    /// A non-negative integer numeral.
+    Numeral(u64),
+}
+
+/// A lexing error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes SMT-LIB source. Handles `;` line comments, `""`-escaped
+/// string literals, keywords, numerals, and symbols (including dotted
+/// names like `str.len` and quoted symbols `|…|`).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            ';' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            position: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'"' {
+                        // `""` is an escaped quote; a lone `"` terminates.
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                            s.push('"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::StringLit(s));
+            }
+            ':' => {
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && is_symbol_char(bytes[i]) {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(LexError {
+                        position: start,
+                        message: "empty keyword".into(),
+                    });
+                }
+                out.push(Token::Keyword(src[start..i].to_string()));
+            }
+            '|' => {
+                let start = i;
+                i += 1;
+                let sym_start = i;
+                while i < bytes.len() && bytes[i] != b'|' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        position: start,
+                        message: "unterminated quoted symbol".into(),
+                    });
+                }
+                out.push(Token::Symbol(src[sym_start..i].to_string()));
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n = text.parse::<u64>().map_err(|_| LexError {
+                    position: start,
+                    message: format!("numeral {text} out of range"),
+                })?;
+                out.push(Token::Numeral(n));
+            }
+            _ if is_symbol_char(bytes[i]) => {
+                let start = i;
+                while i < bytes.len() && is_symbol_char(bytes[i]) {
+                    i += 1;
+                }
+                out.push(Token::Symbol(src[start..i].to_string()));
+            }
+            _ => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_symbol_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"~!@$%^&*_-+=<>.?/".contains(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_script() {
+        let toks = lex("(assert (= x \"hi\"))").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::Symbol("assert".into()),
+                Token::LParen,
+                Token::Symbol("=".into()),
+                Token::Symbol("x".into()),
+                Token::StringLit("hi".into()),
+                Token::RParen,
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_symbols_and_numerals() {
+        let toks = lex("(str.indexof t s 0)").unwrap();
+        assert!(toks.contains(&Token::Symbol("str.indexof".into())));
+        assert!(toks.contains(&Token::Numeral(0)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("; a comment\n(check-sat) ; trailing\n").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::Symbol("check-sat".into()),
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escape_doubles_quotes() {
+        let toks = lex("\"say \"\"hi\"\"\"").unwrap();
+        assert_eq!(toks, vec![Token::StringLit("say \"hi\"".into())]);
+    }
+
+    #[test]
+    fn keywords() {
+        let toks = lex("(set-info :status sat)").unwrap();
+        assert!(toks.contains(&Token::Keyword("status".into())));
+    }
+
+    #[test]
+    fn quoted_symbols() {
+        let toks = lex("|hello world|").unwrap();
+        assert_eq!(toks, vec![Token::Symbol("hello world".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("|unterminated").is_err());
+        assert!(lex("{").is_err());
+    }
+}

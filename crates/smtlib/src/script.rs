@@ -1,0 +1,302 @@
+//! Script driver: parse → compile → solve → model.
+
+use crate::ast::{parse_command, Command};
+use crate::compile::{compile, CompileError, Goal};
+use crate::sexpr::{parse_sexprs, SExprError};
+use qsmt_core::{ConstraintError, StringSolver};
+
+/// A parsed SMT-LIB script.
+#[derive(Debug, Clone)]
+pub struct Script {
+    commands: Vec<Command>,
+}
+
+/// Script-level error.
+#[derive(Debug)]
+pub enum ScriptError {
+    /// Syntax error (lexing or S-expressions).
+    Syntax(SExprError),
+    /// Command/term parsing or sort checking failed.
+    Ast(crate::ast::AstError),
+    /// Compilation to QUBO goals failed.
+    Compile(CompileError),
+    /// Encoding a goal failed for a reason other than unsatisfiability.
+    Encode(ConstraintError),
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Syntax(e) => write!(f, "{e}"),
+            ScriptError::Ast(e) => write!(f, "{e}"),
+            ScriptError::Compile(e) => write!(f, "{e}"),
+            ScriptError::Encode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// check-sat verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatStatus {
+    /// Every goal produced a validated model value.
+    Sat,
+    /// A goal is provably unsatisfiable (detected at encode time, e.g. a
+    /// regex with no match of the asserted length).
+    Unsat,
+    /// The sampler failed to produce a validating assignment — the honest
+    /// verdict for an incomplete, optimization-based decision procedure.
+    Unknown,
+}
+
+impl std::fmt::Display for SatStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SatStatus::Sat => write!(f, "sat"),
+            SatStatus::Unsat => write!(f, "unsat"),
+            SatStatus::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// A model value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelValue {
+    /// A string assignment.
+    Str(String),
+    /// An integer assignment (`None` when the query had no answer, e.g.
+    /// indexof over a haystack without the needle — SMT-LIB's −1).
+    Int(Option<usize>),
+}
+
+impl std::fmt::Display for ModelValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelValue::Str(s) => write!(f, "{s:?}"),
+            ModelValue::Int(Some(i)) => write!(f, "{i}"),
+            ModelValue::Int(None) => write!(f, "(- 1)"),
+        }
+    }
+}
+
+/// The result of running a script.
+#[derive(Debug, Clone)]
+pub struct ScriptOutcome {
+    /// The check-sat verdict.
+    pub status: SatStatus,
+    /// Variable assignments, in declaration order.
+    pub model: Vec<(String, ModelValue)>,
+}
+
+impl Script {
+    /// Parses SMT-LIB source.
+    ///
+    /// # Errors
+    /// Fails on lexical, syntactic, or unsupported-command errors.
+    pub fn parse(src: &str) -> Result<Self, ScriptError> {
+        let sexprs = parse_sexprs(src).map_err(ScriptError::Syntax)?;
+        let commands = sexprs
+            .iter()
+            .map(parse_command)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ScriptError::Ast)?;
+        Ok(Self { commands })
+    }
+
+    /// The parsed commands.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Compiles the script to per-variable goals.
+    ///
+    /// # Errors
+    /// Fails on sort errors or unsupported fragments.
+    pub fn compile(&self) -> Result<Vec<Goal>, ScriptError> {
+        compile(&self.commands).map_err(ScriptError::Compile)
+    }
+
+    /// Runs the script against a solver, producing a verdict and model.
+    ///
+    /// # Errors
+    /// Propagates compilation errors and non-unsat encoding errors.
+    pub fn solve(&self, solver: &StringSolver) -> Result<ScriptOutcome, ScriptError> {
+        let goals = self.compile()?;
+        let mut model = Vec::with_capacity(goals.len());
+        let mut status = SatStatus::Sat;
+        for goal in &goals {
+            match goal {
+                Goal::StringConstraint { name, constraint } => match solver.solve(constraint) {
+                    Ok(out) => {
+                        if !out.valid {
+                            status = SatStatus::Unknown;
+                        }
+                        let text = out.solution.as_text().unwrap_or_default().to_string();
+                        model.push((name.clone(), ModelValue::Str(text)));
+                    }
+                    Err(e) if is_unsat(&e) => {
+                        return Ok(ScriptOutcome {
+                            status: SatStatus::Unsat,
+                            model: Vec::new(),
+                        })
+                    }
+                    Err(e) => return Err(ScriptError::Encode(e)),
+                },
+                Goal::StringPipeline { name, pipeline } => match pipeline.run(solver) {
+                    Ok(report) => {
+                        if !report.all_valid() {
+                            status = SatStatus::Unknown;
+                        }
+                        model.push((name.clone(), ModelValue::Str(report.final_text)));
+                    }
+                    Err(e) if is_unsat(&e) => {
+                        return Ok(ScriptOutcome {
+                            status: SatStatus::Unsat,
+                            model: Vec::new(),
+                        })
+                    }
+                    Err(e) => return Err(ScriptError::Encode(e)),
+                },
+                Goal::IndexQuery { name, constraint } => match solver.solve(constraint) {
+                    Ok(out) => {
+                        if !out.valid {
+                            status = SatStatus::Unknown;
+                        }
+                        model.push((name.clone(), ModelValue::Int(out.solution.as_index())));
+                    }
+                    Err(e) if is_unsat(&e) => {
+                        return Ok(ScriptOutcome {
+                            status: SatStatus::Unsat,
+                            model: Vec::new(),
+                        })
+                    }
+                    Err(e) => return Err(ScriptError::Encode(e)),
+                },
+            }
+        }
+        Ok(ScriptOutcome { status, model })
+    }
+}
+
+/// Encoding errors that prove unsatisfiability of the asserted conjunction
+/// (rather than a malformed script).
+fn is_unsat(e: &ConstraintError) -> bool {
+    matches!(
+        e,
+        ConstraintError::RegexUnsatisfiable { .. }
+            | ConstraintError::SubstringTooLong { .. }
+            | ConstraintError::IndexOutOfRange { .. }
+            | ConstraintError::LengthOutOfRange { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> StringSolver {
+        StringSolver::with_defaults().with_seed(5)
+    }
+
+    #[test]
+    fn solves_equality_script() {
+        let script = Script::parse(
+            "(set-logic QF_S)\
+             (declare-const x String)\
+             (assert (= x \"hi\"))\
+             (check-sat)(get-model)",
+        )
+        .unwrap();
+        let out = script.solve(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Sat);
+        assert_eq!(out.model, vec![("x".into(), ModelValue::Str("hi".into()))]);
+    }
+
+    #[test]
+    fn solves_table1_row4_as_smtlib() {
+        let script = Script::parse(
+            "(declare-const x String)\
+             (assert (= x (str.replace_all (str.++ \"hello\" \" \" \"world\") \"l\" \"x\")))",
+        )
+        .unwrap();
+        let out = script.solve(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Sat);
+        assert_eq!(
+            out.model,
+            vec![("x".into(), ModelValue::Str("hexxo worxd".into()))]
+        );
+    }
+
+    #[test]
+    fn solves_palindrome_script() {
+        let script = Script::parse(
+            "(declare-const p String)\
+             (assert (= p (str.rev p)))\
+             (assert (= (str.len p) 4))",
+        )
+        .unwrap();
+        let out = script.solve(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Sat);
+        let ModelValue::Str(p) = &out.model[0].1 else {
+            panic!()
+        };
+        assert_eq!(p.chars().rev().collect::<String>(), *p);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn solves_regex_script() {
+        let script = Script::parse(
+            "(declare-const r String)\
+             (assert (str.in_re r (re.++ (str.to_re \"a\") (re.+ (re.union (str.to_re \"b\") (str.to_re \"c\"))))))\
+             (assert (= (str.len r) 4))",
+        )
+        .unwrap();
+        let out = script.solve(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Sat);
+        let ModelValue::Str(r) = &out.model[0].1 else {
+            panic!()
+        };
+        assert!(r.starts_with('a'));
+        assert!(r[1..].chars().all(|c| c == 'b' || c == 'c'));
+    }
+
+    #[test]
+    fn indexof_script_reports_integer() {
+        let script = Script::parse(
+            "(declare-const i Int)\
+             (assert (= i (str.indexof \"hello world\" \"world\" 0)))",
+        )
+        .unwrap();
+        let out = script.solve(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Sat);
+        assert_eq!(out.model, vec![("i".into(), ModelValue::Int(Some(6)))]);
+    }
+
+    #[test]
+    fn unsat_detected_for_impossible_regex_length() {
+        let script = Script::parse(
+            "(declare-const r String)\
+             (assert (str.in_re r (str.to_re \"abc\")))\
+             (assert (= (str.len r) 2))",
+        )
+        .unwrap();
+        let out = script.solve(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Unsat);
+    }
+
+    #[test]
+    fn syntax_error_reported() {
+        assert!(Script::parse("(assert (= x \"hi\")").is_err());
+        assert!(Script::parse("(bogus-command)").is_err());
+    }
+
+    #[test]
+    fn model_value_display() {
+        assert_eq!(ModelValue::Int(None).to_string(), "(- 1)");
+        assert_eq!(ModelValue::Int(Some(3)).to_string(), "3");
+        assert_eq!(ModelValue::Str("a".into()).to_string(), "\"a\"");
+        assert_eq!(SatStatus::Sat.to_string(), "sat");
+    }
+}

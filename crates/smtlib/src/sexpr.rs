@@ -1,0 +1,162 @@
+//! S-expression layer between the lexer and the command parser.
+
+use crate::lexer::{lex, LexError, Token};
+
+/// An S-expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SExpr {
+    /// A bare symbol.
+    Symbol(String),
+    /// A keyword (`:name`).
+    Keyword(String),
+    /// A string literal.
+    Str(String),
+    /// A numeral.
+    Num(u64),
+    /// A parenthesized list.
+    List(Vec<SExpr>),
+}
+
+impl SExpr {
+    /// The symbol text, if this is a symbol.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            SExpr::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list elements, if this is a list.
+    pub fn as_list(&self) -> Option<&[SExpr]> {
+        match self {
+            SExpr::List(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SExpr::Symbol(s) => write!(f, "{s}"),
+            SExpr::Keyword(k) => write!(f, ":{k}"),
+            SExpr::Str(s) => write!(f, "\"{}\"", s.replace('"', "\"\"")),
+            SExpr::Num(n) => write!(f, "{n}"),
+            SExpr::List(items) => {
+                write!(f, "(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parse error for the S-expression layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SExprError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// A `)` without a matching `(`.
+    UnbalancedClose,
+    /// Input ended inside a list.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for SExprError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SExprError::Lex(e) => write!(f, "{e}"),
+            SExprError::UnbalancedClose => write!(f, "unbalanced ')'"),
+            SExprError::UnexpectedEof => write!(f, "unexpected end of input"),
+        }
+    }
+}
+
+impl std::error::Error for SExprError {}
+
+impl From<LexError> for SExprError {
+    fn from(e: LexError) -> Self {
+        SExprError::Lex(e)
+    }
+}
+
+/// Parses a full source file into its top-level S-expressions.
+pub fn parse_sexprs(src: &str) -> Result<Vec<SExpr>, SExprError> {
+    let tokens = lex(src)?;
+    let mut stack: Vec<Vec<SExpr>> = vec![Vec::new()];
+    for tok in tokens {
+        match tok {
+            Token::LParen => stack.push(Vec::new()),
+            Token::RParen => {
+                let done = stack.pop().ok_or(SExprError::UnbalancedClose)?;
+                let parent = stack.last_mut().ok_or(SExprError::UnbalancedClose)?;
+                parent.push(SExpr::List(done));
+            }
+            Token::Symbol(s) => push(&mut stack, SExpr::Symbol(s))?,
+            Token::Keyword(k) => push(&mut stack, SExpr::Keyword(k))?,
+            Token::StringLit(s) => push(&mut stack, SExpr::Str(s))?,
+            Token::Numeral(n) => push(&mut stack, SExpr::Num(n))?,
+        }
+    }
+    if stack.len() != 1 {
+        return Err(SExprError::UnexpectedEof);
+    }
+    Ok(stack.pop().expect("one frame"))
+}
+
+fn push(stack: &mut [Vec<SExpr>], e: SExpr) -> Result<(), SExprError> {
+    stack.last_mut().ok_or(SExprError::UnbalancedClose)?.push(e);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_lists() {
+        let es = parse_sexprs("(a (b c) 3 \"s\")").unwrap();
+        assert_eq!(
+            es,
+            vec![SExpr::List(vec![
+                SExpr::Symbol("a".into()),
+                SExpr::List(vec![SExpr::Symbol("b".into()), SExpr::Symbol("c".into())]),
+                SExpr::Num(3),
+                SExpr::Str("s".into()),
+            ])]
+        );
+    }
+
+    #[test]
+    fn multiple_top_level_forms() {
+        let es = parse_sexprs("(a) (b)").unwrap();
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn balance_errors() {
+        assert_eq!(parse_sexprs("(a"), Err(SExprError::UnexpectedEof));
+        assert_eq!(parse_sexprs(")"), Err(SExprError::UnbalancedClose));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let src = "(assert (= x \"say \"\"hi\"\"\")) (check-sat)";
+        let es = parse_sexprs(src).unwrap();
+        let printed: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+        let reparsed = parse_sexprs(&printed.join(" ")).unwrap();
+        assert_eq!(es, reparsed);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = SExpr::Symbol("x".into());
+        assert_eq!(e.as_symbol(), Some("x"));
+        assert!(e.as_list().is_none());
+    }
+}

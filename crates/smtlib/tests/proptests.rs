@@ -1,0 +1,81 @@
+//! Property-based tests for the SMT-LIB front end: lexer/printer round
+//! trips over randomly generated S-expressions and string literals.
+
+use proptest::prelude::*;
+use qsmt_smtlib::{lex, parse_sexprs, SExpr, Token};
+
+fn arb_symbol() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9._-]{0,8}").expect("valid regex")
+}
+
+/// Arbitrary string-literal *content*, including embedded quotes that the
+/// SMT-LIB `""` escape must survive.
+fn arb_literal() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z'),
+            Just('"'),
+            Just(' '),
+            Just('('),
+        ],
+        0..10,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+fn arb_sexpr() -> impl Strategy<Value = SExpr> {
+    let leaf = prop_oneof![
+        arb_symbol().prop_map(SExpr::Symbol),
+        arb_symbol().prop_map(SExpr::Keyword),
+        arb_literal().prop_map(SExpr::Str),
+        (0u64..1_000_000).prop_map(SExpr::Num),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(SExpr::List)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn string_literal_escaping_round_trips(content in arb_literal()) {
+        let escaped = format!("\"{}\"", content.replace('"', "\"\""));
+        let tokens = lex(&escaped).expect("escaped literal lexes");
+        prop_assert_eq!(tokens, vec![Token::StringLit(content)]);
+    }
+
+    #[test]
+    fn sexpr_print_parse_round_trip(e in arb_sexpr()) {
+        let printed = e.to_string();
+        let reparsed = parse_sexprs(&printed).expect("printed form parses");
+        prop_assert_eq!(reparsed, vec![e]);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_ascii(input in "[ -~\\n\\t]{0,64}") {
+        // Any outcome is fine; the lexer must simply not panic.
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn sexpr_layer_never_panics_on_arbitrary_ascii(input in "[ -~\\n\\t]{0,64}") {
+        let _ = parse_sexprs(&input);
+    }
+
+    #[test]
+    fn balanced_token_streams_parse(depth in 1usize..5, sym in arb_symbol()) {
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push('(');
+            src.push_str(&sym);
+            src.push(' ');
+        }
+        src.push_str(&sym);
+        for _ in 0..depth {
+            src.push(')');
+        }
+        let es = parse_sexprs(&src).expect("balanced input parses");
+        prop_assert_eq!(es.len(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! The path-exploration engine: pull back, generate, replay, report.
+
+use crate::expr::Program;
+use crate::pullback::{pull_back, Pulled};
+use qsmt_core::{Constraint, ConstraintError, StringSolver};
+
+/// Symbolic-execution failure.
+#[derive(Debug)]
+pub enum SymexError {
+    /// A path condition failed to encode.
+    Encode(ConstraintError),
+    /// A condition could not be evaluated concretely (regex syntax).
+    Eval(String),
+}
+
+impl std::fmt::Display for SymexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymexError::Encode(e) => write!(f, "{e}"),
+            SymexError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SymexError {}
+
+impl From<ConstraintError> for SymexError {
+    fn from(e: ConstraintError) -> Self {
+        SymexError::Encode(e)
+    }
+}
+
+/// Coverage status of one branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BranchStatus {
+    /// A concrete input driving this branch was found (and replayed).
+    Covered,
+    /// The pulled-back positive conditions are contradictory: the branch
+    /// is provably dead at this input length.
+    Infeasible,
+    /// No generated candidate survived concrete replay within the budget.
+    NotCovered,
+}
+
+/// The per-branch outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchResult {
+    /// Branch name from the program.
+    pub name: String,
+    /// A witness input, when covered.
+    pub input: Option<String>,
+    /// Coverage status.
+    pub status: BranchStatus,
+    /// Pullback notes (sufficient-condition fallbacks taken).
+    pub notes: Vec<String>,
+}
+
+/// The full exploration report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// One result per program branch, in order.
+    pub branches: Vec<BranchResult>,
+}
+
+impl ExploreReport {
+    /// True when every branch is covered or provably infeasible.
+    pub fn all_covered(&self) -> bool {
+        self.branches
+            .iter()
+            .all(|b| b.status != BranchStatus::NotCovered)
+    }
+
+    /// Number of branches with a concrete witness.
+    pub fn covered_count(&self) -> usize {
+        self.branches
+            .iter()
+            .filter(|b| b.status == BranchStatus::Covered)
+            .count()
+    }
+}
+
+/// Explores a [`Program`]'s branches with a [`StringSolver`] backend.
+pub struct PathExplorer<'s> {
+    solver: &'s StringSolver,
+    candidates: usize,
+}
+
+impl<'s> PathExplorer<'s> {
+    /// Creates an explorer requesting up to 32 candidate inputs per
+    /// branch.
+    pub fn new(solver: &'s StringSolver) -> Self {
+        Self {
+            solver,
+            candidates: 32,
+        }
+    }
+
+    /// Sets the per-branch candidate budget.
+    pub fn with_candidates(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one candidate");
+        self.candidates = n;
+        self
+    }
+
+    /// Explores every branch of the program.
+    ///
+    /// # Errors
+    /// Fails on encoding errors (other than provable infeasibility, which
+    /// is reported per branch) and malformed regexes in conditions.
+    pub fn explore(&self, program: &Program) -> Result<ExploreReport, SymexError> {
+        let mut branches = Vec::with_capacity(program.branches.len());
+        for branch in &program.branches {
+            branches.push(self.explore_branch(program, branch)?);
+        }
+        Ok(ExploreReport { branches })
+    }
+
+    fn explore_branch(
+        &self,
+        program: &Program,
+        branch: &crate::expr::Branch,
+    ) -> Result<BranchResult, SymexError> {
+        let mut constraints: Vec<Constraint> = Vec::new();
+        let mut notes = Vec::new();
+        let mut infeasible = false;
+        for (cond, polarity) in &branch.literals {
+            if !polarity {
+                // Negative literals are handled by concrete replay only.
+                continue;
+            }
+            match pull_back(cond, program.input_len) {
+                Pulled::Constraint(c) => constraints.push(c),
+                Pulled::Trivial => {}
+                Pulled::Infeasible => {
+                    infeasible = true;
+                    break;
+                }
+                Pulled::Unsupported(reason) => {
+                    notes.push(format!("generator weakened: {reason}"));
+                }
+            }
+        }
+        if infeasible {
+            return Ok(BranchResult {
+                name: branch.name.clone(),
+                input: None,
+                status: BranchStatus::Infeasible,
+                notes,
+            });
+        }
+        let generator = match constraints.len() {
+            0 => Constraint::LengthFill {
+                desired: program.input_len,
+                slots: program.input_len,
+            },
+            1 => constraints.pop().expect("one constraint"),
+            _ => Constraint::All(constraints),
+        };
+        let candidates = match self.solver.solve_many(&generator, self.candidates) {
+            Ok(c) => c,
+            // Encode-time unsat of the conjunction = dead branch.
+            Err(
+                ConstraintError::RegexUnsatisfiable { .. }
+                | ConstraintError::SubstringTooLong { .. }
+                | ConstraintError::IndexOutOfRange { .. }
+                | ConstraintError::LengthOutOfRange { .. },
+            ) => {
+                return Ok(BranchResult {
+                    name: branch.name.clone(),
+                    input: None,
+                    status: BranchStatus::Infeasible,
+                    notes,
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        for candidate in candidates {
+            let Some(text) = candidate.as_text() else {
+                continue;
+            };
+            // LengthFill pads with NULs; strip them for replay.
+            let input = text.trim_end_matches('\0').to_string();
+            let mut holds = true;
+            for (cond, polarity) in &branch.literals {
+                let v = cond.eval(&input).map_err(SymexError::Eval)?;
+                if v != *polarity {
+                    holds = false;
+                    break;
+                }
+            }
+            if holds {
+                return Ok(BranchResult {
+                    name: branch.name.clone(),
+                    input: Some(input),
+                    status: BranchStatus::Covered,
+                    notes,
+                });
+            }
+        }
+        Ok(BranchResult {
+            name: branch.name.clone(),
+            input: None,
+            status: BranchStatus::NotCovered,
+            notes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Cond, Expr};
+
+    fn solver() -> StringSolver {
+        StringSolver::with_defaults().with_seed(9).with_reads(128)
+    }
+
+    #[test]
+    fn covers_both_sides_of_a_simple_branch() {
+        // if reverse(input).starts_with("ba") { then } else { other }
+        let cond = Cond::StartsWith(Expr::input().rev(), "ba".into());
+        let program = Program::new("p", 4)
+            .branch("then", vec![(cond.clone(), true)])
+            .branch("else", vec![(cond, false)]);
+        let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+        assert!(report.all_covered());
+        assert_eq!(report.covered_count(), 2);
+        // Verify the witnesses drive the right sides.
+        let then_input = report.branches[0].input.as_ref().unwrap();
+        assert!(then_input.ends_with("ab"), "{then_input:?}");
+        let else_input = report.branches[1].input.as_ref().unwrap();
+        assert!(!else_input.ends_with("ab"), "{else_input:?}");
+    }
+
+    #[test]
+    fn detects_infeasible_branches() {
+        let program = Program::new("p", 2).branch(
+            "dead",
+            vec![(Cond::Eq(Expr::input(), "toolong".into()), true)],
+        );
+        let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+        assert_eq!(report.branches[0].status, BranchStatus::Infeasible);
+        assert!(report.all_covered(), "infeasible counts as resolved");
+    }
+
+    #[test]
+    fn conjunction_of_positives_with_a_negative_filter() {
+        // starts_with("a") ∧ ends_with("z") ∧ ¬contains("q")
+        let program = Program::new("p", 4).branch(
+            "mix",
+            vec![
+                (Cond::StartsWith(Expr::input(), "a".into()), true),
+                (Cond::EndsWith(Expr::input(), "z".into()), true),
+                (Cond::Contains(Expr::input(), "q".into()), false),
+            ],
+        );
+        let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+        let b = &report.branches[0];
+        assert_eq!(b.status, BranchStatus::Covered);
+        let input = b.input.as_ref().unwrap();
+        assert!(input.starts_with('a') && input.ends_with('z') && !input.contains('q'));
+    }
+
+    #[test]
+    fn transform_chains_pull_back_through_the_engine() {
+        // program computes ">" + reverse(input); branch on it starting
+        // with ">c".
+        let expr = Expr::input().rev().prepend(">");
+        let program =
+            Program::new("p", 3).branch("hot", vec![(Cond::StartsWith(expr, ">c".into()), true)]);
+        let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+        let b = &report.branches[0];
+        assert_eq!(b.status, BranchStatus::Covered);
+        assert!(b.input.as_ref().unwrap().ends_with('c'));
+    }
+
+    #[test]
+    fn unconstrained_branch_uses_fill_generator() {
+        let program = Program::new("p", 3).branch(
+            "anything-without-a",
+            vec![(Cond::Contains(Expr::input(), "a".into()), false)],
+        );
+        let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+        let b = &report.branches[0];
+        assert_eq!(b.status, BranchStatus::Covered);
+        assert!(!b.input.as_ref().unwrap().contains('a'));
+    }
+
+    #[test]
+    fn regex_condition_via_reversal() {
+        let program = Program::new("p", 4).branch(
+            "re",
+            vec![(Cond::Matches(Expr::input().rev(), "z[ab]+".into()), true)],
+        );
+        let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+        let b = &report.branches[0];
+        assert_eq!(b.status, BranchStatus::Covered);
+        let input = b.input.as_ref().unwrap();
+        assert!(input.ends_with('z'), "{input:?}");
+    }
+
+    #[test]
+    fn eval_errors_surface() {
+        let program = Program::new("p", 2).branch(
+            "bad",
+            vec![(Cond::Matches(Expr::input(), "[".into()), false)],
+        );
+        assert!(matches!(
+            PathExplorer::new(&solver()).explore(&program),
+            Err(SymexError::Eval(_))
+        ));
+    }
+}

@@ -1,0 +1,210 @@
+//! The symbolic string expression language and program model.
+
+/// A symbolic string expression over one input variable.
+///
+/// Every constructor has an affine, statically-known length, so the
+/// engine can compute the concrete length of any expression from the
+/// program's declared input length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// The symbolic input string.
+    Input,
+    /// Reversal of a subexpression (§4.9 of the paper).
+    Rev(Box<Expr>),
+    /// A literal appended after a subexpression.
+    Append(Box<Expr>, String),
+    /// A literal prepended before a subexpression.
+    Prepend(String, Box<Expr>),
+    /// Character-for-character replacement (§4.7). Pullback through this
+    /// node is only sound for conditions that avoid both characters; the
+    /// engine otherwise falls back to concrete filtering.
+    ReplaceAll(Box<Expr>, char, char),
+}
+
+impl Expr {
+    /// The symbolic input.
+    pub fn input() -> Expr {
+        Expr::Input
+    }
+
+    /// Reverses this expression.
+    pub fn rev(self) -> Expr {
+        Expr::Rev(Box::new(self))
+    }
+
+    /// Appends a literal suffix.
+    pub fn append(self, suffix: impl Into<String>) -> Expr {
+        Expr::Append(Box::new(self), suffix.into())
+    }
+
+    /// Prepends a literal prefix.
+    pub fn prepend(self, prefix: impl Into<String>) -> Expr {
+        Expr::Prepend(prefix.into(), Box::new(self))
+    }
+
+    /// Replaces every `from` with `to`.
+    pub fn replace_all(self, from: char, to: char) -> Expr {
+        Expr::ReplaceAll(Box::new(self), from, to)
+    }
+
+    /// Concretely evaluates the expression on an input string.
+    pub fn eval(&self, input: &str) -> String {
+        match self {
+            Expr::Input => input.to_string(),
+            Expr::Rev(e) => e.eval(input).chars().rev().collect(),
+            Expr::Append(e, s) => {
+                let mut v = e.eval(input);
+                v.push_str(s);
+                v
+            }
+            Expr::Prepend(s, e) => {
+                let mut v = s.clone();
+                v.push_str(&e.eval(input));
+                v
+            }
+            Expr::ReplaceAll(e, from, to) => e.eval(input).replace(*from, &to.to_string()),
+        }
+    }
+
+    /// The length of this expression's value given the input length.
+    pub fn len(&self, input_len: usize) -> usize {
+        match self {
+            Expr::Input => input_len,
+            Expr::Rev(e) | Expr::ReplaceAll(e, _, _) => e.len(input_len),
+            Expr::Append(e, s) => e.len(input_len) + s.len(),
+            Expr::Prepend(s, e) => s.len() + e.len(input_len),
+        }
+    }
+}
+
+/// A branch predicate over a symbolic expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// The expression equals a literal.
+    Eq(Expr, String),
+    /// The expression contains a literal substring.
+    Contains(Expr, String),
+    /// The expression starts with a literal.
+    StartsWith(Expr, String),
+    /// The expression ends with a literal.
+    EndsWith(Expr, String),
+    /// The expression matches a regex (anchored, `qsmt-redex` syntax).
+    Matches(Expr, String),
+}
+
+impl Cond {
+    /// Concretely evaluates the condition on an input string.
+    ///
+    /// # Errors
+    /// Returns the regex syntax error message for malformed patterns in
+    /// [`Cond::Matches`].
+    pub fn eval(&self, input: &str) -> Result<bool, String> {
+        Ok(match self {
+            Cond::Eq(e, lit) => e.eval(input) == *lit,
+            Cond::Contains(e, lit) => e.eval(input).contains(lit.as_str()),
+            Cond::StartsWith(e, lit) => e.eval(input).starts_with(lit.as_str()),
+            Cond::EndsWith(e, lit) => e.eval(input).ends_with(lit.as_str()),
+            Cond::Matches(e, pattern) => {
+                let re = qsmt_redex::parse(pattern).map_err(|err| err.to_string())?;
+                qsmt_redex::Nfa::compile(&re).matches(&e.eval(input))
+            }
+        })
+    }
+
+    /// The expression this condition constrains.
+    pub fn expr(&self) -> &Expr {
+        match self {
+            Cond::Eq(e, _)
+            | Cond::Contains(e, _)
+            | Cond::StartsWith(e, _)
+            | Cond::EndsWith(e, _)
+            | Cond::Matches(e, _) => e,
+        }
+    }
+}
+
+/// A named branch: a conjunction of `(condition, polarity)` literals that
+/// must all hold (polarity `false` = negated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    /// Branch label (reported in coverage).
+    pub name: String,
+    /// The path condition.
+    pub literals: Vec<(Cond, bool)>,
+}
+
+/// A program under symbolic test: an input length plus a set of branches
+/// to cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Length of the symbolic input string.
+    pub input_len: usize,
+    /// Branches to cover.
+    pub branches: Vec<Branch>,
+}
+
+impl Program {
+    /// Creates a program with the given symbolic input length.
+    pub fn new(name: impl Into<String>, input_len: usize) -> Self {
+        Self {
+            name: name.into(),
+            input_len,
+            branches: Vec::new(),
+        }
+    }
+
+    /// Adds a branch with its path condition.
+    pub fn branch(mut self, name: impl Into<String>, literals: Vec<(Cond, bool)>) -> Self {
+        self.branches.push(Branch {
+            name: name.into(),
+            literals,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_evaluation_composes() {
+        let e = Expr::input().rev().append("!").prepend(">");
+        assert_eq!(e.eval("abc"), ">cba!");
+        assert_eq!(e.len(3), 5);
+        let r = Expr::input().replace_all('a', 'z');
+        assert_eq!(r.eval("banana"), "bznznz");
+        assert_eq!(r.len(6), 6);
+    }
+
+    #[test]
+    fn cond_evaluation() {
+        let rev = Expr::input().rev();
+        assert_eq!(
+            Cond::StartsWith(rev.clone(), "c".into()).eval("abc"),
+            Ok(true)
+        );
+        assert_eq!(
+            Cond::EndsWith(rev.clone(), "a".into()).eval("abc"),
+            Ok(true)
+        );
+        assert_eq!(Cond::Eq(rev.clone(), "cba".into()).eval("abc"), Ok(true));
+        assert_eq!(
+            Cond::Contains(rev.clone(), "ba".into()).eval("abc"),
+            Ok(true)
+        );
+        assert_eq!(Cond::Matches(rev, "c[ab]+".into()).eval("abc"), Ok(true));
+        assert!(Cond::Matches(Expr::input(), "[".into()).eval("x").is_err());
+    }
+
+    #[test]
+    fn program_builder() {
+        let p = Program::new("p", 3)
+            .branch("a", vec![(Cond::Eq(Expr::input(), "abc".into()), true)])
+            .branch("b", vec![(Cond::Eq(Expr::input(), "abc".into()), false)]);
+        assert_eq!(p.branches.len(), 2);
+        assert_eq!(p.branches[0].name, "a");
+    }
+}

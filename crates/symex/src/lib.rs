@@ -1,0 +1,50 @@
+//! # qsmt-symex — symbolic execution on the quantum string solver
+//!
+//! The paper's conclusion proposes "using these formulas in applications
+//! such as symbolic execution and program testing" as future work. This
+//! crate implements that application: a small symbolic-execution engine
+//! for string-manipulating programs whose path conditions are discharged
+//! by the QUBO solver.
+//!
+//! A program operates on one symbolic input string of known length
+//! ([`Expr::Input`]) through reversible/affine string transformations
+//! ([`Expr`]), and branches on string predicates ([`Cond`]). For every
+//! branch (a conjunction of possibly-negated conditions), the engine:
+//!
+//! 1. **pulls back** each positive condition through the expression tree
+//!    to a [`qsmt_core::Constraint`] on the raw input (reversal flips
+//!    affix conditions and reverses regexes; appends/prepends strip
+//!    literal parts and shift indices);
+//! 2. conjoins the pulled-back constraints ([`qsmt_core::Constraint::All`])
+//!    and asks the solver for *many* candidate inputs;
+//! 3. **concretely executes** the program on each candidate and keeps
+//!    those satisfying the full path condition — including the negated
+//!    conditions, which QUBO cannot encode directly.
+//!
+//! Generation is therefore *sound but deliberately incomplete*: pullback
+//! uses sufficient conditions where exact inversion is not expressible
+//! (e.g. `Contains` across an append boundary), and the concrete replay
+//! guarantees that every reported test input really drives its branch.
+//!
+//! ```
+//! use qsmt_core::StringSolver;
+//! use qsmt_symex::{Cond, Expr, PathExplorer, Program};
+//!
+//! // if reverse(input).starts_with("ba") { hot } else { cold }
+//! let program = Program::new("demo", 4)
+//!     .branch("hot", vec![(Cond::StartsWith(Expr::input().rev(), "ba".into()), true)])
+//!     .branch("cold", vec![(Cond::StartsWith(Expr::input().rev(), "ba".into()), false)]);
+//! let solver = StringSolver::with_defaults().with_seed(5);
+//! let report = PathExplorer::new(&solver).explore(&program).unwrap();
+//! assert!(report.all_covered());
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod expr;
+mod pullback;
+
+pub use engine::{BranchResult, BranchStatus, ExploreReport, PathExplorer, SymexError};
+pub use expr::{Cond, Expr, Program};
+pub use pullback::{pull_back, Pulled};

@@ -1,0 +1,408 @@
+//! Pulling branch conditions back through symbolic expressions to
+//! constraints on the raw input.
+
+use crate::expr::{Cond, Expr};
+use qsmt_core::Constraint;
+use qsmt_redex::Regex;
+
+/// The result of pulling a condition back to the input variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pulled {
+    /// An equivalent (or sufficient — see crate docs) input constraint.
+    Constraint(Constraint),
+    /// The condition is always true for this expression; no constraint.
+    Trivial,
+    /// The condition can never hold for this expression.
+    Infeasible,
+    /// No sound pullback is expressible; the engine must rely on other
+    /// generators plus concrete filtering.
+    Unsupported(&'static str),
+}
+
+/// Pulls a *positive* condition back through its expression to the input
+/// (whose length is `input_len`).
+pub fn pull_back(cond: &Cond, input_len: usize) -> Pulled {
+    match cond.expr().clone() {
+        Expr::Input => base_constraint(cond, input_len),
+        Expr::Rev(inner) => pull_back(&rewrite_through_rev(cond, *inner), input_len),
+        Expr::Append(inner, suffix) => {
+            rewrite_through_append(cond, *inner, &suffix, input_len, Affix::Suffix)
+        }
+        Expr::Prepend(prefix, inner) => {
+            rewrite_through_append(cond, *inner, &prefix, input_len, Affix::Prefix)
+        }
+        Expr::ReplaceAll(inner, from, to) => {
+            rewrite_through_replace_all(cond, *inner, from, to, input_len)
+        }
+    }
+}
+
+/// A condition directly over the input becomes a core constraint.
+fn base_constraint(cond: &Cond, input_len: usize) -> Pulled {
+    match cond {
+        Cond::Eq(_, lit) => {
+            if lit.len() != input_len {
+                Pulled::Infeasible
+            } else {
+                Pulled::Constraint(Constraint::Equality {
+                    target: lit.clone(),
+                })
+            }
+        }
+        Cond::Contains(_, lit) => {
+            if lit.is_empty() {
+                Pulled::Trivial
+            } else if lit.len() > input_len {
+                Pulled::Infeasible
+            } else {
+                Pulled::Constraint(Constraint::SubstringMatch {
+                    substring: lit.clone(),
+                    len: input_len,
+                })
+            }
+        }
+        Cond::StartsWith(_, lit) => {
+            if lit.is_empty() {
+                Pulled::Trivial
+            } else if lit.len() > input_len {
+                Pulled::Infeasible
+            } else {
+                Pulled::Constraint(Constraint::Prefix {
+                    prefix: lit.clone(),
+                    len: input_len,
+                })
+            }
+        }
+        Cond::EndsWith(_, lit) => {
+            if lit.is_empty() {
+                Pulled::Trivial
+            } else if lit.len() > input_len {
+                Pulled::Infeasible
+            } else {
+                Pulled::Constraint(Constraint::Suffix {
+                    suffix: lit.clone(),
+                    len: input_len,
+                })
+            }
+        }
+        Cond::Matches(_, pattern) => Pulled::Constraint(Constraint::Regex {
+            pattern: pattern.clone(),
+            len: input_len,
+        }),
+    }
+}
+
+/// `cond` over `Rev(inner)` rewritten as a condition over `inner`.
+fn rewrite_through_rev(cond: &Cond, inner: Expr) -> Cond {
+    let rev = |s: &str| s.chars().rev().collect::<String>();
+    match cond {
+        Cond::Eq(_, lit) => Cond::Eq(inner, rev(lit)),
+        Cond::Contains(_, lit) => Cond::Contains(inner, rev(lit)),
+        Cond::StartsWith(_, lit) => Cond::EndsWith(inner, rev(lit)),
+        Cond::EndsWith(_, lit) => Cond::StartsWith(inner, rev(lit)),
+        Cond::Matches(_, pattern) => {
+            // Reverse the regex's language; parse errors surface as a
+            // pattern that fails downstream with the same message.
+            match qsmt_redex::parse(pattern) {
+                Ok(re) => Cond::Matches(inner, reverse_regex(&re).to_string()),
+                Err(_) => Cond::Matches(inner, pattern.clone()),
+            }
+        }
+    }
+}
+
+/// Which side the literal sits on.
+enum Affix {
+    Suffix,
+    Prefix,
+}
+
+/// `cond` over `inner ++ lit` (or `lit ++ inner`), rewritten/decided.
+fn rewrite_through_append(
+    cond: &Cond,
+    inner: Expr,
+    affix: &str,
+    input_len: usize,
+    side: Affix,
+) -> Pulled {
+    let inner_len = inner.len(input_len);
+    match (cond, side) {
+        (Cond::Eq(_, lit), Affix::Suffix) => {
+            if lit.len() != inner_len + affix.len() || !lit.ends_with(affix) {
+                Pulled::Infeasible
+            } else {
+                pull_back(&Cond::Eq(inner, lit[..inner_len].to_string()), input_len)
+            }
+        }
+        (Cond::Eq(_, lit), Affix::Prefix) => {
+            if lit.len() != inner_len + affix.len() || !lit.starts_with(affix) {
+                Pulled::Infeasible
+            } else {
+                pull_back(&Cond::Eq(inner, lit[affix.len()..].to_string()), input_len)
+            }
+        }
+        (Cond::StartsWith(_, lit), Affix::Suffix) => {
+            if lit.len() <= inner_len {
+                pull_back(&Cond::StartsWith(inner, lit.clone()), input_len)
+            } else if affix.starts_with(&lit[inner_len..]) {
+                pull_back(&Cond::Eq(inner, lit[..inner_len].to_string()), input_len)
+            } else {
+                Pulled::Infeasible
+            }
+        }
+        (Cond::StartsWith(_, lit), Affix::Prefix) => {
+            if lit.len() <= affix.len() {
+                if affix.starts_with(lit.as_str()) {
+                    Pulled::Trivial
+                } else {
+                    Pulled::Infeasible
+                }
+            } else if let Some(rest) = lit.strip_prefix(affix) {
+                pull_back(&Cond::StartsWith(inner, rest.to_string()), input_len)
+            } else {
+                Pulled::Infeasible
+            }
+        }
+        (Cond::EndsWith(_, lit), Affix::Suffix) => {
+            if lit.len() <= affix.len() {
+                if affix.ends_with(lit.as_str()) {
+                    Pulled::Trivial
+                } else {
+                    Pulled::Infeasible
+                }
+            } else if lit.ends_with(affix) {
+                pull_back(
+                    &Cond::EndsWith(inner, lit[..lit.len() - affix.len()].to_string()),
+                    input_len,
+                )
+            } else {
+                Pulled::Infeasible
+            }
+        }
+        (Cond::EndsWith(_, lit), Affix::Prefix) => {
+            if lit.len() <= inner_len {
+                pull_back(&Cond::EndsWith(inner, lit.clone()), input_len)
+            } else if affix.ends_with(&lit[..lit.len() - inner_len]) {
+                pull_back(
+                    &Cond::Eq(inner, lit[lit.len() - inner_len..].to_string()),
+                    input_len,
+                )
+            } else {
+                Pulled::Infeasible
+            }
+        }
+        (Cond::Contains(_, lit), _) => {
+            if affix.contains(lit.as_str()) {
+                Pulled::Trivial
+            } else if lit.len() <= inner_len {
+                // Sufficient (not necessary — the occurrence could span the
+                // boundary): the concrete replay keeps this sound.
+                pull_back(&Cond::Contains(inner, lit.clone()), input_len)
+            } else {
+                Pulled::Unsupported("contains spanning an append boundary")
+            }
+        }
+        (Cond::Matches(..), _) => Pulled::Unsupported("regex through an append"),
+    }
+}
+
+/// `cond` over `replace_all(inner, from, to)`.
+fn rewrite_through_replace_all(
+    cond: &Cond,
+    inner: Expr,
+    from: char,
+    to: char,
+    input_len: usize,
+) -> Pulled {
+    let lit = match cond {
+        Cond::Eq(_, l) | Cond::Contains(_, l) | Cond::StartsWith(_, l) | Cond::EndsWith(_, l) => l,
+        Cond::Matches(..) => return Pulled::Unsupported("regex through replaceAll"),
+    };
+    if lit.contains(from) {
+        // The result string cannot contain `from` at all.
+        return Pulled::Infeasible;
+    }
+    if lit.contains(to) {
+        // A `to` in the result may originate from `from` or `to`; pulling
+        // the literal back unchanged is sufficient but we cannot decide
+        // infeasibility — accept the sufficient condition.
+    }
+    // Sufficient: if `inner` satisfies the condition with this literal
+    // (which contains no `from`), the replaced value still does.
+    let rewritten = match cond {
+        Cond::Eq(_, l) => Cond::Eq(inner, l.clone()),
+        Cond::Contains(_, l) => Cond::Contains(inner, l.clone()),
+        Cond::StartsWith(_, l) => Cond::StartsWith(inner, l.clone()),
+        Cond::EndsWith(_, l) => Cond::EndsWith(inner, l.clone()),
+        Cond::Matches(..) => unreachable!("handled above"),
+    };
+    pull_back(&rewritten, input_len)
+}
+
+/// Reverses a regex's language on the AST.
+fn reverse_regex(re: &Regex) -> Regex {
+    match re {
+        Regex::Empty | Regex::Literal(_) | Regex::Class(_) | Regex::Dot => re.clone(),
+        Regex::Concat(parts) => Regex::Concat(parts.iter().rev().map(reverse_regex).collect()),
+        Regex::Alt(parts) => Regex::Alt(parts.iter().map(reverse_regex).collect()),
+        Regex::Plus(inner) => Regex::Plus(Box::new(reverse_regex(inner))),
+        Regex::Star(inner) => Regex::Star(Box::new(reverse_regex(inner))),
+        Regex::Opt(inner) => Regex::Opt(Box::new(reverse_regex(inner))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_conditions_map_to_core_constraints() {
+        assert_eq!(
+            pull_back(&Cond::Eq(Expr::input(), "abc".into()), 3),
+            Pulled::Constraint(Constraint::Equality {
+                target: "abc".into()
+            })
+        );
+        assert_eq!(
+            pull_back(&Cond::StartsWith(Expr::input(), "ab".into()), 4),
+            Pulled::Constraint(Constraint::Prefix {
+                prefix: "ab".into(),
+                len: 4
+            })
+        );
+        assert_eq!(
+            pull_back(&Cond::Eq(Expr::input(), "abc".into()), 2),
+            Pulled::Infeasible
+        );
+        assert_eq!(
+            pull_back(&Cond::Contains(Expr::input(), "".into()), 3),
+            Pulled::Trivial
+        );
+    }
+
+    #[test]
+    fn reversal_flips_affixes_and_reverses_literals() {
+        let c = Cond::StartsWith(Expr::input().rev(), "ba".into());
+        assert_eq!(
+            pull_back(&c, 4),
+            Pulled::Constraint(Constraint::Suffix {
+                suffix: "ab".into(),
+                len: 4
+            })
+        );
+        let e = Cond::Eq(Expr::input().rev(), "cba".into());
+        assert_eq!(
+            pull_back(&e, 3),
+            Pulled::Constraint(Constraint::Equality {
+                target: "abc".into()
+            })
+        );
+    }
+
+    #[test]
+    fn reversal_reverses_regex_language() {
+        let c = Cond::Matches(Expr::input().rev(), "ab+c".into());
+        let Pulled::Constraint(Constraint::Regex { pattern, len }) = pull_back(&c, 4) else {
+            panic!("expected a regex constraint")
+        };
+        assert_eq!(len, 4);
+        let re = qsmt_redex::parse(&pattern).unwrap();
+        let nfa = qsmt_redex::Nfa::compile(&re);
+        assert!(nfa.matches("cbba"));
+        assert!(!nfa.matches("abbc"));
+    }
+
+    #[test]
+    fn append_strips_matching_suffixes() {
+        // input ++ "!" == "hi!"  ⇒  input == "hi"
+        let c = Cond::Eq(Expr::input().append("!"), "hi!".into());
+        assert_eq!(
+            pull_back(&c, 2),
+            Pulled::Constraint(Constraint::Equality {
+                target: "hi".into()
+            })
+        );
+        // suffix mismatch ⇒ infeasible
+        let bad = Cond::Eq(Expr::input().append("!"), "hi?".into());
+        assert_eq!(pull_back(&bad, 2), Pulled::Infeasible);
+    }
+
+    #[test]
+    fn append_endswith_decided_inside_the_literal_part() {
+        let t = Cond::EndsWith(Expr::input().append("xyz"), "yz".into());
+        assert_eq!(pull_back(&t, 3), Pulled::Trivial);
+        let f = Cond::EndsWith(Expr::input().append("xyz"), "ab".into());
+        assert_eq!(pull_back(&f, 3), Pulled::Infeasible);
+        // straddles into the symbolic part
+        let s = Cond::EndsWith(Expr::input().append("yz"), "qyz".into());
+        assert_eq!(
+            pull_back(&s, 3),
+            Pulled::Constraint(Constraint::Suffix {
+                suffix: "q".into(),
+                len: 3
+            })
+        );
+    }
+
+    #[test]
+    fn prepend_mirrors_append() {
+        let c = Cond::StartsWith(Expr::input().prepend(">>"), ">>a".into());
+        assert_eq!(
+            pull_back(&c, 3),
+            Pulled::Constraint(Constraint::Prefix {
+                prefix: "a".into(),
+                len: 3
+            })
+        );
+        let t = Cond::StartsWith(Expr::input().prepend(">>"), ">".into());
+        assert_eq!(pull_back(&t, 3), Pulled::Trivial);
+    }
+
+    #[test]
+    fn contains_through_append_is_sufficient_or_unsupported() {
+        let inside = Cond::Contains(Expr::input().append("!!"), "ab".into());
+        assert_eq!(
+            pull_back(&inside, 4),
+            Pulled::Constraint(Constraint::SubstringMatch {
+                substring: "ab".into(),
+                len: 4
+            })
+        );
+        let in_affix = Cond::Contains(Expr::input().append("ab"), "ab".into());
+        assert_eq!(pull_back(&in_affix, 4), Pulled::Trivial);
+        let spanning = Cond::Contains(Expr::input().append("b"), "aaaab".into());
+        assert!(matches!(pull_back(&spanning, 4), Pulled::Unsupported(_)));
+    }
+
+    #[test]
+    fn replace_all_pullback() {
+        // Result cannot contain the replaced character.
+        let bad = Cond::Contains(Expr::input().replace_all('a', 'z'), "a".into());
+        assert_eq!(pull_back(&bad, 3), Pulled::Infeasible);
+        // Literals avoiding `from` pull back unchanged (sufficient).
+        let ok = Cond::StartsWith(Expr::input().replace_all('a', 'z'), "bc".into());
+        assert_eq!(
+            pull_back(&ok, 3),
+            Pulled::Constraint(Constraint::Prefix {
+                prefix: "bc".into(),
+                len: 3
+            })
+        );
+        let re = Cond::Matches(Expr::input().replace_all('a', 'z'), "b+".into());
+        assert!(matches!(pull_back(&re, 3), Pulled::Unsupported(_)));
+    }
+
+    #[test]
+    fn nested_pullback_composes() {
+        // reverse(input ++ "!") starts with "!x"  ⇒ input ++ "!" ends with
+        // "x!" ⇒ input ends with "x".
+        let c = Cond::StartsWith(Expr::input().append("!").rev(), "!x".into());
+        assert_eq!(
+            pull_back(&c, 3),
+            Pulled::Constraint(Constraint::Suffix {
+                suffix: "x".into(),
+                len: 3
+            })
+        );
+    }
+}

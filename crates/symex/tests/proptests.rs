@@ -1,0 +1,111 @@
+//! Property-based soundness of condition pullback: over an exhaustively
+//! enumerable input domain, whatever `pull_back` claims must agree with
+//! concrete evaluation.
+//!
+//! * `Constraint(k)` — *soundness*: every input satisfying `k` satisfies
+//!   the original condition (k may be only sufficient, never wrong);
+//! * `Trivial` — every input satisfies the condition;
+//! * `Infeasible` — no input satisfies the condition.
+
+use proptest::prelude::*;
+use qsmt_core::Solution;
+use qsmt_symex::{pull_back, Cond, Expr, Pulled};
+
+const SIGMA: &[char] = &['a', 'b', 'z'];
+const LEN: usize = 3;
+
+fn all_inputs() -> Vec<String> {
+    let mut out = vec![String::new()];
+    for _ in 0..LEN {
+        out = out
+            .into_iter()
+            .flat_map(|s| {
+                SIGMA.iter().map(move |&c| {
+                    let mut t = s.clone();
+                    t.push(c);
+                    t
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+fn arb_literal() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![Just('a'), Just('b'), Just('z'), Just('!')],
+        0..=3,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let transform = prop_oneof![
+        Just(0u8), // rev
+        Just(1u8), // append "!"
+        Just(2u8), // prepend "<"
+        Just(3u8), // replace_all a -> z
+    ];
+    proptest::collection::vec(transform, 0..=3).prop_map(|ops| {
+        let mut e = Expr::input();
+        for op in ops {
+            e = match op {
+                0 => e.rev(),
+                1 => e.append("!"),
+                2 => e.prepend("<"),
+                _ => e.replace_all('a', 'z'),
+            };
+        }
+        e
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (arb_expr(), arb_literal(), 0u8..4).prop_map(|(e, lit, kind)| match kind {
+        0 => Cond::Eq(e, lit),
+        1 => Cond::Contains(e, lit),
+        2 => Cond::StartsWith(e, lit),
+        _ => Cond::EndsWith(e, lit),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pullback_verdicts_agree_with_concrete_evaluation(cond in arb_cond()) {
+        let inputs = all_inputs();
+        match pull_back(&cond, LEN) {
+            Pulled::Constraint(k) => {
+                for s in &inputs {
+                    if k.validate(&Solution::Text(s.clone())) {
+                        prop_assert_eq!(
+                            cond.eval(s), Ok(true),
+                            "pullback unsound: {:?} satisfies {:?} but not {:?}",
+                            s, k, cond
+                        );
+                    }
+                }
+            }
+            Pulled::Trivial => {
+                for s in &inputs {
+                    prop_assert_eq!(
+                        cond.eval(s), Ok(true),
+                        "claimed trivial but {:?} falsifies {:?}", s, cond
+                    );
+                }
+            }
+            Pulled::Infeasible => {
+                for s in &inputs {
+                    prop_assert_eq!(
+                        cond.eval(s), Ok(false),
+                        "claimed infeasible but {:?} satisfies {:?}", s, cond
+                    );
+                }
+            }
+            Pulled::Unsupported(_) => {
+                // No claim made; nothing to check.
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Submit string-constraint QUBOs through the full simulated-QPU hardware
+//! pipeline: minor embedding onto Chimera / Pegasus-style topologies,
+//! chain locking, noisy annealing, unembedding, and access-time billing.
+//!
+//! This is the experiment behind the paper's claim that its "QUBO
+//! formulations are compatible with a real quantum annealer" (§5).
+//!
+//! Run with: `cargo run --release --example qpu_hardware`
+
+use qsmt::core::ops::includes::Includes;
+use qsmt::core::ops::palindrome::Palindrome;
+use qsmt::{ChainStrength, QpuSimulator, Topology};
+
+fn main() {
+    println!("simulated QPU submission pipeline\n");
+
+    // A palindrome QUBO has couplings (mirrored bits) — it genuinely
+    // needs embedding.
+    let palindrome = Palindrome::new(4).encode().expect("encodes");
+    let includes = Includes::new("abcabc", "abc").encode().expect("encodes");
+
+    for topology in [
+        Topology::chimera(4, 4, 4),
+        Topology::pegasus_like(4),
+        Topology::complete(64),
+    ] {
+        println!(
+            "topology {:<20} qubits={:<5} couplers={:<5} max-degree={}",
+            topology.name(),
+            topology.num_qubits(),
+            topology.num_couplers(),
+            topology.graph().max_degree()
+        );
+        let qpu = QpuSimulator::new(topology)
+            .with_seed(5)
+            .with_num_reads(128)
+            .with_noise(0.005)
+            .with_chain_strength(ChainStrength::UniformTorqueCompensation { prefactor: 1.414 });
+
+        for (name, problem, check_palindrome) in [
+            ("palindrome(4)", &palindrome, true),
+            ("includes(abcabc, abc)", &includes, false),
+        ] {
+            match qpu.sample_qubo(&problem.qubo) {
+                Ok(resp) => {
+                    let best = resp.samples.best().expect("reads were taken");
+                    let decoded = problem.decode_state(&best.state).expect("decodes");
+                    let ok = if check_palindrome {
+                        decoded
+                            .as_text()
+                            .map(|t| t.chars().rev().collect::<String>() == t)
+                            .unwrap_or(false)
+                    } else {
+                        decoded.as_index() == Some(0)
+                    };
+                    println!(
+                        "  {name:<24} -> {:<14} chains: max-len={} physical-qubits={} \
+                         break-rate={:.3}% strength={:.2} qpu-time={:.1}ms valid={}",
+                        decoded.to_string(),
+                        resp.embedding.max_chain_length(),
+                        resp.embedding.num_physical_qubits(),
+                        resp.chain_break_fraction * 100.0,
+                        resp.chain_strength,
+                        resp.timing.total_us / 1000.0,
+                        ok
+                    );
+                }
+                Err(e) => println!("  {name:<24} -> embedding failed: {e}"),
+            }
+        }
+        println!();
+    }
+}

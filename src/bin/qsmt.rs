@@ -1,0 +1,244 @@
+//! `qsmt` — command-line quantum string SMT solver.
+//!
+//! ```text
+//! qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
+//! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
+//! qsmt demo                                 # solve the built-in Table 1 script
+//! ```
+//!
+//! Samplers: `sa` (default), `sqa`, `pt`, `tabu`, `descent`, `exact`,
+//! `population`, `random`.
+
+use qsmt::anneal::{
+    ExactSolver, ParallelTempering, PopulationAnnealer, RandomSampler, Sampler, SimulatedAnnealer,
+    SimulatedQuantumAnnealer, SteepestDescent, TabuSearch,
+};
+use qsmt::smtlib::Goal;
+use qsmt::{Script, StringSolver};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+qsmt — quantum-based SMT solving for string theory
+
+USAGE:
+  qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
+  qsmt dump  <file.smt2> [--goal K]
+  qsmt demo  [--sampler NAME] [--seed N] [--reads N]
+
+SAMPLERS:
+  sa (default) | sqa | pt | tabu | descent | exact | population | random
+";
+
+const DEMO: &str = r#"
+(set-logic QF_S)
+(declare-const row1 String)
+(assert (= row1 (str.replace_all (str.rev "hello") "e" "a")))
+(declare-const row2 String)
+(assert (= row2 (str.rev row2)))
+(assert (= (str.len row2) 6))
+(declare-const row3 String)
+(assert (str.in_re row3 (re.++ (str.to_re "a")
+                               (re.+ (re.union (str.to_re "b") (str.to_re "c"))))))
+(assert (= (str.len row3) 5))
+(declare-const row4 String)
+(assert (= row4 (str.replace_all (str.++ "hello" " " "world") "l" "x")))
+(declare-const row5 String)
+(assert (str.contains row5 "hi"))
+(assert (= (str.len row5) 6))
+(check-sat)
+(get-model)
+"#;
+
+struct Options {
+    sampler: String,
+    seed: u64,
+    reads: usize,
+    goal: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            sampler: "sa".into(),
+            seed: 0,
+            reads: 64,
+            goal: 0,
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--sampler" => opts.sampler = value("--sampler")?,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--reads" => {
+                opts.reads = value("--reads")?
+                    .parse()
+                    .map_err(|_| "--reads expects an integer".to_string())?
+            }
+            "--goal" => {
+                opts.goal = value("--goal")?
+                    .parse()
+                    .map_err(|_| "--goal expects an index".to_string())?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn make_sampler(opts: &Options) -> Result<Arc<dyn Sampler>, String> {
+    Ok(match opts.sampler.as_str() {
+        "sa" => Arc::new(
+            SimulatedAnnealer::new()
+                .with_seed(opts.seed)
+                .with_num_reads(opts.reads)
+                .with_sweeps(384),
+        ),
+        "sqa" => Arc::new(
+            SimulatedQuantumAnnealer::new()
+                .with_seed(opts.seed)
+                .with_num_reads(opts.reads.max(1)),
+        ),
+        "pt" => Arc::new(
+            ParallelTempering::new()
+                .with_seed(opts.seed)
+                .with_rounds(opts.reads.max(2)),
+        ),
+        "tabu" => Arc::new(
+            TabuSearch::new()
+                .with_seed(opts.seed)
+                .with_num_reads(opts.reads.clamp(1, 64)),
+        ),
+        "descent" => Arc::new(
+            SteepestDescent::new()
+                .with_seed(opts.seed)
+                .with_num_reads(opts.reads),
+        ),
+        "exact" => Arc::new(ExactSolver::new()),
+        "population" => Arc::new(
+            PopulationAnnealer::new()
+                .with_seed(opts.seed)
+                .with_population(opts.reads.max(2)),
+        ),
+        "random" => Arc::new(
+            RandomSampler::new()
+                .with_seed(opts.seed)
+                .with_num_reads(opts.reads),
+        ),
+        other => return Err(format!("unknown sampler {other:?}")),
+    })
+}
+
+fn run_solve(source: &str, opts: &Options) -> Result<(), String> {
+    let script = Script::parse(source).map_err(|e| e.to_string())?;
+    let solver = StringSolver::new(make_sampler(opts)?);
+    // Samplers with hard limits (the exact enumerator caps at 26
+    // variables) signal misuse by panicking; surface that as a normal
+    // CLI error instead of a crash.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| script.solve(&solver)))
+        .map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "sampler rejected the problem".to_string());
+            format!(
+                "sampler {:?} cannot solve this problem: {msg}",
+                opts.sampler
+            )
+        })?;
+    let outcome = outcome.map_err(|e| e.to_string())?;
+    println!("{}", outcome.status);
+    if !outcome.model.is_empty() {
+        println!("(model");
+        for (name, value) in &outcome.model {
+            println!("  (define-fun {name} () _ {value})");
+        }
+        println!(")");
+    }
+    Ok(())
+}
+
+fn run_dump(source: &str, opts: &Options) -> Result<(), String> {
+    let script = Script::parse(source).map_err(|e| e.to_string())?;
+    let goals = script.compile().map_err(|e| e.to_string())?;
+    let goal = goals.get(opts.goal).ok_or_else(|| {
+        format!(
+            "script has {} goals, --goal {} out of range",
+            goals.len(),
+            opts.goal
+        )
+    })?;
+    let constraint = match goal {
+        Goal::StringConstraint { constraint, .. } | Goal::IndexQuery { constraint, .. } => {
+            constraint.clone()
+        }
+        Goal::StringPipeline { name, .. } => {
+            return Err(format!(
+                "goal {name} is a sequential pipeline; dump its stages individually"
+            ))
+        }
+    };
+    let encoded = constraint.encode().map_err(|e| e.to_string())?;
+    eprintln!(
+        "c goal {} ({}): {}",
+        opts.goal,
+        goal.name(),
+        encoded.description
+    );
+    print!("{}", qsmt::qubo::to_qbsolv(&encoded.qubo));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) if cmd == "solve" || cmd == "dump" => {
+            let Some((path, flags)) = rest.split_first() else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            match (
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
+                parse_flags(flags),
+            ) {
+                (Ok(source), Ok(opts)) => {
+                    if cmd == "solve" {
+                        run_solve(&source, &opts)
+                    } else {
+                        run_dump(&source, &opts)
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+        Some((cmd, rest)) if cmd == "demo" => {
+            parse_flags(rest).and_then(|opts| run_solve(DEMO, &opts))
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

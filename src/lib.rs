@@ -1,0 +1,59 @@
+//! # qsmt — Quantum-Based SMT Solving for String Theory
+//!
+//! A full Rust reproduction of *"Quantum-Based SMT Solving for String
+//! Theory"* (HPDC'25): string constraints are compiled to Quadratic
+//! Unconstrained Binary Optimization (QUBO) form and solved on a simulated
+//! quantum annealer, with a simulated QPU hardware pipeline (topologies,
+//! minor embedding, chains), an SMT-LIB front end, and a classical
+//! baseline — all implemented from scratch, no quantum SDK.
+//!
+//! This crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the paper's twelve string→QUBO encoders, the
+//!   [`StringSolver`] facade, and the §4.12 [`Pipeline`];
+//! * [`qubo`] — QUBO/Ising models, penalties, energy kernels;
+//! * [`anneal`] — simulated and simulated-quantum annealing, parallel
+//!   tempering, tabu search, population annealing, exact enumeration;
+//! * [`qpu`] — Chimera/Pegasus/Zephyr-style topologies, minor embedding,
+//!   chain handling, gauges, QPU timing and noise;
+//! * [`smtlib`] — the SMT-LIB v2 string-theory front end;
+//! * [`redex`] — the from-scratch regex/NFA/DFA substrate;
+//! * [`baseline`] — the classical comparator;
+//! * [`symex`] — symbolic execution for string programs (the paper's
+//!   future-work application), with path conditions discharged on the
+//!   QUBO solver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qsmt::{Constraint, StringSolver};
+//!
+//! let solver = StringSolver::with_defaults().with_seed(1);
+//! let out = solver
+//!     .solve(&Constraint::Palindrome { len: 6 })
+//!     .unwrap();
+//! assert!(out.valid);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qsmt_anneal as anneal;
+pub use qsmt_baseline as baseline;
+pub use qsmt_core as core;
+pub use qsmt_qpu as qpu;
+pub use qsmt_qubo as qubo;
+pub use qsmt_redex as redex;
+pub use qsmt_smtlib as smtlib;
+pub use qsmt_symex as symex;
+
+pub use qsmt_anneal::{
+    BetaSchedule, ExactSolver, ParallelTempering, RandomSampler, Sample, SampleSet, Sampler,
+    SimulatedAnnealer, SimulatedQuantumAnnealer, SteepestDescent, TabuSearch,
+};
+pub use qsmt_core::{
+    BiasProfile, Constraint, ConstraintError, Pipeline, PipelineReport, Solution, SolveOutcome,
+    Start, Step, StringSolver,
+};
+pub use qsmt_qpu::{ChainBreakResolution, ChainStrength, QpuSimulator, Topology};
+pub use qsmt_qubo::{IsingModel, QuboModel};
+pub use qsmt_smtlib::{SatStatus, Script};

@@ -1,0 +1,133 @@
+//! Integration tests for the `qsmt` CLI binary: the interface a
+//! downstream user scripts against.
+
+use std::process::Command;
+
+fn qsmt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qsmt"))
+}
+
+fn corpus(name: &str) -> String {
+    format!("{}/benchmarks/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn solve_deterministic_corpus_file() {
+    let out = qsmt()
+        .args(["solve", &corpus("table1_row1_reverse_replace.smt2")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.starts_with("sat"), "got: {stdout}");
+    assert!(stdout.contains("\"ollah\""));
+}
+
+#[test]
+fn solve_with_alternate_samplers() {
+    for sampler in ["sqa", "pt", "tabu", "descent", "population"] {
+        let out = qsmt()
+            .args([
+                "solve",
+                &corpus("table1_row1_reverse_replace.smt2"),
+                "--sampler",
+                sampler,
+                "--reads",
+                "16",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "sampler {sampler} failed");
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(
+            stdout.contains("\"ollah\""),
+            "sampler {sampler} wrong answer: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn exact_sampler_solves_small_goals_and_rejects_large_ones_gracefully() {
+    // 7 indicator variables: well inside the exact enumerator's limit.
+    let out = qsmt()
+        .args(["solve", &corpus("indexof_query.smt2"), "--sampler", "exact"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("6"), "indexof answer: {stdout}");
+
+    // 35 string bits: beyond the limit — a clean error, not a crash.
+    let out = qsmt()
+        .args([
+            "solve",
+            &corpus("table1_row1_reverse_replace.smt2"),
+            "--sampler",
+            "exact",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("cannot solve"), "stderr: {stderr}");
+}
+
+#[test]
+fn unsat_corpus_file_reports_unsat() {
+    let out = qsmt()
+        .args(["solve", &corpus("unsat_regex_length.smt2")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(stdout.trim(), "unsat");
+}
+
+#[test]
+fn dump_emits_qbsolv_format_that_round_trips() {
+    let out = qsmt()
+        .args(["dump", &corpus("table1_row2_palindrome.smt2")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("p qubo 0 42"), "header missing: {stdout}");
+    let model = qsmt::qubo::from_qbsolv(&stdout).expect("dump output parses back");
+    assert_eq!(model.num_vars(), 42);
+    assert!(model.num_interactions() > 0, "palindrome has couplings");
+}
+
+#[test]
+fn demo_solves_all_rows() {
+    let out = qsmt()
+        .args(["demo", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.starts_with("sat"));
+    assert!(stdout.contains("row1"));
+    assert!(stdout.contains("\"hexxo worxd\""));
+}
+
+#[test]
+fn bad_usage_fails_with_usage_text() {
+    let out = qsmt().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("USAGE"));
+
+    let out = qsmt()
+        .args(["solve", "/nonexistent/file.smt2"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = qsmt()
+        .args(["demo", "--sampler", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown sampler"));
+}

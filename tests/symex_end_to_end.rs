@@ -1,0 +1,138 @@
+//! End-to-end symbolic execution through the whole stack, including a
+//! quantum-annealer-backed explorer and cross-validation of every witness
+//! by concrete replay.
+
+use qsmt::symex::{BranchStatus, Cond, Expr, PathExplorer, Program};
+use qsmt::{SimulatedQuantumAnnealer, StringSolver};
+use std::sync::Arc;
+
+fn solver() -> StringSolver {
+    StringSolver::with_defaults().with_seed(19).with_reads(128)
+}
+
+#[test]
+fn branch_pairs_are_both_coverable() {
+    // Four independent predicates; each positive/negative pair must be
+    // coverable at length 4.
+    let preds = vec![
+        Cond::StartsWith(Expr::input(), "a".into()),
+        Cond::Contains(Expr::input(), "zz".into()),
+        Cond::Matches(Expr::input(), "[ab]+".into()),
+        Cond::EndsWith(Expr::input().rev(), "b".into()), // first char is 'b'
+    ];
+    for (i, p) in preds.into_iter().enumerate() {
+        let program = Program::new("pair", 4)
+            .branch("pos", vec![(p.clone(), true)])
+            .branch("neg", vec![(p.clone(), false)]);
+        let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+        assert!(
+            report.all_covered(),
+            "predicate #{i} left a branch uncovered: {report:?}"
+        );
+        assert_eq!(report.covered_count(), 2, "predicate #{i}");
+    }
+}
+
+#[test]
+fn witnesses_always_replay_concretely() {
+    let framed = Expr::input().prepend("[").append("]");
+    let program = Program::new("framed", 3)
+        .branch(
+            "x-first",
+            vec![(Cond::StartsWith(framed.clone(), "[x".into()), true)],
+        )
+        .branch(
+            "y-last",
+            vec![
+                (Cond::StartsWith(framed.clone(), "[x".into()), false),
+                (Cond::EndsWith(framed.clone(), "y]".into()), true),
+            ],
+        );
+    let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+    for b in &report.branches {
+        if b.status == BranchStatus::Covered {
+            let input = b.input.as_ref().unwrap();
+            let value = framed.eval(input);
+            match b.name.as_str() {
+                "x-first" => assert!(value.starts_with("[x"), "{value:?}"),
+                "y-last" => {
+                    assert!(
+                        !value.starts_with("[x") && value.ends_with("y]"),
+                        "{value:?}"
+                    )
+                }
+                other => panic!("unknown branch {other}"),
+            }
+        }
+    }
+    assert!(report.all_covered());
+}
+
+#[test]
+fn quantum_annealer_backend_covers_branches() {
+    let sqa = SimulatedQuantumAnnealer::new()
+        .with_seed(23)
+        .with_num_reads(48)
+        .with_sweeps(384);
+    let solver = StringSolver::new(Arc::new(sqa));
+    let program = Program::new("sqa", 3)
+        .branch(
+            "palindromic-frame",
+            vec![(Cond::Eq(Expr::input().rev(), "oko".into()), true)],
+        )
+        .branch(
+            "other",
+            vec![(Cond::Eq(Expr::input().rev(), "oko".into()), false)],
+        );
+    let report = PathExplorer::new(&solver).explore(&program).unwrap();
+    assert!(report.all_covered());
+    assert_eq!(
+        report.branches[0].input.as_deref(),
+        Some("oko"),
+        "reverse of a palindrome is itself"
+    );
+}
+
+#[test]
+fn replace_all_paths() {
+    // value = input with 'a' -> '_'; branch on the sanitized form.
+    let sanitized = Expr::input().replace_all('a', '_');
+    let program = Program::new("sanitize", 3)
+        .branch(
+            "clean",
+            vec![(Cond::Contains(sanitized.clone(), "_".into()), false)],
+        )
+        .branch(
+            "sanitized-bb",
+            vec![(Cond::StartsWith(sanitized.clone(), "bb".into()), true)],
+        )
+        .branch(
+            "had-a",
+            vec![(Cond::Contains(sanitized.clone(), "a".into()), true)],
+        );
+    let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+    // "had-a" is provably dead: the sanitized value cannot contain 'a'.
+    assert_eq!(report.branches[2].status, BranchStatus::Infeasible);
+    assert_eq!(report.branches[0].status, BranchStatus::Covered);
+    assert_eq!(report.branches[1].status, BranchStatus::Covered);
+    let clean = report.branches[0].input.as_ref().unwrap();
+    assert!(!clean.contains('a') && !clean.contains('_'));
+}
+
+#[test]
+fn infeasible_conjunction_is_detected_by_replay_or_encode() {
+    // starts_with("aa") ∧ equals("bbb") — contradictory positives.
+    let program = Program::new("dead", 3).branch(
+        "contradiction",
+        vec![
+            (Cond::StartsWith(Expr::input(), "aa".into()), true),
+            (Cond::Eq(Expr::input(), "bbb".into()), true),
+        ],
+    );
+    let report = PathExplorer::new(&solver()).explore(&program).unwrap();
+    assert_ne!(
+        report.branches[0].status,
+        BranchStatus::Covered,
+        "a contradictory path must never be reported covered"
+    );
+}
