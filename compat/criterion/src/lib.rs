@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — implemented as a plain timing loop that
+//! prints mean wall-clock per iteration. No statistics, plots, or
+//! comparisons: enough to run `cargo bench` offline and eyeball relative
+//! numbers.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives one benchmark's timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, recording mean wall-clock per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call, then the measured loop.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iters > 0 {
+        b.elapsed / (b.iters as u32)
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench {label:<50} {per_iter:>12.2?}/iter ({} iters)",
+        b.iters
+    );
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Times a single standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        run_one(&id.into().label, self.sample_size, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepts (and ignores) a throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, f);
+    }
+
+    /// Times one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a set of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("f", |b| b.iter(|| calls += 1));
+        // warm-up + 3 timed iterations
+        assert_eq!(calls, 4);
+        g.bench_with_input(BenchmarkId::new("p", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

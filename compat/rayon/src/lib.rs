@@ -1,0 +1,101 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the three parallel-iterator entry points the workspace uses —
+//! `into_par_iter()`, `par_iter()`, and `par_iter_mut()` — implemented as
+//! plain sequential `std` iterators. Every adaptor the samplers chain on
+//! afterwards (`map`, `zip`, `collect`, …) is then just the standard
+//! [`Iterator`] machinery.
+//!
+//! Samplers in this workspace are written to be deterministic regardless
+//! of thread count (each read derives its own RNG stream), so sequential
+//! execution changes wall-clock time but never results.
+
+#![warn(missing_docs)]
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude`.
+
+    /// Consuming conversion into a (sequential) "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts `self` into an iterator. Sequential in this shim.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing conversion, mirroring `rayon`'s `par_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (a shared reference).
+        type Item: 'data;
+        /// Iterates over `&self`. Sequential in this shim.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: 'data,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        type Item = <&'data C as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mutably borrowing conversion, mirroring `rayon`'s `par_iter_mut()`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (an exclusive reference).
+        type Item: 'data;
+        /// Iterates over `&mut self`. Sequential in this shim.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+        <&'data mut C as IntoIterator>::Item: 'data,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        type Item = <&'data mut C as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let doubled: Vec<usize> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ref_iters_work_with_zip() {
+        let mut a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, y)| *x += y);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+}

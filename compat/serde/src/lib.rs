@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access. Workspace types carry
+//! `#[derive(Serialize, Deserialize)]` as forward-compatible annotations
+//! but nothing in-tree drives a serde serializer — the JSON run reports
+//! are emitted by `qsmt-telemetry`'s own writer. This shim therefore only
+//! provides the names: marker traits with blanket impls, and (behind the
+//! `derive` feature) no-op derive macros.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all
+/// types; carries no behavior.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types; carries no behavior.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

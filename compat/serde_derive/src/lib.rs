@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` shim defines `Serialize`/`Deserialize` as
+//! marker traits with blanket implementations, so these derives have
+//! nothing to generate — they only need to *exist* so `#[derive(Serialize,
+//! Deserialize)]` attributes on workspace types keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the blanket impl in the `serde` shim already
+/// covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the blanket impl in the `serde` shim
+/// already covers every type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

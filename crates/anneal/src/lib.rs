@@ -58,12 +58,72 @@ pub use population::PopulationAnnealer;
 pub use random::RandomSampler;
 pub use sa::SimulatedAnnealer;
 pub use sampleset::{EnergyStats, Sample, SampleSet};
+
+#[cfg(test)]
+mod sampler_stats_tests {
+    use super::*;
+
+    #[test]
+    fn default_sample_stats_matches_sample_with_empty_counters() {
+        let mut m = QuboModel::new(2);
+        m.add_linear(0, -1.0);
+        let exact = ExactSolver::new();
+        let (set, stats) = exact.sample_stats(&m);
+        assert_eq!(set, exact.sample(&m));
+        assert_eq!(stats, SamplerRunStats::default());
+        assert_eq!(stats.acceptance_rate(), None);
+    }
+
+    #[test]
+    fn acceptance_rate_requires_nonzero_proposals() {
+        let full = SamplerRunStats {
+            sweeps: Some(10),
+            proposals: Some(100),
+            accepted: Some(25),
+        };
+        assert_eq!(full.acceptance_rate(), Some(0.25));
+        let empty = SamplerRunStats {
+            sweeps: None,
+            proposals: Some(0),
+            accepted: Some(0),
+        };
+        assert_eq!(empty.acceptance_rate(), None);
+    }
+}
 pub use schedule::BetaSchedule;
 pub use sqa::SimulatedQuantumAnnealer;
 pub use tabu::TabuSearch;
 pub use tempering::ParallelTempering;
 
 use qsmt_qubo::QuboModel;
+
+/// Auxiliary run counters a sampler may expose alongside its samples.
+///
+/// Every field is optional: samplers that don't track a counter leave it
+/// `None` and the telemetry layer reports it as absent rather than zero.
+/// The counters must be side effects only — [`Sampler::sample_stats`] is
+/// required to return the exact `SampleSet` that [`Sampler::sample`]
+/// would, so turning observability on never changes answers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerRunStats {
+    /// Sweeps performed per read, for sweep-based samplers.
+    pub sweeps: Option<u64>,
+    /// Total single-variable moves proposed across all reads.
+    pub proposals: Option<u64>,
+    /// Proposed moves that were accepted.
+    pub accepted: Option<u64>,
+}
+
+impl SamplerRunStats {
+    /// `accepted / proposals`, when both counters are present and at
+    /// least one move was proposed.
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        match (self.proposals, self.accepted) {
+            (Some(p), Some(a)) if p > 0 => Some(a as f64 / p as f64),
+            _ => None,
+        }
+    }
+}
 
 /// A sampler draws low-energy binary assignments from a QUBO model.
 ///
@@ -76,4 +136,12 @@ pub trait Sampler: Send + Sync {
 
     /// Human-readable sampler name for reports and benches.
     fn name(&self) -> &'static str;
+
+    /// Samples the model, additionally returning run counters for
+    /// telemetry. The sample set is identical to [`Sampler::sample`]'s;
+    /// the default implementation delegates to it and reports no
+    /// counters.
+    fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
+        (self.sample(model), SamplerRunStats::default())
+    }
 }

@@ -1,6 +1,6 @@
 //! Single-flip Metropolis simulated annealing with parallel reads.
 
-use crate::{BetaSchedule, SampleSet, Sampler};
+use crate::{BetaSchedule, SampleSet, Sampler, SamplerRunStats};
 use qsmt_qubo::{CompiledQubo, QuboModel, Var};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -18,6 +18,24 @@ use rayon::prelude::*;
 /// Reads run in parallel with rayon; results are deterministic for a fixed
 /// seed regardless of thread count, because each read derives its own RNG
 /// stream from `seed + read_index`.
+///
+/// ```
+/// use qsmt_anneal::{Sampler, SimulatedAnnealer};
+/// use qsmt_qubo::QuboModel;
+///
+/// // min  -x0 + x1 - x0·x1  →  ground state [1, 0]
+/// let mut m = QuboModel::new(2);
+/// m.add_linear(0, -1.0);
+/// m.add_linear(1, 1.0);
+/// m.add_quadratic(0, 1, -0.5);
+///
+/// let sa = SimulatedAnnealer::new().with_seed(7).with_num_reads(16);
+/// let (set, stats) = sa.sample_stats(&m);
+/// assert_eq!(set.best().unwrap().state, vec![1, 0]);
+/// assert!(stats.acceptance_rate().unwrap() > 0.0);
+/// // `sample_stats` is a pure side observation of `sample`:
+/// assert_eq!(set, sa.sample(&m));
+/// ```
 #[derive(Debug, Clone)]
 pub struct SimulatedAnnealer {
     num_reads: usize,
@@ -102,12 +120,15 @@ impl SimulatedAnnealer {
         self.num_reads
     }
 
+    /// One independent anneal. The returned `u64` counts accepted flips —
+    /// a pure side observation that never touches the RNG stream, so
+    /// results are bit-identical whether or not the count is used.
     fn one_read(
         compiled: &CompiledQubo,
         betas: &[f64],
         seed: u64,
         initial: Option<&[u8]>,
-    ) -> (Vec<u8>, f64) {
+    ) -> (Vec<u8>, f64, u64) {
         let n = compiled.num_vars();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut state: Vec<u8> = match initial {
@@ -118,12 +139,14 @@ impl SimulatedAnnealer {
             None => (0..n).map(|_| rng.gen_range(0..=1u8)).collect(),
         };
         let mut energy = compiled.energy(&state);
+        let mut accepted = 0u64;
         for &beta in betas {
             for i in 0..n {
                 let delta = compiled.flip_delta(&state, i as Var);
                 if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
                     state[i] ^= 1;
                     energy += delta;
+                    accepted += 1;
                 }
             }
         }
@@ -131,19 +154,19 @@ impl SimulatedAnnealer {
             (energy - compiled.energy(&state)).abs() < 1e-6,
             "incremental energy drifted from recomputed energy"
         );
-        (state, energy)
+        (state, energy, accepted)
     }
-}
 
-impl Sampler for SimulatedAnnealer {
-    fn sample(&self, model: &QuboModel) -> SampleSet {
+    /// Runs all reads, returning raw `(state, energy)` pairs plus the
+    /// total accepted-flip count and the realized sweep count.
+    fn run_reads(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64, u64) {
         let compiled = CompiledQubo::compile(model);
         let betas = match &self.schedule {
             Some(s) => s.realize(),
             None => BetaSchedule::auto(&compiled, self.sweeps).realize(),
         };
         let initial = self.initial_state.as_deref();
-        let reads: Vec<(Vec<u8>, f64)> = if self.parallel {
+        let results: Vec<(Vec<u8>, f64, u64)> = if self.parallel {
             (0..self.num_reads)
                 .into_par_iter()
                 .map(|r| {
@@ -157,11 +180,31 @@ impl Sampler for SimulatedAnnealer {
                 })
                 .collect()
         };
+        let accepted = results.iter().map(|(_, _, a)| a).sum();
+        let reads = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        (reads, accepted, betas.len() as u64)
+    }
+}
+
+impl Sampler for SimulatedAnnealer {
+    fn sample(&self, model: &QuboModel) -> SampleSet {
+        let (reads, _, _) = self.run_reads(model);
         SampleSet::from_reads(reads)
     }
 
     fn name(&self) -> &'static str {
         "simulated-annealing"
+    }
+
+    fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
+        let (reads, accepted, sweeps) = self.run_reads(model);
+        let proposals = sweeps * model.num_vars() as u64 * self.num_reads as u64;
+        let stats = SamplerRunStats {
+            sweeps: Some(sweeps),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+        };
+        (SampleSet::from_reads(reads), stats)
     }
 }
 
@@ -271,6 +314,23 @@ mod tests {
         SimulatedAnnealer::new()
             .with_initial_state(vec![0, 1])
             .sample(&m);
+    }
+
+    #[test]
+    fn sample_stats_matches_sample_and_counts_moves() {
+        let (m, _) = gadget();
+        let sa = SimulatedAnnealer::new().with_seed(7).with_num_reads(4);
+        let (set, stats) = sa.sample_stats(&m);
+        assert_eq!(set, sa.sample(&m), "observability must not change results");
+        let sweeps = stats.sweeps.unwrap();
+        assert!(sweeps > 0);
+        let proposals = stats.proposals.unwrap();
+        assert_eq!(proposals, sweeps * 6 * 4, "6 vars × 4 reads per sweep");
+        let accepted = stats.accepted.unwrap();
+        assert!(accepted <= proposals);
+        assert!(accepted > 0, "a hot schedule accepts at least some moves");
+        let rate = stats.acceptance_rate().unwrap();
+        assert!(rate > 0.0 && rate <= 1.0);
     }
 
     #[test]

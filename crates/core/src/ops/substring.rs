@@ -139,7 +139,6 @@ mod tests {
         assert_eq!(exact_texts(&p), vec!["hi".to_string()]);
     }
 
-
     #[test]
     fn ground_state_always_contains_substring() {
         for (sub, n) in [("ab", 3), ("xy", 2), ("a", 2)] {
@@ -162,5 +161,4 @@ mod tests {
         ));
         assert!(SubstringMatch::new("é", 3).encode().is_err());
     }
-
 }

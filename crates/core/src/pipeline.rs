@@ -213,6 +213,72 @@ impl Pipeline {
     }
 }
 
+impl Pipeline {
+    /// Like [`Pipeline::run`], additionally returning one
+    /// [`qsmt_telemetry::SolveReport`] per solver invocation — the
+    /// observability view of §4.12 sequential composition, aggregated by
+    /// `qsmt solve --report` into the per-goal `solves` array.
+    ///
+    /// ```
+    /// use qsmt_core::{Pipeline, Start, Step, StringSolver};
+    ///
+    /// let (report, solves) = Pipeline::new(Start::Literal("ab".into()))
+    ///     .then(Step::Reverse)
+    ///     .run_reported(&StringSolver::with_defaults().with_seed(3))
+    ///     .unwrap();
+    /// assert_eq!(report.final_text, "ba");
+    /// assert_eq!(solves.len(), 1);
+    /// assert!(solves[0].total_us > 0);
+    /// ```
+    ///
+    /// # Errors
+    /// Propagates the first encoding failure.
+    pub fn run_reported(
+        &self,
+        solver: &StringSolver,
+    ) -> Result<(PipelineReport, Vec<qsmt_telemetry::SolveReport>), ConstraintError> {
+        let mut stages: Vec<StageReport> = Vec::with_capacity(self.num_stages());
+        let mut reports = Vec::with_capacity(self.num_stages());
+        let mut current: String = match &self.start {
+            Start::Literal(s) => s.clone(),
+            Start::Generate(c) => {
+                let (outcome, report) = solver.solve_reported(c)?;
+                reports.push(report);
+                let text = outcome.solution.as_text().unwrap_or_default().to_string();
+                stages.push(StageReport {
+                    constraint: c.clone(),
+                    output: text.clone(),
+                    valid: outcome.valid,
+                    energy: outcome.energy,
+                    outcome,
+                });
+                text
+            }
+        };
+        for step in &self.steps {
+            let constraint = step.to_constraint(&current);
+            let (outcome, report) = solver.solve_reported(&constraint)?;
+            reports.push(report);
+            let text = outcome.solution.as_text().unwrap_or_default().to_string();
+            stages.push(StageReport {
+                constraint,
+                output: text.clone(),
+                valid: outcome.valid,
+                energy: outcome.energy,
+                outcome,
+            });
+            current = text;
+        }
+        Ok((
+            PipelineReport {
+                final_text: current,
+                stages,
+            },
+            reports,
+        ))
+    }
+}
+
 /// One stage's record within a pipeline run.
 #[derive(Debug, Clone)]
 pub struct StageReport {
@@ -323,6 +389,26 @@ mod tests {
         for t in &traces {
             assert_eq!(t.stages.len(), 5, "each stage gets a full Figure 1 trace");
         }
+    }
+
+    #[test]
+    fn reported_run_matches_plain_run() {
+        let p = Pipeline::new(Start::Literal("hello".into()))
+            .then(Step::Reverse)
+            .then(Step::ReplaceAll { from: 'e', to: 'a' });
+        let plain = p.run(&solver()).unwrap();
+        let (reported, reports) = p.run_reported(&solver()).unwrap();
+        assert_eq!(plain.final_text, reported.final_text);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.valid);
+            let labels: Vec<&str> = r.stages.iter().map(|s| s.label.as_str()).collect();
+            assert_eq!(
+                labels,
+                vec!["compile", "presolve", "embed", "sample", "select"]
+            );
+        }
+        assert_eq!(reports[0].solution, "\"olleh\"");
     }
 
     #[test]

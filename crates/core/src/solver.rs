@@ -5,9 +5,14 @@ use crate::constraint::Constraint;
 use crate::error::ConstraintError;
 use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
 use crate::problem::{EncodedProblem, Solution};
-use qsmt_anneal::{SampleSet, Sampler, SimulatedAnnealer};
-use qsmt_qubo::DenseQubo;
+use qsmt_anneal::{metrics, SampleSet, Sampler, SimulatedAnnealer};
+use qsmt_qubo::{DenseQubo, QuboModel};
+use qsmt_telemetry::{
+    CompileStats, EmbeddingStats, PresolveStats, Recorder, SamplerStats, SelectStats, SolveReport,
+    StageTiming,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The quantum(-simulated) string SMT solver.
 ///
@@ -222,17 +227,33 @@ impl StringSolver {
         problem: EncodedProblem,
         samples: SampleSet,
     ) -> SolveOutcome {
+        self.select_counted(constraint, problem, samples).0
+    }
+
+    /// [`StringSolver::select`] plus the counters telemetry wants: how
+    /// many distinct states were decoded before the search stopped, and
+    /// the energy-order rank of the chosen valid sample.
+    fn select_counted(
+        &self,
+        constraint: &Constraint,
+        problem: EncodedProblem,
+        samples: SampleSet,
+    ) -> (SolveOutcome, usize, Option<usize>) {
         let mut best: Option<(Solution, f64)> = None;
         let mut valid_pick: Option<(Solution, f64)> = None;
-        for sample in samples.iter() {
+        let mut decoded = 0usize;
+        let mut valid_rank = None;
+        for (rank, sample) in samples.iter().enumerate() {
             let Ok(solution) = problem.decode_state(&sample.state) else {
                 continue;
             };
+            decoded += 1;
             if best.is_none() {
                 best = Some((solution.clone(), sample.energy));
             }
             if valid_pick.is_none() && constraint.validate(&solution) {
                 valid_pick = Some((solution, sample.energy));
+                valid_rank = Some(rank);
             }
             if valid_pick.is_some() {
                 break;
@@ -243,13 +264,230 @@ impl StringSolver {
             (None, Some((s, e))) => (s, e, false),
             (None, None) => (Solution::Text(String::new()), f64::NAN, false),
         };
-        SolveOutcome {
-            problem,
-            samples,
-            solution,
-            energy,
-            valid,
+        (
+            SolveOutcome {
+                problem,
+                samples,
+                solution,
+                energy,
+                valid,
+            },
+            decoded,
+            valid_rank,
+        )
+    }
+
+    /// Solves a constraint end to end, additionally producing the full
+    /// observability record: per-stage timings, QUBO shape, presolve and
+    /// embedding statistics, sampler counters, and the raw span log. See
+    /// `docs/OBSERVABILITY.md` for every field's meaning.
+    ///
+    /// The solve path is identical to [`StringSolver::solve`] — telemetry
+    /// is observational and the sampler's RNG stream is untouched — except
+    /// for two extra read-only analyses: a presolve pass over the encoded
+    /// QUBO and a minor-embedding probe onto a Chimera topology sized to
+    /// fit the problem (so reports carry chain statistics even when
+    /// sampling classically).
+    ///
+    /// ```
+    /// use qsmt_core::{Constraint, StringSolver};
+    ///
+    /// let solver = StringSolver::with_defaults().with_seed(7);
+    /// let (out, report) = solver
+    ///     .solve_reported(&Constraint::Reverse { input: "ab".into() })
+    ///     .unwrap();
+    /// assert_eq!(out.solution.as_text(), Some("ba"));
+    /// assert_eq!(report.qubo.num_vars, out.problem.num_vars());
+    /// assert!(report.stages.iter().any(|s| s.label == "sample"));
+    /// ```
+    ///
+    /// # Errors
+    /// Propagates encoding failures, exactly like [`StringSolver::solve`].
+    pub fn solve_reported(
+        &self,
+        constraint: &Constraint,
+    ) -> Result<(SolveOutcome, SolveReport), ConstraintError> {
+        fn begin(stages: &mut Vec<StageTiming>, rec: &Recorder, label: &str) -> u64 {
+            let start = rec.elapsed_us();
+            stages.push(StageTiming {
+                label: label.to_string(),
+                start_us: start,
+                dur_us: 0,
+            });
+            start
         }
+
+        let rec = Recorder::new();
+        let mut stages = Vec::with_capacity(5);
+
+        let start = begin(&mut stages, &rec, "compile");
+        let problem = {
+            let _s = rec.span("compile");
+            self.encode(constraint)?
+        };
+        stages.last_mut().expect("pushed").dur_us = rec.elapsed_us() - start;
+        let qubo_shape = problem.qubo.shape();
+        rec.event(
+            "encoded",
+            format!("{} vars via {}", qubo_shape.num_vars, problem.name),
+        );
+        let compile = CompileStats {
+            constraint: constraint.describe(),
+            encoding: problem.name.to_string(),
+            time_us: stages.last().expect("pushed").dur_us,
+        };
+
+        let start = begin(&mut stages, &rec, "presolve");
+        let presolve = {
+            let _s = rec.span("presolve");
+            let reduced = qsmt_qubo::presolve(&problem.qubo);
+            let original = problem.qubo.num_vars();
+            let fixed = reduced.num_fixed();
+            PresolveStats {
+                time_us: 0, // patched below
+                original_vars: original,
+                fixed_vars: fixed,
+                reduced_vars: original - fixed,
+                reduction_ratio: if original == 0 {
+                    0.0
+                } else {
+                    fixed as f64 / original as f64
+                },
+            }
+        };
+        let presolve_us = rec.elapsed_us() - start;
+        stages.last_mut().expect("pushed").dur_us = presolve_us;
+        let presolve = PresolveStats {
+            time_us: presolve_us,
+            ..presolve
+        };
+
+        let start = begin(&mut stages, &rec, "embed");
+        let embedding = {
+            let _s = rec.span("embed");
+            Self::probe_embedding(&problem.qubo, self.seed)
+        };
+        stages.last_mut().expect("pushed").dur_us = rec.elapsed_us() - start;
+        if let Some(e) = &embedding {
+            rec.event(
+                "embedded",
+                format!(
+                    "{} logical → {} physical on {}",
+                    e.num_logical, e.num_physical_qubits, e.topology
+                ),
+            );
+        }
+
+        let start = begin(&mut stages, &rec, "sample");
+        let (samples, run_stats) = {
+            let _s = rec.span("sample");
+            self.sampler.sample_stats(&problem.qubo)
+        };
+        let sample_us = rec.elapsed_us() - start;
+        stages.last_mut().expect("pushed").dur_us = sample_us;
+        let sampling = Self::sampler_stats(self.sampler.name(), &samples, run_stats, sample_us);
+
+        let start = begin(&mut stages, &rec, "select");
+        let (outcome, decoded, valid_rank) = {
+            let _s = rec.span("select");
+            self.select_counted(constraint, problem, samples)
+        };
+        stages.last_mut().expect("pushed").dur_us = rec.elapsed_us() - start;
+        let select = SelectStats {
+            time_us: stages.last().expect("pushed").dur_us,
+            decoded_states: decoded,
+            valid_rank,
+        };
+
+        let total_us = rec.elapsed_us();
+        let report = SolveReport {
+            constraint: constraint.describe(),
+            solution: outcome.solution.to_string(),
+            energy: outcome.energy,
+            valid: outcome.valid,
+            total_us,
+            stages,
+            compile,
+            qubo: qubo_shape,
+            presolve,
+            embedding,
+            sampling,
+            select,
+            spans: rec.finish(),
+        };
+        Ok((outcome, report))
+    }
+
+    /// Summarizes a sample set plus sampler counters into telemetry form.
+    fn sampler_stats(
+        name: &str,
+        samples: &SampleSet,
+        run: qsmt_anneal::SamplerRunStats,
+        time_us: u64,
+    ) -> SamplerStats {
+        const TOL: f64 = 1e-9;
+        let reads = samples.total_reads() as u64;
+        let stats = samples.energy_stats();
+        let (best, mean, std_dev, max) = match stats {
+            Some(s) => (s.min, s.mean, s.std_dev, s.max),
+            None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+        };
+        // Time-to-target: TTS(0.99) against the best energy *this run*
+        // observed (the true ground energy is unknown in production).
+        let tts99_us = if reads == 0 {
+            None
+        } else {
+            let per_read = Duration::from_micros(time_us / reads.max(1));
+            metrics::time_to_solution(samples, best, TOL, per_read, 0.99)
+                .map(|d| d.as_micros() as u64)
+        };
+        SamplerStats {
+            sampler: name.to_string(),
+            time_us,
+            reads,
+            distinct_states: samples.len(),
+            sweeps: run.sweeps,
+            proposals: run.proposals,
+            accepted: run.accepted,
+            acceptance_rate: run.acceptance_rate(),
+            best_energy: best,
+            mean_energy: mean,
+            std_dev_energy: std_dev,
+            max_energy: max,
+            success_fraction: samples.success_fraction(TOL),
+            tts99_us,
+        }
+    }
+
+    /// Projects the logical QUBO onto the smallest Chimera topology that
+    /// admits a minor embedding, yielding chain statistics for the report.
+    /// Returns `None` for empty models, models too large to probe cheaply
+    /// (> 512 variables), and problems the router cannot place within the
+    /// size ladder.
+    fn probe_embedding(model: &QuboModel, seed: u64) -> Option<EmbeddingStats> {
+        let n = model.num_vars();
+        if n == 0 || n > 512 {
+            return None;
+        }
+        let problem = qsmt_qpu::QpuSimulator::problem_graph(model);
+        let start = std::time::Instant::now();
+        // Smallest C(m, m, 4) with at least n qubits, then grow the grid
+        // until the router finds a placement (denser problems need slack).
+        let mut m = 1usize;
+        while 8 * m * m < n {
+            m += 1;
+        }
+        for grid in m..m + 4 {
+            let topo = qsmt_qpu::Topology::chimera(grid, grid, 4);
+            if let Ok(emb) = qsmt_qpu::embed(&problem, topo.graph(), seed, 2) {
+                return Some(EmbeddingStats::from_chains(
+                    topo.name(),
+                    emb.chains(),
+                    start.elapsed().as_micros() as u64,
+                ));
+            }
+        }
+        None
     }
 }
 
@@ -454,6 +692,78 @@ mod tests {
             .solve_many(&Constraint::Palindrome { len: 3 }, 2)
             .unwrap();
         assert!(limited.len() <= 2);
+    }
+
+    #[test]
+    fn reported_solve_matches_plain_solve() {
+        let c = Constraint::Reverse {
+            input: "abc".into(),
+        };
+        let plain = solver().solve(&c).unwrap();
+        let (outcome, report) = solver().solve_reported(&c).unwrap();
+        assert_eq!(outcome.solution, plain.solution);
+        assert_eq!(
+            outcome.samples, plain.samples,
+            "telemetry must not change sampling"
+        );
+        assert_eq!(report.solution, "\"cba\"");
+        assert!(report.valid);
+    }
+
+    #[test]
+    fn report_stages_are_ordered_and_timed() {
+        let (_, report) = solver()
+            .solve_reported(&Constraint::Equality {
+                target: "hi".into(),
+            })
+            .unwrap();
+        let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["compile", "presolve", "embed", "sample", "select"]
+        );
+        // Stage starts are monotone non-decreasing and fit in the total.
+        for pair in report.stages.windows(2) {
+            assert!(pair[0].start_us <= pair[1].start_us);
+            assert!(pair[0].start_us + pair[0].dur_us <= pair[1].start_us);
+        }
+        let last = report.stages.last().unwrap();
+        assert!(last.start_us + last.dur_us <= report.total_us);
+        assert!(!report.spans.is_empty());
+    }
+
+    #[test]
+    fn report_carries_qubo_sampler_and_embedding_stats() {
+        let (out, report) = solver()
+            .solve_reported(&Constraint::Palindrome { len: 4 })
+            .unwrap();
+        assert_eq!(report.qubo.num_vars, out.problem.num_vars());
+        assert!(report.qubo.max_abs_coefficient > 0.0);
+        let s = &report.sampling;
+        assert_eq!(s.sampler, "simulated-annealing");
+        assert_eq!(s.reads, 64);
+        assert!(s.best_energy <= s.mean_energy);
+        assert!(s.mean_energy <= s.max_energy);
+        assert!(s.acceptance_rate.is_some(), "SA exposes move counters");
+        assert!(s.success_fraction > 0.0);
+        assert!(s.tts99_us.is_some());
+        let e = report.embedding.as_ref().expect("small model embeds");
+        assert_eq!(e.num_logical, out.problem.num_vars());
+        assert!(e.num_physical_qubits >= e.num_logical);
+        assert!(e.max_chain_length >= 1);
+        let total: u64 = e.chain_length_histogram.iter().sum();
+        assert_eq!(total as usize, e.num_logical);
+        assert_eq!(report.select.valid_rank.is_some(), out.valid);
+        assert!(report.select.decoded_states > 0);
+    }
+
+    #[test]
+    fn reported_solve_propagates_encode_errors() {
+        assert!(solver()
+            .solve_reported(&Constraint::Equality {
+                target: "héllo".into()
+            })
+            .is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Sparse QUBO model representation and energy evaluation.
 
 use crate::hash::FxBuildHasher;
+use qsmt_telemetry::QuboShape;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -245,6 +246,34 @@ impl QuboModel {
             .map(|q| q.abs())
             .fold(0.0f64, f64::max);
         lin.max(quad)
+    }
+
+    /// Shape statistics of the model for telemetry reports: size,
+    /// interaction density, offset, and coefficient magnitude.
+    ///
+    /// ```
+    /// use qsmt_qubo::QuboModel;
+    ///
+    /// let mut m = QuboModel::new(3);
+    /// m.add_quadratic(0, 1, 2.0);
+    /// let shape = m.shape();
+    /// assert_eq!(shape.num_vars, 3);
+    /// assert_eq!(shape.num_interactions, 1);
+    /// assert!((shape.density - 1.0 / 3.0).abs() < 1e-12);
+    /// ```
+    pub fn shape(&self) -> QuboShape {
+        let pairs = self.num_vars * self.num_vars.saturating_sub(1) / 2;
+        QuboShape {
+            num_vars: self.num_vars,
+            num_interactions: self.quadratic.len(),
+            density: if pairs == 0 {
+                0.0
+            } else {
+                self.quadratic.len() as f64 / pairs as f64
+            },
+            offset: self.offset,
+            max_abs_coefficient: self.max_abs_coefficient(),
+        }
     }
 
     /// Returns every ground state (minimum-energy assignment) by exhaustive

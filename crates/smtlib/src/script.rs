@@ -177,6 +177,104 @@ impl Script {
         }
         Ok(ScriptOutcome { status, model })
     }
+
+    /// Like [`Script::solve`], additionally returning one
+    /// [`GoalReport`](qsmt_telemetry::GoalReport) per goal with the full
+    /// per-stage telemetry of every solver invocation. This is the entry
+    /// point behind `qsmt solve --stats/--report`; see
+    /// `docs/OBSERVABILITY.md` for the report schema.
+    ///
+    /// On an unsat verdict the goals reported so far are returned (the
+    /// goal that proved unsat at encode time never ran a sampler, so it
+    /// has no report).
+    ///
+    /// # Errors
+    /// Propagates compilation errors and non-unsat encoding errors.
+    pub fn solve_reported(
+        &self,
+        solver: &StringSolver,
+    ) -> Result<(ScriptOutcome, Vec<qsmt_telemetry::GoalReport>), ScriptError> {
+        use qsmt_telemetry::{GoalKind, GoalReport};
+
+        let goals = self.compile()?;
+        let mut model = Vec::with_capacity(goals.len());
+        let mut reports = Vec::with_capacity(goals.len());
+        let mut status = SatStatus::Sat;
+        let unsat = |reports: Vec<GoalReport>| {
+            Ok((
+                ScriptOutcome {
+                    status: SatStatus::Unsat,
+                    model: Vec::new(),
+                },
+                reports,
+            ))
+        };
+        for goal in &goals {
+            match goal {
+                Goal::StringConstraint { name, constraint } => {
+                    match solver.solve_reported(constraint) {
+                        Ok((out, report)) => {
+                            if !out.valid {
+                                status = SatStatus::Unknown;
+                            }
+                            let text = out.solution.as_text().unwrap_or_default().to_string();
+                            model.push((name.clone(), ModelValue::Str(text.clone())));
+                            reports.push(GoalReport {
+                                name: name.clone(),
+                                kind: GoalKind::Constraint,
+                                answer: text,
+                                valid: out.valid,
+                                total_us: report.total_us,
+                                solves: vec![report],
+                            });
+                        }
+                        Err(e) if is_unsat(&e) => return unsat(reports),
+                        Err(e) => return Err(ScriptError::Encode(e)),
+                    }
+                }
+                Goal::StringPipeline { name, pipeline } => match pipeline.run_reported(solver) {
+                    Ok((report, solves)) => {
+                        if !report.all_valid() {
+                            status = SatStatus::Unknown;
+                        }
+                        let valid = report.all_valid();
+                        model.push((name.clone(), ModelValue::Str(report.final_text.clone())));
+                        reports.push(GoalReport {
+                            name: name.clone(),
+                            kind: GoalKind::Pipeline,
+                            answer: report.final_text,
+                            valid,
+                            total_us: solves.iter().map(|s| s.total_us).sum(),
+                            solves,
+                        });
+                    }
+                    Err(e) if is_unsat(&e) => return unsat(reports),
+                    Err(e) => return Err(ScriptError::Encode(e)),
+                },
+                Goal::IndexQuery { name, constraint } => match solver.solve_reported(constraint) {
+                    Ok((out, report)) => {
+                        if !out.valid {
+                            status = SatStatus::Unknown;
+                        }
+                        let value = ModelValue::Int(out.solution.as_index());
+                        let answer = value.to_string();
+                        model.push((name.clone(), value));
+                        reports.push(GoalReport {
+                            name: name.clone(),
+                            kind: GoalKind::IndexQuery,
+                            answer,
+                            valid: out.valid,
+                            total_us: report.total_us,
+                            solves: vec![report],
+                        });
+                    }
+                    Err(e) if is_unsat(&e) => return unsat(reports),
+                    Err(e) => return Err(ScriptError::Encode(e)),
+                },
+            }
+        }
+        Ok((ScriptOutcome { status, model }, reports))
+    }
 }
 
 /// Encoding errors that prove unsatisfiability of the asserted conjunction
@@ -272,6 +370,39 @@ mod tests {
         let out = script.solve(&solver()).unwrap();
         assert_eq!(out.status, SatStatus::Sat);
         assert_eq!(out.model, vec![("i".into(), ModelValue::Int(Some(6)))]);
+    }
+
+    #[test]
+    fn reported_solve_matches_solve_and_labels_goal_kinds() {
+        let script = Script::parse(
+            "(declare-const x String)\
+             (assert (= x (str.rev \"ab\")))\
+             (declare-const i Int)\
+             (assert (= i (str.indexof \"hello\" \"llo\" 0)))",
+        )
+        .unwrap();
+        let plain = script.solve(&solver()).unwrap();
+        let (reported, goals) = script.solve_reported(&solver()).unwrap();
+        assert_eq!(plain.status, reported.status);
+        assert_eq!(plain.model, reported.model);
+        assert_eq!(goals.len(), 2);
+        assert_eq!(goals[0].kind, qsmt_telemetry::GoalKind::Pipeline);
+        assert_eq!(goals[1].kind, qsmt_telemetry::GoalKind::IndexQuery);
+        assert!(goals.iter().all(|g| g.valid));
+        assert!(goals.iter().all(|g| !g.solves.is_empty()));
+    }
+
+    #[test]
+    fn reported_unsat_returns_partial_goal_reports() {
+        let script = Script::parse(
+            "(declare-const r String)\
+             (assert (str.in_re r (str.to_re \"abc\")))\
+             (assert (= (str.len r) 2))",
+        )
+        .unwrap();
+        let (out, goals) = script.solve_reported(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Unsat);
+        assert!(goals.is_empty(), "the unsat goal never reached the sampler");
     }
 
     #[test]

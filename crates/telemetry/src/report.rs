@@ -1,0 +1,634 @@
+//! Structured per-stage statistics for one solve, aggregated into
+//! [`SolveReport`] / [`GoalReport`] / [`RunReport`] and serialized to JSON
+//! by `qsmt solve --report`.
+//!
+//! Every field emitted here is documented in `docs/OBSERVABILITY.md`;
+//! field names are a stable interface — rename there too or not at all.
+
+use crate::json::Json;
+use crate::recorder::SpanRecord;
+
+/// Shape statistics of a QUBO model (the "QUBO matrix" Figure 1 box).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuboShape {
+    /// Number of binary variables (matrix dimension).
+    pub num_vars: usize,
+    /// Number of nonzero off-diagonal interactions.
+    pub num_interactions: usize,
+    /// `num_interactions / (n·(n−1)/2)` — fraction of possible pairwise
+    /// couplings present. 0 for models with fewer than two variables.
+    pub density: f64,
+    /// Constant energy offset.
+    pub offset: f64,
+    /// Largest |coefficient| over linear and quadratic terms.
+    pub max_abs_coefficient: f64,
+}
+
+impl QuboShape {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("num_vars", Json::from(self.num_vars)),
+            ("num_interactions", Json::from(self.num_interactions)),
+            ("density", Json::from(self.density)),
+            ("offset", Json::from(self.offset)),
+            ("max_abs_coefficient", Json::from(self.max_abs_coefficient)),
+        ])
+    }
+}
+
+/// Statistics of the compile stage (constraint → encoded QUBO).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileStats {
+    /// Human description of the constraint that was encoded.
+    pub constraint: String,
+    /// Name of the encoding that produced the QUBO.
+    pub encoding: String,
+    /// Wall-clock time of encoding, microseconds.
+    pub time_us: u64,
+}
+
+impl CompileStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("constraint", Json::from(self.constraint.as_str())),
+            ("encoding", Json::from(self.encoding.as_str())),
+            ("time_us", Json::from(self.time_us)),
+        ])
+    }
+}
+
+/// Statistics of the presolve analysis (persistencies / variable fixing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PresolveStats {
+    /// Wall-clock time of the presolve pass, microseconds.
+    pub time_us: u64,
+    /// Variables in the model before presolve.
+    pub original_vars: usize,
+    /// Variables fixed by persistency analysis.
+    pub fixed_vars: usize,
+    /// Variables remaining after fixing.
+    pub reduced_vars: usize,
+    /// `fixed_vars / original_vars` (0 for an empty model).
+    pub reduction_ratio: f64,
+}
+
+impl PresolveStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("time_us", Json::from(self.time_us)),
+            ("original_vars", Json::from(self.original_vars)),
+            ("fixed_vars", Json::from(self.fixed_vars)),
+            ("reduced_vars", Json::from(self.reduced_vars)),
+            ("reduction_ratio", Json::from(self.reduction_ratio)),
+        ])
+    }
+}
+
+/// Minor-embedding statistics (hardware projection of the logical QUBO).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingStats {
+    /// Name of the target topology, e.g. `"chimera-4x4x4"`.
+    pub topology: String,
+    /// Logical variables embedded.
+    pub num_logical: usize,
+    /// Physical qubits used across all chains.
+    pub num_physical_qubits: usize,
+    /// Length of the longest chain.
+    pub max_chain_length: usize,
+    /// Mean chain length (`num_physical_qubits / num_logical`).
+    pub mean_chain_length: f64,
+    /// `chain_length_histogram[k]` counts chains of length `k+1`.
+    pub chain_length_histogram: Vec<u64>,
+    /// Wall-clock time of the embedding search, microseconds.
+    pub time_us: u64,
+}
+
+impl EmbeddingStats {
+    /// Builds stats from a chain decomposition (one `Vec` of physical
+    /// qubits per logical variable).
+    pub fn from_chains(topology: impl Into<String>, chains: &[Vec<u32>], time_us: u64) -> Self {
+        let num_logical = chains.len();
+        let num_physical_qubits = chains.iter().map(Vec::len).sum();
+        let max_chain_length = chains.iter().map(Vec::len).max().unwrap_or(0);
+        let mut chain_length_histogram = vec![0u64; max_chain_length];
+        for c in chains {
+            if !c.is_empty() {
+                chain_length_histogram[c.len() - 1] += 1;
+            }
+        }
+        let mean_chain_length = if num_logical == 0 {
+            0.0
+        } else {
+            num_physical_qubits as f64 / num_logical as f64
+        };
+        Self {
+            topology: topology.into(),
+            num_logical,
+            num_physical_qubits,
+            max_chain_length,
+            mean_chain_length,
+            chain_length_histogram,
+            time_us,
+        }
+    }
+
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("topology", Json::from(self.topology.as_str())),
+            ("num_logical", Json::from(self.num_logical)),
+            ("num_physical_qubits", Json::from(self.num_physical_qubits)),
+            ("max_chain_length", Json::from(self.max_chain_length)),
+            ("mean_chain_length", Json::from(self.mean_chain_length)),
+            (
+                "chain_length_histogram",
+                Json::Arr(
+                    self.chain_length_histogram
+                        .iter()
+                        .map(|&c| Json::from(c))
+                        .collect(),
+                ),
+            ),
+            ("time_us", Json::from(self.time_us)),
+        ])
+    }
+}
+
+/// Sampling-stage statistics: what the sampler did and what it found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerStats {
+    /// Sampler name, e.g. `"simulated-annealing"`.
+    pub sampler: String,
+    /// Wall-clock time of the sampling call, microseconds.
+    pub time_us: u64,
+    /// Total reads (restarts) taken.
+    pub reads: u64,
+    /// Distinct states observed across all reads.
+    pub distinct_states: usize,
+    /// Metropolis sweeps per read, when the sampler exposes it.
+    pub sweeps: Option<u64>,
+    /// Single-bit flips proposed, when the sampler counts them.
+    pub proposals: Option<u64>,
+    /// Proposals accepted, when the sampler counts them.
+    pub accepted: Option<u64>,
+    /// `accepted / proposals`, when both counters exist.
+    pub acceptance_rate: Option<f64>,
+    /// Lowest energy observed.
+    pub best_energy: f64,
+    /// Read-weighted mean energy.
+    pub mean_energy: f64,
+    /// Read-weighted standard deviation of energy.
+    pub std_dev_energy: f64,
+    /// Highest energy observed.
+    pub max_energy: f64,
+    /// Fraction of reads that hit the lowest observed energy (tol 1e-9).
+    pub success_fraction: f64,
+    /// Estimated time-to-target at 99% confidence, microseconds: expected
+    /// wall-clock to observe the best-seen energy at least once with
+    /// probability 0.99, extrapolated from this run's success fraction.
+    /// `None` when the success fraction rounds to 0 or no reads were taken.
+    pub tts99_us: Option<u64>,
+}
+
+impl SamplerStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let opt_u64 = |v: Option<u64>| v.map_or(Json::Null, Json::from);
+        let opt_f64 = |v: Option<f64>| v.map_or(Json::Null, Json::from);
+        Json::obj([
+            ("sampler", Json::from(self.sampler.as_str())),
+            ("time_us", Json::from(self.time_us)),
+            ("reads", Json::from(self.reads)),
+            ("distinct_states", Json::from(self.distinct_states)),
+            ("sweeps", opt_u64(self.sweeps)),
+            ("proposals", opt_u64(self.proposals)),
+            ("accepted", opt_u64(self.accepted)),
+            ("acceptance_rate", opt_f64(self.acceptance_rate)),
+            ("best_energy", Json::from(self.best_energy)),
+            ("mean_energy", Json::from(self.mean_energy)),
+            ("std_dev_energy", Json::from(self.std_dev_energy)),
+            ("max_energy", Json::from(self.max_energy)),
+            ("success_fraction", Json::from(self.success_fraction)),
+            ("tts99_us", opt_u64(self.tts99_us)),
+        ])
+    }
+}
+
+/// Post-selection statistics: how the decoded answer was chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStats {
+    /// Wall-clock time of decode + validation, microseconds.
+    pub time_us: u64,
+    /// Distinct states decoded before the search stopped.
+    pub decoded_states: usize,
+    /// Energy-order rank (0 = lowest) of the chosen valid sample;
+    /// `None` when no sample validated.
+    pub valid_rank: Option<usize>,
+}
+
+impl SelectStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("time_us", Json::from(self.time_us)),
+            ("decoded_states", Json::from(self.decoded_states)),
+            ("valid_rank", self.valid_rank.map_or(Json::Null, Json::from)),
+        ])
+    }
+}
+
+/// One top-level stage timing within a solve, in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name: one of `compile`, `presolve`, `embed`, `sample`,
+    /// `select`.
+    pub label: String,
+    /// Microseconds from solve start to stage start.
+    pub start_us: u64,
+    /// Stage duration, microseconds.
+    pub dur_us: u64,
+}
+
+impl StageTiming {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::from(self.label.as_str())),
+            ("start_us", Json::from(self.start_us)),
+            ("dur_us", Json::from(self.dur_us)),
+        ])
+    }
+}
+
+/// The full observability record of one constraint solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Human description of the solved constraint.
+    pub constraint: String,
+    /// The reported answer, rendered as text.
+    pub solution: String,
+    /// QUBO energy of the reported answer.
+    pub energy: f64,
+    /// Whether the answer passed semantic validation.
+    pub valid: bool,
+    /// End-to-end solve time, microseconds.
+    pub total_us: u64,
+    /// Ordered top-level stage timings.
+    pub stages: Vec<StageTiming>,
+    /// Compile-stage statistics.
+    pub compile: CompileStats,
+    /// Shape of the encoded QUBO.
+    pub qubo: QuboShape,
+    /// Presolve statistics.
+    pub presolve: PresolveStats,
+    /// Hardware-projection embedding statistics; `None` when the problem
+    /// graph could not be embedded in the probe topology.
+    pub embedding: Option<EmbeddingStats>,
+    /// Sampling statistics.
+    pub sampling: SamplerStats,
+    /// Post-selection statistics.
+    pub select: SelectStats,
+    /// Raw span/event log recorded during the solve.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl SolveReport {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("constraint", Json::from(self.constraint.as_str())),
+            ("solution", Json::from(self.solution.as_str())),
+            ("energy", Json::from(self.energy)),
+            ("valid", Json::from(self.valid)),
+            ("total_us", Json::from(self.total_us)),
+            (
+                "stages",
+                Json::Arr(self.stages.iter().map(StageTiming::to_json).collect()),
+            ),
+            ("compile", self.compile.to_json()),
+            ("qubo", self.qubo.to_json()),
+            ("presolve", self.presolve.to_json()),
+            (
+                "embedding",
+                self.embedding
+                    .as_ref()
+                    .map_or(Json::Null, EmbeddingStats::to_json),
+            ),
+            ("sampling", self.sampling.to_json()),
+            ("select", self.select.to_json()),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(SpanRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Multi-line human rendering — what `qsmt solve --stats` prints.
+    pub fn render_stats(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "solve: {} → {:?} (energy {:.3}, valid: {})\n",
+            self.constraint, self.solution, self.energy, self.valid
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<8} {:>10.3} ms\n",
+                s.label,
+                s.dur_us as f64 / 1000.0
+            ));
+        }
+        out.push_str(&format!(
+            "  qubo: {} vars, {} interactions, density {:.3}\n",
+            self.qubo.num_vars, self.qubo.num_interactions, self.qubo.density
+        ));
+        out.push_str(&format!(
+            "  presolve: fixed {}/{} vars\n",
+            self.presolve.fixed_vars, self.presolve.original_vars
+        ));
+        if let Some(e) = &self.embedding {
+            out.push_str(&format!(
+                "  embedding: {} → {} qubits on {}, max chain {}\n",
+                e.num_logical, e.num_physical_qubits, e.topology, e.max_chain_length
+            ));
+        }
+        let s = &self.sampling;
+        out.push_str(&format!(
+            "  sampling: {} reads via {}, best {:.3}, mean {:.3} ± {:.3}, success {:.1}%\n",
+            s.reads,
+            s.sampler,
+            s.best_energy,
+            s.mean_energy,
+            s.std_dev_energy,
+            s.success_fraction * 100.0
+        ));
+        if let (Some(p), Some(a), Some(r)) = (s.proposals, s.accepted, s.acceptance_rate) {
+            out.push_str(&format!("  moves: {a}/{p} accepted ({:.1}%)\n", r * 100.0));
+        }
+        out.push_str(&format!(
+            "  total: {:.3} ms\n",
+            self.total_us as f64 / 1000.0
+        ));
+        out
+    }
+}
+
+/// The kind of goal a [`GoalReport`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoalKind {
+    /// A single string constraint.
+    Constraint,
+    /// A sequential multi-step pipeline (§4.12).
+    Pipeline,
+    /// An integer index query (indexof / length).
+    IndexQuery,
+}
+
+impl GoalKind {
+    /// Stable string form used in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GoalKind::Constraint => "constraint",
+            GoalKind::Pipeline => "pipeline",
+            GoalKind::IndexQuery => "index-query",
+        }
+    }
+}
+
+/// Observability record for one script goal (declared variable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoalReport {
+    /// The declared variable this goal solves for.
+    pub name: String,
+    /// What kind of goal it was.
+    pub kind: GoalKind,
+    /// The model value assigned, rendered as text.
+    pub answer: String,
+    /// Whether every solve in this goal validated.
+    pub valid: bool,
+    /// Total goal time, microseconds.
+    pub total_us: u64,
+    /// One report per solver invocation (pipelines have several).
+    pub solves: Vec<SolveReport>,
+}
+
+impl GoalReport {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("kind", Json::from(self.kind.as_str())),
+            ("answer", Json::from(self.answer.as_str())),
+            ("valid", Json::from(self.valid)),
+            ("total_us", Json::from(self.total_us)),
+            (
+                "solves",
+                Json::Arr(self.solves.iter().map(SolveReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The top-level run report written by `qsmt solve --report <path>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Report schema version; bumped on breaking field changes.
+    pub schema_version: u32,
+    /// Where the problem came from (file path or `"<demo>"`).
+    pub source: String,
+    /// The check-sat verdict (`sat` / `unsat` / `unknown`).
+    pub status: String,
+    /// Sampler used for every solve in the run.
+    pub sampler: String,
+    /// End-to-end wall-clock for the run, microseconds.
+    pub elapsed_us: u64,
+    /// Per-goal reports in declaration order.
+    pub goals: Vec<GoalReport>,
+}
+
+impl RunReport {
+    /// Current schema version.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::from(self.schema_version)),
+            ("source", Json::from(self.source.as_str())),
+            ("status", Json::from(self.status.as_str())),
+            ("sampler", Json::from(self.sampler.as_str())),
+            ("elapsed_us", Json::from(self.elapsed_us)),
+            (
+                "goals",
+                Json::Arr(self.goals.iter().map(GoalReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_report() -> SolveReport {
+        SolveReport {
+            constraint: "reverse(\"hello\")".into(),
+            solution: "olleh".into(),
+            energy: 0.0,
+            valid: true,
+            total_us: 1500,
+            stages: vec![
+                StageTiming {
+                    label: "compile".into(),
+                    start_us: 0,
+                    dur_us: 100,
+                },
+                StageTiming {
+                    label: "sample".into(),
+                    start_us: 100,
+                    dur_us: 1200,
+                },
+            ],
+            compile: CompileStats {
+                constraint: "reverse(\"hello\")".into(),
+                encoding: "reverse".into(),
+                time_us: 100,
+            },
+            qubo: QuboShape {
+                num_vars: 40,
+                num_interactions: 0,
+                density: 0.0,
+                offset: 200.0,
+                max_abs_coefficient: 10.0,
+            },
+            presolve: PresolveStats {
+                time_us: 5,
+                original_vars: 40,
+                fixed_vars: 40,
+                reduced_vars: 0,
+                reduction_ratio: 1.0,
+            },
+            embedding: Some(EmbeddingStats::from_chains(
+                "chimera-2x2x4",
+                &[vec![0], vec![1, 2], vec![3]],
+                42,
+            )),
+            sampling: SamplerStats {
+                sampler: "simulated-annealing".into(),
+                time_us: 1200,
+                reads: 64,
+                distinct_states: 3,
+                sweeps: Some(384),
+                proposals: Some(1000),
+                accepted: Some(400),
+                acceptance_rate: Some(0.4),
+                best_energy: 0.0,
+                mean_energy: 0.5,
+                std_dev_energy: 0.1,
+                max_energy: 2.0,
+                success_fraction: 0.9,
+                tts99_us: Some(30),
+            },
+            select: SelectStats {
+                time_us: 10,
+                decoded_states: 1,
+                valid_rank: Some(0),
+            },
+            spans: vec![],
+        }
+    }
+
+    #[test]
+    fn embedding_stats_from_chains() {
+        let e = EmbeddingStats::from_chains("t", &[vec![0], vec![1, 2], vec![3]], 9);
+        assert_eq!(e.num_logical, 3);
+        assert_eq!(e.num_physical_qubits, 4);
+        assert_eq!(e.max_chain_length, 2);
+        assert!((e.mean_chain_length - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.chain_length_histogram, vec![2, 1]);
+    }
+
+    #[test]
+    fn solve_report_round_trips_through_json() {
+        let r = sample_report();
+        let doc = parse(&r.to_json().pretty()).expect("valid JSON");
+        assert_eq!(
+            doc.get("constraint").and_then(Json::as_str),
+            Some("reverse(\"hello\")")
+        );
+        assert_eq!(doc.get("valid").and_then(Json::as_bool), Some(true));
+        let stages = doc.get("stages").and_then(Json::as_arr).unwrap();
+        assert_eq!(stages.len(), 2);
+        let sampling = doc.get("sampling").unwrap();
+        assert_eq!(sampling.get("reads").and_then(Json::as_u64), Some(64));
+        assert_eq!(
+            sampling.get("acceptance_rate").and_then(Json::as_f64),
+            Some(0.4)
+        );
+        let embedding = doc.get("embedding").unwrap();
+        assert_eq!(
+            embedding.get("max_chain_length").and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn optional_fields_serialize_as_null() {
+        let mut r = sample_report();
+        r.embedding = None;
+        r.sampling.proposals = None;
+        r.select.valid_rank = None;
+        let j = r.to_json();
+        assert_eq!(j.get("embedding"), Some(&Json::Null));
+        assert_eq!(
+            j.get("sampling").unwrap().get("proposals"),
+            Some(&Json::Null)
+        );
+        assert_eq!(
+            j.get("select").unwrap().get("valid_rank"),
+            Some(&Json::Null)
+        );
+    }
+
+    #[test]
+    fn run_report_nests_goals_and_solves() {
+        let run = RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            source: "x.smt2".into(),
+            status: "sat".into(),
+            sampler: "simulated-annealing".into(),
+            elapsed_us: 2000,
+            goals: vec![GoalReport {
+                name: "x".into(),
+                kind: GoalKind::Pipeline,
+                answer: "olleh".into(),
+                valid: true,
+                total_us: 1500,
+                solves: vec![sample_report()],
+            }],
+        };
+        let doc = parse(&run.to_json().pretty()).unwrap();
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        let goals = doc.get("goals").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            goals[0].get("kind").and_then(Json::as_str),
+            Some("pipeline")
+        );
+        assert_eq!(
+            goals[0].get("solves").and_then(Json::as_arr).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn render_stats_mentions_stages_and_counters() {
+        let text = sample_report().render_stats();
+        assert!(text.contains("compile"));
+        assert!(text.contains("sampling: 64 reads"));
+        assert!(text.contains("accepted (40.0%)"));
+        assert!(text.contains("embedding: 3 → 4 qubits"));
+    }
+}

@@ -2,32 +2,47 @@
 //!
 //! ```text
 //! qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
+//!                        [--stats] [--report <path>] [--trace]
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
 //! ```
 //!
 //! Samplers: `sa` (default), `sqa`, `pt`, `tabu`, `descent`, `exact`,
 //! `population`, `random`.
+//!
+//! Observability (documented in `docs/OBSERVABILITY.md`): `--stats` prints
+//! per-stage timings and sampler statistics for every solve, `--report
+//! <path>` writes the full JSON run report, and `--trace` prints the raw
+//! span/event log.
 
 use qsmt::anneal::{
     ExactSolver, ParallelTempering, PopulationAnnealer, RandomSampler, Sampler, SimulatedAnnealer,
     SimulatedQuantumAnnealer, SteepestDescent, TabuSearch,
 };
 use qsmt::smtlib::Goal;
+use qsmt::telemetry::{RunReport, TraceDisplay};
 use qsmt::{Script, StringSolver};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
 const USAGE: &str = "\
 qsmt — quantum-based SMT solving for string theory
 
 USAGE:
   qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
+                         [--stats] [--report <path>] [--trace]
   qsmt dump  <file.smt2> [--goal K]
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
+             [--stats] [--report <path>] [--trace]
 
 SAMPLERS:
   sa (default) | sqa | pt | tabu | descent | exact | population | random
+
+OBSERVABILITY (see docs/OBSERVABILITY.md):
+  --stats          print per-stage timings and sampler statistics
+  --report <path>  write the full JSON run report to <path>
+  --trace          print the raw span/event log of every solve
 ";
 
 const DEMO: &str = r#"
@@ -55,6 +70,9 @@ struct Options {
     seed: u64,
     reads: usize,
     goal: usize,
+    stats: bool,
+    report: Option<String>,
+    trace: bool,
 }
 
 impl Default for Options {
@@ -64,7 +82,18 @@ impl Default for Options {
             seed: 0,
             reads: 64,
             goal: 0,
+            stats: false,
+            report: None,
+            trace: false,
         }
+    }
+}
+
+impl Options {
+    /// True when any observability surface was requested, which routes
+    /// the solve through the reporting path.
+    fn wants_telemetry(&self) -> bool {
+        self.stats || self.trace || self.report.is_some()
     }
 }
 
@@ -94,6 +123,9 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--goal expects an index".to_string())?
             }
+            "--stats" => opts.stats = true,
+            "--report" => opts.report = Some(value("--report")?),
+            "--trace" => opts.trace = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -143,25 +175,39 @@ fn make_sampler(opts: &Options) -> Result<Arc<dyn Sampler>, String> {
     })
 }
 
-fn run_solve(source: &str, opts: &Options) -> Result<(), String> {
+fn run_solve(source: &str, source_name: &str, opts: &Options) -> Result<(), String> {
     let script = Script::parse(source).map_err(|e| e.to_string())?;
     let solver = StringSolver::new(make_sampler(opts)?);
     // Samplers with hard limits (the exact enumerator caps at 26
     // variables) signal misuse by panicking; surface that as a normal
     // CLI error instead of a crash.
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| script.solve(&solver)))
-        .map_err(|payload| {
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "sampler rejected the problem".to_string());
-            format!(
-                "sampler {:?} cannot solve this problem: {msg}",
-                opts.sampler
-            )
-        })?;
-    let outcome = outcome.map_err(|e| e.to_string())?;
+    let surface_panic = |payload: Box<dyn std::any::Any + Send>| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "sampler rejected the problem".to_string());
+        format!(
+            "sampler {:?} cannot solve this problem: {msg}",
+            opts.sampler
+        )
+    };
+    let started = Instant::now();
+    let (outcome, goals) = if opts.wants_telemetry() {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            script.solve_reported(&solver)
+        }))
+        .map_err(surface_panic)?
+        .map_err(|e| e.to_string())?
+    } else {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| script.solve(&solver)))
+                .map_err(surface_panic)?
+                .map_err(|e| e.to_string())?;
+        (outcome, Vec::new())
+    };
+    let elapsed_us = started.elapsed().as_micros() as u64;
+
     println!("{}", outcome.status);
     if !outcome.model.is_empty() {
         println!("(model");
@@ -169,6 +215,46 @@ fn run_solve(source: &str, opts: &Options) -> Result<(), String> {
             println!("  (define-fun {name} () _ {value})");
         }
         println!(")");
+    }
+
+    if opts.stats {
+        for goal in &goals {
+            println!(
+                "; goal {} ({}): {} solve(s), {:.3} ms",
+                goal.name,
+                goal.kind.as_str(),
+                goal.solves.len(),
+                goal.total_us as f64 / 1000.0
+            );
+            for solve in &goal.solves {
+                for line in solve.render_stats().lines() {
+                    println!("; {line}");
+                }
+            }
+        }
+    }
+    if opts.trace {
+        for goal in &goals {
+            for solve in &goal.solves {
+                println!("; trace for goal {} — {}", goal.name, solve.constraint);
+                for line in TraceDisplay(&solve.spans).to_string().lines() {
+                    println!("; {line}");
+                }
+            }
+        }
+    }
+    if let Some(path) = &opts.report {
+        let report = RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            source: source_name.to_string(),
+            status: outcome.status.to_string(),
+            sampler: solver.sampler_name().to_string(),
+            elapsed_us,
+            goals,
+        };
+        std::fs::write(path, report.to_json().pretty())
+            .map_err(|e| format!("cannot write report to {path}: {e}"))?;
+        eprintln!("report written to {path}");
     }
     Ok(())
 }
@@ -218,7 +304,7 @@ fn main() -> ExitCode {
             ) {
                 (Ok(source), Ok(opts)) => {
                     if cmd == "solve" {
-                        run_solve(&source, &opts)
+                        run_solve(&source, path, &opts)
                     } else {
                         run_dump(&source, &opts)
                     }
@@ -227,7 +313,7 @@ fn main() -> ExitCode {
             }
         }
         Some((cmd, rest)) if cmd == "demo" => {
-            parse_flags(rest).and_then(|opts| run_solve(DEMO, &opts))
+            parse_flags(rest).and_then(|opts| run_solve(DEMO, "<demo>", &opts))
         }
         _ => {
             eprintln!("{USAGE}");

@@ -17,6 +17,8 @@
 //! * [`qpu`] — Chimera/Pegasus/Zephyr-style topologies, minor embedding,
 //!   chain handling, gauges, QPU timing and noise;
 //! * [`smtlib`] — the SMT-LIB v2 string-theory front end;
+//! * [`telemetry`] — solver observability: span recording, per-stage
+//!   statistics, and JSON run reports (see `docs/OBSERVABILITY.md`);
 //! * [`redex`] — the from-scratch regex/NFA/DFA substrate;
 //! * [`baseline`] — the classical comparator;
 //! * [`symex`] — symbolic execution for string programs (the paper's
@@ -45,6 +47,7 @@ pub use qsmt_qubo as qubo;
 pub use qsmt_redex as redex;
 pub use qsmt_smtlib as smtlib;
 pub use qsmt_symex as symex;
+pub use qsmt_telemetry as telemetry;
 
 pub use qsmt_anneal::{
     BetaSchedule, ExactSolver, ParallelTempering, RandomSampler, Sample, SampleSet, Sampler,

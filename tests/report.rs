@@ -1,0 +1,250 @@
+//! Integration tests for the observability surface: `qsmt solve --report`
+//! must emit a JSON run report whose schema downstream tooling can rely
+//! on. The report is parsed back with `qsmt::telemetry::parse` and
+//! checked field by field against docs/OBSERVABILITY.md.
+
+use qsmt::telemetry::{parse, Json};
+use std::process::Command;
+
+fn qsmt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qsmt"))
+}
+
+fn corpus(name: &str) -> String {
+    format!("{}/benchmarks/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn report_for(bench: &str, extra: &[&str]) -> Json {
+    let dir = std::env::temp_dir().join(format!("qsmt-report-{bench}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("report.json");
+    let path_str = path.to_str().expect("utf8 path");
+    let mut args = vec![
+        "solve",
+        &*corpus(bench).leak(),
+        "--seed",
+        "7",
+        "--report",
+        path_str,
+    ];
+    args.extend_from_slice(extra);
+    let out = qsmt().args(&args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("report file written");
+    std::fs::remove_dir_all(&dir).ok();
+    parse(&text).expect("report is valid JSON")
+}
+
+#[test]
+fn table1_palindrome_report_has_documented_schema() {
+    let doc = report_for("table1_row2_palindrome.smt2", &[]);
+
+    // Top level.
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
+    assert_eq!(
+        doc.get("sampler").and_then(Json::as_str),
+        Some("simulated-annealing")
+    );
+    assert!(doc.get("elapsed_us").and_then(Json::as_u64).unwrap() > 0);
+    assert!(doc
+        .get("source")
+        .and_then(Json::as_str)
+        .unwrap()
+        .ends_with("table1_row2_palindrome.smt2"));
+
+    // One goal, one solve.
+    let goals = doc.get("goals").and_then(Json::as_arr).expect("goals");
+    assert_eq!(goals.len(), 1);
+    let goal = &goals[0];
+    assert_eq!(goal.get("name").and_then(Json::as_str), Some("p"));
+    assert_eq!(goal.get("valid").and_then(Json::as_bool), Some(true));
+    let solves = goal.get("solves").and_then(Json::as_arr).expect("solves");
+    assert_eq!(solves.len(), 1);
+    let solve = &solves[0];
+
+    // Stage set and monotonic, in-bounds timings.
+    let stages = solve.get("stages").and_then(Json::as_arr).expect("stages");
+    let labels: Vec<&str> = stages
+        .iter()
+        .map(|s| s.get("label").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        labels,
+        vec!["compile", "presolve", "embed", "sample", "select"]
+    );
+    let total_us = solve.get("total_us").and_then(Json::as_u64).unwrap();
+    let mut prev_end = 0u64;
+    for stage in stages {
+        let start = stage.get("start_us").and_then(Json::as_u64).unwrap();
+        let dur = stage.get("dur_us").and_then(Json::as_u64).unwrap();
+        assert!(start >= prev_end, "stages must not overlap");
+        prev_end = start + dur;
+    }
+    assert!(prev_end <= total_us, "stages fit inside the solve");
+
+    // QUBO shape: the §4.10 palindrome over 6 chars uses 7·6 = 42 vars.
+    let qubo = solve.get("qubo").expect("qubo");
+    assert_eq!(qubo.get("num_vars").and_then(Json::as_u64), Some(42));
+    assert!(qubo.get("num_interactions").and_then(Json::as_u64).unwrap() > 0);
+    assert!(qubo.get("density").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(
+        qubo.get("max_abs_coefficient")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+
+    // Embedding chain statistics are present for this small model.
+    let emb = solve.get("embedding").expect("embedding");
+    assert_ne!(emb, &Json::Null, "small models must embed");
+    assert_eq!(emb.get("num_logical").and_then(Json::as_u64), Some(42));
+    assert!(
+        emb.get("num_physical_qubits")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 42
+    );
+    assert!(emb.get("max_chain_length").and_then(Json::as_u64).unwrap() >= 1);
+    let hist = emb
+        .get("chain_length_histogram")
+        .and_then(Json::as_arr)
+        .expect("histogram");
+    let chains: u64 = hist.iter().map(|h| h.as_u64().unwrap()).sum();
+    assert_eq!(chains, 42, "every logical var has exactly one chain");
+    assert!(emb
+        .get("topology")
+        .and_then(Json::as_str)
+        .unwrap()
+        .starts_with("chimera"));
+
+    // Sampler statistics: populated energies and SA move counters.
+    let sampling = solve.get("sampling").expect("sampling");
+    assert_eq!(sampling.get("reads").and_then(Json::as_u64), Some(64));
+    assert_eq!(sampling.get("sweeps").and_then(Json::as_u64), Some(384));
+    let best = sampling.get("best_energy").and_then(Json::as_f64).unwrap();
+    let mean = sampling.get("mean_energy").and_then(Json::as_f64).unwrap();
+    let max = sampling.get("max_energy").and_then(Json::as_f64).unwrap();
+    assert!(best.is_finite() && mean.is_finite() && max.is_finite());
+    assert!(best <= mean && mean <= max);
+    assert!(
+        sampling
+            .get("std_dev_energy")
+            .and_then(Json::as_f64)
+            .unwrap()
+            >= 0.0
+    );
+    let rate = sampling
+        .get("acceptance_rate")
+        .and_then(Json::as_f64)
+        .expect("SA reports acceptance");
+    assert!(rate > 0.0 && rate < 1.0);
+    assert!(
+        sampling
+            .get("success_fraction")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    assert!(sampling.get("tts99_us").and_then(Json::as_u64).is_some());
+
+    // Select stage found a valid answer.
+    let select = solve.get("select").expect("select");
+    assert!(select.get("valid_rank").and_then(Json::as_u64).is_some());
+
+    // The reported energy matches the best sampled energy (post-selection
+    // picked a valid sample; for the palindrome that is the ground state).
+    assert_eq!(solve.get("valid").and_then(Json::as_bool), Some(true));
+
+    // Span log is present and covers the sample stage.
+    let spans = solve.get("spans").and_then(Json::as_arr).expect("spans");
+    assert!(spans
+        .iter()
+        .any(|s| s.get("name").and_then(Json::as_str) == Some("sample")));
+}
+
+#[test]
+fn pipeline_report_has_one_solve_per_stage() {
+    let doc = report_for("table1_row1_reverse_replace.smt2", &[]);
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
+    let goals = doc.get("goals").and_then(Json::as_arr).unwrap();
+    assert_eq!(goals.len(), 1);
+    assert_eq!(
+        goals[0].get("kind").and_then(Json::as_str),
+        Some("pipeline")
+    );
+    let solves = goals[0].get("solves").and_then(Json::as_arr).unwrap();
+    assert_eq!(solves.len(), 2, "reverse then replace_all");
+    // Goal total aggregates the per-step solve totals.
+    let goal_total = goals[0].get("total_us").and_then(Json::as_u64).unwrap();
+    let sum: u64 = solves
+        .iter()
+        .map(|s| s.get("total_us").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(goal_total, sum);
+}
+
+#[test]
+fn stats_flag_prints_stage_timings_without_breaking_model_output() {
+    let out = qsmt()
+        .args([
+            "solve",
+            &corpus("table1_row2_palindrome.smt2"),
+            "--seed",
+            "7",
+            "--stats",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("sat"), "model output comes first");
+    for needle in [
+        "compile",
+        "sample",
+        "select",
+        "sampling: 64 reads",
+        "accepted",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in: {stdout}");
+    }
+    // Stats lines are SMT-LIB comments so the output stays parseable.
+    assert!(stdout
+        .lines()
+        .filter(|l| l.contains("ms"))
+        .all(|l| l.starts_with(';')));
+}
+
+#[test]
+fn trace_flag_prints_span_log() {
+    let out = qsmt()
+        .args([
+            "solve",
+            &corpus("table1_row1_reverse_replace.smt2"),
+            "--seed",
+            "7",
+            "--trace",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("; trace for goal"));
+    assert!(stdout.contains("compile"));
+    assert!(stdout.contains("ms"));
+}
+
+#[test]
+fn unsat_report_has_status_and_no_goals() {
+    let doc = report_for("unsat_regex_length.smt2", &[]);
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("unsat"));
+    let goals = doc.get("goals").and_then(Json::as_arr).unwrap();
+    assert!(
+        goals.is_empty(),
+        "encode-time unsat never reaches the sampler"
+    );
+}

@@ -106,7 +106,10 @@ fn affix_conjunction_and_bounded_repetition() {
     let (status, model) = solve_file("suffix_prefix_mix.smt2");
     assert_eq!(status, SatStatus::Sat);
     let s = model[0].1.trim_matches('"').to_string();
-    assert!(s.starts_with("ab") && s.ends_with("yz") && s.len() == 6, "{s:?}");
+    assert!(
+        s.starts_with("ab") && s.ends_with("yz") && s.len() == 6,
+        "{s:?}"
+    );
 
     let (status, model) = solve_file("bounded_repetition.smt2");
     assert_eq!(status, SatStatus::Sat);
