@@ -18,7 +18,7 @@ fn bench_substring_crossover(c: &mut Criterion) {
 
         let quantum = StringSolver::with_defaults().with_seed(4);
         g.bench_with_input(BenchmarkId::new("annealer", len), &constraint, |b, c| {
-            b.iter(|| black_box(quantum.solve(c).expect("encodes")))
+            b.iter(|| black_box(quantum.solve(c).expect("encodes")));
         });
 
         let pruned = ClassicalSolver::new();
@@ -54,7 +54,7 @@ fn bench_regex_crossover(c: &mut Criterion) {
         };
         let quantum = StringSolver::with_defaults().with_seed(5);
         g.bench_with_input(BenchmarkId::new("annealer", len), &constraint, |b, c| {
-            b.iter(|| black_box(quantum.solve(c).expect("encodes")))
+            b.iter(|| black_box(quantum.solve(c).expect("encodes")));
         });
         let blind = ClassicalSolver::new()
             .without_pruning()

@@ -27,7 +27,7 @@ fn bench_direct_vs_embedded(c: &mut Criterion) {
     ] {
         let qpu = QpuSimulator::new(topo).with_seed(1).with_num_reads(32);
         g.bench_function(BenchmarkId::new("embedded", name), |b| {
-            b.iter(|| black_box(qpu.sample_qubo(&p.qubo).expect("embeds")))
+            b.iter(|| black_box(qpu.sample_qubo(&p.qubo).expect("embeds")));
         });
     }
     g.finish();
@@ -43,7 +43,7 @@ fn bench_embedding_search(c: &mut Criterion) {
         ("pegasus-like", Topology::pegasus_like(4)),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| black_box(embed(&graph, topo.graph(), 1, 8).expect("embeds")))
+            b.iter(|| black_box(embed(&graph, topo.graph(), 1, 8).expect("embeds")));
         });
     }
     g.finish();
@@ -69,7 +69,7 @@ fn bench_chain_strength(c: &mut Criterion) {
             .with_num_reads(32)
             .with_chain_strength(strategy);
         g.bench_function(name, |b| {
-            b.iter(|| black_box(qpu.sample_qubo(&p.qubo).expect("embeds")))
+            b.iter(|| black_box(qpu.sample_qubo(&p.qubo).expect("embeds")));
         });
     }
     g.finish();

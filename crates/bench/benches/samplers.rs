@@ -56,7 +56,7 @@ fn bench_samplers(c: &mut Criterion) {
     for (wname, problem) in workloads() {
         for sampler in &samplers {
             g.bench_with_input(BenchmarkId::new(sampler.name(), wname), &problem, |b, p| {
-                b.iter(|| black_box(sampler.sample(&p.qubo)))
+                b.iter(|| black_box(sampler.sample(&p.qubo)));
             });
         }
     }

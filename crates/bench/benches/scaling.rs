@@ -47,14 +47,14 @@ fn bench_energy_kernels(c: &mut Criterion) {
     let n = compiled.num_vars();
     let state: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
     g.bench_function("full-recompute", |b| {
-        b.iter(|| black_box(compiled.energy(&state)))
+        b.iter(|| black_box(compiled.energy(&state)));
     });
     g.bench_function("incremental-delta", |b| {
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % n as u32;
             black_box(compiled.flip_delta(&state, i as Var))
-        })
+        });
     });
     g.finish();
 }

@@ -343,10 +343,7 @@ impl Constraint {
                 t.len() == *len && t.chars().rev().collect::<String>() == *t
             }
             (Constraint::Regex { pattern, len }, Solution::Text(t)) => {
-                t.len() == *len
-                    && parse(pattern)
-                        .map(|re| Nfa::compile(&re).matches(t))
-                        .unwrap_or(false)
+                t.len() == *len && parse(pattern).is_ok_and(|re| Nfa::compile(&re).matches(t))
             }
             (Constraint::Prefix { prefix, len }, Solution::Text(t)) => {
                 t.len() == *len && t.starts_with(prefix.as_str())

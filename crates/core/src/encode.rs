@@ -80,7 +80,7 @@ pub fn char_to_bits(c: char) -> Result<[u8; BITS_PER_CHAR], EncodeError> {
 /// Decodes seven bits (MSB first) into an ASCII character.
 pub fn bits_to_char(bits: &[u8; BITS_PER_CHAR]) -> char {
     let mut code = 0u8;
-    for &b in bits.iter() {
+    for &b in bits {
         code = (code << 1) | (b & 1);
     }
     code as char

@@ -51,6 +51,13 @@ pub enum ConstraintError {
         /// Why the parts cannot be merged.
         reason: String,
     },
+    /// The compiled QUBO failed the formulation linter and the solver is
+    /// configured to deny error-level diagnostics
+    /// ([`crate::StringSolver::with_deny_lint_errors`]).
+    LintRejected {
+        /// The lint report's summary line plus the triggered codes.
+        summary: String,
+    },
 }
 
 impl std::fmt::Display for ConstraintError {
@@ -81,6 +88,9 @@ impl std::fmt::Display for ConstraintError {
             }
             ConstraintError::IncompatibleConjunction { reason } => {
                 write!(f, "constraints cannot be conjoined: {reason}")
+            }
+            ConstraintError::LintRejected { summary } => {
+                write!(f, "formulation rejected by linter: {summary}")
             }
         }
     }

@@ -58,4 +58,5 @@ pub use error::ConstraintError;
 pub use ops::BiasProfile;
 pub use pipeline::{Pipeline, PipelineReport, StageReport, Start, Step};
 pub use problem::{DecodeScheme, EncodedProblem, Solution};
+pub use qsmt_lint::{LintConfig, LintReport};
 pub use solver::{SolveOutcome, SolveTrace, StringSolver, TraceStage};

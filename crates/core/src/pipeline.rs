@@ -279,6 +279,57 @@ impl Pipeline {
     }
 }
 
+impl Pipeline {
+    /// Statically lints every stage's compiled QUBO without sampling.
+    ///
+    /// Transformation steps are threaded using the steps' *classical*
+    /// string semantics (reverse, replace, concat are deterministic), so
+    /// every stage lints exactly the QUBO that [`Pipeline::run`] would
+    /// compile. A [`Start::Generate`] pipeline lints the generation
+    /// constraint only and stops: the generated text is not known without
+    /// sampling, so downstream step QUBOs cannot be reproduced statically.
+    ///
+    /// ```
+    /// use qsmt_core::{Pipeline, Start, Step, StringSolver};
+    ///
+    /// let reports = Pipeline::new(Start::Literal("hello".into()))
+    ///     .then(Step::Reverse)
+    ///     .lint(&StringSolver::with_defaults())
+    ///     .unwrap();
+    /// assert_eq!(reports.len(), 1);
+    /// assert!(!reports[0].has_errors());
+    /// ```
+    ///
+    /// # Errors
+    /// Propagates the first encoding failure.
+    pub fn lint(
+        &self,
+        solver: &StringSolver,
+    ) -> Result<Vec<qsmt_lint::LintReport>, ConstraintError> {
+        let mut reports = Vec::with_capacity(self.num_stages());
+        let mut current: String = match &self.start {
+            Start::Literal(s) => s.clone(),
+            Start::Generate(c) => {
+                reports.push(solver.lint(c)?);
+                return Ok(reports);
+            }
+        };
+        for step in &self.steps {
+            let constraint = step.to_constraint(&current);
+            reports.push(solver.lint(&constraint)?);
+            current = match step {
+                Step::Reverse => current.chars().rev().collect(),
+                Step::ReplaceAll { from, to } => current.replace(*from, &to.to_string()),
+                Step::ReplaceFirst { from, to } => current.replacen(*from, &to.to_string(), 1),
+                Step::Append { suffix, separator } => {
+                    format!("{current}{separator}{suffix}")
+                }
+            };
+        }
+        Ok(reports)
+    }
+}
+
 /// One stage's record within a pipeline run.
 #[derive(Debug, Clone)]
 pub struct StageReport {
@@ -405,10 +456,34 @@ mod tests {
             let labels: Vec<&str> = r.stages.iter().map(|s| s.label.as_str()).collect();
             assert_eq!(
                 labels,
-                vec!["compile", "presolve", "embed", "sample", "select"]
+                vec!["compile", "lint", "presolve", "embed", "sample", "select"]
             );
         }
         assert_eq!(reports[0].solution, "\"olleh\"");
+    }
+
+    #[test]
+    fn lint_covers_every_literal_stage() {
+        let p = Pipeline::new(Start::Literal("hello".into()))
+            .then(Step::Reverse)
+            .then(Step::ReplaceAll { from: 'e', to: 'a' })
+            .then(Step::Append {
+                suffix: "!".into(),
+                separator: "".into(),
+            });
+        let reports = p.lint(&solver()).unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(!r.has_errors(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn lint_of_generated_start_stops_after_generation() {
+        let p =
+            Pipeline::new(Start::Generate(Constraint::Palindrome { len: 3 })).then(Step::Reverse);
+        let reports = p.lint(&solver()).unwrap();
+        assert_eq!(reports.len(), 1, "generated text is unknown statically");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::error::ConstraintError;
 use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
 use crate::problem::{EncodedProblem, Solution};
 use qsmt_anneal::{metrics, SampleSet, Sampler, SimulatedAnnealer};
+use qsmt_lint::{lint_qubo, LintConfig, LintReport};
 use qsmt_qubo::{DenseQubo, QuboModel};
 use qsmt_telemetry::{
     CompileStats, EmbeddingStats, PresolveStats, Recorder, SamplerStats, SelectStats, SolveReport,
@@ -45,6 +46,8 @@ pub struct StringSolver {
     bias: Option<BiasProfile>,
     seed: u64,
     reads: usize,
+    lint_config: LintConfig,
+    deny_lint_errors: bool,
 }
 
 impl StringSolver {
@@ -56,6 +59,8 @@ impl StringSolver {
             bias: None,
             seed: 0,
             reads: 64,
+            lint_config: LintConfig::default(),
+            deny_lint_errors: false,
         }
     }
 
@@ -100,6 +105,24 @@ impl StringSolver {
         self
     }
 
+    /// Overrides the formulation-linter configuration used by
+    /// [`StringSolver::lint`] and the deny gate (precision model,
+    /// chain-strength heuristic, tolerances).
+    pub fn with_lint_config(mut self, cfg: LintConfig) -> Self {
+        self.lint_config = cfg;
+        self
+    }
+
+    /// Enables (or disables) deny-on-error mode: every solve first runs
+    /// the formulation linter over the compiled QUBO and refuses to
+    /// sample when any error-level diagnostic fires, returning
+    /// [`ConstraintError::LintRejected`] instead of a silently-unsound
+    /// answer.
+    pub fn with_deny_lint_errors(mut self, deny: bool) -> Self {
+        self.deny_lint_errors = deny;
+        self
+    }
+
     fn rebuild_default_sampler(&mut self) {
         self.sampler = Arc::new(
             SimulatedAnnealer::new()
@@ -129,12 +152,46 @@ impl StringSolver {
         }
     }
 
+    /// Runs the formulation linter ([`qsmt_lint`]) over the compiled QUBO
+    /// without sampling: a static soundness analysis of the encoding
+    /// itself (penalty gaps, dead variables, precision erosion, …).
+    ///
+    /// # Errors
+    /// Propagates encoding failures — linting happens after compilation.
+    pub fn lint(&self, constraint: &Constraint) -> Result<LintReport, ConstraintError> {
+        let problem = self.encode(constraint)?;
+        Ok(lint_qubo(&problem.qubo, &self.lint_config))
+    }
+
+    /// Deny gate: when deny-on-error mode is on, lint the compiled model
+    /// and reject it if any error-level diagnostic fires.
+    fn deny_gate(&self, qubo: &QuboModel) -> Result<(), ConstraintError> {
+        if !self.deny_lint_errors {
+            return Ok(());
+        }
+        let report = lint_qubo(qubo, &self.lint_config);
+        Self::reject_on_errors(&report)
+    }
+
+    fn reject_on_errors(report: &LintReport) -> Result<(), ConstraintError> {
+        if report.has_errors() {
+            let codes = report.codes().join(", ");
+            return Err(ConstraintError::LintRejected {
+                summary: format!("{} [{codes}]", report.summary()),
+            });
+        }
+        Ok(())
+    }
+
     /// Solves a constraint end to end.
     ///
     /// # Errors
-    /// Propagates encoding failures. Sampling itself is infallible.
+    /// Propagates encoding failures, and — in deny-on-error mode
+    /// ([`StringSolver::with_deny_lint_errors`]) — lint rejections.
+    /// Sampling itself is infallible.
     pub fn solve(&self, constraint: &Constraint) -> Result<SolveOutcome, ConstraintError> {
         let problem = self.encode(constraint)?;
+        self.deny_gate(&problem.qubo)?;
         let samples = self.sampler.sample(&problem.qubo);
         Ok(self.select(constraint, problem, samples))
     }
@@ -148,6 +205,7 @@ impl StringSolver {
         constraint: &Constraint,
     ) -> Result<(SolveOutcome, SolveTrace), ConstraintError> {
         let problem = self.encode(constraint)?;
+        self.deny_gate(&problem.qubo)?;
         let dense = DenseQubo::from_model(&problem.qubo);
         let trace_matrix = dense.abbreviated(4, 4);
         let stages = vec![
@@ -203,6 +261,7 @@ impl StringSolver {
         limit: usize,
     ) -> Result<Vec<Solution>, ConstraintError> {
         let problem = self.encode(constraint)?;
+        self.deny_gate(&problem.qubo)?;
         let samples = self.sampler.sample(&problem.qubo);
         let mut out = Vec::new();
         for sample in samples.iter() {
@@ -284,10 +343,11 @@ impl StringSolver {
     ///
     /// The solve path is identical to [`StringSolver::solve`] — telemetry
     /// is observational and the sampler's RNG stream is untouched — except
-    /// for two extra read-only analyses: a presolve pass over the encoded
-    /// QUBO and a minor-embedding probe onto a Chimera topology sized to
-    /// fit the problem (so reports carry chain statistics even when
-    /// sampling classically).
+    /// for three extra read-only analyses: a formulation-lint pass
+    /// ([`qsmt_lint`]) over the compiled QUBO, a presolve pass, and a
+    /// minor-embedding probe onto a Chimera topology sized to fit the
+    /// problem (so reports carry chain statistics even when sampling
+    /// classically).
     ///
     /// ```
     /// use qsmt_core::{Constraint, StringSolver};
@@ -318,7 +378,7 @@ impl StringSolver {
         }
 
         let rec = Recorder::new();
-        let mut stages = Vec::with_capacity(5);
+        let mut stages = Vec::with_capacity(6);
 
         let start = begin(&mut stages, &rec, "compile");
         let problem = {
@@ -336,6 +396,19 @@ impl StringSolver {
             encoding: problem.name.to_string(),
             time_us: stages.last().expect("pushed").dur_us,
         };
+
+        let start = begin(&mut stages, &rec, "lint");
+        let lint_report = {
+            let _s = rec.span("lint");
+            lint_qubo(&problem.qubo, &self.lint_config)
+        };
+        let lint_us = rec.elapsed_us() - start;
+        stages.last_mut().expect("pushed").dur_us = lint_us;
+        rec.event("linted", lint_report.summary());
+        if self.deny_lint_errors {
+            Self::reject_on_errors(&lint_report)?;
+        }
+        let lint = Some(lint_report.to_stats(lint_us));
 
         let start = begin(&mut stages, &rec, "presolve");
         let presolve = {
@@ -409,6 +482,7 @@ impl StringSolver {
             stages,
             compile,
             qubo: qubo_shape,
+            lint,
             presolve,
             embedding,
             sampling,
@@ -720,7 +794,7 @@ mod tests {
         let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(
             labels,
-            vec!["compile", "presolve", "embed", "sample", "select"]
+            vec!["compile", "lint", "presolve", "embed", "sample", "select"]
         );
         // Stage starts are monotone non-decreasing and fit in the total.
         for pair in report.stages.windows(2) {
@@ -764,6 +838,54 @@ mod tests {
                 target: "héllo".into()
             })
             .is_err());
+    }
+
+    #[test]
+    fn lint_is_clean_on_sound_formulations() {
+        let report = solver()
+            .lint(&Constraint::Reverse {
+                input: "abc".into(),
+            })
+            .unwrap();
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn deny_mode_passes_sound_encodings_and_reports_lint_stage() {
+        let s = solver().with_deny_lint_errors(true);
+        let out = s
+            .solve(&Constraint::Equality {
+                target: "hi".into(),
+            })
+            .unwrap();
+        assert!(out.valid);
+        let (_, report) = s
+            .solve_reported(&Constraint::Equality {
+                target: "hi".into(),
+            })
+            .unwrap();
+        let lint = report.lint.as_ref().expect("reported solve always lints");
+        assert_eq!(lint.errors, 0);
+    }
+
+    #[test]
+    fn deny_gate_rejects_error_reports() {
+        // Build an unsound model directly (under-weighted exactly-one
+        // clique overwhelmed by reward terms) and check the gate logic.
+        let mut m = QuboModel::new(3);
+        qsmt_qubo::PenaltyBuilder::new(&mut m)
+            .exactly_one(&[0, 1, 2], 1.0)
+            .bit_target(0, true, 5.0)
+            .bit_target(1, true, 5.0);
+        let report = qsmt_lint::lint_qubo(&m, &LintConfig::default());
+        assert!(report.has_errors());
+        let err = StringSolver::reject_on_errors(&report).unwrap_err();
+        match err {
+            ConstraintError::LintRejected { summary } => {
+                assert!(summary.contains("penalty-gap"), "{summary}");
+            }
+            other => panic!("expected LintRejected, got {other:?}"),
+        }
     }
 
     #[test]

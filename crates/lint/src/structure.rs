@@ -1,0 +1,134 @@
+//! Structural recovery of penalty groups from a compiled model.
+//!
+//! `PenaltyBuilder::exactly_one` / `at_most_one` compile to a clique of
+//! positive pairwise couplings over the group (`+2A·x_i·x_j` resp.
+//! `+B·x_i·x_j`). After compilation the builder's grouping is gone; this
+//! module recovers candidate groups as maximal cliques in the graph of
+//! positive quadratic couplings. Recovery is deliberately conservative:
+//! a clique that is not actually a penalty group will simply pass the
+//! validation passes (its couplings already make multi-hot states
+//! expensive), so over-detection cannot produce false errors by itself.
+
+use qsmt_qubo::{QuboModel, Var};
+use std::collections::HashMap;
+
+/// An inferred one-hot / at-most-one candidate group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneHotGroup {
+    /// Member variables, ascending.
+    pub vars: Vec<Var>,
+    /// Smallest intra-group pairwise coupling.
+    pub min_pair_weight: f64,
+    /// Largest intra-group pairwise coupling.
+    pub max_pair_weight: f64,
+}
+
+impl OneHotGroup {
+    /// True when every member has a strictly negative linear term — the
+    /// signature of `exactly_one` (the `−A` reward for turning one on).
+    pub fn looks_exactly_one(&self, model: &QuboModel) -> bool {
+        self.vars.iter().all(|&v| model.linear(v) < 0.0)
+    }
+}
+
+/// Adjacency over strictly positive quadratic couplings.
+pub(crate) fn positive_adjacency(model: &QuboModel) -> HashMap<Var, Vec<(Var, f64)>> {
+    let mut adj: HashMap<Var, Vec<(Var, f64)>> = HashMap::new();
+    for (i, j, q) in model.quadratic_iter() {
+        if q > 0.0 {
+            adj.entry(i).or_default().push((j, q));
+            adj.entry(j).or_default().push((i, q));
+        }
+    }
+    for neighbors in adj.values_mut() {
+        neighbors.sort_unstable_by_key(|&(v, _)| v);
+    }
+    adj
+}
+
+/// Infers candidate groups as greedily-grown maximal cliques over the
+/// positive-coupling graph, smallest seed variable first. Each variable
+/// belongs to at most one inferred group (penalty groups emitted by the
+/// builder are disjoint). Only cliques of size ≥ 2 are returned.
+pub fn infer_groups(model: &QuboModel) -> Vec<OneHotGroup> {
+    let adj = positive_adjacency(model);
+    let mut seeds: Vec<Var> = adj.keys().copied().collect();
+    seeds.sort_unstable();
+    let mut used = vec![false; model.num_vars()];
+    let mut groups = Vec::new();
+    for seed in seeds {
+        if used[seed as usize] {
+            continue;
+        }
+        let mut clique = vec![seed];
+        // Candidates: unused positive neighbors of the seed, ascending.
+        let mut candidates: Vec<Var> = adj[&seed]
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|&v| !used[v as usize])
+            .collect();
+        while let Some(&next) = candidates.first() {
+            clique.push(next);
+            candidates.retain(|&c| c != next && model.quadratic(next, c) > 0.0);
+        }
+        if clique.len() >= 2 {
+            clique.sort_unstable();
+            let mut min_w = f64::INFINITY;
+            let mut max_w = f64::NEG_INFINITY;
+            for (a, &u) in clique.iter().enumerate() {
+                for &v in &clique[a + 1..] {
+                    let w = model.quadratic(u, v);
+                    min_w = min_w.min(w);
+                    max_w = max_w.max(w);
+                }
+            }
+            for &v in &clique {
+                used[v as usize] = true;
+            }
+            groups.push(OneHotGroup {
+                vars: clique,
+                min_pair_weight: min_w,
+                max_pair_weight: max_w,
+            });
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsmt_qubo::PenaltyBuilder;
+
+    #[test]
+    fn recovers_exactly_one_group() {
+        let mut m = QuboModel::new(5);
+        PenaltyBuilder::new(&mut m).exactly_one(&[1, 2, 3], 2.0);
+        let groups = infer_groups(&m);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].vars, vec![1, 2, 3]);
+        assert!((groups[0].min_pair_weight - 4.0).abs() < 1e-12);
+        assert!(groups[0].looks_exactly_one(&m));
+    }
+
+    #[test]
+    fn recovers_disjoint_groups_and_ignores_negative_couplings() {
+        let mut m = QuboModel::new(6);
+        PenaltyBuilder::new(&mut m)
+            .at_most_one(&[0, 1], 1.0)
+            .at_most_one(&[3, 4, 5], 1.0)
+            .bits_equal(1, 2, 1.0); // negative coupling must not join groups
+        let groups = infer_groups(&m);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].vars, vec![0, 1]);
+        assert_eq!(groups[1].vars, vec![3, 4, 5]);
+        assert!(!groups[1].looks_exactly_one(&m));
+    }
+
+    #[test]
+    fn no_groups_on_diagonal_model() {
+        let mut m = QuboModel::new(3);
+        m.add_linear(0, -1.0);
+        assert!(infer_groups(&m).is_empty());
+    }
+}

@@ -82,6 +82,7 @@ impl QuboModel {
             self.linear.resize(n, 0.0);
             self.num_vars = n;
         }
+        debug_assert!(self.check_invariants().is_ok());
     }
 
     /// Adds `v` to the linear (diagonal) coefficient of variable `i`.
@@ -209,6 +210,11 @@ impl QuboModel {
         for q in self.quadratic.values_mut() {
             *q *= factor;
         }
+        // Scaling by zero (or a subnormal underflow) can produce exact
+        // zeros, which the sparse map must not store: every consumer
+        // (num_interactions, quadratic_iter, the linter's adjacency) relies
+        // on stored entries being structurally nonzero.
+        self.quadratic.retain(|_, q| *q != 0.0);
         self.offset *= factor;
     }
 
@@ -234,6 +240,50 @@ impl QuboModel {
             self.add_quadratic(i, j, q);
         }
         self.offset += other.offset;
+        debug_assert!(self.check_invariants().is_ok());
+    }
+
+    /// Verifies the model's structural invariants:
+    ///
+    /// * the linear vector covers exactly [`QuboModel::num_vars`] entries;
+    /// * every quadratic key is canonical (`i < j`, both in range) — no
+    ///   self-loops and no duplicate `(i, j)`/`(j, i)` storage;
+    /// * every stored quadratic coefficient is structurally nonzero.
+    ///
+    /// All mutating methods preserve these ([`QuboModel::merge`] and
+    /// [`QuboModel::grow_to`] additionally check them in debug builds);
+    /// the method exists so tests and tools that deserialize or compose
+    /// models can assert soundness cheaply.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.linear.len() != self.num_vars {
+            return Err(format!(
+                "linear vector has {} entries for {} variables",
+                self.linear.len(),
+                self.num_vars
+            ));
+        }
+        for (&key, &q) in &self.quadratic {
+            let (i, j) = unpack(key);
+            if i >= j {
+                return Err(format!(
+                    "non-canonical quadratic key ({i}, {j}): self-loops and \
+                     reversed pairs must fold into canonical storage"
+                ));
+            }
+            if j as usize >= self.num_vars {
+                return Err(format!(
+                    "quadratic key ({i}, {j}) exceeds {} variables",
+                    self.num_vars
+                ));
+            }
+            if q == 0.0 {
+                return Err(format!("stored zero coefficient at ({i}, {j})"));
+            }
+        }
+        Ok(())
     }
 
     /// Largest absolute coefficient (linear or quadratic); 0.0 for an empty
@@ -440,5 +490,72 @@ mod tests {
     #[should_panic(expected = "state length")]
     fn energy_rejects_wrong_length() {
         QuboModel::new(2).energy(&[0]);
+    }
+
+    #[test]
+    fn merge_canonicalizes_reversed_pairs_and_self_loops() {
+        // The donor stores (1, 2); the receiver already holds the same
+        // interaction added in the *other* order plus a self-loop folded
+        // into its diagonal. Merging must keep one canonical entry, not
+        // grow a duplicate (j, i) twin.
+        let mut donor = QuboModel::new(3);
+        donor.add_quadratic(2, 1, 4.0); // reversed order on purpose
+        donor.add_quadratic(0, 0, 2.5); // self-loop → linear
+        donor.add_offset(1.0);
+
+        let mut m = QuboModel::new(3);
+        m.add_quadratic(1, 2, -1.0);
+        m.merge(&donor);
+
+        assert_eq!(m.num_interactions(), 1, "one canonical (1,2) entry");
+        assert_eq!(m.quadratic(1, 2), 3.0);
+        assert_eq!(m.quadratic(2, 1), 3.0, "lookup is order-insensitive");
+        assert_eq!(m.linear(0), 2.5, "self-loop folded into the diagonal");
+        assert!(m.check_invariants().is_ok());
+
+        // Energy is the sum of the parts on every state.
+        let mut expected = QuboModel::new(3);
+        expected.add_quadratic(1, 2, 3.0);
+        expected.add_linear(0, 2.5);
+        expected.add_offset(1.0);
+        for s in 0..8u8 {
+            let state = [s & 1, (s >> 1) & 1, (s >> 2) & 1];
+            assert_eq!(m.energy(&state), expected.energy(&state));
+        }
+    }
+
+    #[test]
+    fn merge_cancellation_leaves_no_zero_entries() {
+        let mut donor = QuboModel::new(2);
+        donor.add_quadratic(0, 1, -2.0);
+        let mut m = QuboModel::new(2);
+        m.add_quadratic(0, 1, 2.0);
+        m.merge(&donor);
+        assert_eq!(m.num_interactions(), 0, "cancelled entry must vanish");
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn grow_to_preserves_invariants_and_existing_couplings() {
+        let mut m = QuboModel::new(2);
+        m.add_quadratic(0, 1, 1.5);
+        m.grow_to(5);
+        assert!(m.check_invariants().is_ok());
+        assert_eq!(m.quadratic(0, 1), 1.5);
+        // New variables are usable immediately.
+        m.add_quadratic(1, 4, -0.5);
+        assert!(m.check_invariants().is_ok());
+        assert_eq!(m.num_interactions(), 2);
+    }
+
+    #[test]
+    fn scale_by_zero_clears_sparse_interactions() {
+        let mut m = QuboModel::new(2);
+        m.add_quadratic(0, 1, 3.0);
+        m.add_linear(0, 1.0);
+        m.scale(0.0);
+        assert_eq!(m.num_interactions(), 0, "zeros must not be stored");
+        assert!(m.check_invariants().is_ok());
+        assert_eq!(m.energy(&[1, 1]), 0.0);
     }
 }

@@ -114,6 +114,66 @@ proptest! {
     }
 
     #[test]
+    fn fixing_multiple_variables_round_trips_energies(
+        m in arb_model(),
+        picks in proptest::collection::vec((0usize..8, 0u8..=1), 1..=4),
+    ) {
+        // Deduplicate to distinct variables (last pick wins, matching a
+        // caller that composes fixes left to right).
+        let mut fixes: Vec<(u32, u8)> = Vec::new();
+        for (v, val) in picks {
+            let v = (v % m.num_vars()) as u32;
+            fixes.retain(|&(u, _)| u != v);
+            fixes.push((v, val));
+        }
+        prop_assume!(fixes.len() < m.num_vars());
+        let red = fix_variables(&m, &fixes);
+        prop_assert_eq!(red.num_fixed(), fixes.len());
+        for s in all_states(red.model.num_vars()) {
+            let full = red.lift(&s);
+            // The lift reinstates every fixed variable at its pinned value
+            // exactly, and the reduced energy equals the full energy.
+            prop_assert_eq!(full.len(), m.num_vars());
+            for &(v, val) in &fixes {
+                prop_assert_eq!(full[v as usize], val);
+            }
+            prop_assert!((red.model.energy(&s) - m.energy(&full)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn persistent_assignments_never_fix_to_a_non_ground_value(m in arb_model()) {
+        // Stronger framing than soundness-per-state: collect the set of
+        // values each variable takes across *all* exact ground states; a
+        // persistent fix must pick a value that every ground state uses.
+        let (_, states) = m.brute_force_ground_states();
+        prop_assert!(!states.is_empty());
+        for (v, val) in persistent_assignments(&m) {
+            let ground_values: std::collections::BTreeSet<u8> =
+                states.iter().map(|s| s[v as usize]).collect();
+            prop_assert_eq!(
+                ground_values.len(), 1,
+                "persistency fixed x{} but ground states disagree on it", v
+            );
+            prop_assert!(ground_values.contains(&val));
+        }
+    }
+
+    #[test]
+    fn reductions_and_merges_preserve_model_invariants(a in arb_model(), b in arb_model()) {
+        prop_assert!(a.check_invariants().is_ok());
+        let red = presolve(&a);
+        prop_assert!(red.model.check_invariants().is_ok());
+        let n = a.num_vars().max(b.num_vars());
+        let mut merged = a.clone();
+        merged.grow_to(n);
+        let mut b2 = b.clone();
+        b2.grow_to(n);
+        merged.merge(&b2);
+        prop_assert!(merged.check_invariants().is_ok());
+    }
+
+    #[test]
     fn normalize_preserves_ground_states(m in arb_model()) {
         prop_assume!(m.max_abs_coefficient() > 0.0);
         let (_, before) = m.brute_force_ground_states();

@@ -242,7 +242,7 @@ impl Parser {
                         if hi < lo {
                             return Err(self.err("inverted character range"));
                         }
-                        members.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        members.extend((lo..=hi).filter(char::is_ascii));
                     } else {
                         members.push(lo);
                     }

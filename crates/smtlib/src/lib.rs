@@ -44,5 +44,5 @@ mod sexpr;
 pub use ast::{AstError, Command, RegLan, Sort, Term};
 pub use compile::{compile, reglan_to_regex, CompileError, Goal};
 pub use lexer::{lex, LexError, Token};
-pub use script::{ModelValue, SatStatus, Script, ScriptError, ScriptOutcome};
+pub use script::{GoalLint, ModelValue, SatStatus, Script, ScriptError, ScriptOutcome};
 pub use sexpr::{parse_sexprs, SExpr, SExprError};

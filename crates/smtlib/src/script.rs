@@ -277,6 +277,65 @@ impl Script {
     }
 }
 
+/// Per-goal result of a static lint pass over a script
+/// ([`Script::lint`]).
+#[derive(Debug, Clone)]
+pub struct GoalLint {
+    /// The goal's declared variable name.
+    pub name: String,
+    /// One lint report per solver invocation the goal would perform
+    /// (pipelines produce one per stage). Empty when the goal proved
+    /// unsatisfiable at encode time — there is no QUBO to lint.
+    pub reports: Vec<qsmt_core::LintReport>,
+    /// True when encoding proved the goal unsatisfiable.
+    pub unsat: bool,
+}
+
+impl GoalLint {
+    /// True when any stage of this goal carries an error-level diagnostic.
+    pub fn has_errors(&self) -> bool {
+        self.reports.iter().any(qsmt_core::LintReport::has_errors)
+    }
+}
+
+impl Script {
+    /// Statically lints every goal's compiled QUBO without sampling: the
+    /// script-level entry point behind `qsmt lint`. Goals that prove
+    /// unsatisfiable at encode time are reported with `unsat: true` and
+    /// no lint reports (unsatisfiability is a property of the constraint,
+    /// not a formulation defect).
+    ///
+    /// # Errors
+    /// Propagates compilation errors and non-unsat encoding errors.
+    pub fn lint(&self, solver: &StringSolver) -> Result<Vec<GoalLint>, ScriptError> {
+        let goals = self.compile()?;
+        let mut out = Vec::with_capacity(goals.len());
+        for goal in &goals {
+            let (name, linted) = match goal {
+                Goal::StringConstraint { name, constraint }
+                | Goal::IndexQuery { name, constraint } => {
+                    (name, solver.lint(constraint).map(|r| vec![r]))
+                }
+                Goal::StringPipeline { name, pipeline } => (name, pipeline.lint(solver)),
+            };
+            match linted {
+                Ok(reports) => out.push(GoalLint {
+                    name: name.clone(),
+                    reports,
+                    unsat: false,
+                }),
+                Err(e) if is_unsat(&e) => out.push(GoalLint {
+                    name: name.clone(),
+                    reports: Vec::new(),
+                    unsat: true,
+                }),
+                Err(e) => return Err(ScriptError::Encode(e)),
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// Encoding errors that prove unsatisfiability of the asserted conjunction
 /// (rather than a malformed script).
 fn is_unsat(e: &ConstraintError) -> bool {
@@ -415,6 +474,40 @@ mod tests {
         .unwrap();
         let out = script.solve(&solver()).unwrap();
         assert_eq!(out.status, SatStatus::Unsat);
+    }
+
+    #[test]
+    fn lint_covers_every_goal_without_sampling() {
+        let script = Script::parse(
+            "(declare-const x String)\
+             (assert (= x (str.rev \"ab\")))\
+             (declare-const i Int)\
+             (assert (= i (str.indexof \"hello\" \"llo\" 0)))",
+        )
+        .unwrap();
+        let lints = script.lint(&solver()).unwrap();
+        assert_eq!(lints.len(), 2);
+        assert_eq!(lints[0].name, "x");
+        assert_eq!(lints[1].name, "i");
+        for goal in &lints {
+            assert!(!goal.unsat);
+            assert!(!goal.reports.is_empty());
+            assert!(!goal.has_errors());
+        }
+    }
+
+    #[test]
+    fn lint_marks_encode_time_unsat_goals() {
+        let script = Script::parse(
+            "(declare-const r String)\
+             (assert (str.in_re r (str.to_re \"abc\")))\
+             (assert (= (str.len r) 2))",
+        )
+        .unwrap();
+        let lints = script.lint(&solver()).unwrap();
+        assert_eq!(lints.len(), 1);
+        assert!(lints[0].unsat);
+        assert!(lints[0].reports.is_empty());
     }
 
     #[test]

@@ -148,7 +148,7 @@ mod tests {
     fn display_round_trips() {
         let src = "(assert (= x \"say \"\"hi\"\"\")) (check-sat)";
         let es = parse_sexprs(src).unwrap();
-        let printed: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+        let printed: Vec<String> = es.iter().map(ToString::to_string).collect();
         let reparsed = parse_sexprs(&printed.join(" ")).unwrap();
         assert_eq!(es, reparsed);
     }

@@ -34,6 +34,6 @@ pub mod report;
 pub use json::{parse, Json, JsonParseError};
 pub use recorder::{Recorder, SpanGuard, SpanRecord, TraceDisplay};
 pub use report::{
-    CompileStats, EmbeddingStats, GoalKind, GoalReport, PresolveStats, QuboShape, RunReport,
-    SamplerStats, SelectStats, SolveReport, StageTiming,
+    CompileStats, EmbeddingStats, GoalKind, GoalReport, LintStats, PresolveStats, QuboShape,
+    RunReport, SamplerStats, SelectStats, SolveReport, StageTiming,
 };

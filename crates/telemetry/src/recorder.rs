@@ -118,13 +118,16 @@ impl Recorder {
     fn push(&self, record: SpanRecord) {
         self.records
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(record);
     }
 
     /// Consumes the recorder, returning all records sorted by start time.
     pub fn finish(self) -> Vec<SpanRecord> {
-        let mut records = self.records.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut records = self
+            .records
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         records.sort_by_key(|r| r.start_us);
         records
     }
@@ -134,7 +137,7 @@ impl Recorder {
         let mut records = self
             .records
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone();
         records.sort_by_key(|r| r.start_us);
         records
@@ -254,8 +257,8 @@ mod tests {
             detail: None,
         };
         let j = r.to_json();
-        assert_eq!(j.get("name").and_then(|v| v.as_str()), Some("sample"));
-        assert_eq!(j.get("dur_us").and_then(|v| v.as_u64()), Some(25));
+        assert_eq!(j.get("name").and_then(Json::as_str), Some("sample"));
+        assert_eq!(j.get("dur_us").and_then(Json::as_u64), Some(25));
         assert!(j.get("detail").is_none());
     }
 }

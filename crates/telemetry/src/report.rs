@@ -217,6 +217,42 @@ impl SamplerStats {
     }
 }
 
+/// Condensed formulation-linter counters (schema v2).
+///
+/// The full diagnostic list (messages, variables, metrics) lives in
+/// `qsmt-lint`'s `LintReport`; the solve report carries only the
+/// counters and the sorted set of distinct lint codes so dashboards can
+/// alert on encoding regressions without parsing prose.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintStats {
+    /// Wall-clock time of the lint pass, microseconds.
+    pub time_us: u64,
+    /// Error-severity findings (formulation likely unsound).
+    pub errors: usize,
+    /// Warning-severity findings (sound but fragile on hardware).
+    pub warnings: usize,
+    /// Info-severity findings (structural observations).
+    pub infos: usize,
+    /// Sorted, de-duplicated kebab-case lint codes present.
+    pub codes: Vec<String>,
+}
+
+impl LintStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("time_us", Json::from(self.time_us)),
+            ("errors", Json::from(self.errors)),
+            ("warnings", Json::from(self.warnings)),
+            ("infos", Json::from(self.infos)),
+            (
+                "codes",
+                Json::Arr(self.codes.iter().map(|c| Json::from(c.as_str())).collect()),
+            ),
+        ])
+    }
+}
+
 /// Post-selection statistics: how the decoded answer was chosen.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStats {
@@ -243,8 +279,8 @@ impl SelectStats {
 /// One top-level stage timing within a solve, in execution order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageTiming {
-    /// Stage name: one of `compile`, `presolve`, `embed`, `sample`,
-    /// `select`.
+    /// Stage name: one of `compile`, `lint`, `presolve`, `embed`,
+    /// `sample`, `select`.
     pub label: String,
     /// Microseconds from solve start to stage start.
     pub start_us: u64,
@@ -284,6 +320,9 @@ pub struct SolveReport {
     pub qubo: QuboShape,
     /// Presolve statistics.
     pub presolve: PresolveStats,
+    /// Formulation-linter counters; `None` when linting was disabled
+    /// (additive in schema v2, serialized as `null` when absent).
+    pub lint: Option<LintStats>,
     /// Hardware-projection embedding statistics; `None` when the problem
     /// graph could not be embedded in the probe topology.
     pub embedding: Option<EmbeddingStats>,
@@ -311,6 +350,10 @@ impl SolveReport {
             ("compile", self.compile.to_json()),
             ("qubo", self.qubo.to_json()),
             ("presolve", self.presolve.to_json()),
+            (
+                "lint",
+                self.lint.as_ref().map_or(Json::Null, LintStats::to_json),
+            ),
             (
                 "embedding",
                 self.embedding
@@ -348,6 +391,16 @@ impl SolveReport {
             "  presolve: fixed {}/{} vars\n",
             self.presolve.fixed_vars, self.presolve.original_vars
         ));
+        if let Some(l) = &self.lint {
+            out.push_str(&format!(
+                "  lint: {} errors, {} warnings, {} info{}{}\n",
+                l.errors,
+                l.warnings,
+                l.infos,
+                if l.codes.is_empty() { "" } else { " — " },
+                l.codes.join(", ")
+            ));
+        }
         if let Some(e) = &self.embedding {
             out.push_str(&format!(
                 "  embedding: {} → {} qubits on {}, max chain {}\n",
@@ -449,8 +502,10 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Current schema version.
-    pub const SCHEMA_VERSION: u32 = 1;
+    /// Current schema version. v2 adds the additive `lint` field on
+    /// `SolveReport` (and the `lint` stage label); v1 readers keep
+    /// working because no existing field changed.
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// Serializes as a JSON object.
     pub fn to_json(&self) -> Json {
@@ -511,6 +566,13 @@ mod tests {
                 reduced_vars: 0,
                 reduction_ratio: 1.0,
             },
+            lint: Some(LintStats {
+                time_us: 3,
+                errors: 0,
+                warnings: 1,
+                infos: 2,
+                codes: vec!["dead-variable".into(), "presolve-fixable".into()],
+            }),
             embedding: Some(EmbeddingStats::from_chains(
                 "chimera-2x2x4",
                 &[vec![0], vec![1, 2], vec![3]],
@@ -576,12 +638,27 @@ mod tests {
     }
 
     #[test]
+    fn lint_stats_serialize_with_codes() {
+        let r = sample_report();
+        let doc = parse(&r.to_json().pretty()).unwrap();
+        let lint = doc.get("lint").unwrap();
+        assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(0));
+        assert_eq!(lint.get("warnings").and_then(Json::as_u64), Some(1));
+        let codes = lint.get("codes").and_then(Json::as_arr).unwrap();
+        assert_eq!(codes[0].as_str(), Some("dead-variable"));
+        let text = r.render_stats();
+        assert!(text.contains("lint: 0 errors, 1 warnings, 2 info"));
+    }
+
+    #[test]
     fn optional_fields_serialize_as_null() {
         let mut r = sample_report();
         r.embedding = None;
         r.sampling.proposals = None;
         r.select.valid_rank = None;
+        r.lint = None;
         let j = r.to_json();
+        assert_eq!(j.get("lint"), Some(&Json::Null));
         assert_eq!(j.get("embedding"), Some(&Json::Null));
         assert_eq!(
             j.get("sampling").unwrap().get("proposals"),
@@ -611,7 +688,7 @@ mod tests {
             }],
         };
         let doc = parse(&run.to_json().pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
         let goals = doc.get("goals").and_then(Json::as_arr).unwrap();
         assert_eq!(
             goals[0].get("kind").and_then(Json::as_str),

@@ -48,8 +48,7 @@ fn main() {
                     let ok = if check_palindrome {
                         decoded
                             .as_text()
-                            .map(|t| t.chars().rev().collect::<String>() == t)
-                            .unwrap_or(false)
+                            .is_some_and(|t| t.chars().rev().collect::<String>() == t)
                     } else {
                         decoded.as_index() == Some(0)
                     };

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
-//!                        [--stats] [--report <path>] [--trace]
+//!                        [--stats] [--report <path>] [--trace] [--lint]
+//! qsmt lint  <file.smt2> [--format text|json]  # static formulation analysis
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
 //! ```
@@ -14,13 +15,19 @@
 //! per-stage timings and sampler statistics for every solve, `--report
 //! <path>` writes the full JSON run report, and `--trace` prints the raw
 //! span/event log.
+//!
+//! Static analysis (documented in `docs/LINTS.md`): `qsmt lint` compiles
+//! every goal's QUBO and runs the formulation linter without sampling,
+//! exiting nonzero when any error-level diagnostic fires; `--lint` on
+//! `solve`/`demo` enables deny-on-error mode, refusing to sample an
+//! encoding the linter can prove unsound.
 
 use qsmt::anneal::{
     ExactSolver, ParallelTempering, PopulationAnnealer, RandomSampler, Sampler, SimulatedAnnealer,
     SimulatedQuantumAnnealer, SteepestDescent, TabuSearch,
 };
 use qsmt::smtlib::Goal;
-use qsmt::telemetry::{RunReport, TraceDisplay};
+use qsmt::telemetry::{Json, RunReport, TraceDisplay};
 use qsmt::{Script, StringSolver};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -31,10 +38,11 @@ qsmt — quantum-based SMT solving for string theory
 
 USAGE:
   qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
-                         [--stats] [--report <path>] [--trace]
+                         [--stats] [--report <path>] [--trace] [--lint]
+  qsmt lint  <file.smt2> [--format text|json]
   qsmt dump  <file.smt2> [--goal K]
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
-             [--stats] [--report <path>] [--trace]
+             [--stats] [--report <path>] [--trace] [--lint]
 
 SAMPLERS:
   sa (default) | sqa | pt | tabu | descent | exact | population | random
@@ -43,6 +51,13 @@ OBSERVABILITY (see docs/OBSERVABILITY.md):
   --stats          print per-stage timings and sampler statistics
   --report <path>  write the full JSON run report to <path>
   --trace          print the raw span/event log of every solve
+
+STATIC ANALYSIS (see docs/LINTS.md):
+  qsmt lint        run the formulation linter over every goal's compiled
+                   QUBO without sampling; exits nonzero on error-level
+                   diagnostics (--format json for machine-readable output)
+  --lint           deny-on-error mode for solve/demo: refuse to sample an
+                   encoding the linter can prove unsound
 ";
 
 const DEMO: &str = r#"
@@ -73,6 +88,8 @@ struct Options {
     stats: bool,
     report: Option<String>,
     trace: bool,
+    lint: bool,
+    format: String,
 }
 
 impl Default for Options {
@@ -85,6 +102,8 @@ impl Default for Options {
             stats: false,
             report: None,
             trace: false,
+            lint: false,
+            format: "text".into(),
         }
     }
 }
@@ -111,21 +130,29 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
-                    .map_err(|_| "--seed expects an integer".to_string())?
+                    .map_err(|_| "--seed expects an integer".to_string())?;
             }
             "--reads" => {
                 opts.reads = value("--reads")?
                     .parse()
-                    .map_err(|_| "--reads expects an integer".to_string())?
+                    .map_err(|_| "--reads expects an integer".to_string())?;
             }
             "--goal" => {
                 opts.goal = value("--goal")?
                     .parse()
-                    .map_err(|_| "--goal expects an index".to_string())?
+                    .map_err(|_| "--goal expects an index".to_string())?;
             }
             "--stats" => opts.stats = true,
             "--report" => opts.report = Some(value("--report")?),
             "--trace" => opts.trace = true,
+            "--lint" => opts.lint = true,
+            "--format" => {
+                let fmt = value("--format")?;
+                if fmt != "text" && fmt != "json" {
+                    return Err(format!("--format expects text or json, got {fmt:?}"));
+                }
+                opts.format = fmt;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -177,7 +204,7 @@ fn make_sampler(opts: &Options) -> Result<Arc<dyn Sampler>, String> {
 
 fn run_solve(source: &str, source_name: &str, opts: &Options) -> Result<(), String> {
     let script = Script::parse(source).map_err(|e| e.to_string())?;
-    let solver = StringSolver::new(make_sampler(opts)?);
+    let solver = StringSolver::new(make_sampler(opts)?).with_deny_lint_errors(opts.lint);
     // Samplers with hard limits (the exact enumerator caps at 26
     // variables) signal misuse by panicking; surface that as a normal
     // CLI error instead of a crash.
@@ -185,7 +212,7 @@ fn run_solve(source: &str, source_name: &str, opts: &Options) -> Result<(), Stri
         let msg = payload
             .downcast_ref::<String>()
             .cloned()
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
             .unwrap_or_else(|| "sampler rejected the problem".to_string());
         format!(
             "sampler {:?} cannot solve this problem: {msg}",
@@ -259,6 +286,65 @@ fn run_solve(source: &str, source_name: &str, opts: &Options) -> Result<(), Stri
     Ok(())
 }
 
+/// `qsmt lint`: static formulation analysis of every goal's compiled
+/// QUBO. Returns whether any error-level diagnostic fired (mapped to the
+/// process exit code), so formulation defects gate CI without sampling.
+fn run_lint(source: &str, source_name: &str, opts: &Options) -> Result<bool, String> {
+    let script = Script::parse(source).map_err(|e| e.to_string())?;
+    let solver = StringSolver::with_defaults();
+    let goals = script.lint(&solver).map_err(|e| e.to_string())?;
+    let any_errors = goals.iter().any(qsmt::smtlib::GoalLint::has_errors);
+
+    if opts.format == "json" {
+        let goal_values: Vec<Json> = goals
+            .iter()
+            .map(|g| {
+                Json::obj([
+                    ("name", Json::Str(g.name.clone())),
+                    ("unsat", Json::Bool(g.unsat)),
+                    ("has_errors", Json::Bool(g.has_errors())),
+                    (
+                        "reports",
+                        Json::Arr(
+                            g.reports
+                                .iter()
+                                .map(qsmt::core::LintReport::to_json)
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("source", Json::Str(source_name.to_string())),
+            ("goals", Json::Arr(goal_values)),
+            ("has_errors", Json::Bool(any_errors)),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        for g in &goals {
+            if g.unsat {
+                println!("goal {}: unsat at encode time (nothing to lint)", g.name);
+                continue;
+            }
+            for (i, report) in g.reports.iter().enumerate() {
+                let stage = if g.reports.len() > 1 {
+                    format!(" stage {i}")
+                } else {
+                    String::new()
+                };
+                println!("goal {}{stage}: {}", g.name, report.summary());
+                for diagnostic in &report.diagnostics {
+                    for line in diagnostic.render().lines() {
+                        println!("  {line}");
+                    }
+                }
+            }
+        }
+    }
+    Ok(any_errors)
+}
+
 fn run_dump(source: &str, opts: &Options) -> Result<(), String> {
     let script = Script::parse(source).map_err(|e| e.to_string())?;
     let goals = script.compile().map_err(|e| e.to_string())?;
@@ -293,7 +379,7 @@ fn run_dump(source: &str, opts: &Options) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
-        Some((cmd, rest)) if cmd == "solve" || cmd == "dump" => {
+        Some((cmd, rest)) if cmd == "solve" || cmd == "dump" || cmd == "lint" => {
             let Some((path, flags)) = rest.split_first() else {
                 eprintln!("{USAGE}");
                 return ExitCode::FAILURE;
@@ -302,13 +388,17 @@ fn main() -> ExitCode {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
                 parse_flags(flags),
             ) {
-                (Ok(source), Ok(opts)) => {
-                    if cmd == "solve" {
-                        run_solve(&source, path, &opts)
-                    } else {
-                        run_dump(&source, &opts)
-                    }
-                }
+                (Ok(source), Ok(opts)) => match cmd.as_str() {
+                    "solve" => run_solve(&source, path, &opts),
+                    "lint" => match run_lint(&source, path, &opts) {
+                        // Diagnostics are already printed; error-level
+                        // findings gate the exit code.
+                        Ok(false) => Ok(()),
+                        Ok(true) => return ExitCode::FAILURE,
+                        Err(e) => Err(e),
+                    },
+                    _ => run_dump(&source, &opts),
+                },
                 (Err(e), _) | (_, Err(e)) => Err(e),
             }
         }

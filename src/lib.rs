@@ -16,6 +16,8 @@
 //!   tempering, tabu search, population annealing, exact enumeration;
 //! * [`qpu`] — Chimera/Pegasus/Zephyr-style topologies, minor embedding,
 //!   chain handling, gauges, QPU timing and noise;
+//! * [`lint`] — the formulation linter: static soundness analysis of
+//!   compiled QUBO/Ising encodings (see `docs/LINTS.md`);
 //! * [`smtlib`] — the SMT-LIB v2 string-theory front end;
 //! * [`telemetry`] — solver observability: span recording, per-stage
 //!   statistics, and JSON run reports (see `docs/OBSERVABILITY.md`);
@@ -42,6 +44,7 @@
 pub use qsmt_anneal as anneal;
 pub use qsmt_baseline as baseline;
 pub use qsmt_core as core;
+pub use qsmt_lint as lint;
 pub use qsmt_qpu as qpu;
 pub use qsmt_qubo as qubo;
 pub use qsmt_redex as redex;
@@ -57,6 +60,7 @@ pub use qsmt_core::{
     BiasProfile, Constraint, ConstraintError, Pipeline, PipelineReport, Solution, SolveOutcome,
     Start, Step, StringSolver,
 };
+pub use qsmt_lint::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
 pub use qsmt_qpu::{ChainBreakResolution, ChainStrength, QpuSimulator, Topology};
 pub use qsmt_qubo::{IsingModel, QuboModel};
 pub use qsmt_smtlib::{SatStatus, Script};

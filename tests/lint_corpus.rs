@@ -1,0 +1,145 @@
+//! Corpus gate: `qsmt lint --format json` over every script in
+//! `benchmarks/` must match the checked-in expected-diagnostics snapshot
+//! (`benchmarks/lint_expected.json`) and must be free of error-level
+//! diagnostics. This pins the linter's verdict on the whole shipped
+//! corpus: a formulation regression (or a linter regression) shows up as
+//! a readable snapshot diff in CI.
+//!
+//! To regenerate the snapshot after an intentional change:
+//!
+//! ```text
+//! QSMT_BLESS=1 cargo test --test lint_corpus
+//! ```
+
+use qsmt::telemetry::{parse, Json};
+use std::collections::BTreeMap;
+use std::process::Command;
+
+fn benchmarks_dir() -> String {
+    format!("{}/benchmarks", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn snapshot_path() -> String {
+    format!("{}/lint_expected.json", benchmarks_dir())
+}
+
+/// Runs `qsmt lint --format json` on one script and parses the output.
+fn lint_json(path: &str) -> Json {
+    let out = Command::new(env!("CARGO_BIN_EXE_qsmt"))
+        .args(["lint", path, "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "qsmt lint {path} failed (error-level diagnostics or crash):\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    parse(&String::from_utf8(out.stdout).expect("utf8")).expect("valid JSON")
+}
+
+/// Reduces a lint document to its stable shape: per-goal severity counts
+/// and the set of fired codes. Message texts and metrics are allowed to
+/// evolve without churning the snapshot.
+fn summarize(doc: &Json) -> Json {
+    let goals = doc.get("goals").and_then(Json::as_arr).expect("goals");
+    let summarized: Vec<Json> = goals
+        .iter()
+        .map(|g| {
+            let reports = g.get("reports").and_then(Json::as_arr).expect("reports");
+            let mut errors = 0.0;
+            let mut warnings = 0.0;
+            let mut infos = 0.0;
+            let mut codes: Vec<String> = Vec::new();
+            for r in reports {
+                errors += r.get("errors").and_then(Json::as_f64).unwrap_or(0.0);
+                warnings += r.get("warnings").and_then(Json::as_f64).unwrap_or(0.0);
+                infos += r.get("infos").and_then(Json::as_f64).unwrap_or(0.0);
+                for d in r
+                    .get("diagnostics")
+                    .and_then(Json::as_arr)
+                    .expect("diagnostics")
+                {
+                    let code = d.get("code").and_then(Json::as_str).expect("code");
+                    if !codes.iter().any(|c| c == code) {
+                        codes.push(code.to_string());
+                    }
+                }
+            }
+            codes.sort();
+            Json::obj([
+                (
+                    "name",
+                    Json::Str(g.get("name").and_then(Json::as_str).unwrap().to_string()),
+                ),
+                (
+                    "unsat",
+                    Json::Bool(g.get("unsat").and_then(Json::as_bool).unwrap()),
+                ),
+                ("stages", Json::Num(reports.len() as f64)),
+                ("errors", Json::Num(errors)),
+                ("warnings", Json::Num(warnings)),
+                ("infos", Json::Num(infos)),
+                (
+                    "codes",
+                    Json::Arr(codes.into_iter().map(Json::Str).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Arr(summarized)
+}
+
+#[test]
+fn corpus_lint_matches_expected_snapshot_and_has_no_errors() {
+    let dir = benchmarks_dir();
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .expect("benchmarks dir")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".smt2").then_some(name)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus must not be empty");
+
+    let mut actual = BTreeMap::new();
+    for name in &files {
+        let doc = lint_json(&format!("{dir}/{name}"));
+        assert_eq!(
+            doc.get("has_errors").and_then(Json::as_bool),
+            Some(false),
+            "{name}: corpus formulations must be free of error-level lints"
+        );
+        actual.insert(name.clone(), summarize(&doc));
+    }
+    let actual = Json::Obj(actual);
+
+    if std::env::var("QSMT_BLESS").is_ok() {
+        std::fs::write(snapshot_path(), actual.pretty()).expect("write snapshot");
+        eprintln!("blessed {}", snapshot_path());
+        return;
+    }
+
+    let expected_text = std::fs::read_to_string(snapshot_path()).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run `QSMT_BLESS=1 cargo test --test lint_corpus` \
+             to generate it",
+            snapshot_path()
+        )
+    });
+    let expected = parse(&expected_text).expect("snapshot is valid JSON");
+    if actual != expected {
+        let actual_pretty = actual.pretty();
+        let expected_pretty = expected.pretty();
+        for (a, e) in actual_pretty.lines().zip(expected_pretty.lines()) {
+            if a != e {
+                eprintln!("- {e}\n+ {a}");
+            }
+        }
+        panic!(
+            "lint corpus snapshot drifted; if the change is intentional run \
+             `QSMT_BLESS=1 cargo test --test lint_corpus` and commit the result"
+        );
+    }
+}

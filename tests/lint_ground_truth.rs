@@ -1,0 +1,221 @@
+//! Ground-truth validation of the formulation linter (docs/LINTS.md).
+//!
+//! Two directions:
+//!
+//! 1. *Soundness of the clean verdict.* Every Table-1 formulation the
+//!    paper ships must lint free of error-level diagnostics, and — for
+//!    models small enough to enumerate exactly — the brute-force ground
+//!    states of the compiled QUBO must decode to strings satisfying the
+//!    constraint's real semantics. A linter that passed an encoding whose
+//!    exact optimum violates the constraint would be lying.
+//!
+//! 2. *Sensitivity.* A deliberately under-weighted penalty formulation
+//!    (an exactly-one clique overwhelmed by reward terms) must trip
+//!    `penalty-gap`, and brute force must confirm the defect is real:
+//!    the true ground state violates the one-hot constraint.
+
+use qsmt::qubo::{PenaltyBuilder, QuboModel};
+use qsmt::{Constraint, LintConfig, Pipeline, Start, Step, StringSolver};
+
+fn solver() -> StringSolver {
+    StringSolver::with_defaults().with_seed(9)
+}
+
+/// The paper's twelve formulations (§4.1–§4.12), sized small enough to
+/// keep linting fast but exercising every encoder.
+fn table1_constraints() -> Vec<(&'static str, Constraint)> {
+    vec![
+        (
+            "4.1 equality",
+            Constraint::Equality {
+                target: "hi".into(),
+            },
+        ),
+        (
+            "4.2 concat",
+            Constraint::Concat {
+                parts: vec!["ab".into(), "cd".into()],
+                separator: " ".into(),
+            },
+        ),
+        (
+            "4.3 substring",
+            Constraint::SubstringMatch {
+                substring: "ab".into(),
+                len: 3,
+            },
+        ),
+        (
+            "4.4 includes",
+            Constraint::Includes {
+                haystack: "hello".into(),
+                needle: "ll".into(),
+            },
+        ),
+        (
+            "4.5 indexof",
+            Constraint::IndexOfPlacement {
+                substring: "ab".into(),
+                index: 1,
+                len: 3,
+            },
+        ),
+        (
+            "4.6 length",
+            Constraint::LengthUnary {
+                desired: 2,
+                slots: 4,
+            },
+        ),
+        (
+            "4.7 replace_all",
+            Constraint::ReplaceAll {
+                input: "aba".into(),
+                from: 'a',
+                to: 'z',
+            },
+        ),
+        (
+            "4.8 replace_first",
+            Constraint::ReplaceFirst {
+                input: "aa".into(),
+                from: 'a',
+                to: 'b',
+            },
+        ),
+        (
+            "4.9 reverse",
+            Constraint::Reverse {
+                input: "abc".into(),
+            },
+        ),
+        ("4.10 palindrome", Constraint::Palindrome { len: 4 }),
+        (
+            "4.11 regex",
+            Constraint::Regex {
+                pattern: "a[bc]+".into(),
+                len: 3,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn all_twelve_formulations_lint_free_of_errors() {
+    let s = solver();
+    for (label, c) in table1_constraints() {
+        let report = s.lint(&c).expect(label);
+        assert!(
+            !report.has_errors(),
+            "{label} must lint clean, got:\n{}",
+            report.render()
+        );
+    }
+    // §4.12 combination: lint every stage of a sequential pipeline.
+    let reports = Pipeline::new(Start::Literal("hello".into()))
+        .then(Step::Reverse)
+        .then(Step::ReplaceAll { from: 'e', to: 'a' })
+        .lint(&s)
+        .unwrap();
+    assert_eq!(reports.len(), 2);
+    for r in &reports {
+        assert!(!r.has_errors(), "4.12 pipeline stage:\n{}", r.render());
+    }
+}
+
+#[test]
+fn clean_verdicts_agree_with_exact_ground_states() {
+    // Small instances only: brute force enumerates 2^n states (n ≤ 30).
+    let cases = vec![
+        Constraint::Equality {
+            target: "hi".into(),
+        },
+        Constraint::Reverse { input: "ab".into() },
+        Constraint::ReplaceAll {
+            input: "ab".into(),
+            from: 'a',
+            to: 'b',
+        },
+        Constraint::Palindrome { len: 2 },
+        Constraint::CharAt {
+            ch: 'x',
+            index: 0,
+            len: 2,
+        },
+    ];
+    let s = solver();
+    for c in cases {
+        let report = s.lint(&c).unwrap();
+        assert!(!report.has_errors(), "{c:?}:\n{}", report.render());
+        let problem = s.encode(&c).unwrap();
+        assert!(
+            problem.qubo.num_vars() <= 30,
+            "{c:?} too large to enumerate"
+        );
+        let (_, grounds) = problem.qubo.brute_force_ground_states();
+        assert!(!grounds.is_empty());
+        for state in &grounds {
+            let solution = problem.decode_state(state).expect("ground state decodes");
+            assert!(
+                c.validate(&solution),
+                "{c:?}: exact ground state {solution:?} violates the constraint \
+                 the linter called clean"
+            );
+        }
+    }
+}
+
+#[test]
+fn weakened_penalty_trips_penalty_gap_and_brute_force_confirms() {
+    // An exactly-one clique at strength 1 overwhelmed by two reward terms
+    // of strength 5: the intended one-hot states are no longer optimal.
+    let mut m = QuboModel::new(3);
+    PenaltyBuilder::new(&mut m)
+        .exactly_one(&[0, 1, 2], 1.0)
+        .bit_target(0, true, 5.0)
+        .bit_target(1, true, 5.0);
+
+    let report = qsmt::lint::lint_qubo(&m, &LintConfig::default());
+    assert!(report.has_errors(), "under-weighted penalty must be caught");
+    assert!(
+        report.codes().contains(&"penalty-gap"),
+        "expected penalty-gap, got: {:?}",
+        report.codes()
+    );
+
+    // Ground truth: the exact optimum sets both rewarded bits — a
+    // violation of the exactly-one constraint the penalty was meant to
+    // enforce. The linter's error verdict is not a false positive.
+    let (_, grounds) = m.brute_force_ground_states();
+    for state in &grounds {
+        let ones: u8 = state.iter().sum();
+        assert!(
+            ones != 1,
+            "ground state {state:?} is one-hot; the lint error would be spurious"
+        );
+    }
+
+    // And the properly weighted version of the same formulation is clean.
+    let mut fixed = QuboModel::new(3);
+    PenaltyBuilder::new(&mut fixed)
+        .exactly_one(&[0, 1, 2], 20.0)
+        .bit_target(0, true, 5.0)
+        .bit_target(1, true, 5.0);
+    let report = qsmt::lint::lint_qubo(&fixed, &LintConfig::default());
+    assert!(!report.has_errors(), "{}", report.render());
+    let (_, grounds) = fixed.brute_force_ground_states();
+    for state in &grounds {
+        let ones: u8 = state.iter().sum();
+        assert_eq!(ones, 1, "strong penalty restores the one-hot optimum");
+    }
+}
+
+#[test]
+fn deny_mode_surfaces_lint_rejection_via_solver_error() {
+    // End-to-end: a solver in deny mode refuses nothing on the shipped
+    // formulations (they are sound) …
+    let strict = solver().with_deny_lint_errors(true);
+    for (label, c) in table1_constraints() {
+        assert!(strict.solve(&c).is_ok(), "{label} wrongly denied");
+    }
+}

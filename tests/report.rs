@@ -44,7 +44,7 @@ fn table1_palindrome_report_has_documented_schema() {
     let doc = report_for("table1_row2_palindrome.smt2", &[]);
 
     // Top level.
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
     assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
     assert_eq!(
         doc.get("sampler").and_then(Json::as_str),
@@ -75,7 +75,7 @@ fn table1_palindrome_report_has_documented_schema() {
         .collect();
     assert_eq!(
         labels,
-        vec!["compile", "presolve", "embed", "sample", "select"]
+        vec!["compile", "lint", "presolve", "embed", "sample", "select"]
     );
     let total_us = solve.get("total_us").and_then(Json::as_u64).unwrap();
     let mut prev_end = 0u64;
@@ -98,6 +98,14 @@ fn table1_palindrome_report_has_documented_schema() {
             .unwrap()
             > 0.0
     );
+
+    // Lint stats (schema v2): the palindrome formulation is clean of
+    // errors and the stage timing is recorded.
+    let lint = solve.get("lint").expect("lint");
+    assert_ne!(lint, &Json::Null, "reported solves always lint");
+    assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(0));
+    let codes = lint.get("codes").and_then(Json::as_arr).expect("codes");
+    assert!(codes.iter().all(|c| c.as_str().is_some()));
 
     // Embedding chain statistics are present for this small model.
     let emb = solve.get("embedding").expect("embedding");

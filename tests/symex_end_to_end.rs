@@ -59,7 +59,7 @@ fn witnesses_always_replay_concretely() {
                     assert!(
                         !value.starts_with("[x") && value.ends_with("y]"),
                         "{value:?}"
-                    )
+                    );
                 }
                 other => panic!("unknown branch {other}"),
             }
