@@ -1,10 +1,11 @@
 //! Greedy steepest-descent local search.
 
-use crate::{SampleSet, Sampler};
-use qsmt_qubo::{CompiledQubo, QuboModel, Var};
+use crate::{read_seed, SampleSet, Sampler, SamplerRunStats};
+use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Steepest descent: from a random state, repeatedly flip the variable with
 /// the most negative energy delta until no flip improves. Each read lands on
@@ -57,18 +58,29 @@ impl SteepestDescent {
 
     /// Descends from the given state to its local minimum, returning the
     /// minimum and its energy.
-    pub fn descend(
+    pub fn descend(compiled: &CompiledQubo, state: Vec<u8>, max_steps: usize) -> (Vec<u8>, f64) {
+        let (state, energy, _) = Self::descend_counted(compiled, state, max_steps);
+        (state, energy)
+    }
+
+    /// [`SteepestDescent::descend`] plus the number of flips taken —
+    /// `flips + 1` full delta scans were performed (the last scan finds no
+    /// improving move), which feeds the proposal counter in
+    /// [`Sampler::sample_stats`].
+    fn descend_counted(
         compiled: &CompiledQubo,
-        mut state: Vec<u8>,
+        state: Vec<u8>,
         max_steps: usize,
-    ) -> (Vec<u8>, f64) {
+    ) -> (Vec<u8>, f64, u64) {
         let n = compiled.num_vars();
-        let mut energy = compiled.energy(&state);
+        // The kernel makes each scan O(n) instead of O(n·avg-degree).
+        let mut kernel = FlipKernel::new(compiled, state);
+        let mut flips = 0u64;
         for _ in 0..max_steps {
             let mut best_var: Option<Var> = None;
             let mut best_delta = -1e-12f64;
             for i in 0..n {
-                let d = compiled.flip_delta(&state, i as Var);
+                let d = kernel.delta(i as Var);
                 if d < best_delta {
                     best_delta = d;
                     best_var = Some(i as Var);
@@ -76,13 +88,14 @@ impl SteepestDescent {
             }
             match best_var {
                 Some(i) => {
-                    state[i as usize] ^= 1;
-                    energy += best_delta;
+                    kernel.flip(compiled, i);
+                    flips += 1;
                 }
                 None => break,
             }
         }
-        (state, energy)
+        let energy = kernel.energy();
+        (kernel.into_state(), energy, flips)
     }
 
     /// Applies descent to every state of an existing sample set (greedy
@@ -102,21 +115,47 @@ impl SteepestDescent {
 
 impl Sampler for SteepestDescent {
     fn sample(&self, model: &QuboModel) -> SampleSet {
-        let compiled = CompiledQubo::compile(model);
-        let n = compiled.num_vars();
-        let reads: Vec<(Vec<u8>, f64)> = (0..self.num_reads)
-            .into_par_iter()
-            .map(|r| {
-                let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(r as u64));
-                let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
-                Self::descend(&compiled, state, self.max_steps)
-            })
-            .collect();
+        let (reads, _) = self.run(model);
         SampleSet::from_reads(reads)
     }
 
     fn name(&self) -> &'static str {
         "steepest-descent"
+    }
+
+    fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
+        let started = Instant::now();
+        let (reads, flips) = self.run(model);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        // Every flip was preceded by a full scan of n deltas, and each read
+        // ends with one more scan that finds nothing.
+        let scans = flips + self.num_reads as u64;
+        let stats = SamplerRunStats {
+            sweeps: None,
+            proposals: Some(scans * model.num_vars() as u64),
+            accepted: Some(flips),
+            elapsed_us: Some(elapsed_us),
+        };
+        (SampleSet::from_reads(reads), stats)
+    }
+}
+
+impl SteepestDescent {
+    /// Runs every restart, returning the reads and the total flip count.
+    fn run(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64) {
+        let compiled = CompiledQubo::compile(model);
+        let n = compiled.num_vars();
+        let results: Vec<(Vec<u8>, f64, u64)> = (0..self.num_reads)
+            .into_par_iter()
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(read_seed(self.seed, r as u64));
+                let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+                Self::descend_counted(&compiled, state, self.max_steps)
+            })
+            .collect();
+        let flips = results.iter().map(|(_, _, f)| f).sum();
+        let reads = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        (reads, flips)
     }
 }
 

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod accept;
 mod descent;
 mod exact;
 pub mod metrics;
@@ -46,11 +47,13 @@ mod random;
 mod sa;
 mod sampleset;
 mod schedule;
+mod seeding;
 mod sqa;
 mod tabu;
 mod tempering;
 pub mod tune;
 
+pub use accept::AcceptanceTable;
 pub use descent::SteepestDescent;
 pub use exact::ExactSolver;
 pub use polished::Polished;
@@ -58,6 +61,7 @@ pub use population::PopulationAnnealer;
 pub use random::RandomSampler;
 pub use sa::SimulatedAnnealer;
 pub use sampleset::{EnergyStats, Sample, SampleSet};
+pub use seeding::read_seed;
 
 #[cfg(test)]
 mod sampler_stats_tests {
@@ -80,14 +84,38 @@ mod sampler_stats_tests {
             sweeps: Some(10),
             proposals: Some(100),
             accepted: Some(25),
+            elapsed_us: None,
         };
         assert_eq!(full.acceptance_rate(), Some(0.25));
         let empty = SamplerRunStats {
             sweeps: None,
             proposals: Some(0),
             accepted: Some(0),
+            elapsed_us: None,
         };
         assert_eq!(empty.acceptance_rate(), None);
+    }
+
+    #[test]
+    fn throughput_needs_counters_and_elapsed_time() {
+        let stats = SamplerRunStats {
+            sweeps: Some(10),
+            proposals: Some(2_000_000),
+            accepted: Some(500_000),
+            elapsed_us: Some(1_000_000),
+        };
+        assert_eq!(stats.proposals_per_sec(), Some(2_000_000.0));
+        assert_eq!(stats.flips_per_sec(), Some(500_000.0));
+        let untimed = SamplerRunStats {
+            elapsed_us: None,
+            ..stats
+        };
+        assert_eq!(untimed.proposals_per_sec(), None);
+        let instant = SamplerRunStats {
+            elapsed_us: Some(0),
+            ..stats
+        };
+        assert_eq!(instant.flips_per_sec(), None);
     }
 }
 pub use schedule::BetaSchedule;
@@ -112,6 +140,11 @@ pub struct SamplerRunStats {
     pub proposals: Option<u64>,
     /// Proposed moves that were accepted.
     pub accepted: Option<u64>,
+    /// Wall-clock time the sampler spent producing the reads,
+    /// microseconds, when the sampler timed itself. Feeds the
+    /// proposals/flips-per-second throughput surface and the
+    /// `BENCH_annealing.json` perf baseline.
+    pub elapsed_us: Option<u64>,
 }
 
 impl SamplerRunStats {
@@ -120,6 +153,25 @@ impl SamplerRunStats {
     pub fn acceptance_rate(&self) -> Option<f64> {
         match (self.proposals, self.accepted) {
             (Some(p), Some(a)) if p > 0 => Some(a as f64 / p as f64),
+            _ => None,
+        }
+    }
+
+    /// Proposal throughput in moves/second, when the sampler counted
+    /// proposals and timed itself (and the clock advanced).
+    pub fn proposals_per_sec(&self) -> Option<f64> {
+        Self::rate(self.proposals, self.elapsed_us)
+    }
+
+    /// Accepted-flip throughput in flips/second, when the sampler counted
+    /// accepts and timed itself (and the clock advanced).
+    pub fn flips_per_sec(&self) -> Option<f64> {
+        Self::rate(self.accepted, self.elapsed_us)
+    }
+
+    fn rate(count: Option<u64>, elapsed_us: Option<u64>) -> Option<f64> {
+        match (count, elapsed_us) {
+            (Some(c), Some(us)) if us > 0 => Some(c as f64 * 1e6 / us as f64),
             _ => None,
         }
     }

@@ -10,11 +10,12 @@
 //! compute on promising basins — a strong classical competitor for the
 //! sampler benches.
 
-use crate::{BetaSchedule, SampleSet, Sampler};
-use qsmt_qubo::{CompiledQubo, QuboModel, Var};
+use crate::{read_seed, AcceptanceTable, BetaSchedule, SampleSet, Sampler, SamplerRunStats};
+use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// The population annealing sampler.
 #[derive(Debug, Clone)]
@@ -79,50 +80,54 @@ impl PopulationAnnealer {
 
     fn sweep(
         compiled: &CompiledQubo,
-        state: &mut [u8],
-        energy: &mut f64,
-        beta: f64,
+        kernel: &mut FlipKernel,
+        table: &AcceptanceTable,
         rng: &mut SmallRng,
-    ) {
-        for i in 0..compiled.num_vars() {
-            let delta = compiled.flip_delta(state, i as Var);
-            if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
-                state[i] ^= 1;
-                *energy += delta;
+    ) -> u64 {
+        let mut accepted = 0;
+        for i in 0..compiled.num_vars() as Var {
+            if table.accept(kernel.delta(i), rng) {
+                kernel.flip(compiled, i);
+                accepted += 1;
             }
         }
+        accepted
     }
-}
 
-impl Sampler for PopulationAnnealer {
-    fn sample(&self, model: &QuboModel) -> SampleSet {
+    /// Runs the anneal, returning the final population plus the total
+    /// accepted-flip count and the realized step count.
+    fn run(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64, u64) {
         let compiled = CompiledQubo::compile(model);
         let n = compiled.num_vars();
         let betas = match &self.schedule {
             Some(s) => s.realize(),
             None => BetaSchedule::auto(&compiled, self.steps).realize(),
         };
+        let tables = AcceptanceTable::for_schedule(&betas);
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut population: Vec<(Vec<u8>, f64)> = (0..self.population)
+        let mut population: Vec<FlipKernel> = (0..self.population)
             .map(|_| {
                 let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
-                let e = compiled.energy(&state);
-                (state, e)
+                FlipKernel::new(&compiled, state)
             })
             .collect();
+        let mut accepted_total = 0u64;
         let mut prev_beta = 0.0f64;
-        for &beta in &betas {
+        for table in &tables {
+            let beta = table.beta();
             let dbeta = beta - prev_beta;
             prev_beta = beta;
             // Resampling: multinomial by normalized Boltzmann reweighting.
+            // Cloning a kernel clones state, local fields, and energy, so
+            // resampled replicas keep O(1) proposals with no rebuild.
             if dbeta > 0.0 {
                 let min_e = population
                     .iter()
-                    .map(|(_, e)| *e)
+                    .map(FlipKernel::energy)
                     .fold(f64::INFINITY, f64::min);
                 let weights: Vec<f64> = population
                     .iter()
-                    .map(|(_, e)| (-dbeta * (e - min_e)).exp())
+                    .map(|k| (-dbeta * (k.energy() - min_e)).exp())
                     .collect();
                 let total: f64 = weights.iter().sum();
                 let mut next = Vec::with_capacity(self.population);
@@ -143,24 +148,57 @@ impl Sampler for PopulationAnnealer {
             // Equilibrate each replica independently (parallel).
             let sweeps = self.sweeps_per_step;
             let seed_base = self.seed.wrapping_add(beta.to_bits().rotate_left(17));
-            population
+            accepted_total += population
                 .par_iter_mut()
                 .enumerate()
-                .for_each(|(k, (state, energy))| {
-                    let mut r = SmallRng::seed_from_u64(seed_base.wrapping_add(k as u64));
+                .map(|(k, kernel)| {
+                    let mut r = SmallRng::seed_from_u64(read_seed(seed_base, k as u64));
+                    let mut acc = 0;
                     for _ in 0..sweeps {
-                        Self::sweep(&compiled, state, energy, beta, &mut r);
+                        acc += Self::sweep(&compiled, kernel, table, &mut r);
                     }
-                });
+                    acc
+                })
+                .sum::<u64>();
         }
+        let tolerance = FlipKernel::drift_tolerance(&compiled);
         debug_assert!(population
             .iter()
-            .all(|(s, e)| (compiled.energy(s) - e).abs() < 1e-6));
-        SampleSet::from_reads(population)
+            .all(|k| (compiled.energy(k.state()) - k.energy()).abs() < tolerance));
+        let reads = population
+            .into_iter()
+            .map(|k| {
+                let e = k.energy();
+                (k.into_state(), e)
+            })
+            .collect();
+        (reads, accepted_total, betas.len() as u64)
+    }
+}
+
+impl Sampler for PopulationAnnealer {
+    fn sample(&self, model: &QuboModel) -> SampleSet {
+        let (reads, _, _) = self.run(model);
+        SampleSet::from_reads(reads)
     }
 
     fn name(&self) -> &'static str {
         "population-annealing"
+    }
+
+    fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
+        let started = Instant::now();
+        let (reads, accepted, steps) = self.run(model);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let sweeps = steps * self.sweeps_per_step as u64;
+        let proposals = sweeps * model.num_vars() as u64 * self.population as u64;
+        let stats = SamplerRunStats {
+            sweeps: Some(sweeps),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        };
+        (SampleSet::from_reads(reads), stats)
     }
 }
 

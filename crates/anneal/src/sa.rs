@@ -1,10 +1,11 @@
 //! Single-flip Metropolis simulated annealing with parallel reads.
 
-use crate::{BetaSchedule, SampleSet, Sampler, SamplerRunStats};
-use qsmt_qubo::{CompiledQubo, QuboModel, Var};
+use crate::{read_seed, AcceptanceTable, BetaSchedule, SampleSet, Sampler, SamplerRunStats};
+use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// The simulated annealing sampler — the direct analog of the D-Wave
 /// simulated annealer the paper ran its experiments on.
@@ -12,12 +13,15 @@ use rayon::prelude::*;
 /// Each *read* is an independent anneal: start from a uniform random state,
 /// then for each β in the schedule perform one full sweep over the variables
 /// proposing single-bit flips accepted with the Metropolis criterion
-/// `ΔE ≤ 0 ∨ u < exp(−β·ΔE)`. Energy is maintained incrementally via the
-/// compiled model's O(degree) flip deltas, so a sweep costs O(n + m).
+/// `ΔE ≤ 0 ∨ u < exp(−β·ΔE)`. The hot path is O(1) per proposal: a
+/// [`FlipKernel`] keeps every variable's local field current, so a proposal
+/// reads one cached value and the CSR neighbor lists are only walked when a
+/// flip is *accepted*; per-β [`AcceptanceTable`]s decide most uphill moves
+/// without an `exp` (and the extreme ones without an RNG draw).
 ///
 /// Reads run in parallel with rayon; results are deterministic for a fixed
 /// seed regardless of thread count, because each read derives its own RNG
-/// stream from `seed + read_index`.
+/// stream by hashing `(seed, read_index)` (see [`read_seed`]).
 ///
 /// ```
 /// use qsmt_anneal::{Sampler, SimulatedAnnealer};
@@ -125,36 +129,36 @@ impl SimulatedAnnealer {
     /// results are bit-identical whether or not the count is used.
     fn one_read(
         compiled: &CompiledQubo,
-        betas: &[f64],
+        tables: &[AcceptanceTable],
         seed: u64,
         initial: Option<&[u8]>,
     ) -> (Vec<u8>, f64, u64) {
         let n = compiled.num_vars();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut state: Vec<u8> = match initial {
+        let state: Vec<u8> = match initial {
             Some(init) => {
                 assert_eq!(init.len(), n, "initial state length mismatch");
                 init.to_vec()
             }
             None => (0..n).map(|_| rng.gen_range(0..=1u8)).collect(),
         };
-        let mut energy = compiled.energy(&state);
+        let mut kernel = FlipKernel::new(compiled, state);
         let mut accepted = 0u64;
-        for &beta in betas {
+        for table in tables {
             for i in 0..n {
-                let delta = compiled.flip_delta(&state, i as Var);
-                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
-                    state[i] ^= 1;
-                    energy += delta;
+                if table.accept(kernel.delta(i as Var), &mut rng) {
+                    kernel.flip(compiled, i as Var);
                     accepted += 1;
                 }
             }
         }
         debug_assert!(
-            (energy - compiled.energy(&state)).abs() < 1e-6,
+            (kernel.energy() - compiled.energy(kernel.state())).abs()
+                < FlipKernel::drift_tolerance(compiled),
             "incremental energy drifted from recomputed energy"
         );
-        (state, energy, accepted)
+        let energy = kernel.energy();
+        (kernel.into_state(), energy, accepted)
     }
 
     /// Runs all reads, returning raw `(state, energy)` pairs plus the
@@ -165,18 +169,21 @@ impl SimulatedAnnealer {
             Some(s) => s.realize(),
             None => BetaSchedule::auto(&compiled, self.sweeps).realize(),
         };
+        // One acceptance table per β, built once and shared read-only by
+        // every read.
+        let tables = AcceptanceTable::for_schedule(&betas);
         let initial = self.initial_state.as_deref();
         let results: Vec<(Vec<u8>, f64, u64)> = if self.parallel {
             (0..self.num_reads)
                 .into_par_iter()
                 .map(|r| {
-                    Self::one_read(&compiled, &betas, self.seed.wrapping_add(r as u64), initial)
+                    Self::one_read(&compiled, &tables, read_seed(self.seed, r as u64), initial)
                 })
                 .collect()
         } else {
             (0..self.num_reads)
                 .map(|r| {
-                    Self::one_read(&compiled, &betas, self.seed.wrapping_add(r as u64), initial)
+                    Self::one_read(&compiled, &tables, read_seed(self.seed, r as u64), initial)
                 })
                 .collect()
         };
@@ -197,12 +204,15 @@ impl Sampler for SimulatedAnnealer {
     }
 
     fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
+        let started = Instant::now();
         let (reads, accepted, sweeps) = self.run_reads(model);
+        let elapsed_us = started.elapsed().as_micros() as u64;
         let proposals = sweeps * model.num_vars() as u64 * self.num_reads as u64;
         let stats = SamplerRunStats {
             sweeps: Some(sweeps),
             proposals: Some(proposals),
             accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
         };
         (SampleSet::from_reads(reads), stats)
     }
@@ -331,6 +341,27 @@ mod tests {
         assert!(accepted > 0, "a hot schedule accepts at least some moves");
         let rate = stats.acceptance_rate().unwrap();
         assert!(rate > 0.0 && rate <= 1.0);
+    }
+
+    #[test]
+    fn big_m_penalty_coefficients_do_not_trip_drift_check() {
+        // Big-M penalty encodings put 1e12-scale coefficients in the
+        // model; the incremental-energy drift assert must scale its
+        // tolerance with the flip magnitude instead of false-alarming
+        // (this test runs under debug assertions in `cargo test`).
+        let mut m = QuboModel::new(8);
+        for i in 0..8u32 {
+            m.add_linear(i, if i % 2 == 0 { 1e12 } else { -1e12 });
+        }
+        for i in 0..7u32 {
+            m.add_quadratic(i, i + 1, 5e11);
+        }
+        let set = SimulatedAnnealer::new()
+            .with_seed(11)
+            .with_num_reads(8)
+            .sample(&m);
+        let (exact_e, _) = m.brute_force_ground_states();
+        assert!((set.lowest_energy().unwrap() - exact_e).abs() < 1e-3 * exact_e.abs());
     }
 
     #[test]

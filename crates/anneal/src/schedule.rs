@@ -43,19 +43,28 @@ impl BetaSchedule {
     /// * cold: a flip over the *smallest* barrier is accepted with
     ///   probability 1/100 ⇒ `beta_max = ln 100 / min|coeff|`.
     ///
-    /// Degenerate (all-zero) models get a fixed `[0.1, 1.0]` range so the
-    /// sampler still terminates.
+    /// Degenerate models — all-zero coefficients, or coefficients that are
+    /// NaN/infinite or so extreme that the derived β endpoints leave
+    /// `(0, ∞)` — get a fixed `[0.1, 1.0]` range so the sampler still
+    /// terminates instead of panicking in [`BetaSchedule::realize`] or
+    /// poisoning the acceptance tables.
     pub fn auto(compiled: &CompiledQubo, sweeps: usize) -> Self {
         let max_delta = compiled.max_flip_magnitude();
         let min_coeff = compiled.min_nonzero_magnitude();
-        let (beta_min, beta_max) = match (max_delta > 0.0, min_coeff) {
-            (true, Some(min_c)) => {
+        let derived = match (max_delta.is_finite() && max_delta > 0.0, min_coeff) {
+            (true, Some(min_c)) if min_c.is_finite() && min_c > 0.0 => {
                 let hot = (2.0f64).ln() / max_delta;
                 let cold = (100.0f64).ln() / min_c;
                 // Keep the range ordered even for pathological models where
                 // min_c is huge relative to max_delta.
-                (hot.min(cold), cold.max(hot * 2.0))
+                Some((hot.min(cold), cold.max(hot * 2.0)))
             }
+            _ => None,
+        };
+        // NaN fails every comparison, so a poisoned endpoint also lands in
+        // the fallback.
+        let (beta_min, beta_max) = match derived {
+            Some((lo, hi)) if lo > 0.0 && hi.is_finite() && lo <= hi => (lo, hi),
             _ => (0.1, 1.0),
         };
         BetaSchedule::Geometric {
@@ -206,6 +215,35 @@ mod tests {
         let b = BetaSchedule::auto(&c, 10).realize();
         assert_eq!(b.len(), 10);
         assert!(b.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn auto_schedule_survives_nonfinite_coefficients() {
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let mut m = QuboModel::new(2);
+            m.add_linear(0, bad);
+            m.add_quadratic(0, 1, 1.0);
+            let c = qsmt_qubo::CompiledQubo::compile(&m);
+            let b = BetaSchedule::auto(&c, 8).realize();
+            assert_eq!(b.len(), 8, "coeff {bad}");
+            assert!(
+                b.iter().all(|v| v.is_finite() && *v > 0.0),
+                "coeff {bad} produced {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_schedule_survives_extreme_magnitudes() {
+        // Endpoints derived from f64::MAX-scale deltas underflow toward 0;
+        // the guard must keep every realized β positive and finite.
+        let mut m = QuboModel::new(2);
+        m.add_linear(0, f64::MAX);
+        m.add_linear(1, f64::MAX);
+        m.add_quadratic(0, 1, f64::MAX);
+        let c = qsmt_qubo::CompiledQubo::compile(&m);
+        let b = BetaSchedule::auto(&c, 8).realize();
+        assert!(b.iter().all(|v| v.is_finite() && *v > 0.0), "{b:?}");
     }
 
     #[test]

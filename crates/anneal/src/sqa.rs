@@ -17,11 +17,12 @@
 //! more faithful than plain simulated annealing, and the natural
 //! "quantum" arm for the paper's experiments.
 
-use crate::{SampleSet, Sampler};
-use qsmt_qubo::{spins_to_state, CompiledIsing, IsingModel, QuboModel, Var};
+use crate::{read_seed, AcceptanceTable, SampleSet, Sampler, SamplerRunStats};
+use qsmt_qubo::{spins_to_state, CompiledIsing, IsingFlipKernel, IsingModel, QuboModel, Var};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// The simulated quantum annealer (PIMC over Trotter replicas).
 #[derive(Debug, Clone)]
@@ -112,19 +113,28 @@ impl SimulatedQuantumAnnealer {
         -(p / (2.0 * self.beta)) * x.ln()
     }
 
-    fn one_read(&self, compiled: &CompiledIsing, seed: u64) -> (Vec<u8>, f64) {
+    fn one_read(
+        &self,
+        compiled: &CompiledIsing,
+        table: &AcceptanceTable,
+        seed: u64,
+    ) -> (Vec<u8>, f64, u64) {
         let n = compiled.num_spins();
         let p = self.trotter_slices;
         let mut rng = SmallRng::seed_from_u64(seed);
-        // replicas[k][i]: spin i in slice k.
-        let mut replicas: Vec<Vec<i8>> = (0..p)
+        // replicas[k]: slice k, an incremental kernel so the classical part
+        // of every proposal is O(1). Slice energies are the *full* problem
+        // Hamiltonian of that slice; the 1/P Trotter weight is applied to
+        // the delta at acceptance time.
+        let mut replicas: Vec<IsingFlipKernel> = (0..p)
             .map(|_| {
-                (0..n)
+                let spins: Vec<i8> = (0..n)
                     .map(|_| if rng.gen_bool(0.5) { 1i8 } else { -1 })
-                    .collect()
+                    .collect();
+                IsingFlipKernel::new(compiled, spins)
             })
             .collect();
-        let slice_beta = self.beta; // acceptance temperature of the classical system
+        let mut accepted = 0u64;
         for sweep in 0..self.sweeps {
             let f = sweep as f64 / (self.sweeps.max(2) - 1) as f64;
             let gamma = self.gamma_start + (self.gamma_end - self.gamma_start) * f;
@@ -133,46 +143,78 @@ impl SimulatedQuantumAnnealer {
                 let up = (k + 1) % p;
                 let down = (k + p - 1) % p;
                 for i in 0..n {
-                    let s = replicas[k][i] as f64;
-                    let classical =
-                        compiled.flip_delta(&replicas[k], i as Var) / self.trotter_slices as f64;
+                    let s = replicas[k].spins()[i] as f64;
+                    let classical = replicas[k].delta(i as Var) / self.trotter_slices as f64;
                     // H contains −J⊥·s_i^k·(s_i^{k−1} + s_i^{k+1}); flipping
                     // s_i^k changes that term by +2·J⊥·s_i^k·(neighbors).
-                    let neighbors = (replicas[down][i] + replicas[up][i]) as f64;
+                    let neighbors = (replicas[down].spins()[i] + replicas[up].spins()[i]) as f64;
                     let quantum = 2.0 * j_perp * s * neighbors;
-                    let delta = classical + quantum;
-                    if delta <= 0.0 || rng.gen::<f64>() < (-slice_beta * delta).exp() {
-                        replicas[k][i] = -replicas[k][i];
+                    if table.accept(classical + quantum, &mut rng) {
+                        replicas[k].flip(compiled, i as Var);
+                        accepted += 1;
                     }
                 }
             }
         }
-        // Read out the best slice by true classical energy.
+        // Read out the best slice by true classical energy (recomputed, so
+        // reported energies carry no incremental drift at all).
         let (best_slice, best_energy) = replicas
             .iter()
-            .map(|spins| compiled.energy(spins))
+            .map(|k| compiled.energy(k.spins()))
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
             .expect("at least two slices");
-        (spins_to_state(&replicas[best_slice]), best_energy)
+        (
+            spins_to_state(replicas[best_slice].spins()),
+            best_energy,
+            accepted,
+        )
+    }
+
+    /// Runs every read, returning the recorded reads and the total
+    /// accepted-flip count.
+    fn run(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64) {
+        let ising = IsingModel::from_qubo(model);
+        let compiled = CompiledIsing::compile(&ising);
+        // The classical replica system sits at a single fixed β for the
+        // whole anneal (only Γ is scheduled), so one table serves the run.
+        let table = AcceptanceTable::new(self.beta);
+        let results: Vec<(Vec<u8>, f64, u64)> = (0..self.num_reads)
+            .into_par_iter()
+            .map(|r| self.one_read(&compiled, &table, read_seed(self.seed, r as u64)))
+            .collect();
+        let accepted = results.iter().map(|(_, _, a)| a).sum();
+        // Ising and QUBO energies agree (the conversion preserves them),
+        // so the reported energies are already QUBO energies.
+        let reads = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        (reads, accepted)
     }
 }
 
 impl Sampler for SimulatedQuantumAnnealer {
     fn sample(&self, model: &QuboModel) -> SampleSet {
-        let ising = IsingModel::from_qubo(model);
-        let compiled = CompiledIsing::compile(&ising);
-        let reads: Vec<(Vec<u8>, f64)> = (0..self.num_reads)
-            .into_par_iter()
-            .map(|r| self.one_read(&compiled, self.seed.wrapping_add(r as u64)))
-            .collect();
-        // Ising and QUBO energies agree (the conversion preserves them),
-        // so the reported energies are already QUBO energies.
+        let (reads, _) = self.run(model);
         SampleSet::from_reads(reads)
     }
 
     fn name(&self) -> &'static str {
         "simulated-quantum-annealing"
+    }
+
+    fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
+        let started = Instant::now();
+        let (reads, accepted) = self.run(model);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let sweeps = self.sweeps as u64;
+        let proposals =
+            self.num_reads as u64 * sweeps * self.trotter_slices as u64 * model.num_vars() as u64;
+        let stats = SamplerRunStats {
+            sweeps: Some(sweeps),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        };
+        (SampleSet::from_reads(reads), stats)
     }
 }
 

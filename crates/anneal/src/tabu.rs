@@ -1,10 +1,11 @@
 //! Tabu search over the QUBO landscape.
 
-use crate::{SampleSet, Sampler};
-use qsmt_qubo::{CompiledQubo, QuboModel, Var};
+use crate::{read_seed, SampleSet, Sampler, SamplerRunStats};
+use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Recency-based tabu search: at each step flip the best non-tabu variable
 /// (even if it worsens the energy), then forbid flipping it again for
@@ -74,16 +75,20 @@ impl TabuSearch {
             .unwrap_or_else(|| (n / 4).max(4))
             .min(n.saturating_sub(1));
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
-        let mut energy = compiled.energy(&state);
-        let mut best_state = state.clone();
-        let mut best_energy = energy;
+        let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+        // Tabu scans *every* variable's delta at *every* step, so the O(1)
+        // cached delta matters even more here than for Metropolis samplers:
+        // the scan drops from O(n·avg-degree) to O(n) per step.
+        let mut kernel = FlipKernel::new(compiled, state);
+        let mut best_state = kernel.state().to_vec();
+        let mut best_energy = kernel.energy();
         // tabu_until[i]: first step at which flipping i is allowed again
         let mut tabu_until = vec![0usize; n];
         for step in 0..self.steps {
+            let energy = kernel.energy();
             let mut chosen: Option<(Var, f64)> = None;
             for (i, &until) in tabu_until.iter().enumerate() {
-                let d = compiled.flip_delta(&state, i as Var);
+                let d = kernel.delta(i as Var);
                 let is_tabu = until > step;
                 // Aspiration: a tabu move is allowed if it strictly improves
                 // on the best energy ever seen.
@@ -95,25 +100,23 @@ impl TabuSearch {
                     _ => chosen = Some((i as Var, d)),
                 }
             }
-            let Some((i, d)) = chosen else {
+            let i = match chosen {
+                Some((i, _)) => i,
                 // Everything tabu and no aspiration: force a random move to
                 // keep the walk alive.
-                let i = rng.gen_range(0..n) as Var;
-                let d = compiled.flip_delta(&state, i);
-                state[i as usize] ^= 1;
-                energy += d;
-                tabu_until[i as usize] = step + tenure + 1;
-                continue;
+                None => rng.gen_range(0..n) as Var,
             };
-            state[i as usize] ^= 1;
-            energy += d;
+            kernel.flip(compiled, i);
             tabu_until[i as usize] = step + tenure + 1;
-            if energy < best_energy {
-                best_energy = energy;
-                best_state.copy_from_slice(&state);
+            if chosen.is_some() && kernel.energy() < best_energy {
+                best_energy = kernel.energy();
+                best_state.copy_from_slice(kernel.state());
             }
         }
-        debug_assert!((best_energy - compiled.energy(&best_state)).abs() < 1e-6);
+        debug_assert!(
+            (best_energy - compiled.energy(&best_state)).abs()
+                < FlipKernel::drift_tolerance(compiled)
+        );
         (best_state, best_energy)
     }
 }
@@ -123,13 +126,34 @@ impl Sampler for TabuSearch {
         let compiled = CompiledQubo::compile(model);
         let reads: Vec<(Vec<u8>, f64)> = (0..self.num_reads)
             .into_par_iter()
-            .map(|r| self.one_read(&compiled, self.seed.wrapping_add(r as u64)))
+            .map(|r| self.one_read(&compiled, read_seed(self.seed, r as u64)))
             .collect();
         SampleSet::from_reads(reads)
     }
 
     fn name(&self) -> &'static str {
         "tabu-search"
+    }
+
+    fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
+        let started = Instant::now();
+        let set = self.sample(model);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let n = model.num_vars() as u64;
+        let (proposals, accepted) = if n == 0 {
+            (0, 0)
+        } else {
+            // Each step scans every variable's delta and commits one flip.
+            let steps = self.num_reads as u64 * self.steps as u64;
+            (steps * n, steps)
+        };
+        let stats = SamplerRunStats {
+            sweeps: Some(self.steps as u64),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        };
+        (set, stats)
     }
 }
 

@@ -1,10 +1,11 @@
 //! Parallel tempering (replica exchange) sampler.
 
-use crate::{SampleSet, Sampler};
-use qsmt_qubo::{CompiledQubo, QuboModel, Var};
+use crate::{read_seed, AcceptanceTable, SampleSet, Sampler, SamplerRunStats};
+use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Parallel tempering: `num_replicas` Metropolis walkers run at a ladder of
 /// fixed inverse temperatures; after every `sweeps_per_round` sweeps,
@@ -40,9 +41,9 @@ impl Default for ParallelTempering {
 }
 
 struct Replica {
-    state: Vec<u8>,
-    energy: f64,
+    kernel: FlipKernel,
     rng: SmallRng,
+    accepted: u64,
 }
 
 impl ParallelTempering {
@@ -96,31 +97,40 @@ impl ParallelTempering {
             .collect()
     }
 
-    fn sweep(compiled: &CompiledQubo, replica: &mut Replica, beta: f64, sweeps: usize) {
+    fn sweep(
+        compiled: &CompiledQubo,
+        replica: &mut Replica,
+        table: &AcceptanceTable,
+        sweeps: usize,
+    ) {
         let n = compiled.num_vars();
         for _ in 0..sweeps {
             for i in 0..n {
-                let delta = compiled.flip_delta(&replica.state, i as Var);
-                if delta <= 0.0 || replica.rng.gen::<f64>() < (-beta * delta).exp() {
-                    replica.state[i] ^= 1;
-                    replica.energy += delta;
+                if table.accept(replica.kernel.delta(i as Var), &mut replica.rng) {
+                    replica.kernel.flip(compiled, i as Var);
+                    replica.accepted += 1;
                 }
             }
         }
     }
-}
 
-impl Sampler for ParallelTempering {
-    fn sample(&self, model: &QuboModel) -> SampleSet {
+    /// Runs the full exchange schedule, returning the recorded reads and
+    /// the total accepted-flip count.
+    fn run(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64) {
         let compiled = CompiledQubo::compile(model);
         let n = compiled.num_vars();
         let betas = self.ladder();
+        // One acceptance table per ladder rung, built once for the run.
+        let tables = AcceptanceTable::for_schedule(&betas);
         let mut replicas: Vec<Replica> = (0..self.num_replicas)
             .map(|r| {
-                let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(r as u64));
+                let mut rng = SmallRng::seed_from_u64(read_seed(self.seed, r as u64));
                 let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
-                let energy = compiled.energy(&state);
-                Replica { state, energy, rng }
+                Replica {
+                    kernel: FlipKernel::new(&compiled, state),
+                    rng,
+                    accepted: 0,
+                }
             })
             .collect();
         let mut swap_rng = SmallRng::seed_from_u64(self.seed.wrapping_add(0x5157_2026));
@@ -129,31 +139,55 @@ impl Sampler for ParallelTempering {
         for round in 0..self.rounds {
             replicas
                 .par_iter_mut()
-                .zip(betas.par_iter())
-                .for_each(|(rep, &beta)| {
-                    Self::sweep(&compiled, rep, beta, self.sweeps_per_round);
+                .zip(tables.par_iter())
+                .for_each(|(rep, table)| {
+                    Self::sweep(&compiled, rep, table, self.sweeps_per_round);
                 });
             // Exchange pass: alternate even/odd adjacent pairs per round so
-            // every rung participates.
+            // every rung participates. Swapping the kernels moves state,
+            // local fields, and energy as one coherent unit.
             let start = round % 2;
             for a in (start..self.num_replicas - 1).step_by(2) {
                 let b = a + 1;
-                let log_ratio = (betas[a] - betas[b]) * (replicas[a].energy - replicas[b].energy);
+                let log_ratio = (betas[a] - betas[b])
+                    * (replicas[a].kernel.energy() - replicas[b].kernel.energy());
                 if log_ratio >= 0.0 || swap_rng.gen::<f64>() < log_ratio.exp() {
                     let (left, right) = replicas.split_at_mut(b);
-                    std::mem::swap(&mut left[a].state, &mut right[0].state);
-                    std::mem::swap(&mut left[a].energy, &mut right[0].energy);
+                    std::mem::swap(&mut left[a].kernel, &mut right[0].kernel);
                 }
             }
             // Record the coldest replica each round.
             let coldest = replicas.last().expect("at least two replicas");
-            reads.push((coldest.state.clone(), coldest.energy));
+            reads.push((coldest.kernel.state().to_vec(), coldest.kernel.energy()));
         }
+        let accepted = replicas.iter().map(|r| r.accepted).sum();
+        (reads, accepted)
+    }
+}
+
+impl Sampler for ParallelTempering {
+    fn sample(&self, model: &QuboModel) -> SampleSet {
+        let (reads, _) = self.run(model);
         SampleSet::from_reads(reads)
     }
 
     fn name(&self) -> &'static str {
         "parallel-tempering"
+    }
+
+    fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
+        let started = Instant::now();
+        let (reads, accepted) = self.run(model);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let sweeps = (self.rounds * self.sweeps_per_round) as u64;
+        let proposals = sweeps * model.num_vars() as u64 * self.num_replicas as u64;
+        let stats = SamplerRunStats {
+            sweeps: Some(sweeps),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        };
+        (SampleSet::from_reads(reads), stats)
     }
 }
 

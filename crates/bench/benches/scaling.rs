@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qsmt_anneal::{Sampler, SimulatedAnnealer};
 use qsmt_bench::{sized_equality, sized_palindrome};
-use qsmt_qubo::{CompiledQubo, Var};
+use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use std::hint::black_box;
 
 fn bench_encode(c: &mut Criterion) {
@@ -56,8 +56,57 @@ fn bench_energy_kernels(c: &mut Criterion) {
             black_box(compiled.flip_delta(&state, i as Var))
         });
     });
+    g.bench_function("flip-kernel-delta", |b| {
+        let kernel = FlipKernel::new(&compiled, state.clone());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % n as u32;
+            black_box(kernel.delta(i as Var))
+        });
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_solve, bench_energy_kernels);
+/// Kernel vs naive proposals on a coupling-dense model — the regime where
+/// the local-field cache actually pays (string encodings are near-diagonal,
+/// so the sparse benches above understate the win).
+fn bench_dense_proposals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense-proposals");
+    let n = 128usize;
+    let mut m = QuboModel::new(n);
+    for i in 0..n {
+        m.add_linear(i as Var, ((i * 37 % 101) as f64 - 50.0) / 50.0);
+        for j in (i + 1)..n {
+            if (i * 31 + j * 17) % 4 == 0 {
+                m.add_quadratic(i as Var, j as Var, ((i + j * 13) % 97) as f64 / 97.0 - 0.5);
+            }
+        }
+    }
+    let compiled = CompiledQubo::compile(&m);
+    let state: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+    g.bench_function("naive-flip-delta", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % n as u32;
+            black_box(compiled.flip_delta(&state, i as Var))
+        });
+    });
+    g.bench_function("flip-kernel-delta", |b| {
+        let kernel = FlipKernel::new(&compiled, state.clone());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % n as u32;
+            black_box(kernel.delta(i as Var))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_solve,
+    bench_energy_kernels,
+    bench_dense_proposals
+);
 criterion_main!(benches);

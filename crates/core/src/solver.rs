@@ -515,6 +515,13 @@ impl StringSolver {
             metrics::time_to_solution(samples, best, TOL, per_read, 0.99)
                 .map(|d| d.as_micros() as u64)
         };
+        // Prefer the sampler's own timing for throughput (it excludes
+        // compile/aggregation overhead the stage clock includes); fall back
+        // to the stage time when the sampler didn't time itself.
+        let timed = qsmt_anneal::SamplerRunStats {
+            elapsed_us: run.elapsed_us.or(Some(time_us)),
+            ..run
+        };
         SamplerStats {
             sampler: name.to_string(),
             time_us,
@@ -524,6 +531,8 @@ impl StringSolver {
             proposals: run.proposals,
             accepted: run.accepted,
             acceptance_rate: run.acceptance_rate(),
+            proposals_per_sec: timed.proposals_per_sec(),
+            flips_per_sec: timed.flips_per_sec(),
             best_energy: best,
             mean_energy: mean,
             std_dev_energy: std_dev,
@@ -819,6 +828,8 @@ mod tests {
         assert!(s.best_energy <= s.mean_energy);
         assert!(s.mean_energy <= s.max_energy);
         assert!(s.acceptance_rate.is_some(), "SA exposes move counters");
+        assert!(s.proposals_per_sec.is_some(), "SA times its own run");
+        assert!(s.flips_per_sec.is_some());
         assert!(s.success_fraction > 0.0);
         assert!(s.tts99_us.is_some());
         let e = report.embedding.as_ref().expect("small model embeds");

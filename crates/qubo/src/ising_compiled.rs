@@ -62,6 +62,20 @@ impl CompiledIsing {
         self.offset
     }
 
+    /// Field `h_i` of spin `i`.
+    #[inline]
+    pub fn field(&self, i: Var) -> f64 {
+        self.fields[i as usize]
+    }
+
+    /// Coupling list of spin `i` as `(neighbor, J)` pairs.
+    #[inline]
+    pub fn couplings(&self, i: Var) -> &[(Var, f64)] {
+        let lo = self.starts[i as usize] as usize;
+        let hi = self.starts[i as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
     /// Full energy of a spin configuration; O(n + m).
     pub fn energy(&self, spins: &[i8]) -> f64 {
         assert_eq!(spins.len(), self.num_spins, "spin vector length mismatch");

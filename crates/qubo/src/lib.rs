@@ -5,8 +5,9 @@
 //! Optimization), a dense matrix view for inspection and pretty-printing in
 //! the style of the paper's Table 1, the equivalent [`IsingModel`] with
 //! lossless conversions in both directions, penalty-function builders, and a
-//! compiled CSR adjacency form ([`CompiledQubo`]) that samplers use for
-//! O(degree) single-flip energy deltas.
+//! compiled CSR adjacency form ([`CompiledQubo`]) plus the incremental
+//! local-field kernels ([`FlipKernel`], [`IsingFlipKernel`]) that samplers
+//! use for O(1) single-flip energy deltas (see `docs/PERFORMANCE.md`).
 //!
 //! ## Model
 //!
@@ -42,6 +43,7 @@ mod dense;
 mod hash;
 mod ising;
 mod ising_compiled;
+mod kernel;
 mod model;
 mod presolve;
 mod serialize;
@@ -52,6 +54,7 @@ pub use dense::DenseQubo;
 pub use hash::{FxBuildHasher, FxHasher};
 pub use ising::{spins_to_state, state_to_spins, IsingModel};
 pub use ising_compiled::CompiledIsing;
+pub use kernel::{FlipKernel, IsingFlipKernel};
 pub use model::{QuboModel, Var};
 pub use presolve::{fix_variables, normalize, persistent_assignments, presolve, ReducedModel};
 pub use serialize::{from_qbsolv, to_qbsolv, FormatError};

@@ -1,0 +1,125 @@
+//! Property-based tests pinning the incremental flip kernels to the naive
+//! recompute path: on arbitrary models, every O(1) cached delta must equal
+//! the O(degree) [`CompiledQubo::flip_delta`] answer, and the caches must
+//! stay exact over long accepted-flip sequences (the regime annealing
+//! actually exercises).
+
+use proptest::prelude::*;
+use qsmt_qubo::{
+    CompiledIsing, CompiledQubo, FlipKernel, IsingFlipKernel, IsingModel, QuboModel, Var,
+};
+
+fn arb_model() -> impl Strategy<Value = QuboModel> {
+    let linear = proptest::collection::vec(-5.0f64..5.0, 2..=12);
+    let quads = proptest::collection::vec((0usize..12, 0usize..12, -5.0f64..5.0), 0..=30);
+    let offset = -2.0f64..2.0;
+    (linear, quads, offset).prop_map(|(lin, quads, offset)| {
+        let n = lin.len();
+        let mut m = QuboModel::new(n);
+        for (i, v) in lin.into_iter().enumerate() {
+            m.add_linear(i as u32, v);
+        }
+        for (a, b, v) in quads {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                m.add_quadratic(a as u32, b as u32, v);
+            }
+        }
+        m.add_offset(offset);
+        m
+    })
+}
+
+fn arb_state(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=1, max..=max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qubo_kernel_delta_matches_naive(m in arb_model(), bits in arb_state(12)) {
+        let c = CompiledQubo::compile(&m);
+        let state: Vec<u8> = bits.into_iter().take(c.num_vars()).collect();
+        let kernel = FlipKernel::new(&c, state.clone());
+        for i in 0..c.num_vars() as Var {
+            prop_assert!(
+                (kernel.delta(i) - c.flip_delta(&state, i)).abs() < 1e-9,
+                "var {i}: kernel {} vs naive {}", kernel.delta(i), c.flip_delta(&state, i)
+            );
+        }
+        prop_assert!((kernel.energy() - c.energy(&state)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qubo_kernel_survives_long_flip_sequences(
+        m in arb_model(),
+        flips in proptest::collection::vec(0usize..12, 1..=300),
+    ) {
+        let c = CompiledQubo::compile(&m);
+        let n = c.num_vars();
+        let mut kernel = FlipKernel::new(&c, vec![0; n]);
+        for raw in flips {
+            let i = (raw % n) as Var;
+            let naive = c.flip_delta(kernel.state(), i);
+            let applied = kernel.flip(&c, i);
+            prop_assert!((applied - naive).abs() < 1e-9);
+        }
+        // Energy and every local field must match a from-scratch rebuild.
+        let tolerance = FlipKernel::drift_tolerance(&c);
+        prop_assert!(
+            (kernel.energy() - c.energy(kernel.state())).abs() < tolerance,
+            "incremental energy drifted: {} vs {}", kernel.energy(), c.energy(kernel.state())
+        );
+        let rebuilt = FlipKernel::new(&c, kernel.state().to_vec());
+        for i in 0..n as Var {
+            prop_assert!((kernel.delta(i) - rebuilt.delta(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ising_kernel_tracks_compiled_ising(
+        m in arb_model(),
+        flips in proptest::collection::vec(0usize..12, 1..=200),
+    ) {
+        let ising = IsingModel::from_qubo(&m);
+        let c = CompiledIsing::compile(&ising);
+        let n = c.num_spins();
+        let mut kernel = IsingFlipKernel::new(&c, vec![1; n]);
+        for raw in flips {
+            let i = (raw % n) as Var;
+            let naive = c.flip_delta(kernel.spins(), i);
+            prop_assert!((kernel.delta(i) - naive).abs() < 1e-9);
+            kernel.flip(&c, i);
+        }
+        prop_assert!((kernel.energy() - c.energy(kernel.spins())).abs() < 1e-6);
+        let rebuilt = IsingFlipKernel::new(&c, kernel.spins().to_vec());
+        for i in 0..n as Var {
+            prop_assert!((kernel.delta(i) - rebuilt.delta(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn accepted_flip_deltas_telescope_to_total_energy_change(
+        m in arb_model(),
+        flips in proptest::collection::vec(0usize..12, 1..=100),
+    ) {
+        // The sum of returned deltas must equal the end-to-end energy
+        // difference — the invariant samplers rely on when they never
+        // recompute full energies inside a read.
+        let c = CompiledQubo::compile(&m);
+        let n = c.num_vars();
+        let start = vec![0u8; n];
+        let e0 = c.energy(&start);
+        let mut kernel = FlipKernel::new(&c, start);
+        let mut total = 0.0;
+        for raw in flips {
+            total += kernel.flip(&c, (raw % n) as Var);
+        }
+        let e1 = c.energy(kernel.state());
+        prop_assert!(
+            ((e1 - e0) - total).abs() < FlipKernel::drift_tolerance(&c),
+            "telescoped {} vs recomputed {}", total, e1 - e0
+        );
+    }
+}

@@ -176,6 +176,11 @@ pub struct SamplerStats {
     pub accepted: Option<u64>,
     /// `accepted / proposals`, when both counters exist.
     pub acceptance_rate: Option<f64>,
+    /// Proposal throughput in moves/second, when the sampler timed its
+    /// own run and counted proposals (additive in schema v3).
+    pub proposals_per_sec: Option<f64>,
+    /// Accepted-flip throughput in flips/second (additive in schema v3).
+    pub flips_per_sec: Option<f64>,
     /// Lowest energy observed.
     pub best_energy: f64,
     /// Read-weighted mean energy.
@@ -207,6 +212,8 @@ impl SamplerStats {
             ("proposals", opt_u64(self.proposals)),
             ("accepted", opt_u64(self.accepted)),
             ("acceptance_rate", opt_f64(self.acceptance_rate)),
+            ("proposals_per_sec", opt_f64(self.proposals_per_sec)),
+            ("flips_per_sec", opt_f64(self.flips_per_sec)),
             ("best_energy", Json::from(self.best_energy)),
             ("mean_energy", Json::from(self.mean_energy)),
             ("std_dev_energy", Json::from(self.std_dev_energy)),
@@ -420,6 +427,14 @@ impl SolveReport {
         if let (Some(p), Some(a), Some(r)) = (s.proposals, s.accepted, s.acceptance_rate) {
             out.push_str(&format!("  moves: {a}/{p} accepted ({:.1}%)\n", r * 100.0));
         }
+        if let Some(pps) = s.proposals_per_sec {
+            out.push_str(&format!(
+                "  throughput: {:.2} Mprop/s{}\n",
+                pps / 1e6,
+                s.flips_per_sec
+                    .map_or(String::new(), |f| format!(", {:.2} Mflip/s", f / 1e6))
+            ));
+        }
         out.push_str(&format!(
             "  total: {:.3} ms\n",
             self.total_us as f64 / 1000.0
@@ -502,10 +517,12 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Current schema version. v2 adds the additive `lint` field on
-    /// `SolveReport` (and the `lint` stage label); v1 readers keep
-    /// working because no existing field changed.
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// Current schema version. v2 added the additive `lint` field on
+    /// `SolveReport` (and the `lint` stage label); v3 adds the additive
+    /// `proposals_per_sec` / `flips_per_sec` throughput fields on
+    /// `sampling`. Earlier readers keep working because no existing field
+    /// changed.
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// Serializes as a JSON object.
     pub fn to_json(&self) -> Json {
@@ -587,6 +604,8 @@ mod tests {
                 proposals: Some(1000),
                 accepted: Some(400),
                 acceptance_rate: Some(0.4),
+                proposals_per_sec: Some(2.5e6),
+                flips_per_sec: Some(1.0e6),
                 best_energy: 0.0,
                 mean_energy: 0.5,
                 std_dev_energy: 0.1,
@@ -688,7 +707,7 @@ mod tests {
             }],
         };
         let doc = parse(&run.to_json().pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
         let goals = doc.get("goals").and_then(Json::as_arr).unwrap();
         assert_eq!(
             goals[0].get("kind").and_then(Json::as_str),
@@ -698,6 +717,28 @@ mod tests {
             goals[0].get("solves").and_then(Json::as_arr).unwrap().len(),
             1
         );
+    }
+
+    #[test]
+    fn throughput_fields_serialize_and_render() {
+        let r = sample_report();
+        let doc = parse(&r.to_json().pretty()).unwrap();
+        let sampling = doc.get("sampling").unwrap();
+        assert_eq!(
+            sampling.get("proposals_per_sec").and_then(Json::as_f64),
+            Some(2.5e6)
+        );
+        assert_eq!(
+            sampling.get("flips_per_sec").and_then(Json::as_f64),
+            Some(1.0e6)
+        );
+        assert!(r
+            .render_stats()
+            .contains("throughput: 2.50 Mprop/s, 1.00 Mflip/s"));
+        let mut quiet = sample_report();
+        quiet.sampling.proposals_per_sec = None;
+        quiet.sampling.flips_per_sec = None;
+        assert!(!quiet.render_stats().contains("throughput"));
     }
 
     #[test]

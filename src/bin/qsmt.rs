@@ -6,6 +6,7 @@
 //! qsmt lint  <file.smt2> [--format text|json]  # static formulation analysis
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
+//! qsmt bench [--quick] [--out PATH] [--seed N]  # annealing perf baseline
 //! ```
 //!
 //! Samplers: `sa` (default), `sqa`, `pt`, `tabu`, `descent`, `exact`,
@@ -43,6 +44,7 @@ USAGE:
   qsmt dump  <file.smt2> [--goal K]
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
              [--stats] [--report <path>] [--trace] [--lint]
+  qsmt bench [--quick] [--out <path>] [--seed N]
 
 SAMPLERS:
   sa (default) | sqa | pt | tabu | descent | exact | population | random
@@ -51,6 +53,14 @@ OBSERVABILITY (see docs/OBSERVABILITY.md):
   --stats          print per-stage timings and sampler statistics
   --report <path>  write the full JSON run report to <path>
   --trace          print the raw span/event log of every solve
+
+BENCHMARKS (see docs/PERFORMANCE.md):
+  qsmt bench       run the annealing benchmark harness and write a
+                   schema-validated BENCH_annealing.json (kernel-vs-naive
+                   sweep throughput, per-sampler rates, time-to-ground
+                   per formulation)
+  --quick          CI smoke mode: shrink every workload
+  --out <path>     output path (default BENCH_annealing.json)
 
 STATIC ANALYSIS (see docs/LINTS.md):
   qsmt lint        run the formulation linter over every goal's compiled
@@ -90,6 +100,8 @@ struct Options {
     trace: bool,
     lint: bool,
     format: String,
+    quick: bool,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -104,6 +116,8 @@ impl Default for Options {
             trace: false,
             lint: false,
             format: "text".into(),
+            quick: false,
+            out: None,
         }
     }
 }
@@ -143,6 +157,8 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--goal expects an index".to_string())?;
             }
             "--stats" => opts.stats = true,
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = Some(value("--out")?),
             "--report" => opts.report = Some(value("--report")?),
             "--trace" => opts.trace = true,
             "--lint" => opts.lint = true,
@@ -376,6 +392,46 @@ fn run_dump(source: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `qsmt bench`: run the annealing benchmark harness, write the JSON
+/// document, then re-read and schema-validate it so a malformed artifact
+/// fails the process (and therefore CI) instead of being uploaded.
+fn run_bench(opts: &Options) -> Result<(), String> {
+    let bench_opts = qsmt::bench::BenchOptions {
+        quick: opts.quick,
+        seed: opts.seed,
+    };
+    let path = opts.out.as_deref().unwrap_or("BENCH_annealing.json");
+    eprintln!(
+        "running annealing bench ({} mode)…",
+        if opts.quick { "quick" } else { "full" }
+    );
+    let doc = qsmt::bench::run(&bench_opts);
+    std::fs::write(path, doc.pretty()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let written =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot re-read {path}: {e}"))?;
+    let reparsed =
+        qsmt::telemetry::parse(&written).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    qsmt::bench::validate(&reparsed)
+        .map_err(|e| format!("{path} failed schema validation: {e}"))?;
+    if let Some(kernel) = reparsed.get("kernel") {
+        if let (Some(naive), Some(fast), Some(speedup)) = (
+            kernel.get("naive_proposals_per_sec").and_then(Json::as_f64),
+            kernel
+                .get("kernel_proposals_per_sec")
+                .and_then(Json::as_f64),
+            kernel.get("speedup").and_then(Json::as_f64),
+        ) {
+            eprintln!(
+                "kernel sweep: {:.2} Mprop/s naive → {:.2} Mprop/s kernel ({speedup:.2}×)",
+                naive / 1e6,
+                fast / 1e6
+            );
+        }
+    }
+    eprintln!("bench report written to {path}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
@@ -405,6 +461,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "demo" => {
             parse_flags(rest).and_then(|opts| run_solve(DEMO, "<demo>", &opts))
         }
+        Some((cmd, rest)) if cmd == "bench" => parse_flags(rest).and_then(|opts| run_bench(&opts)),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;

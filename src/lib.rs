@@ -41,6 +41,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
+
 pub use qsmt_anneal as anneal;
 pub use qsmt_baseline as baseline;
 pub use qsmt_core as core;
@@ -53,8 +55,8 @@ pub use qsmt_symex as symex;
 pub use qsmt_telemetry as telemetry;
 
 pub use qsmt_anneal::{
-    BetaSchedule, ExactSolver, ParallelTempering, RandomSampler, Sample, SampleSet, Sampler,
-    SimulatedAnnealer, SimulatedQuantumAnnealer, SteepestDescent, TabuSearch,
+    BetaSchedule, ExactSolver, ParallelTempering, PopulationAnnealer, RandomSampler, Sample,
+    SampleSet, Sampler, SimulatedAnnealer, SimulatedQuantumAnnealer, SteepestDescent, TabuSearch,
 };
 pub use qsmt_core::{
     BiasProfile, Constraint, ConstraintError, Pipeline, PipelineReport, Solution, SolveOutcome,

@@ -3,8 +3,8 @@
 //! constraint semantics.
 
 use qsmt::{
-    Constraint, ExactSolver, ParallelTempering, Sampler, SimulatedAnnealer, SteepestDescent,
-    StringSolver, TabuSearch,
+    Constraint, ExactSolver, ParallelTempering, PopulationAnnealer, Sampler, SimulatedAnnealer,
+    SimulatedQuantumAnnealer, SteepestDescent, StringSolver, TabuSearch,
 };
 use std::sync::Arc;
 
@@ -42,6 +42,13 @@ fn all_samplers_reach_exact_ground_energy() {
         Box::new(ParallelTempering::new().with_seed(3).with_rounds(64)),
         Box::new(TabuSearch::new().with_seed(3)),
         Box::new(SteepestDescent::new().with_seed(3).with_num_reads(64)),
+        Box::new(PopulationAnnealer::new().with_seed(3).with_population(48)),
+        Box::new(
+            SimulatedQuantumAnnealer::new()
+                .with_seed(3)
+                .with_num_reads(16)
+                .with_sweeps(256),
+        ),
     ];
     for c in small_constraints() {
         let p = c.encode().expect("encodes");

@@ -44,7 +44,7 @@ fn table1_palindrome_report_has_documented_schema() {
     let doc = report_for("table1_row2_palindrome.smt2", &[]);
 
     // Top level.
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
     assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
     assert_eq!(
         doc.get("sampler").and_then(Json::as_str),
@@ -159,6 +159,19 @@ fn table1_palindrome_report_has_documented_schema() {
             > 0.0
     );
     assert!(sampling.get("tts99_us").and_then(Json::as_u64).is_some());
+
+    // Throughput counters (schema v3): SA times its own run, so both
+    // rates are present and positive.
+    let pps = sampling
+        .get("proposals_per_sec")
+        .and_then(Json::as_f64)
+        .expect("SA reports proposal throughput");
+    assert!(pps > 0.0 && pps.is_finite());
+    let fps = sampling
+        .get("flips_per_sec")
+        .and_then(Json::as_f64)
+        .expect("SA reports flip throughput");
+    assert!(fps > 0.0 && fps <= pps, "accepted flips are a subset");
 
     // Select stage found a valid answer.
     let select = solve.get("select").expect("select");
