@@ -33,6 +33,48 @@ const LN_CUTOFF: f64 = 40.0;
 /// bracket and pay for an exact `exp`, for a 4 KiB table per β.
 const BUCKETS: usize = 512;
 
+/// Which fast path decided each Metropolis proposal, counted on the
+/// trajectory-probe read by [`AcceptanceTable::accept_counted`].
+///
+/// The counters expose *why* the table is fast: almost every decision
+/// should land in `early_accept`, `hard_reject`, or the two bracket
+/// outcomes; `exact_exp` counts the residual proposals that paid for a
+/// real `exp` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AcceptCounters {
+    /// `ΔE ≤ 0`: accepted with no RNG draw.
+    pub early_accept: u64,
+    /// `ΔE ≥ cutoff`: rejected with no RNG draw.
+    pub hard_reject: u64,
+    /// Uniform draw below the bucket's lower probability bound.
+    pub bracket_accept: u64,
+    /// Uniform draw above the bucket's upper probability bound.
+    pub bracket_reject: u64,
+    /// Draw landed inside the bracket: an exact `exp` was computed.
+    pub exact_exp: u64,
+}
+
+impl AcceptCounters {
+    /// Total proposals decided.
+    pub fn total(&self) -> u64 {
+        self.early_accept
+            + self.hard_reject
+            + self.bracket_accept
+            + self.bracket_reject
+            + self.exact_exp
+    }
+
+    /// Fraction of decisions that needed an exact `exp` (0 when empty).
+    pub fn exact_exp_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.exact_exp as f64 / total as f64
+        }
+    }
+}
+
 /// A precomputed Metropolis acceptance test for one inverse temperature.
 #[derive(Debug, Clone)]
 pub struct AcceptanceTable {
@@ -86,6 +128,39 @@ impl AcceptanceTable {
             return false;
         }
         self.accept_with(delta, rng.gen::<f64>())
+    }
+
+    /// [`AcceptanceTable::accept`] with per-fast-path counting, used by
+    /// the trajectory-probe read. Consumes the RNG stream identically to
+    /// the uncounted path, so a probed read reproduces the plain read
+    /// bit-for-bit; the counters are pure side observation.
+    #[inline]
+    pub fn accept_counted(
+        &self,
+        delta: f64,
+        rng: &mut SmallRng,
+        counters: &mut AcceptCounters,
+    ) -> bool {
+        if delta <= 0.0 {
+            counters.early_accept += 1;
+            return true;
+        }
+        if delta >= self.cutoff {
+            counters.hard_reject += 1;
+            return false;
+        }
+        let u = rng.gen::<f64>();
+        let k = (delta * self.inv_step) as usize;
+        if u < self.probs[k + 1] {
+            counters.bracket_accept += 1;
+            return true;
+        }
+        if u >= self.probs[k] {
+            counters.bracket_reject += 1;
+            return false;
+        }
+        counters.exact_exp += 1;
+        u < (-self.beta * delta).exp()
     }
 
     /// The table-bracketed decision for an already-drawn uniform `u`;
@@ -162,6 +237,34 @@ mod tests {
         let rate = accepted as f64 / 200_000.0;
         let expected = (-1.0f64).exp();
         assert!((rate - expected).abs() < 0.01, "rate {rate} vs {expected}");
+    }
+
+    #[test]
+    fn counted_accept_matches_plain_accept_and_rng_stream() {
+        // Same seeds, same deltas: decisions and the RNG stream must be
+        // identical, and the counters must cover every decision.
+        for &beta in &[0.05, 1.0, 12.0] {
+            let t = AcceptanceTable::new(beta);
+            let mut plain_rng = SmallRng::seed_from_u64(33);
+            let mut counted_rng = SmallRng::seed_from_u64(33);
+            let mut delta_rng = SmallRng::seed_from_u64(77);
+            let mut counters = AcceptCounters::default();
+            for _ in 0..50_000 {
+                let delta = delta_rng.gen_range(-1.0..1.0) * t.cutoff * 1.5;
+                assert_eq!(
+                    t.accept(delta, &mut plain_rng),
+                    t.accept_counted(delta, &mut counted_rng, &mut counters),
+                    "β={beta} δ={delta}"
+                );
+            }
+            assert_eq!(plain_rng.gen::<u64>(), counted_rng.gen::<u64>());
+            assert_eq!(counters.total(), 50_000);
+            assert!(counters.early_accept > 0);
+            assert!(counters.hard_reject > 0);
+            // The bracket should resolve the overwhelming majority of
+            // uphill draws without an exact exp.
+            assert!(counters.exact_exp_fraction() < 0.1);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Greedy steepest-descent local search.
 
+use crate::probes::{Decimator, ProbeConfig, SamplerDynamics};
 use crate::{read_seed, SampleSet, Sampler, SamplerRunStats};
 use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use rand::rngs::SmallRng;
@@ -98,6 +99,45 @@ impl SteepestDescent {
         (kernel.into_state(), energy, flips)
     }
 
+    /// [`SteepestDescent::descend_counted`] with a trajectory probe: the
+    /// same flip sequence (no RNG involved), plus a decimated
+    /// energy-after-flip trace (axis = accepted flips).
+    fn descend_probed(
+        compiled: &CompiledQubo,
+        state: Vec<u8>,
+        max_steps: usize,
+        config: &ProbeConfig,
+        dynamics: &mut SamplerDynamics,
+    ) -> (Vec<u8>, f64, u64) {
+        let n = compiled.num_vars();
+        let mut kernel = FlipKernel::new(compiled, state);
+        let mut flips = 0u64;
+        let mut trace = Decimator::new(config.max_trace_points);
+        trace.push(0, kernel.energy());
+        for _ in 0..max_steps {
+            let mut best_var: Option<Var> = None;
+            let mut best_delta = -1e-12f64;
+            for i in 0..n {
+                let d = kernel.delta(i as Var);
+                if d < best_delta {
+                    best_delta = d;
+                    best_var = Some(i as Var);
+                }
+            }
+            match best_var {
+                Some(i) => {
+                    kernel.flip(compiled, i);
+                    flips += 1;
+                    trace.push(flips, kernel.energy());
+                }
+                None => break,
+            }
+        }
+        dynamics.energy_trace = trace.finish();
+        let energy = kernel.energy();
+        (kernel.into_state(), energy, flips)
+    }
+
     /// Applies descent to every state of an existing sample set (greedy
     /// post-processing), re-aggregating the results.
     pub fn polish(&self, model: &QuboModel, set: &SampleSet) -> SampleSet {
@@ -137,6 +177,55 @@ impl Sampler for SteepestDescent {
             elapsed_us: Some(elapsed_us),
         };
         (SampleSet::from_reads(reads), stats)
+    }
+
+    fn sample_dynamics(
+        &self,
+        model: &QuboModel,
+        config: &ProbeConfig,
+    ) -> (SampleSet, SamplerRunStats, SamplerDynamics) {
+        if !config.enabled {
+            let (set, stats) = self.sample_stats(model);
+            return (set, stats, SamplerDynamics::default());
+        }
+        let started = Instant::now();
+        let compiled = CompiledQubo::compile(model);
+        let n = compiled.num_vars();
+        let mut dynamics = SamplerDynamics::default();
+        // Probe read 0 sequentially (energy-per-flip trace); the rest run
+        // the plain parallel path.
+        let mut results: Vec<(Vec<u8>, f64, u64)> = Vec::with_capacity(self.num_reads);
+        if self.num_reads > 0 {
+            let mut rng = SmallRng::seed_from_u64(read_seed(self.seed, 0));
+            let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+            results.push(Self::descend_probed(
+                &compiled,
+                state,
+                self.max_steps,
+                config,
+                &mut dynamics,
+            ));
+        }
+        let rest: Vec<(Vec<u8>, f64, u64)> = (1..self.num_reads)
+            .into_par_iter()
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(read_seed(self.seed, r as u64));
+                let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+                Self::descend_counted(&compiled, state, self.max_steps)
+            })
+            .collect();
+        results.extend(rest);
+        let flips: u64 = results.iter().map(|(_, _, f)| f).sum();
+        let reads: Vec<(Vec<u8>, f64)> = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let scans = flips + self.num_reads as u64;
+        let stats = SamplerRunStats {
+            sweeps: None,
+            proposals: Some(scans * model.num_vars() as u64),
+            accepted: Some(flips),
+            elapsed_us: Some(elapsed_us),
+        };
+        (SampleSet::from_reads(reads), stats, dynamics)
     }
 }
 
@@ -219,5 +308,30 @@ mod tests {
         let a = SteepestDescent::new().with_seed(4).sample(&m);
         let b = SteepestDescent::new().with_seed(4).sample(&m);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probed_run_returns_identical_samples() {
+        let mut m = QuboModel::new(6);
+        for i in 0..6u32 {
+            m.add_linear(i, if i % 2 == 0 { -1.0 } else { 0.5 });
+        }
+        m.add_quadratic(0, 5, -1.0);
+        let sd = SteepestDescent::new().with_seed(8);
+        let plain = sd.sample(&m);
+        let (probed, stats, dynamics) = sd.sample_dynamics(&m, &ProbeConfig::default());
+        assert_eq!(probed, plain, "probes must not change results");
+        // Descent is strictly monotone: every flip lowers the energy, and
+        // the trace axis counts accepted flips starting from step 0.
+        assert!(dynamics.energy_trace.len() >= 2);
+        assert_eq!(dynamics.energy_trace.first().unwrap().sweep, 0);
+        assert!(dynamics
+            .energy_trace
+            .windows(2)
+            .all(|w| w[1].best_energy < w[0].best_energy));
+        assert!(stats.accepted.unwrap() >= dynamics.energy_trace.last().unwrap().sweep);
+        let (off, _, empty) = sd.sample_dynamics(&m, &ProbeConfig::disabled());
+        assert_eq!(off, plain);
+        assert!(empty.is_empty());
     }
 }

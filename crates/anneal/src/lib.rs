@@ -43,6 +43,7 @@ mod exact;
 pub mod metrics;
 mod polished;
 mod population;
+pub mod probes;
 mod random;
 mod sa;
 mod sampleset;
@@ -53,11 +54,12 @@ mod tabu;
 mod tempering;
 pub mod tune;
 
-pub use accept::AcceptanceTable;
+pub use accept::{AcceptCounters, AcceptanceTable};
 pub use descent::SteepestDescent;
 pub use exact::ExactSolver;
 pub use polished::Polished;
 pub use population::PopulationAnnealer;
+pub use probes::{ProbeConfig, SamplerDynamics};
 pub use random::RandomSampler;
 pub use sa::SimulatedAnnealer;
 pub use sampleset::{EnergyStats, Sample, SampleSet};
@@ -195,5 +197,22 @@ pub trait Sampler: Send + Sync {
     /// counters.
     fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
         (self.sample(model), SamplerRunStats::default())
+    }
+
+    /// Samples the model with trajectory probes, additionally returning
+    /// the raw dynamics observations. The sample set is identical to
+    /// [`Sampler::sample`]'s — probes observe, they never steer (and in
+    /// particular never touch a sampler's RNG streams). The default
+    /// implementation delegates to [`Sampler::sample_stats`] and reports
+    /// no dynamics; samplers with probes override it and must return an
+    /// empty [`SamplerDynamics`] when `config.enabled` is false.
+    fn sample_dynamics(
+        &self,
+        model: &QuboModel,
+        config: &ProbeConfig,
+    ) -> (SampleSet, SamplerRunStats, SamplerDynamics) {
+        let _ = config;
+        let (set, stats) = self.sample_stats(model);
+        (set, stats, SamplerDynamics::default())
     }
 }

@@ -10,8 +10,10 @@
 //! compute on promising basins — a strong classical competitor for the
 //! sampler benches.
 
+use crate::probes::{Decimator, ProbeConfig, SamplerDynamics};
 use crate::{read_seed, AcceptanceTable, BetaSchedule, SampleSet, Sampler, SamplerRunStats};
 use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
+use qsmt_telemetry::dynamics::EssPoint;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -95,8 +97,15 @@ impl PopulationAnnealer {
     }
 
     /// Runs the anneal, returning the final population plus the total
-    /// accepted-flip count and the realized step count.
-    fn run(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64, u64) {
+    /// accepted-flip count and the realized step count. When `probes` is
+    /// supplied it records an ESS-per-step and min-energy trace; the
+    /// hooks read population state between phases and never touch an RNG
+    /// stream, so reads are identical either way.
+    fn run(
+        &self,
+        model: &QuboModel,
+        mut probes: Option<&mut PaProbes>,
+    ) -> (Vec<(Vec<u8>, f64)>, u64, u64) {
         let compiled = CompiledQubo::compile(model);
         let n = compiled.num_vars();
         let betas = match &self.schedule {
@@ -113,7 +122,8 @@ impl PopulationAnnealer {
             .collect();
         let mut accepted_total = 0u64;
         let mut prev_beta = 0.0f64;
-        for table in &tables {
+        let mut best = f64::INFINITY;
+        for (step, table) in tables.iter().enumerate() {
             let beta = table.beta();
             let dbeta = beta - prev_beta;
             prev_beta = beta;
@@ -130,6 +140,18 @@ impl PopulationAnnealer {
                     .map(|k| (-dbeta * (k.energy() - min_e)).exp())
                     .collect();
                 let total: f64 = weights.iter().sum();
+                if let Some(p) = probes.as_deref_mut() {
+                    // Effective sample size (Σw)²/Σw²: how many replicas
+                    // still carry independent weight after reweighting.
+                    let sum_sq: f64 = weights.iter().map(|w| w * w).sum();
+                    if sum_sq > 0.0 {
+                        p.ess.push(EssPoint {
+                            step: step as u64,
+                            beta,
+                            ess: total * total / sum_sq,
+                        });
+                    }
+                }
                 let mut next = Vec::with_capacity(self.population);
                 for _ in 0..self.population {
                     let mut pick = rng.gen::<f64>() * total;
@@ -160,6 +182,14 @@ impl PopulationAnnealer {
                     acc
                 })
                 .sum::<u64>();
+            if let Some(p) = probes.as_deref_mut() {
+                let min_e = population
+                    .iter()
+                    .map(FlipKernel::energy)
+                    .fold(f64::INFINITY, f64::min);
+                best = best.min(min_e);
+                p.trace.push(step as u64 + 1, best);
+            }
         }
         let tolerance = FlipKernel::drift_tolerance(&compiled);
         debug_assert!(population
@@ -174,11 +204,35 @@ impl PopulationAnnealer {
             .collect();
         (reads, accepted_total, betas.len() as u64)
     }
+
+    fn run_stats(
+        &self,
+        model: &QuboModel,
+        accepted: u64,
+        steps: u64,
+        elapsed_us: u64,
+    ) -> SamplerRunStats {
+        let sweeps = steps * self.sweeps_per_step as u64;
+        let proposals = sweeps * model.num_vars() as u64 * self.population as u64;
+        SamplerRunStats {
+            sweeps: Some(sweeps),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        }
+    }
+}
+
+/// Probe scratch state for one population-annealing run.
+#[derive(Debug)]
+struct PaProbes {
+    ess: Vec<EssPoint>,
+    trace: Decimator,
 }
 
 impl Sampler for PopulationAnnealer {
     fn sample(&self, model: &QuboModel) -> SampleSet {
-        let (reads, _, _) = self.run(model);
+        let (reads, _, _) = self.run(model, None);
         SampleSet::from_reads(reads)
     }
 
@@ -188,17 +242,35 @@ impl Sampler for PopulationAnnealer {
 
     fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
         let started = Instant::now();
-        let (reads, accepted, steps) = self.run(model);
+        let (reads, accepted, steps) = self.run(model, None);
         let elapsed_us = started.elapsed().as_micros() as u64;
-        let sweeps = steps * self.sweeps_per_step as u64;
-        let proposals = sweeps * model.num_vars() as u64 * self.population as u64;
-        let stats = SamplerRunStats {
-            sweeps: Some(sweeps),
-            proposals: Some(proposals),
-            accepted: Some(accepted),
-            elapsed_us: Some(elapsed_us),
-        };
+        let stats = self.run_stats(model, accepted, steps, elapsed_us);
         (SampleSet::from_reads(reads), stats)
+    }
+
+    fn sample_dynamics(
+        &self,
+        model: &QuboModel,
+        config: &ProbeConfig,
+    ) -> (SampleSet, SamplerRunStats, SamplerDynamics) {
+        if !config.enabled {
+            let (set, stats) = self.sample_stats(model);
+            return (set, stats, SamplerDynamics::default());
+        }
+        let started = Instant::now();
+        let mut probes = PaProbes {
+            ess: Vec::new(),
+            trace: Decimator::new(config.max_trace_points),
+        };
+        let (reads, accepted, steps) = self.run(model, Some(&mut probes));
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let stats = self.run_stats(model, accepted, steps, elapsed_us);
+        let dynamics = SamplerDynamics {
+            energy_trace: probes.trace.finish(),
+            ess_trace: probes.ess,
+            ..SamplerDynamics::default()
+        };
+        (SampleSet::from_reads(reads), stats, dynamics)
     }
 }
 
@@ -270,6 +342,32 @@ mod tests {
             frac > 0.5,
             "resampling should concentrate the population (got {frac})"
         );
+    }
+
+    #[test]
+    fn probed_run_returns_identical_samples() {
+        let m = hard_model();
+        let pa = PopulationAnnealer::new().with_seed(11);
+        let plain = pa.sample(&m);
+        let (probed, _, dynamics) = pa.sample_dynamics(&m, &ProbeConfig::default());
+        assert_eq!(probed, plain, "probes must not change results");
+        // ESS recorded for every β-increasing step, bounded by the
+        // population size, axis ordered.
+        assert!(!dynamics.ess_trace.is_empty());
+        for p in &dynamics.ess_trace {
+            assert!(p.ess >= 1.0 - 1e-9 && p.ess <= 64.0 + 1e-9, "ess {}", p.ess);
+        }
+        assert!(dynamics.ess_trace.windows(2).all(|w| w[0].step < w[1].step));
+        assert!(dynamics.ess_trace.windows(2).all(|w| w[0].beta < w[1].beta));
+        // Min-energy trace ends at the final step and is non-increasing.
+        assert_eq!(dynamics.energy_trace.last().unwrap().sweep, 64);
+        assert!(dynamics
+            .energy_trace
+            .windows(2)
+            .all(|w| w[1].best_energy <= w[0].best_energy));
+        let (off, _, empty) = pa.sample_dynamics(&m, &ProbeConfig::disabled());
+        assert_eq!(off, plain);
+        assert!(empty.is_empty());
     }
 
     #[test]

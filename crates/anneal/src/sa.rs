@@ -1,7 +1,11 @@
 //! Single-flip Metropolis simulated annealing with parallel reads.
 
-use crate::{read_seed, AcceptanceTable, BetaSchedule, SampleSet, Sampler, SamplerRunStats};
-use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
+use crate::probes::{aggregate_betas, Decimator, ProbeConfig, SamplerDynamics, StridedSampler};
+use crate::{
+    read_seed, AcceptCounters, AcceptanceTable, BetaSchedule, SampleSet, Sampler, SamplerRunStats,
+};
+use qsmt_qubo::{CompiledQubo, FlipKernel, KernelWatermark, QuboModel, Var};
+use qsmt_telemetry::dynamics::BetaAcceptance;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -161,6 +165,76 @@ impl SimulatedAnnealer {
         (kernel.into_state(), energy, accepted)
     }
 
+    /// [`SimulatedAnnealer::one_read`] with trajectory probes: identical
+    /// proposal/acceptance/RNG behavior (pinned by tests), plus per-sweep
+    /// observation of the best energy, per-β acceptance, sweep latency,
+    /// and acceptance-table fast-path counters.
+    fn one_read_probed(
+        compiled: &CompiledQubo,
+        tables: &[AcceptanceTable],
+        seed: u64,
+        initial: Option<&[u8]>,
+        config: &ProbeConfig,
+        dynamics: &mut SamplerDynamics,
+    ) -> (Vec<u8>, f64, u64) {
+        let n = compiled.num_vars();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let state: Vec<u8> = match initial {
+            Some(init) => {
+                assert_eq!(init.len(), n, "initial state length mismatch");
+                init.to_vec()
+            }
+            None => (0..n).map(|_| rng.gen_range(0..=1u8)).collect(),
+        };
+        let mut kernel = FlipKernel::new(compiled, state);
+        let mut accepted = 0u64;
+        let mut counters = AcceptCounters::default();
+        let mut watermark = KernelWatermark::new(kernel.energy());
+        let mut trace = Decimator::new(config.max_trace_points);
+        let mut per_beta: Vec<BetaAcceptance> = Vec::with_capacity(tables.len());
+        let mut latency = StridedSampler::new(tables.len() as u64);
+        let mut improvement = StridedSampler::new(tables.len() as u64);
+        trace.push(0, watermark.best());
+        for (sweep, table) in tables.iter().enumerate() {
+            let sweep_started = latency.will_record().then(Instant::now);
+            let best_before = watermark.best();
+            let mut accepted_this = 0u64;
+            for i in 0..n {
+                if table.accept_counted(kernel.delta(i as Var), &mut rng, &mut counters) {
+                    kernel.flip(compiled, i as Var);
+                    watermark.observe(kernel.energy());
+                    accepted_this += 1;
+                }
+            }
+            accepted += accepted_this;
+            per_beta.push(BetaAcceptance {
+                beta: table.beta(),
+                proposals: n as u64,
+                accepted: accepted_this,
+            });
+            match sweep_started {
+                Some(t0) => {
+                    latency.push(t0.elapsed().as_nanos() as f64 / n.max(1) as f64);
+                }
+                None => latency.skip(),
+            }
+            improvement.push((best_before - watermark.best()).max(0.0));
+            trace.push(sweep as u64 + 1, watermark.best());
+        }
+        debug_assert!(
+            (kernel.energy() - compiled.energy(kernel.state())).abs()
+                < FlipKernel::drift_tolerance(compiled),
+            "incremental energy drifted from recomputed energy"
+        );
+        dynamics.energy_trace = trace.finish();
+        dynamics.beta_acceptance = aggregate_betas(&per_beta, config.max_trace_points);
+        dynamics.proposal_latency_ns = latency.into_samples();
+        dynamics.sweep_improvement = improvement.into_samples();
+        dynamics.accept_paths = Some(counters);
+        let energy = kernel.energy();
+        (kernel.into_state(), energy, accepted)
+    }
+
     /// Runs all reads, returning raw `(state, energy)` pairs plus the
     /// total accepted-flip count and the realized sweep count.
     fn run_reads(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64, u64) {
@@ -215,6 +289,67 @@ impl Sampler for SimulatedAnnealer {
             elapsed_us: Some(elapsed_us),
         };
         (SampleSet::from_reads(reads), stats)
+    }
+
+    fn sample_dynamics(
+        &self,
+        model: &QuboModel,
+        config: &ProbeConfig,
+    ) -> (SampleSet, SamplerRunStats, SamplerDynamics) {
+        if !config.enabled {
+            let (set, stats) = self.sample_stats(model);
+            return (set, stats, SamplerDynamics::default());
+        }
+        let started = Instant::now();
+        let compiled = CompiledQubo::compile(model);
+        let betas = match &self.schedule {
+            Some(s) => s.realize(),
+            None => BetaSchedule::auto(&compiled, self.sweeps).realize(),
+        };
+        let tables = AcceptanceTable::for_schedule(&betas);
+        let initial = self.initial_state.as_deref();
+        let mut dynamics = SamplerDynamics::default();
+        // Read 0 is the probe read (run sequentially, observed per sweep);
+        // the remaining reads run exactly as in the plain path. Per-read
+        // RNG streams are independent, so ordering does not matter.
+        let mut results: Vec<(Vec<u8>, f64, u64)> = Vec::with_capacity(self.num_reads);
+        if self.num_reads > 0 {
+            results.push(Self::one_read_probed(
+                &compiled,
+                &tables,
+                read_seed(self.seed, 0),
+                initial,
+                config,
+                &mut dynamics,
+            ));
+        }
+        let rest: Vec<(Vec<u8>, f64, u64)> = if self.parallel {
+            (1..self.num_reads)
+                .into_par_iter()
+                .map(|r| {
+                    Self::one_read(&compiled, &tables, read_seed(self.seed, r as u64), initial)
+                })
+                .collect()
+        } else {
+            (1..self.num_reads)
+                .map(|r| {
+                    Self::one_read(&compiled, &tables, read_seed(self.seed, r as u64), initial)
+                })
+                .collect()
+        };
+        results.extend(rest);
+        let accepted: u64 = results.iter().map(|(_, _, a)| a).sum();
+        let reads: Vec<(Vec<u8>, f64)> = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        let sweeps = betas.len() as u64;
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let proposals = sweeps * model.num_vars() as u64 * self.num_reads as u64;
+        let stats = SamplerRunStats {
+            sweeps: Some(sweeps),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        };
+        (SampleSet::from_reads(reads), stats, dynamics)
     }
 }
 
@@ -341,6 +476,52 @@ mod tests {
         assert!(accepted > 0, "a hot schedule accepts at least some moves");
         let rate = stats.acceptance_rate().unwrap();
         assert!(rate > 0.0 && rate <= 1.0);
+    }
+
+    #[test]
+    fn probed_run_returns_identical_samples() {
+        let (m, _) = gadget();
+        let sa = SimulatedAnnealer::new().with_seed(13).with_num_reads(8);
+        let plain = sa.sample(&m);
+        let (probed, stats, dynamics) = sa.sample_dynamics(&m, &ProbeConfig::default());
+        assert_eq!(probed, plain, "probes must not change results");
+        assert_eq!(stats.accepted, sa.sample_stats(&m).1.accepted);
+        // The probe read produced a trace ending at the realized sweep
+        // count, a bounded β-acceptance table, and fast-path counters
+        // covering every probe-read proposal.
+        let sweeps = stats.sweeps.unwrap();
+        assert_eq!(dynamics.energy_trace.last().unwrap().sweep, sweeps);
+        assert!(!dynamics.beta_acceptance.is_empty());
+        assert!(dynamics.beta_acceptance.len() <= 256);
+        assert_eq!(
+            dynamics
+                .beta_acceptance
+                .iter()
+                .map(|b| b.proposals)
+                .sum::<u64>(),
+            sweeps * 6
+        );
+        assert_eq!(dynamics.accept_paths.unwrap().total(), sweeps * 6);
+        assert_eq!(dynamics.sweep_improvement.len() as u64, sweeps);
+        assert!(!dynamics.proposal_latency_ns.is_empty());
+        // Best-energy trace is non-increasing.
+        assert!(dynamics
+            .energy_trace
+            .windows(2)
+            .all(|w| w[1].best_energy <= w[0].best_energy));
+        // Sampler-specific probes of other samplers stay empty.
+        assert!(dynamics.swap_acceptance.is_empty());
+        assert!(dynamics.ess_trace.is_empty());
+        assert!(dynamics.aspiration_hits.is_none());
+    }
+
+    #[test]
+    fn disabled_probes_return_empty_dynamics() {
+        let (m, _) = gadget();
+        let sa = SimulatedAnnealer::new().with_seed(13).with_num_reads(4);
+        let (set, _, dynamics) = sa.sample_dynamics(&m, &ProbeConfig::disabled());
+        assert_eq!(set, sa.sample(&m));
+        assert!(dynamics.is_empty());
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //! more faithful than plain simulated annealing, and the natural
 //! "quantum" arm for the paper's experiments.
 
-use crate::{read_seed, AcceptanceTable, SampleSet, Sampler, SamplerRunStats};
+use crate::probes::{Decimator, ProbeConfig, SamplerDynamics, StridedSampler};
+use crate::{read_seed, AcceptCounters, AcceptanceTable, SampleSet, Sampler, SamplerRunStats};
 use qsmt_qubo::{spins_to_state, CompiledIsing, IsingFlipKernel, IsingModel, QuboModel, Var};
+use qsmt_telemetry::dynamics::BetaAcceptance;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -171,6 +173,95 @@ impl SimulatedQuantumAnnealer {
         )
     }
 
+    /// [`Self::one_read`] with trajectory probes: identical proposal
+    /// order and RNG stream (via `accept_counted`), plus a per-sweep
+    /// best-slice-energy trace and acceptance/latency observations.
+    fn one_read_probed(
+        &self,
+        compiled: &CompiledIsing,
+        table: &AcceptanceTable,
+        seed: u64,
+        config: &ProbeConfig,
+        dynamics: &mut SamplerDynamics,
+    ) -> (Vec<u8>, f64, u64) {
+        let n = compiled.num_spins();
+        let p = self.trotter_slices;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut replicas: Vec<IsingFlipKernel> = (0..p)
+            .map(|_| {
+                let spins: Vec<i8> = (0..n)
+                    .map(|_| if rng.gen_bool(0.5) { 1i8 } else { -1 })
+                    .collect();
+                IsingFlipKernel::new(compiled, spins)
+            })
+            .collect();
+        let mut accepted = 0u64;
+        let mut counters = AcceptCounters::default();
+        let mut trace = Decimator::new(config.max_trace_points);
+        let mut latency = StridedSampler::new(self.sweeps as u64);
+        let mut improvement = StridedSampler::new(self.sweeps as u64);
+        let mut best = replicas
+            .iter()
+            .map(IsingFlipKernel::energy)
+            .fold(f64::INFINITY, f64::min);
+        trace.push(0, best);
+        for sweep in 0..self.sweeps {
+            let sweep_started = latency.will_record().then(Instant::now);
+            let best_before = best;
+            let f = sweep as f64 / (self.sweeps.max(2) - 1) as f64;
+            let gamma = self.gamma_start + (self.gamma_end - self.gamma_start) * f;
+            let j_perp = self.j_perp(gamma);
+            for k in 0..p {
+                let up = (k + 1) % p;
+                let down = (k + p - 1) % p;
+                for i in 0..n {
+                    let s = replicas[k].spins()[i] as f64;
+                    let classical = replicas[k].delta(i as Var) / self.trotter_slices as f64;
+                    let neighbors = (replicas[down].spins()[i] + replicas[up].spins()[i]) as f64;
+                    let quantum = 2.0 * j_perp * s * neighbors;
+                    if table.accept_counted(classical + quantum, &mut rng, &mut counters) {
+                        replicas[k].flip(compiled, i as Var);
+                        accepted += 1;
+                    }
+                }
+            }
+            // Best slice this sweep by (incremental) classical energy.
+            let sweep_min = replicas
+                .iter()
+                .map(IsingFlipKernel::energy)
+                .fold(f64::INFINITY, f64::min);
+            best = best.min(sweep_min);
+            trace.push(sweep as u64 + 1, best);
+            match sweep_started {
+                Some(t0) => latency.push(t0.elapsed().as_nanos() as f64 / (p * n).max(1) as f64),
+                None => latency.skip(),
+            }
+            improvement.push((best_before - best).max(0.0));
+        }
+        dynamics.energy_trace = trace.finish();
+        // SQA anneals Γ, not β: the whole run sits at one temperature, so
+        // a single aggregate acceptance entry covers it.
+        dynamics.beta_acceptance = vec![BetaAcceptance {
+            beta: table.beta(),
+            proposals: self.sweeps as u64 * (p * n) as u64,
+            accepted,
+        }];
+        dynamics.proposal_latency_ns = latency.into_samples();
+        dynamics.sweep_improvement = improvement.into_samples();
+        dynamics.accept_paths = Some(counters);
+        let (best_slice, best_energy) = replicas
+            .iter()
+            .map(|k| compiled.energy(k.spins()))
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
+            .expect("at least two slices");
+        (
+            spins_to_state(replicas[best_slice].spins()),
+            best_energy,
+            accepted,
+        )
+    }
+
     /// Runs every read, returning the recorded reads and the total
     /// accepted-flip count.
     fn run(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64) {
@@ -215,6 +306,51 @@ impl Sampler for SimulatedQuantumAnnealer {
             elapsed_us: Some(elapsed_us),
         };
         (SampleSet::from_reads(reads), stats)
+    }
+
+    fn sample_dynamics(
+        &self,
+        model: &QuboModel,
+        config: &ProbeConfig,
+    ) -> (SampleSet, SamplerRunStats, SamplerDynamics) {
+        if !config.enabled {
+            let (set, stats) = self.sample_stats(model);
+            return (set, stats, SamplerDynamics::default());
+        }
+        let started = Instant::now();
+        let ising = IsingModel::from_qubo(model);
+        let compiled = CompiledIsing::compile(&ising);
+        let table = AcceptanceTable::new(self.beta);
+        let mut dynamics = SamplerDynamics::default();
+        // Probe read 0 sequentially; the rest run the plain parallel path.
+        let mut results: Vec<(Vec<u8>, f64, u64)> = Vec::with_capacity(self.num_reads);
+        if self.num_reads > 0 {
+            results.push(self.one_read_probed(
+                &compiled,
+                &table,
+                read_seed(self.seed, 0),
+                config,
+                &mut dynamics,
+            ));
+        }
+        let rest: Vec<(Vec<u8>, f64, u64)> = (1..self.num_reads)
+            .into_par_iter()
+            .map(|r| self.one_read(&compiled, &table, read_seed(self.seed, r as u64)))
+            .collect();
+        results.extend(rest);
+        let accepted = results.iter().map(|(_, _, a)| a).sum();
+        let reads: Vec<(Vec<u8>, f64)> = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let sweeps = self.sweeps as u64;
+        let proposals =
+            self.num_reads as u64 * sweeps * self.trotter_slices as u64 * model.num_vars() as u64;
+        let stats = SamplerRunStats {
+            sweeps: Some(sweeps),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        };
+        (SampleSet::from_reads(reads), stats, dynamics)
     }
 }
 
@@ -290,6 +426,36 @@ mod tests {
             .with_num_reads(8);
         let set = sqa.sample(&m);
         assert!((set.lowest_energy().unwrap() - ground).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probed_run_returns_identical_samples() {
+        let m = frustrated();
+        let sqa = SimulatedQuantumAnnealer::new()
+            .with_seed(4)
+            .with_num_reads(6);
+        let plain = sqa.sample(&m);
+        let (probed, stats, dynamics) = sqa.sample_dynamics(&m, &ProbeConfig::default());
+        assert_eq!(probed, plain, "probes must not change results");
+        // Trace covers the full Γ schedule and is non-increasing.
+        assert_eq!(dynamics.energy_trace.last().unwrap().sweep, 256);
+        assert!(dynamics
+            .energy_trace
+            .windows(2)
+            .all(|w| w[1].best_energy <= w[0].best_energy));
+        // One fixed-β acceptance entry covering all probe-read proposals.
+        assert_eq!(dynamics.beta_acceptance.len(), 1);
+        let entry = &dynamics.beta_acceptance[0];
+        assert_eq!(entry.beta, 8.0);
+        assert_eq!(entry.proposals, 256 * 16 * 5);
+        assert!(entry.accepted <= entry.proposals);
+        assert_eq!(dynamics.accept_paths.unwrap().total(), entry.proposals);
+        assert!(!dynamics.proposal_latency_ns.is_empty());
+        assert_eq!(dynamics.sweep_improvement.len(), 256);
+        assert!(stats.accepted.unwrap() >= entry.accepted);
+        let (off, _, empty) = sqa.sample_dynamics(&m, &ProbeConfig::disabled());
+        assert_eq!(off, plain);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Tabu search over the QUBO landscape.
 
+use crate::probes::{Decimator, ProbeConfig, SamplerDynamics};
 use crate::{read_seed, SampleSet, Sampler, SamplerRunStats};
 use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use rand::rngs::SmallRng;
@@ -119,6 +120,73 @@ impl TabuSearch {
         );
         (best_state, best_energy)
     }
+
+    /// [`Self::one_read`] with trajectory probes: identical move choice
+    /// and RNG stream, plus an aspiration-hit counter and a decimated
+    /// best-energy trace (axis = tabu steps).
+    fn one_read_probed(
+        &self,
+        compiled: &CompiledQubo,
+        seed: u64,
+        config: &ProbeConfig,
+        dynamics: &mut SamplerDynamics,
+    ) -> (Vec<u8>, f64) {
+        let n = compiled.num_vars();
+        if n == 0 {
+            return (Vec::new(), compiled.offset());
+        }
+        let tenure = self
+            .tenure
+            .unwrap_or_else(|| (n / 4).max(4))
+            .min(n.saturating_sub(1));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+        let mut kernel = FlipKernel::new(compiled, state);
+        let mut best_state = kernel.state().to_vec();
+        let mut best_energy = kernel.energy();
+        let mut tabu_until = vec![0usize; n];
+        let mut aspiration_hits = 0u64;
+        let mut trace = Decimator::new(config.max_trace_points);
+        trace.push(0, best_energy);
+        for step in 0..self.steps {
+            let energy = kernel.energy();
+            let mut chosen: Option<(Var, f64)> = None;
+            for (i, &until) in tabu_until.iter().enumerate() {
+                let d = kernel.delta(i as Var);
+                let is_tabu = until > step;
+                if is_tabu && energy + d >= best_energy - 1e-12 {
+                    continue;
+                }
+                match chosen {
+                    Some((_, bd)) if d >= bd => {}
+                    _ => chosen = Some((i as Var, d)),
+                }
+            }
+            let i = match chosen {
+                Some((i, _)) => i,
+                None => rng.gen_range(0..n) as Var,
+            };
+            // A chosen move that was still tabu got through on the
+            // aspiration criterion.
+            if chosen.is_some() && tabu_until[i as usize] > step {
+                aspiration_hits += 1;
+            }
+            kernel.flip(compiled, i);
+            tabu_until[i as usize] = step + tenure + 1;
+            if chosen.is_some() && kernel.energy() < best_energy {
+                best_energy = kernel.energy();
+                best_state.copy_from_slice(kernel.state());
+            }
+            trace.push(step as u64 + 1, best_energy);
+        }
+        debug_assert!(
+            (best_energy - compiled.energy(&best_state)).abs()
+                < FlipKernel::drift_tolerance(compiled)
+        );
+        dynamics.energy_trace = trace.finish();
+        dynamics.aspiration_hits = Some(aspiration_hits);
+        (best_state, best_energy)
+    }
 }
 
 impl Sampler for TabuSearch {
@@ -154,6 +222,50 @@ impl Sampler for TabuSearch {
             elapsed_us: Some(elapsed_us),
         };
         (set, stats)
+    }
+
+    fn sample_dynamics(
+        &self,
+        model: &QuboModel,
+        config: &ProbeConfig,
+    ) -> (SampleSet, SamplerRunStats, SamplerDynamics) {
+        if !config.enabled {
+            let (set, stats) = self.sample_stats(model);
+            return (set, stats, SamplerDynamics::default());
+        }
+        let started = Instant::now();
+        let compiled = CompiledQubo::compile(model);
+        let mut dynamics = SamplerDynamics::default();
+        // Probe read 0 sequentially; the rest run the plain parallel path.
+        let mut reads: Vec<(Vec<u8>, f64)> = Vec::with_capacity(self.num_reads);
+        if self.num_reads > 0 {
+            reads.push(self.one_read_probed(
+                &compiled,
+                read_seed(self.seed, 0),
+                config,
+                &mut dynamics,
+            ));
+        }
+        let rest: Vec<(Vec<u8>, f64)> = (1..self.num_reads)
+            .into_par_iter()
+            .map(|r| self.one_read(&compiled, read_seed(self.seed, r as u64)))
+            .collect();
+        reads.extend(rest);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let n = model.num_vars() as u64;
+        let (proposals, accepted) = if n == 0 {
+            (0, 0)
+        } else {
+            let steps = self.num_reads as u64 * self.steps as u64;
+            (steps * n, steps)
+        };
+        let stats = SamplerRunStats {
+            sweeps: Some(self.steps as u64),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        };
+        (SampleSet::from_reads(reads), stats, dynamics)
     }
 }
 
@@ -205,6 +317,28 @@ mod tests {
         m.add_linear(0, -3.0);
         let set = TabuSearch::new().with_seed(0).sample(&m);
         assert_eq!(set.best().unwrap().state, vec![1]);
+    }
+
+    #[test]
+    fn probed_run_returns_identical_samples() {
+        let (m, _) = frustrated_model();
+        let tabu = TabuSearch::new().with_seed(21);
+        let plain = tabu.sample(&m);
+        let (probed, _, dynamics) = tabu.sample_dynamics(&m, &ProbeConfig::default());
+        assert_eq!(probed, plain, "probes must not change results");
+        // The counter is always present on a probed read (it may stay 0
+        // on landscapes where no tabu move ever beats the best energy).
+        let hits = dynamics.aspiration_hits.expect("tabu counts aspirations");
+        assert!(hits <= 2_000);
+        // Trace ends at the final step and is non-increasing.
+        assert_eq!(dynamics.energy_trace.last().unwrap().sweep, 2_000);
+        assert!(dynamics
+            .energy_trace
+            .windows(2)
+            .all(|w| w[1].best_energy <= w[0].best_energy));
+        let (off, _, empty) = tabu.sample_dynamics(&m, &ProbeConfig::disabled());
+        assert_eq!(off, plain);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Parallel tempering (replica exchange) sampler.
 
+use crate::probes::{Decimator, ProbeConfig, SamplerDynamics};
 use crate::{read_seed, AcceptanceTable, SampleSet, Sampler, SamplerRunStats};
 use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
+use qsmt_telemetry::dynamics::{BetaAcceptance, SwapAcceptance};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -115,8 +117,15 @@ impl ParallelTempering {
     }
 
     /// Runs the full exchange schedule, returning the recorded reads and
-    /// the total accepted-flip count.
-    fn run(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64) {
+    /// the total accepted-flip count. When `probes` is supplied, it is
+    /// filled with swap/rung/trace observations; the probe hooks sit
+    /// outside the sweep loops and never touch an RNG stream, so the
+    /// reads are identical either way.
+    fn run(
+        &self,
+        model: &QuboModel,
+        mut probes: Option<&mut PtProbes>,
+    ) -> (Vec<(Vec<u8>, f64)>, u64) {
         let compiled = CompiledQubo::compile(model);
         let n = compiled.num_vars();
         let betas = self.ladder();
@@ -135,6 +144,7 @@ impl ParallelTempering {
             .collect();
         let mut swap_rng = SmallRng::seed_from_u64(self.seed.wrapping_add(0x5157_2026));
         let mut reads: Vec<(Vec<u8>, f64)> = Vec::with_capacity(self.rounds);
+        let mut best = f64::INFINITY;
 
         for round in 0..self.rounds {
             replicas
@@ -151,23 +161,60 @@ impl ParallelTempering {
                 let b = a + 1;
                 let log_ratio = (betas[a] - betas[b])
                     * (replicas[a].kernel.energy() - replicas[b].kernel.energy());
-                if log_ratio >= 0.0 || swap_rng.gen::<f64>() < log_ratio.exp() {
+                let swapped = log_ratio >= 0.0 || swap_rng.gen::<f64>() < log_ratio.exp();
+                if swapped {
                     let (left, right) = replicas.split_at_mut(b);
                     std::mem::swap(&mut left[a].kernel, &mut right[0].kernel);
+                }
+                if let Some(p) = probes.as_deref_mut() {
+                    p.swap_attempts[a] += 1;
+                    p.swap_accepts[a] += u64::from(swapped);
                 }
             }
             // Record the coldest replica each round.
             let coldest = replicas.last().expect("at least two replicas");
             reads.push((coldest.kernel.state().to_vec(), coldest.kernel.energy()));
+            if let Some(p) = probes.as_deref_mut() {
+                best = best.min(coldest.kernel.energy());
+                p.trace.push(round as u64 + 1, best);
+            }
+        }
+        if let Some(p) = probes {
+            // `accepted` stays with the rung: only kernels swap, so the
+            // counter in slot k always counts moves judged at β_k.
+            p.rung_accepted = replicas.iter().map(|r| r.accepted).collect();
+            p.betas = betas;
         }
         let accepted = replicas.iter().map(|r| r.accepted).sum();
         (reads, accepted)
     }
 }
 
+/// Probe scratch state for one tempering run.
+#[derive(Debug)]
+struct PtProbes {
+    swap_attempts: Vec<u64>,
+    swap_accepts: Vec<u64>,
+    rung_accepted: Vec<u64>,
+    betas: Vec<f64>,
+    trace: Decimator,
+}
+
+impl PtProbes {
+    fn new(num_replicas: usize, max_trace: usize) -> Self {
+        Self {
+            swap_attempts: vec![0; num_replicas.saturating_sub(1)],
+            swap_accepts: vec![0; num_replicas.saturating_sub(1)],
+            rung_accepted: Vec::new(),
+            betas: Vec::new(),
+            trace: Decimator::new(max_trace),
+        }
+    }
+}
+
 impl Sampler for ParallelTempering {
     fn sample(&self, model: &QuboModel) -> SampleSet {
-        let (reads, _) = self.run(model);
+        let (reads, _) = self.run(model, None);
         SampleSet::from_reads(reads)
     }
 
@@ -177,7 +224,7 @@ impl Sampler for ParallelTempering {
 
     fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {
         let started = Instant::now();
-        let (reads, accepted) = self.run(model);
+        let (reads, accepted) = self.run(model, None);
         let elapsed_us = started.elapsed().as_micros() as u64;
         let sweeps = (self.rounds * self.sweeps_per_round) as u64;
         let proposals = sweeps * model.num_vars() as u64 * self.num_replicas as u64;
@@ -188,6 +235,53 @@ impl Sampler for ParallelTempering {
             elapsed_us: Some(elapsed_us),
         };
         (SampleSet::from_reads(reads), stats)
+    }
+
+    fn sample_dynamics(
+        &self,
+        model: &QuboModel,
+        config: &ProbeConfig,
+    ) -> (SampleSet, SamplerRunStats, SamplerDynamics) {
+        if !config.enabled {
+            let (set, stats) = self.sample_stats(model);
+            return (set, stats, SamplerDynamics::default());
+        }
+        let started = Instant::now();
+        let mut probes = PtProbes::new(self.num_replicas, config.max_trace_points);
+        let (reads, accepted) = self.run(model, Some(&mut probes));
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let sweeps = (self.rounds * self.sweeps_per_round) as u64;
+        let proposals = sweeps * model.num_vars() as u64 * self.num_replicas as u64;
+        let stats = SamplerRunStats {
+            sweeps: Some(sweeps),
+            proposals: Some(proposals),
+            accepted: Some(accepted),
+            elapsed_us: Some(elapsed_us),
+        };
+        let per_rung = sweeps * model.num_vars() as u64;
+        let mut dynamics = SamplerDynamics {
+            energy_trace: probes.trace.finish(),
+            ..SamplerDynamics::default()
+        };
+        dynamics.beta_acceptance = probes
+            .betas
+            .iter()
+            .zip(probes.rung_accepted.iter())
+            .map(|(&beta, &acc)| BetaAcceptance {
+                beta,
+                proposals: per_rung,
+                accepted: acc,
+            })
+            .collect();
+        dynamics.swap_acceptance = (0..probes.swap_attempts.len())
+            .map(|a| SwapAcceptance {
+                hotter_beta: probes.betas[a],
+                colder_beta: probes.betas[a + 1],
+                attempts: probes.swap_attempts[a],
+                accepted: probes.swap_accepts[a],
+            })
+            .collect();
+        (SampleSet::from_reads(reads), stats, dynamics)
     }
 }
 
@@ -259,6 +353,48 @@ mod tests {
     #[should_panic(expected = "at least two replicas")]
     fn single_replica_rejected() {
         ParallelTempering::new().with_num_replicas(1);
+    }
+
+    #[test]
+    fn probed_run_returns_identical_samples() {
+        let (m, _) = double_well();
+        let pt = ParallelTempering::new().with_seed(9).with_rounds(64);
+        let plain = pt.sample(&m);
+        let (probed, stats, dynamics) = pt.sample_dynamics(&m, &ProbeConfig::default());
+        assert_eq!(probed, plain, "probes must not change results");
+        // Swap matrix: one entry per adjacent ladder pair, each pair
+        // attempted every other round, ordered hot → cold.
+        assert_eq!(dynamics.swap_acceptance.len(), 7);
+        for pair in &dynamics.swap_acceptance {
+            assert!(pair.hotter_beta < pair.colder_beta);
+            assert_eq!(pair.attempts, 32);
+            assert!(pair.accepted <= pair.attempts);
+        }
+        // Per-rung acceptance covers all proposals.
+        assert_eq!(dynamics.beta_acceptance.len(), 8);
+        let per_rung = 64 * 4 * m.num_vars() as u64;
+        assert!(dynamics
+            .beta_acceptance
+            .iter()
+            .all(|b| b.proposals == per_rung && b.accepted <= b.proposals));
+        assert_eq!(
+            dynamics
+                .beta_acceptance
+                .iter()
+                .map(|b| b.accepted)
+                .sum::<u64>(),
+            stats.accepted.unwrap()
+        );
+        // Coldest-replica trace: one axis unit per round, non-increasing.
+        assert_eq!(dynamics.energy_trace.last().unwrap().sweep, 64);
+        assert!(dynamics
+            .energy_trace
+            .windows(2)
+            .all(|w| w[1].best_energy <= w[0].best_energy));
+        // Disabled path stays empty and identical.
+        let (off, _, empty) = pt.sample_dynamics(&m, &ProbeConfig::disabled());
+        assert_eq!(off, plain);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -5,12 +5,12 @@ use crate::constraint::Constraint;
 use crate::error::ConstraintError;
 use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
 use crate::problem::{EncodedProblem, Solution};
-use qsmt_anneal::{metrics, SampleSet, Sampler, SimulatedAnnealer};
+use qsmt_anneal::{metrics, ProbeConfig, SampleSet, Sampler, SamplerDynamics, SimulatedAnnealer};
 use qsmt_lint::{lint_qubo, LintConfig, LintReport};
 use qsmt_qubo::{DenseQubo, QuboModel};
 use qsmt_telemetry::{
-    CompileStats, EmbeddingStats, PresolveStats, Recorder, SamplerStats, SelectStats, SolveReport,
-    StageTiming,
+    CompileStats, DynamicsStats, EmbeddingStats, HistogramSummary, PresolveStats, Recorder,
+    SamplerStats, SelectStats, SolveReport, StageTiming, StallVerdict,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -452,13 +452,23 @@ impl StringSolver {
         }
 
         let start = begin(&mut stages, &rec, "sample");
-        let (samples, run_stats) = {
+        let (samples, run_stats, raw_dynamics) = {
             let _s = rec.span("sample");
-            self.sampler.sample_stats(&problem.qubo)
+            // Trajectory probes observe, never steer: the sample set is
+            // bit-identical to the un-probed path (pinned by tests).
+            self.sampler
+                .sample_dynamics(&problem.qubo, &ProbeConfig::default())
         };
         let sample_us = rec.elapsed_us() - start;
         stages.last_mut().expect("pushed").dur_us = sample_us;
         let sampling = Self::sampler_stats(self.sampler.name(), &samples, run_stats, sample_us);
+        let dynamics = Self::dynamics_stats(raw_dynamics, run_stats.acceptance_rate());
+        if let Some(d) = &dynamics {
+            rec.event(
+                "dynamics",
+                format!("{} trajectory", d.stall_verdict.as_str()),
+            );
+        }
 
         let start = begin(&mut stages, &rec, "select");
         let (outcome, decoded, valid_rank) = {
@@ -487,9 +497,37 @@ impl StringSolver {
             embedding,
             sampling,
             select,
+            dynamics,
             spans: rec.finish(),
         };
         Ok((outcome, report))
+    }
+
+    /// Condenses raw probe observations into the report's `dynamics`
+    /// section (schema v4). Returns `None` when the sampler produced no
+    /// observations, keeping the section additive over v3 reports.
+    fn dynamics_stats(
+        raw: SamplerDynamics,
+        final_acceptance: Option<f64>,
+    ) -> Option<DynamicsStats> {
+        if raw.is_empty() {
+            return None;
+        }
+        let time_to_target = DynamicsStats::time_to_target_curve(&raw.energy_trace);
+        let last_improvement_fraction = DynamicsStats::last_improvement_fraction(&raw.energy_trace);
+        let stall_verdict = StallVerdict::classify(last_improvement_fraction, final_acceptance);
+        Some(DynamicsStats {
+            energy_trace: raw.energy_trace,
+            beta_acceptance: raw.beta_acceptance,
+            swap_acceptance: raw.swap_acceptance,
+            ess_trace: raw.ess_trace,
+            aspiration_hits: raw.aspiration_hits,
+            proposal_latency_ns: HistogramSummary::from_samples(&raw.proposal_latency_ns),
+            sweep_improvement: HistogramSummary::from_samples(&raw.sweep_improvement),
+            time_to_target,
+            last_improvement_fraction,
+            stall_verdict,
+        })
     }
 
     /// Summarizes a sample set plus sampler counters into telemetry form.
@@ -791,6 +829,28 @@ mod tests {
         );
         assert_eq!(report.solution, "\"cba\"");
         assert!(report.valid);
+    }
+
+    #[test]
+    fn report_carries_dynamics_from_probed_sampler() {
+        let (_, report) = solver()
+            .solve_reported(&Constraint::Reverse { input: "ab".into() })
+            .unwrap();
+        let d = report.dynamics.as_ref().expect("SA exposes dynamics");
+        assert!(!d.energy_trace.is_empty());
+        assert!(!d.beta_acceptance.is_empty());
+        assert!(d.proposal_latency_ns.is_some());
+        assert!(d.sweep_improvement.is_some());
+        assert!(d.last_improvement_fraction >= 0.0 && d.last_improvement_fraction <= 1.0);
+        // TTT curve covers the gap fractions in order and ends at the
+        // sweep where the final best energy was reached.
+        assert!(!d.time_to_target.is_empty());
+        assert!(d
+            .time_to_target
+            .windows(2)
+            .all(|w| w[0].gap_fraction < w[1].gap_fraction && w[0].sweep <= w[1].sweep));
+        // The verdict made it into the event stream too.
+        assert!(report.spans.iter().any(|s| s.name == "dynamics"));
     }
 
     #[test]

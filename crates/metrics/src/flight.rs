@@ -1,0 +1,212 @@
+//! Flight recorder: a fixed-capacity ring buffer of timestamped events.
+//!
+//! The recorder keeps the most recent N events (older ones are evicted in
+//! FIFO order) so a crash-dump after a failed solve — or an on-demand
+//! `qsmt watch` poll of the `/flight` endpoint — shows the run's recent
+//! history without unbounded memory growth.
+
+use qsmt_telemetry::Json;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub elapsed_us: u64,
+    /// Event name, e.g. `solve.best_energy`.
+    pub name: String,
+    /// Numeric payload (use 0.0 for pure marker events).
+    pub value: f64,
+    /// Optional free-form detail string.
+    pub detail: Option<String>,
+}
+
+struct FlightInner {
+    next_seq: u64,
+    events: VecDeque<FlightEvent>,
+}
+
+/// A thread-safe ring buffer of [`FlightEvent`]s.
+pub struct FlightRecorder {
+    origin: Instant,
+    capacity: usize,
+    inner: Mutex<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            origin: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(FlightInner {
+                next_seq: 0,
+                events: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Records an event with no detail string.
+    pub fn record(&self, name: &str, value: f64) {
+        self.push(name, value, None);
+    }
+
+    /// Records an event with a detail string.
+    pub fn record_detail(&self, name: &str, value: f64, detail: &str) {
+        self.push(name, value, Some(detail.to_string()));
+    }
+
+    fn push(&self, name: &str, value: f64, detail: Option<String>) {
+        let elapsed_us = u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(FlightEvent {
+            seq,
+            elapsed_us,
+            name: name.to_string(),
+            value,
+            detail,
+        });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .events
+            .len()
+    }
+
+    /// True when no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded_total(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .next_seq
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Serializes the ring buffer as a JSON document:
+    /// `{"capacity", "recorded_total", "events": [{seq, t_us, name, value, detail?}]}`.
+    pub fn to_json(&self) -> Json {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        let events: Vec<Json> = inner
+            .events
+            .iter()
+            .map(|e| {
+                let mut obj = vec![
+                    ("seq", Json::from(e.seq)),
+                    ("t_us", Json::from(e.elapsed_us)),
+                    ("name", Json::from(e.name.as_str())),
+                    ("value", Json::from(e.value)),
+                ];
+                if let Some(detail) = &e.detail {
+                    obj.push(("detail", Json::from(detail.as_str())));
+                }
+                Json::obj(obj)
+            })
+            .collect();
+        Json::obj([
+            ("capacity", Json::from(self.capacity)),
+            ("recorded_total", Json::from(inner.next_seq)),
+            ("events", Json::Arr(events)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let rec = FlightRecorder::new(8);
+        rec.record("a", 1.0);
+        rec.record_detail("b", 2.0, "ctx");
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].name, "b");
+        assert_eq!(events[1].detail.as_deref(), Some("ctx"));
+        assert!(events[1].elapsed_us >= events[0].elapsed_us);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..10 {
+            rec.record("e", f64::from(i));
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 7);
+        assert_eq!(events[2].seq, 9);
+        assert_eq!(rec.recorded_total(), 10);
+        assert_eq!(rec.capacity(), 3);
+    }
+
+    #[test]
+    fn json_dump_round_trips() {
+        let rec = FlightRecorder::new(4);
+        rec.record("x", 1.5);
+        rec.record_detail("y", -2.0, "why");
+        let doc = rec.to_json();
+        let parsed = qsmt_telemetry::json::parse(&doc.pretty()).expect("valid json");
+        assert_eq!(parsed.get("capacity").and_then(Json::as_u64), Some(4));
+        assert_eq!(parsed.get("recorded_total").and_then(Json::as_u64), Some(2));
+        let events = parsed.get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("x"));
+        assert_eq!(events[1].get("detail").and_then(Json::as_str), Some("why"));
+    }
+
+    #[test]
+    fn concurrent_records_keep_unique_seqs() {
+        let rec = FlightRecorder::new(1024);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        rec.record("e", 0.0);
+                    }
+                });
+            }
+        });
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 200);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 200);
+    }
+}

@@ -321,6 +321,8 @@ impl QpuSimulator {
         Ok(QpuResponse {
             samples: SampleSet::from_reads(reads),
             chain_break_fraction,
+            broken_chains: broken_total as u64,
+            chain_slots: (reads_seen * total_chains) as u64,
             discarded_reads: discarded,
             timing: self.timing.access_time(self.num_reads),
             chain_strength: strength,
@@ -353,6 +355,13 @@ pub struct QpuResponse {
     pub samples: SampleSet,
     /// Broken chains per (read × chain): 0.0 = all chains intact.
     pub chain_break_fraction: f64,
+    /// Raw broken-chain count behind
+    /// [`QpuResponse::chain_break_fraction`] — counter-style for the
+    /// metrics exporter, which prefers monotone numerators over ratios.
+    pub broken_chains: u64,
+    /// Total chain observations (reads × chains per read): the
+    /// denominator paired with [`QpuResponse::broken_chains`].
+    pub chain_slots: u64,
     /// Reads dropped by [`ChainBreakResolution::Discard`].
     pub discarded_reads: usize,
     /// Billed QPU access time.
@@ -391,6 +400,12 @@ mod tests {
         let qpu = QpuSimulator::new(Topology::chimera(2, 2, 4)).with_seed(3);
         let resp = qpu.sample_qubo(&m).unwrap();
         assert_eq!(resp.samples.best().unwrap().state, gs);
+        // Counter-style chain-break fields agree with the ratio.
+        assert!(resp.chain_slots > 0);
+        assert!(
+            (resp.broken_chains as f64 / resp.chain_slots as f64 - resp.chain_break_fraction).abs()
+                < 1e-12
+        );
     }
 
     #[test]

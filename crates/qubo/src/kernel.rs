@@ -146,6 +146,72 @@ impl FlipKernel {
     }
 }
 
+/// Side-observer for trajectory probes: tracks the best (lowest) energy a
+/// kernel has visited and when, without touching the kernel's hot path.
+///
+/// Samplers with probes enabled call [`KernelWatermark::observe`] after
+/// each accepted flip; the disabled-probe path never constructs one, so
+/// the production sweep loop stays byte-identical. The watermark is pure
+/// observation — it never feeds back into proposals, acceptance, or RNG
+/// streams.
+///
+/// ```
+/// use qsmt_qubo::kernel::KernelWatermark;
+///
+/// let mut w = KernelWatermark::new(5.0);
+/// w.observe(3.0);
+/// w.observe(4.0); // not an improvement
+/// assert_eq!(w.best(), 3.0);
+/// assert_eq!(w.flips(), 2);
+/// assert_eq!(w.best_at_flip(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelWatermark {
+    best: f64,
+    flips: u64,
+    best_at_flip: u64,
+}
+
+impl KernelWatermark {
+    /// Starts the watermark at the kernel's initial energy (flip 0).
+    pub fn new(initial_energy: f64) -> Self {
+        Self {
+            best: initial_energy,
+            flips: 0,
+            best_at_flip: 0,
+        }
+    }
+
+    /// Records the kernel energy after one accepted flip.
+    #[inline]
+    pub fn observe(&mut self, energy: f64) {
+        self.flips += 1;
+        if energy < self.best {
+            self.best = energy;
+            self.best_at_flip = self.flips;
+        }
+    }
+
+    /// Lowest energy observed so far (including the initial energy).
+    #[inline]
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Accepted flips observed so far.
+    #[inline]
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// The accepted-flip count at which the best energy was reached
+    /// (0 when the initial state was never improved).
+    #[inline]
+    pub fn best_at_flip(&self) -> u64 {
+        self.best_at_flip
+    }
+}
+
 /// The Ising twin of [`FlipKernel`]: maintains `f_i = h_i + Σ_j J_ij·s_j`
 /// over spin states `s ∈ {−1, +1}^n` so flip deltas are O(1).
 #[derive(Debug, Clone, PartialEq)]
@@ -320,6 +386,38 @@ mod tests {
     fn rejects_wrong_length_state() {
         let c = CompiledQubo::compile(&QuboModel::new(3));
         FlipKernel::new(&c, vec![0, 1]);
+    }
+
+    #[test]
+    fn watermark_tracks_best_and_flip_index() {
+        let mut w = KernelWatermark::new(10.0);
+        assert_eq!(w.best(), 10.0);
+        assert_eq!(w.best_at_flip(), 0);
+        w.observe(12.0); // uphill move accepted at high temperature
+        w.observe(4.0);
+        w.observe(7.0);
+        w.observe(4.0); // tie does not move the watermark
+        assert_eq!(w.best(), 4.0);
+        assert_eq!(w.flips(), 4);
+        assert_eq!(w.best_at_flip(), 2);
+    }
+
+    #[test]
+    fn watermark_follows_kernel_trajectory() {
+        let m = random_model(8, 21);
+        let c = CompiledQubo::compile(&m);
+        let mut k = FlipKernel::new(&c, vec![0; 8]);
+        let mut w = KernelWatermark::new(k.energy());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut best = k.energy();
+        for _ in 0..200 {
+            let i = rng.gen_range(0..8) as Var;
+            k.flip(&c, i);
+            w.observe(k.energy());
+            best = best.min(k.energy());
+        }
+        assert!((w.best() - best).abs() < 1e-9);
+        assert_eq!(w.flips(), 200);
     }
 
     #[test]

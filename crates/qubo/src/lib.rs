@@ -43,7 +43,7 @@ mod dense;
 mod hash;
 mod ising;
 mod ising_compiled;
-mod kernel;
+pub mod kernel;
 mod model;
 mod presolve;
 mod serialize;
@@ -54,7 +54,7 @@ pub use dense::DenseQubo;
 pub use hash::{FxBuildHasher, FxHasher};
 pub use ising::{spins_to_state, state_to_spins, IsingModel};
 pub use ising_compiled::CompiledIsing;
-pub use kernel::{FlipKernel, IsingFlipKernel};
+pub use kernel::{FlipKernel, IsingFlipKernel, KernelWatermark};
 pub use model::{QuboModel, Var};
 pub use presolve::{fix_variables, normalize, persistent_assignments, presolve, ReducedModel};
 pub use serialize::{from_qbsolv, to_qbsolv, FormatError};

@@ -27,10 +27,15 @@
 
 #![warn(missing_docs)]
 
+pub mod dynamics;
 pub mod json;
 pub mod recorder;
 pub mod report;
 
+pub use dynamics::{
+    BetaAcceptance, DynamicsStats, EssPoint, HistogramSummary, StallVerdict, SwapAcceptance,
+    TimeToTarget, TracePoint,
+};
 pub use json::{parse, Json, JsonParseError};
 pub use recorder::{Recorder, SpanGuard, SpanRecord, TraceDisplay};
 pub use report::{

@@ -248,6 +248,76 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_spans_all_recorded_with_balanced_depth() {
+        // Many threads opening/closing nested spans against one shared
+        // recorder: every span must land in the log exactly once and the
+        // depth counter must return to zero (no lost updates).
+        let rec = Recorder::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let _outer = rec.span(&format!("outer-{t}-{i}"));
+                        let _inner = rec.span(&format!("inner-{t}-{i}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.depth.load(Ordering::Relaxed), 0);
+        let log = rec.finish();
+        assert_eq!(log.len(), 8 * 25 * 2);
+        // Each thread's own nesting holds: its inner span opened after
+        // (or with) its outer span and at a strictly greater depth.
+        for t in 0..8 {
+            for i in 0..25 {
+                let outer = log
+                    .iter()
+                    .find(|r| r.name == format!("outer-{t}-{i}"))
+                    .expect("outer span recorded");
+                let inner = log
+                    .iter()
+                    .find(|r| r.name == format!("inner-{t}-{i}"))
+                    .expect("inner span recorded");
+                assert!(outer.start_us <= inner.start_us);
+                assert!(inner.depth > outer.depth, "{t}/{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_display_orders_concurrent_spans_by_start_time() {
+        let rec = Recorder::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let _span = rec.span(&format!("s-{t}-{i}"));
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        let log = rec.finish();
+        // finish() sorts by start time; TraceDisplay renders in that
+        // order, so the rendered line order must be non-decreasing in
+        // start_us regardless of which thread closed its span first.
+        assert!(log.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+        let text = TraceDisplay(&log).to_string();
+        assert_eq!(text.lines().count(), log.len());
+        let mut rendered: Vec<&str> = text.lines().collect();
+        // Every record appears on its own line, in log order.
+        for (line, record) in rendered.iter_mut().zip(&log) {
+            assert!(
+                line.contains(record.name.as_str()),
+                "line {line:?} missing {}",
+                record.name
+            );
+        }
+    }
+
+    #[test]
     fn records_serialize_to_json() {
         let r = SpanRecord {
             name: "sample".into(),

@@ -5,6 +5,7 @@
 //! Every field emitted here is documented in `docs/OBSERVABILITY.md`;
 //! field names are a stable interface — rename there too or not at all.
 
+use crate::dynamics::DynamicsStats;
 use crate::json::Json;
 use crate::recorder::SpanRecord;
 
@@ -337,6 +338,9 @@ pub struct SolveReport {
     pub sampling: SamplerStats,
     /// Post-selection statistics.
     pub select: SelectStats,
+    /// Solver-dynamics trajectory statistics; `None` when the sampler has
+    /// no probes (additive in schema v4, serialized as `null` when absent).
+    pub dynamics: Option<DynamicsStats>,
     /// Raw span/event log recorded during the solve.
     pub spans: Vec<SpanRecord>,
 }
@@ -369,6 +373,12 @@ impl SolveReport {
             ),
             ("sampling", self.sampling.to_json()),
             ("select", self.select.to_json()),
+            (
+                "dynamics",
+                self.dynamics
+                    .as_ref()
+                    .map_or(Json::Null, DynamicsStats::to_json),
+            ),
             (
                 "spans",
                 Json::Arr(self.spans.iter().map(SpanRecord::to_json).collect()),
@@ -434,6 +444,25 @@ impl SolveReport {
                 s.flips_per_sec
                     .map_or(String::new(), |f| format!(", {:.2} Mflip/s", f / 1e6))
             ));
+        }
+        if let Some(d) = &self.dynamics {
+            out.push_str(&format!(
+                "  dynamics: {} (last improvement at {:.0}% of run)\n",
+                d.stall_verdict.as_str(),
+                d.last_improvement_fraction * 100.0
+            ));
+            if let Some(h) = &d.proposal_latency_ns {
+                out.push_str(&format!(
+                    "  proposal latency: p50 {:.0} ns, p90 {:.0} ns, p99 {:.0} ns ({} sweeps)\n",
+                    h.p50, h.p90, h.p99, h.count
+                ));
+            }
+            if let Some(h) = &d.sweep_improvement {
+                out.push_str(&format!(
+                    "  energy gain/sweep: p50 {:.4}, p90 {:.4}, p99 {:.4}\n",
+                    h.p50, h.p90, h.p99
+                ));
+            }
         }
         out.push_str(&format!(
             "  total: {:.3} ms\n",
@@ -518,11 +547,13 @@ pub struct RunReport {
 
 impl RunReport {
     /// Current schema version. v2 added the additive `lint` field on
-    /// `SolveReport` (and the `lint` stage label); v3 adds the additive
+    /// `SolveReport` (and the `lint` stage label); v3 added the additive
     /// `proposals_per_sec` / `flips_per_sec` throughput fields on
-    /// `sampling`. Earlier readers keep working because no existing field
+    /// `sampling`; v4 adds the additive `dynamics` section (trajectory
+    /// probes: energy trace, per-β acceptance, swap/ESS stats, stall
+    /// verdict). Earlier readers keep working because no existing field
     /// changed.
-    pub const SCHEMA_VERSION: u32 = 3;
+    pub const SCHEMA_VERSION: u32 = 4;
 
     /// Serializes as a JSON object.
     pub fn to_json(&self) -> Json {
@@ -618,7 +649,43 @@ mod tests {
                 decoded_states: 1,
                 valid_rank: Some(0),
             },
+            dynamics: Some(sample_dynamics()),
             spans: vec![],
+        }
+    }
+
+    fn sample_dynamics() -> DynamicsStats {
+        let energy_trace = vec![
+            crate::dynamics::TracePoint {
+                sweep: 0,
+                best_energy: 8.0,
+            },
+            crate::dynamics::TracePoint {
+                sweep: 100,
+                best_energy: 0.0,
+            },
+            crate::dynamics::TracePoint {
+                sweep: 384,
+                best_energy: 0.0,
+            },
+        ];
+        DynamicsStats {
+            time_to_target: DynamicsStats::time_to_target_curve(&energy_trace),
+            last_improvement_fraction: DynamicsStats::last_improvement_fraction(&energy_trace),
+            stall_verdict: crate::dynamics::StallVerdict::Converged,
+            energy_trace,
+            beta_acceptance: vec![crate::dynamics::BetaAcceptance {
+                beta: 0.1,
+                proposals: 640,
+                accepted: 320,
+            }],
+            swap_acceptance: vec![],
+            ess_trace: vec![],
+            aspiration_hits: None,
+            proposal_latency_ns: crate::dynamics::HistogramSummary::from_samples(&[
+                50.0, 60.0, 70.0,
+            ]),
+            sweep_improvement: crate::dynamics::HistogramSummary::from_samples(&[0.0, 0.5, 1.0]),
         }
     }
 
@@ -707,7 +774,7 @@ mod tests {
             }],
         };
         let doc = parse(&run.to_json().pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
         let goals = doc.get("goals").and_then(Json::as_arr).unwrap();
         assert_eq!(
             goals[0].get("kind").and_then(Json::as_str),
@@ -739,6 +806,44 @@ mod tests {
         quiet.sampling.proposals_per_sec = None;
         quiet.sampling.flips_per_sec = None;
         assert!(!quiet.render_stats().contains("throughput"));
+    }
+
+    #[test]
+    fn schema_v4_is_additive_over_v3() {
+        // A v3-shaped report (no dynamics) still serializes every v3 key
+        // with `dynamics` as null; a v4 report keeps every v3 key.
+        let mut v3 = sample_report();
+        v3.dynamics = None;
+        let v3_doc = parse(&v3.to_json().pretty()).unwrap();
+        assert_eq!(v3_doc.get("dynamics"), Some(&Json::Null));
+        let v4_doc = parse(&sample_report().to_json().pretty()).unwrap();
+        let (Json::Obj(v3_map), Json::Obj(v4_map)) = (&v3_doc, &v4_doc) else {
+            panic!("reports serialize as objects");
+        };
+        for key in v3_map.keys() {
+            assert!(v4_map.contains_key(key), "v4 dropped v3 key {key}");
+        }
+        let dynamics = v4_doc.get("dynamics").unwrap();
+        assert_eq!(
+            dynamics.get("stall_verdict").and_then(Json::as_str),
+            Some("converged")
+        );
+        let betas = dynamics
+            .get("beta_acceptance")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(betas[0].get("accepted").and_then(Json::as_u64), Some(320));
+    }
+
+    #[test]
+    fn render_stats_includes_dynamics_histograms() {
+        let text = sample_report().render_stats();
+        assert!(text.contains("dynamics: converged"), "{text}");
+        assert!(text.contains("proposal latency: p50 60 ns"), "{text}");
+        assert!(text.contains("energy gain/sweep: p50 0.5000"), "{text}");
+        let mut quiet = sample_report();
+        quiet.dynamics = None;
+        assert!(!quiet.render_stats().contains("dynamics:"));
     }
 
     #[test]

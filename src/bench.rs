@@ -1,7 +1,7 @@
 //! The `qsmt bench` harness: machine-readable annealing-performance
 //! baselines (see `docs/PERFORMANCE.md`).
 //!
-//! Three sections, serialized as one JSON document (`BENCH_annealing.json`
+//! Four sections, serialized as one JSON document (`BENCH_annealing.json`
 //! by convention):
 //!
 //! * **kernel** — an apples-to-apples Metropolis sweep microbench of the
@@ -16,6 +16,12 @@
 //! * **formulations** — Table-1-style string constraints small enough for
 //!   [`ExactSolver`] ground truth: per-formulation success fraction and
 //!   time-to-ground-state at 99% confidence under the default annealer.
+//! * **probe_overhead** (schema v2) — the trajectory-probe cost gate:
+//!   the dense-model SA workload timed with probes off (plain
+//!   `sample_stats`), through the disabled `sample_dynamics` path, and
+//!   with probes enabled. The disabled path must stay within 2% of the
+//!   plain path — that bound is asserted by `qsmt bench
+//!   --check-overhead` and enforced in CI.
 //!
 //! The document shape is versioned ([`SCHEMA_VERSION`]) and checked by
 //! [`validate`]; the CLI re-reads and validates what it wrote, so a
@@ -29,16 +35,21 @@ use crate::anneal::{
 use crate::core::Constraint;
 use crate::qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
 use crate::telemetry::Json;
-use qsmt_anneal::SamplerRunStats;
+use qsmt_anneal::{ProbeConfig, SamplerRunStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
-/// Version of the `BENCH_annealing.json` document shape.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version of the `BENCH_annealing.json` document shape. v2 added the
+/// `probe_overhead` section (trajectory-probe cost gate).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Energy tolerance for "hit the ground state" accounting.
 const TOL: f64 = 1e-9;
+
+/// Maximum tolerated throughput cost of the *disabled* probe path
+/// relative to plain `sample_stats`, as a fraction (0.02 = 2%).
+pub const MAX_DISABLED_OVERHEAD: f64 = 0.02;
 
 /// Harness configuration.
 #[derive(Debug, Clone, Default)]
@@ -69,6 +80,76 @@ pub fn run(opts: &BenchOptions) -> Json {
         ("kernel", kernel_microbench(&reference, opts)),
         ("samplers", sampler_section(&reference, opts)),
         ("formulations", formulation_section(opts)),
+        ("probe_overhead", probe_overhead_section(opts)),
+    ])
+}
+
+/// Times the dense-model SA workload along three paths — plain
+/// `sample_stats`, `sample_dynamics` with probes disabled, and
+/// `sample_dynamics` with probes enabled — and reports the overheads.
+/// Reads run sequentially so rayon scheduling jitter stays out of the
+/// comparison; see the inline comments for how the repetitions are
+/// aggregated into noise-robust ratios.
+fn probe_overhead_section(opts: &BenchOptions) -> Json {
+    // Arms need a timing window well above scheduler noise (tens of ms),
+    // or the 2% gate flakes: size the workload up, not the tolerance.
+    let n = if opts.quick { 128 } else { 192 };
+    let sweeps = if opts.quick { 384 } else { 512 };
+    let reads = if opts.quick { 8 } else { 16 };
+    let reps: u32 = if opts.quick { 9 } else { 11 };
+    let model = dense_penalty_model(n, opts.seed);
+    let sa = SimulatedAnnealer::new()
+        .with_seed(opts.seed)
+        .with_num_reads(reads)
+        .with_sweeps(sweeps)
+        .with_parallel(false);
+    let disabled = ProbeConfig::disabled();
+    let enabled = ProbeConfig::default();
+    // Warm-up: fault in code and model pages outside the timers.
+    let _ = sa.sample_stats(&model);
+    // Interleave the arms round-robin so machine-load drift hits all
+    // three alike, then gate on the MEDIAN of per-repetition ratios: the
+    // arms of one repetition run back to back (drift cancels inside the
+    // ratio) and the median throws away repetitions where a load spike
+    // from a noisy neighbor landed on one arm.
+    let mut plain_times = Vec::with_capacity(reps as usize);
+    let mut off_ratios = Vec::with_capacity(reps as usize);
+    let mut on_ratios = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = sa.sample_stats(&model);
+        let plain_t = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = sa.sample_dynamics(&model, &disabled);
+        let off_t = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = sa.sample_dynamics(&model, &enabled);
+        let on_t = t.elapsed().as_secs_f64();
+        plain_times.push(plain_t);
+        off_ratios.push(off_t / plain_t.max(1e-12));
+        on_ratios.push(on_t / plain_t.max(1e-12));
+    }
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        xs[xs.len() / 2]
+    };
+    let plain_secs = median(&mut plain_times);
+    let off_ratio = median(&mut off_ratios);
+    let on_ratio = median(&mut on_ratios);
+    Json::obj([
+        ("model_vars", Json::from(n)),
+        ("sweeps", Json::from(sweeps)),
+        ("reads", Json::from(reads)),
+        ("repetitions", Json::from(reps)),
+        ("plain_ms", Json::from(plain_secs * 1e3)),
+        (
+            "probes_disabled_ms",
+            Json::from(plain_secs * off_ratio * 1e3),
+        ),
+        ("probes_enabled_ms", Json::from(plain_secs * on_ratio * 1e3)),
+        ("disabled_overhead", Json::from(off_ratio - 1.0)),
+        ("enabled_overhead", Json::from(on_ratio - 1.0)),
+        ("max_disabled_overhead", Json::from(MAX_DISABLED_OVERHEAD)),
     ])
 }
 
@@ -444,7 +525,49 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             ));
         }
     }
+    let probe = doc
+        .get("probe_overhead")
+        .ok_or("missing probe_overhead section")?;
+    for field in ["plain_ms", "probes_disabled_ms", "probes_enabled_ms"] {
+        let v = probe
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("probe_overhead.{field} missing or not a number"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "probe_overhead.{field} must be positive and finite, got {v}"
+            ));
+        }
+    }
+    for field in ["disabled_overhead", "enabled_overhead"] {
+        let v = probe
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("probe_overhead.{field} missing or not a number"))?;
+        if !v.is_finite() {
+            return Err(format!("probe_overhead.{field} must be finite, got {v}"));
+        }
+    }
     Ok(())
+}
+
+/// Reads the disabled-probe overhead fraction out of a bench document.
+/// Used by `qsmt bench --check-overhead` and its CI gate.
+pub fn disabled_overhead(doc: &Json) -> Option<f64> {
+    doc.get("probe_overhead")?
+        .get("disabled_overhead")
+        .and_then(Json::as_f64)
+}
+
+/// Re-times just the probe-overhead section and returns the fresh
+/// disabled-path overhead fraction. `--check-overhead` retries with this
+/// before failing: a genuine probe regression fails every attempt, while
+/// a load spike from a busy host passes on re-measurement.
+pub fn remeasure_disabled_overhead(opts: &BenchOptions) -> Option<f64> {
+    disabled_overhead(&Json::obj([(
+        "probe_overhead",
+        probe_overhead_section(opts),
+    )]))
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
 //! qsmt bench [--quick] [--out PATH] [--seed N]  # annealing perf baseline
+//! qsmt serve --metrics-addr ADDR [--seed N]  # Prometheus metrics endpoint
+//! qsmt watch ADDR [--format text|json]       # scrape a running endpoint
 //! ```
 //!
 //! Samplers: `sa` (default), `sqa`, `pt`, `tabu`, `descent`, `exact`,
@@ -45,14 +47,28 @@ USAGE:
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
              [--stats] [--report <path>] [--trace] [--lint]
   qsmt bench [--quick] [--out <path>] [--seed N]
+  qsmt serve --metrics-addr <host:port> [--seed N]
+  qsmt watch <host:port> [--format text|json]
 
 SAMPLERS:
   sa (default) | sqa | pt | tabu | descent | exact | population | random
 
 OBSERVABILITY (see docs/OBSERVABILITY.md):
-  --stats          print per-stage timings and sampler statistics
+  --stats          print per-stage timings, sampler statistics, and
+                   trajectory-dynamics summaries (stall verdict, latency
+                   and improvement percentiles)
   --report <path>  write the full JSON run report to <path>
   --trace          print the raw span/event log of every solve
+  --flight <path>  on solve failure, dump the flight-recorder ring
+                   buffer to <path> as JSON
+
+LIVE METRICS (see docs/OBSERVABILITY.md):
+  qsmt serve       exercise every sampler + the QPU pipeline, then expose
+                   /metrics (Prometheus text format), /flight (JSON ring
+                   buffer), and /healthz on --metrics-addr; port 0 picks
+                   a free port and prints it
+  qsmt watch       one-shot scrape of a running serve endpoint
+                   (--format json fetches /flight instead of /metrics)
 
 BENCHMARKS (see docs/PERFORMANCE.md):
   qsmt bench       run the annealing benchmark harness and write a
@@ -102,6 +118,10 @@ struct Options {
     format: String,
     quick: bool,
     out: Option<String>,
+    metrics_addr: Option<String>,
+    flight: Option<String>,
+    max_requests: Option<u64>,
+    check_overhead: bool,
 }
 
 impl Default for Options {
@@ -118,6 +138,10 @@ impl Default for Options {
             format: "text".into(),
             quick: false,
             out: None,
+            metrics_addr: None,
+            flight: None,
+            max_requests: None,
+            check_overhead: false,
         }
     }
 }
@@ -162,6 +186,16 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
             "--report" => opts.report = Some(value("--report")?),
             "--trace" => opts.trace = true,
             "--lint" => opts.lint = true,
+            "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
+            "--flight" => opts.flight = Some(value("--flight")?),
+            "--max-requests" => {
+                opts.max_requests = Some(
+                    value("--max-requests")?
+                        .parse()
+                        .map_err(|_| "--max-requests expects an integer".to_string())?,
+                );
+            }
+            "--check-overhead" => opts.check_overhead = true,
             "--format" => {
                 let fmt = value("--format")?;
                 if fmt != "text" && fmt != "json" {
@@ -218,7 +252,33 @@ fn make_sampler(opts: &Options) -> Result<Arc<dyn Sampler>, String> {
     })
 }
 
+/// Dumps the flight-recorder ring buffer to `path` (used on solve
+/// failure so the last recorded breadcrumbs survive the crash).
+fn dump_flight(path: &str) {
+    let doc = qsmt::metrics::global_flight().to_json().pretty();
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("flight recording written to {path}"),
+        Err(e) => eprintln!("cannot write flight recording to {path}: {e}"),
+    }
+}
+
 fn run_solve(source: &str, source_name: &str, opts: &Options) -> Result<(), String> {
+    let flight = qsmt::metrics::global_flight();
+    flight.record_detail("solve.start", 0.0, source_name);
+    let result = run_solve_inner(source, source_name, opts);
+    match &result {
+        Ok(()) => flight.record("solve.done", 0.0),
+        Err(e) => {
+            flight.record_detail("solve.error", 1.0, e);
+            if let Some(path) = &opts.flight {
+                dump_flight(path);
+            }
+        }
+    }
+    result
+}
+
+fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<(), String> {
     let script = Script::parse(source).map_err(|e| e.to_string())?;
     let solver = StringSolver::new(make_sampler(opts)?).with_deny_lint_errors(opts.lint);
     // Samplers with hard limits (the exact enumerator caps at 26
@@ -401,6 +461,11 @@ fn run_bench(opts: &Options) -> Result<(), String> {
         seed: opts.seed,
     };
     let path = opts.out.as_deref().unwrap_or("BENCH_annealing.json");
+    // Snapshot the committed baseline (if any) before overwriting it, so
+    // the delta print below compares against the previous artifact.
+    let baseline = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| qsmt::telemetry::parse(&s).ok());
     eprintln!(
         "running annealing bench ({} mode)…",
         if opts.quick { "quick" } else { "full" }
@@ -426,7 +491,53 @@ fn run_bench(opts: &Options) -> Result<(), String> {
                 naive / 1e6,
                 fast / 1e6
             );
+            let prior = baseline.as_ref().and_then(|b| {
+                b.get("kernel")?
+                    .get("kernel_proposals_per_sec")
+                    .and_then(Json::as_f64)
+            });
+            match prior {
+                Some(prev) if prev > 0.0 => eprintln!(
+                    "delta vs committed baseline: {:+.1}% kernel proposals/sec",
+                    (fast / prev - 1.0) * 100.0
+                ),
+                _ => eprintln!("no committed baseline to compare against"),
+            }
         }
+    }
+    if let Some(mut overhead) = qsmt::bench::disabled_overhead(&reparsed) {
+        eprintln!(
+            "probe overhead: {:+.2}% disabled path (gate {:.0}%)",
+            overhead * 100.0,
+            qsmt::bench::MAX_DISABLED_OVERHEAD * 100.0
+        );
+        if opts.check_overhead {
+            // Retry before failing: a genuine probe regression fails every
+            // attempt, while a load spike on a busy host passes on retry.
+            let mut attempts = 1;
+            while overhead > qsmt::bench::MAX_DISABLED_OVERHEAD && attempts < 3 {
+                attempts += 1;
+                match qsmt::bench::remeasure_disabled_overhead(&bench_opts) {
+                    Some(again) => {
+                        overhead = again;
+                        eprintln!(
+                            "probe overhead retry {attempts}: {:+.2}% disabled path",
+                            overhead * 100.0
+                        );
+                    }
+                    None => break,
+                }
+            }
+            if overhead > qsmt::bench::MAX_DISABLED_OVERHEAD {
+                return Err(format!(
+                    "disabled-probe overhead {:.2}% exceeds the {:.0}% gate after {attempts} attempts",
+                    overhead * 100.0,
+                    qsmt::bench::MAX_DISABLED_OVERHEAD * 100.0
+                ));
+            }
+        }
+    } else if opts.check_overhead {
+        return Err("bench document lacks probe_overhead.disabled_overhead".into());
     }
     eprintln!("bench report written to {path}");
     Ok(())
@@ -462,6 +573,29 @@ fn main() -> ExitCode {
             parse_flags(rest).and_then(|opts| run_solve(DEMO, "<demo>", &opts))
         }
         Some((cmd, rest)) if cmd == "bench" => parse_flags(rest).and_then(|opts| run_bench(&opts)),
+        Some((cmd, rest)) if cmd == "serve" => parse_flags(rest).and_then(|opts| {
+            let addr = opts
+                .metrics_addr
+                .as_deref()
+                .ok_or_else(|| "serve requires --metrics-addr <host:port>".to_string())?;
+            qsmt::serve::serve(addr, opts.seed, opts.max_requests)
+        }),
+        Some((cmd, rest)) if cmd == "watch" => {
+            let Some((addr, flags)) = rest.split_first() else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            parse_flags(flags).and_then(|opts| {
+                let path = if opts.format == "json" {
+                    "/flight"
+                } else {
+                    "/metrics"
+                };
+                let body = qsmt::serve::fetch(addr, path)?;
+                print!("{body}");
+                Ok(())
+            })
+        }
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;

@@ -21,6 +21,10 @@
 //! * [`smtlib`] — the SMT-LIB v2 string-theory front end;
 //! * [`telemetry`] — solver observability: span recording, per-stage
 //!   statistics, and JSON run reports (see `docs/OBSERVABILITY.md`);
+//! * [`metrics`] — the sharded metrics registry and flight recorder
+//!   behind live exposition (see `docs/OBSERVABILITY.md`);
+//! * [`serve`] — the `qsmt serve` Prometheus endpoint and `qsmt watch`
+//!   scrape client;
 //! * [`redex`] — the from-scratch regex/NFA/DFA substrate;
 //! * [`baseline`] — the classical comparator;
 //! * [`symex`] — symbolic execution for string programs (the paper's
@@ -42,11 +46,13 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod serve;
 
 pub use qsmt_anneal as anneal;
 pub use qsmt_baseline as baseline;
 pub use qsmt_core as core;
 pub use qsmt_lint as lint;
+pub use qsmt_metrics as metrics;
 pub use qsmt_qpu as qpu;
 pub use qsmt_qubo as qubo;
 pub use qsmt_redex as redex;

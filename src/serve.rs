@@ -1,0 +1,480 @@
+//! `qsmt serve` — live annealing dynamics over HTTP.
+//!
+//! Binds a plain-TCP HTTP/1.1 listener (no framework, no dependencies)
+//! and exposes three read-only endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
+//!   global [`qsmt_metrics::Registry`];
+//! * `GET /flight` — JSON dump of the global flight-recorder ring buffer;
+//! * `GET /healthz` — liveness probe.
+//!
+//! Before binding, [`serve`] *exercises* the full sampler family — all
+//! six annealing samplers via their trajectory-probe path, plus a QPU
+//! simulator submission — so a scrape sees live series for every
+//! subsystem the moment the socket opens. The bound address is printed
+//! as `metrics listening on http://<addr>` (port 0 is supported and
+//! resolves to the kernel-assigned port), which is what `qsmt watch`
+//! and the end-to-end scrape test parse.
+//!
+//! Metric names and the scrape walkthrough are catalogued in
+//! `docs/OBSERVABILITY.md`.
+
+use qsmt_anneal::{
+    ParallelTempering, PopulationAnnealer, ProbeConfig, Sampler, SimulatedAnnealer,
+    SimulatedQuantumAnnealer, SteepestDescent, TabuSearch,
+};
+use qsmt_metrics::{FlightRecorder, Registry};
+use qsmt_qpu::{QpuSimulator, Topology};
+use qsmt_qubo::QuboModel;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Probe sizing used by the exercise pass: full probes, but traces and
+/// per-β series capped low enough that label cardinality stays scrape-
+/// friendly.
+fn exercise_probe_config() -> ProbeConfig {
+    ProbeConfig {
+        enabled: true,
+        max_trace_points: 32,
+    }
+}
+
+/// The workload every sampler runs during the exercise pass: the
+/// two-well 8-variable model from the tempering tests — small enough to
+/// finish instantly, rugged enough that acceptance/swap/ESS series are
+/// non-trivial.
+fn exercise_model() -> QuboModel {
+    let mut m = QuboModel::new(8);
+    for i in 0..4u32 {
+        m.add_linear(i, -1.0);
+        for j in (i + 1)..4 {
+            m.add_quadratic(i, j, -0.5);
+        }
+    }
+    for i in 4..8u32 {
+        m.add_linear(i, -1.2);
+        for j in (i + 1)..8 {
+            m.add_quadratic(i, j, -0.5);
+        }
+    }
+    for i in 0..4u32 {
+        for j in 4..8u32 {
+            m.add_quadratic(i, j, 2.0);
+        }
+    }
+    m
+}
+
+/// Runs every probed sampler plus a QPU submission against the exercise
+/// model, publishing the resulting dynamics into `registry` and marking
+/// progress in `flight`. Idempotent in shape: re-running adds to
+/// counters and re-sets gauges but never creates unbounded series.
+pub fn exercise(registry: &Registry, flight: &FlightRecorder, seed: u64) {
+    let model = exercise_model();
+    let config = exercise_probe_config();
+    let samplers: Vec<Box<dyn Sampler>> = vec![
+        Box::new(SimulatedAnnealer::new().with_seed(seed).with_num_reads(8)),
+        Box::new(
+            SimulatedQuantumAnnealer::new()
+                .with_seed(seed)
+                .with_num_reads(4)
+                .with_sweeps(64),
+        ),
+        Box::new(ParallelTempering::new().with_seed(seed).with_rounds(32)),
+        Box::new(PopulationAnnealer::new().with_seed(seed).with_steps(32)),
+        Box::new(TabuSearch::new().with_seed(seed).with_num_reads(4)),
+        Box::new(SteepestDescent::new().with_seed(seed).with_num_reads(8)),
+    ];
+
+    describe_metrics(registry);
+    let mut shard = registry.shard();
+    for sampler in &samplers {
+        let name = sampler.name();
+        let (set, stats, dynamics) = sampler.sample_dynamics(&model, &config);
+        let labels = [("sampler", name)];
+        if let Some(p) = stats.proposals {
+            shard.counter_add("qsmt_sampler_proposals_total", &labels, p as f64);
+        }
+        if let Some(a) = stats.accepted {
+            shard.counter_add("qsmt_sampler_accepted_total", &labels, a as f64);
+        }
+        shard.counter_add(
+            "qsmt_sampler_reads_total",
+            &labels,
+            set.total_reads() as f64,
+        );
+        if let Some(best) = set.lowest_energy() {
+            shard.gauge_set("qsmt_sampler_best_energy", &labels, best);
+            flight.record(&format!("exercise.{name}"), best);
+        }
+        for v in &dynamics.proposal_latency_ns {
+            shard.histogram_observe("qsmt_proposal_latency_ns", &labels, *v);
+        }
+        for v in &dynamics.sweep_improvement {
+            shard.histogram_observe("qsmt_sweep_improvement", &labels, *v);
+        }
+        for (i, b) in dynamics.beta_acceptance.iter().enumerate() {
+            let rung = i.to_string();
+            let rung_labels = [("sampler", name), ("rung", rung.as_str())];
+            shard.gauge_set("qsmt_beta", &rung_labels, b.beta);
+            shard.counter_add(
+                "qsmt_beta_proposals_total",
+                &rung_labels,
+                b.proposals as f64,
+            );
+            shard.counter_add("qsmt_beta_accepted_total", &rung_labels, b.accepted as f64);
+        }
+        for (i, s) in dynamics.swap_acceptance.iter().enumerate() {
+            let pair = i.to_string();
+            let pair_labels = [("pair", pair.as_str())];
+            shard.counter_add(
+                "qsmt_pt_swap_attempts_total",
+                &pair_labels,
+                s.attempts as f64,
+            );
+            shard.counter_add(
+                "qsmt_pt_swap_accepted_total",
+                &pair_labels,
+                s.accepted as f64,
+            );
+        }
+        if let Some(last) = dynamics.ess_trace.last() {
+            shard.gauge_set("qsmt_population_final_ess", &[], last.ess);
+        }
+        if let Some(min) = dynamics
+            .ess_trace
+            .iter()
+            .map(|p| p.ess)
+            .min_by(f64::total_cmp)
+        {
+            shard.gauge_set("qsmt_population_min_ess", &[], min);
+        }
+        if let Some(hits) = dynamics.aspiration_hits {
+            shard.counter_add("qsmt_tabu_aspiration_hits_total", &[], hits as f64);
+        }
+        if let Some(paths) = dynamics.accept_paths {
+            for (path, count) in [
+                ("early_accept", paths.early_accept),
+                ("hard_reject", paths.hard_reject),
+                ("bracket_accept", paths.bracket_accept),
+                ("bracket_reject", paths.bracket_reject),
+                ("exact_exp", paths.exact_exp),
+            ] {
+                shard.counter_add(
+                    "qsmt_accept_path_total",
+                    &[("sampler", name), ("path", path)],
+                    count as f64,
+                );
+            }
+        }
+    }
+    drop(shard);
+
+    // QPU pipeline: embed + anneal a chained model so chain-break series
+    // exist (the 8-var two-well needs chains on a 2×2 Chimera).
+    let qpu = QpuSimulator::new(Topology::chimera(2, 2, 4))
+        .with_seed(seed)
+        .with_num_reads(32);
+    match qpu.sample_qubo(&model) {
+        Ok(resp) => {
+            let labels = [("topology", "chimera-2x2-4")];
+            registry.counter_add(
+                "qsmt_qpu_broken_chains_total",
+                &labels,
+                resp.broken_chains as f64,
+            );
+            registry.counter_add(
+                "qsmt_qpu_chain_slots_total",
+                &labels,
+                resp.chain_slots as f64,
+            );
+            registry.gauge_set(
+                "qsmt_qpu_chain_break_fraction",
+                &labels,
+                resp.chain_break_fraction,
+            );
+            registry.counter_add(
+                "qsmt_qpu_discarded_reads_total",
+                &labels,
+                resp.discarded_reads as f64,
+            );
+            flight.record("exercise.qpu", resp.chain_break_fraction);
+        }
+        Err(e) => {
+            flight.record_detail("exercise.qpu.embed_error", 1.0, &e.to_string());
+        }
+    }
+}
+
+/// Registers HELP text for every series the exercise pass emits.
+fn describe_metrics(registry: &Registry) {
+    for (name, help) in [
+        (
+            "qsmt_sampler_proposals_total",
+            "Single-variable moves proposed, per sampler.",
+        ),
+        (
+            "qsmt_sampler_accepted_total",
+            "Proposed moves accepted, per sampler.",
+        ),
+        (
+            "qsmt_sampler_reads_total",
+            "Reads returned by the sampler's last exercise run.",
+        ),
+        (
+            "qsmt_sampler_best_energy",
+            "Lowest energy found on the last exercise run.",
+        ),
+        (
+            "qsmt_proposal_latency_ns",
+            "Per-proposal latency on the probe read, nanoseconds.",
+        ),
+        (
+            "qsmt_sweep_improvement",
+            "Best-energy improvement per probed sweep.",
+        ),
+        ("qsmt_beta", "Inverse temperature of each schedule rung."),
+        (
+            "qsmt_beta_proposals_total",
+            "Proposals judged at each schedule rung.",
+        ),
+        (
+            "qsmt_beta_accepted_total",
+            "Accepted moves at each schedule rung.",
+        ),
+        (
+            "qsmt_pt_swap_attempts_total",
+            "Replica-exchange attempts per adjacent ladder pair.",
+        ),
+        (
+            "qsmt_pt_swap_accepted_total",
+            "Replica exchanges accepted per adjacent ladder pair.",
+        ),
+        (
+            "qsmt_population_final_ess",
+            "Effective sample size at the final resampling step.",
+        ),
+        (
+            "qsmt_population_min_ess",
+            "Lowest effective sample size over the anneal.",
+        ),
+        (
+            "qsmt_tabu_aspiration_hits_total",
+            "Tabu moves admitted by the aspiration criterion.",
+        ),
+        (
+            "qsmt_accept_path_total",
+            "Metropolis decisions per acceptance-table fast path.",
+        ),
+        (
+            "qsmt_qpu_broken_chains_total",
+            "Broken chains observed across QPU reads.",
+        ),
+        (
+            "qsmt_qpu_chain_slots_total",
+            "Chain observations (reads x chains) across QPU reads.",
+        ),
+        (
+            "qsmt_qpu_chain_break_fraction",
+            "Broken chains per chain slot on the last submission.",
+        ),
+        (
+            "qsmt_qpu_discarded_reads_total",
+            "QPU reads dropped by the discard chain-break policy.",
+        ),
+    ] {
+        registry.describe(name, help);
+    }
+}
+
+/// One HTTP response, status line plus body.
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    // A client that hangs up mid-response is its own problem.
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Reads the request line of an HTTP request and returns the path, or
+/// `None` for anything unparseable.
+fn request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf).ok()?;
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = head.lines().next()?.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+/// Serves one accepted connection against the registry and recorder.
+fn handle(mut stream: TcpStream, registry: &Registry, flight: &FlightRecorder) {
+    match request_path(&mut stream).as_deref() {
+        Some("/metrics") => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &registry.render_prometheus(),
+        ),
+        Some("/flight") => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &flight.to_json().pretty(),
+        ),
+        Some("/healthz") => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        Some(_) => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        None => respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain",
+            "bad request\n",
+        ),
+    }
+}
+
+/// Runs the metrics endpoint: exercise the samplers, bind `addr`, print
+/// the resolved address, then serve until the process is killed (or, if
+/// `max_requests` is set, until that many requests were answered —
+/// the hook the end-to-end test uses to terminate deterministically).
+///
+/// # Errors
+/// Returns an error when the address cannot be parsed or bound.
+pub fn serve(addr: &str, seed: u64, max_requests: Option<u64>) -> Result<(), String> {
+    let registry = qsmt_metrics::global();
+    let flight = qsmt_metrics::global_flight();
+    exercise(registry, flight, seed);
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    // Parsed by `qsmt watch` users and the e2e scrape test; keep stable.
+    println!("metrics listening on http://{local}");
+    let mut served = 0u64;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(s) => handle(s, registry, flight),
+            Err(_) => continue,
+        }
+        served += 1;
+        if max_requests.is_some_and(|max| served >= max) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// One-shot scrape client (`qsmt watch`): GETs a path from a running
+/// `qsmt serve` endpoint and returns the response body.
+///
+/// # Errors
+/// Returns an error when the endpoint is unreachable or replies with a
+/// non-200 status.
+pub fn fetch(addr: &str, path: &str) -> Result<String, String> {
+    let addr = addr.trim_start_matches("http://");
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response".to_string())?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains("200") {
+        return Err(format!("{addr}{path} answered {status}"));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exercise_covers_every_subsystem() {
+        let registry = Registry::new();
+        let flight = FlightRecorder::new(64);
+        exercise(&registry, &flight, 7);
+        let text = registry.render_prometheus();
+        for sampler in [
+            "simulated-annealing",
+            "simulated-quantum-annealing",
+            "parallel-tempering",
+            "population-annealing",
+            "tabu-search",
+            "steepest-descent",
+        ] {
+            assert!(
+                text.contains(&format!("sampler=\"{sampler}\"")),
+                "missing series for {sampler} in:\n{text}"
+            );
+        }
+        for series in [
+            "qsmt_pt_swap_attempts_total",
+            "qsmt_population_final_ess",
+            "qsmt_tabu_aspiration_hits_total",
+            "qsmt_qpu_broken_chains_total",
+            "qsmt_qpu_chain_slots_total",
+            "qsmt_proposal_latency_ns_bucket",
+            "qsmt_accept_path_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+        assert!(!flight.is_empty(), "exercise must mark the flight recorder");
+    }
+
+    #[test]
+    fn exercise_is_deterministic_per_seed() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let f = FlightRecorder::new(8);
+        exercise(&a, &f, 3);
+        exercise(&b, &f, 3);
+        // Latency histograms time real clocks, so compare a timing-free
+        // series instead of the whole rendering.
+        assert_eq!(
+            a.counter_value(
+                "qsmt_sampler_accepted_total",
+                &[("sampler", "simulated-annealing")]
+            ),
+            b.counter_value(
+                "qsmt_sampler_accepted_total",
+                &[("sampler", "simulated-annealing")]
+            ),
+        );
+    }
+
+    #[test]
+    fn serve_answers_and_honors_request_cap() {
+        use std::thread;
+        // Bind on an OS-assigned port in-process, scrape it, and let the
+        // request cap terminate the loop.
+        let registry = qsmt_metrics::global();
+        let flight = qsmt_metrics::global_flight();
+        exercise(registry, flight, 1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            for s in listener.incoming().take(3).flatten() {
+                handle(s, qsmt_metrics::global(), qsmt_metrics::global_flight());
+            }
+        });
+        let metrics = fetch(&addr.to_string(), "/metrics").unwrap();
+        assert!(metrics.contains("# TYPE qsmt_sampler_proposals_total counter"));
+        let flight_body = fetch(&addr.to_string(), "/flight").unwrap();
+        assert!(flight_body.contains("\"events\""));
+        assert!(fetch(&addr.to_string(), "/nope").is_err());
+        server.join().unwrap();
+    }
+}

@@ -44,7 +44,7 @@ fn table1_palindrome_report_has_documented_schema() {
     let doc = report_for("table1_row2_palindrome.smt2", &[]);
 
     // Top level.
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
     assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
     assert_eq!(
         doc.get("sampler").and_then(Json::as_str),
@@ -172,6 +172,49 @@ fn table1_palindrome_report_has_documented_schema() {
         .and_then(Json::as_f64)
         .expect("SA reports flip throughput");
     assert!(fps > 0.0 && fps <= pps, "accepted flips are a subset");
+
+    // Dynamics section (schema v4): trajectory probes ran under the
+    // default SA sampler, so the section is populated.
+    let dynamics = solve.get("dynamics").expect("dynamics");
+    assert_ne!(dynamics, &Json::Null, "SA emits trajectory dynamics");
+    let trace = dynamics
+        .get("energy_trace")
+        .and_then(Json::as_arr)
+        .expect("energy trace");
+    assert!(!trace.is_empty());
+    let energies: Vec<f64> = trace
+        .iter()
+        .map(|p| p.get("best_energy").and_then(Json::as_f64).unwrap())
+        .collect();
+    assert!(
+        energies.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+        "best-so-far trace is non-increasing"
+    );
+    let betas = dynamics
+        .get("beta_acceptance")
+        .and_then(Json::as_arr)
+        .expect("per-beta acceptance");
+    assert!(!betas.is_empty());
+    for entry in betas {
+        let proposals = entry.get("proposals").and_then(Json::as_u64).unwrap();
+        let accepted = entry.get("accepted").and_then(Json::as_u64).unwrap();
+        assert!(accepted <= proposals);
+    }
+    let ttt = dynamics
+        .get("time_to_target")
+        .and_then(Json::as_arr)
+        .expect("time-to-target curve");
+    assert!(!ttt.is_empty());
+    let verdict = dynamics
+        .get("stall_verdict")
+        .and_then(Json::as_str)
+        .expect("stall verdict");
+    assert!(["improving", "converged", "stalled"].contains(&verdict));
+    assert!(dynamics
+        .get("proposal_latency_ns")
+        .and_then(|h| h.get("p50"))
+        .and_then(Json::as_f64)
+        .is_some());
 
     // Select stage found a valid answer.
     let select = solve.get("select").expect("select");
