@@ -120,6 +120,7 @@ mod sampler_stats_tests {
         assert_eq!(instant.flips_per_sec(), None);
     }
 }
+pub use qsmt_qubo::StopFlag;
 pub use schedule::BetaSchedule;
 pub use sqa::SimulatedQuantumAnnealer;
 pub use tabu::TabuSearch;

@@ -4,7 +4,7 @@ use crate::probes::{aggregate_betas, Decimator, ProbeConfig, SamplerDynamics, St
 use crate::{
     read_seed, AcceptCounters, AcceptanceTable, BetaSchedule, SampleSet, Sampler, SamplerRunStats,
 };
-use qsmt_qubo::{CompiledQubo, FlipKernel, KernelWatermark, QuboModel, Var};
+use qsmt_qubo::{CompiledQubo, FlipKernel, KernelWatermark, QuboModel, StopFlag, Var};
 use qsmt_telemetry::dynamics::BetaAcceptance;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +52,7 @@ pub struct SimulatedAnnealer {
     seed: u64,
     parallel: bool,
     initial_state: Option<Vec<u8>>,
+    stop: Option<StopFlag>,
 }
 
 impl Default for SimulatedAnnealer {
@@ -63,6 +64,7 @@ impl Default for SimulatedAnnealer {
             seed: 0,
             parallel: true,
             initial_state: None,
+            stop: None,
         }
     }
 }
@@ -123,6 +125,17 @@ impl SimulatedAnnealer {
         self
     }
 
+    /// Attaches a cooperative [`StopFlag`]: every read polls it at sweep
+    /// granularity and winds down early once it trips, returning the best
+    /// states reached so far. An un-tripped flag costs one relaxed atomic
+    /// load per sweep and never touches the RNG streams, so results stay
+    /// bit-identical to an un-flagged run until the flag fires. This is
+    /// the deadline hook the solve service uses to cancel jobs mid-anneal.
+    pub fn with_stop(mut self, stop: StopFlag) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
     /// Number of reads configured.
     pub fn num_reads(&self) -> usize {
         self.num_reads
@@ -136,6 +149,7 @@ impl SimulatedAnnealer {
         tables: &[AcceptanceTable],
         seed: u64,
         initial: Option<&[u8]>,
+        stop: Option<&StopFlag>,
     ) -> (Vec<u8>, f64, u64) {
         let n = compiled.num_vars();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -149,6 +163,11 @@ impl SimulatedAnnealer {
         let mut kernel = FlipKernel::new(compiled, state);
         let mut accepted = 0u64;
         for table in tables {
+            // Cooperative cancellation: a tripped deadline ends the anneal
+            // at the next sweep boundary, keeping the state reached so far.
+            if stop.is_some_and(StopFlag::is_stopped) {
+                break;
+            }
             for i in 0..n {
                 if table.accept(kernel.delta(i as Var), &mut rng) {
                     kernel.flip(compiled, i as Var);
@@ -174,6 +193,7 @@ impl SimulatedAnnealer {
         tables: &[AcceptanceTable],
         seed: u64,
         initial: Option<&[u8]>,
+        stop: Option<&StopFlag>,
         config: &ProbeConfig,
         dynamics: &mut SamplerDynamics,
     ) -> (Vec<u8>, f64, u64) {
@@ -196,6 +216,9 @@ impl SimulatedAnnealer {
         let mut improvement = StridedSampler::new(tables.len() as u64);
         trace.push(0, watermark.best());
         for (sweep, table) in tables.iter().enumerate() {
+            if stop.is_some_and(StopFlag::is_stopped) {
+                break;
+            }
             let sweep_started = latency.will_record().then(Instant::now);
             let best_before = watermark.best();
             let mut accepted_this = 0u64;
@@ -247,17 +270,30 @@ impl SimulatedAnnealer {
         // every read.
         let tables = AcceptanceTable::for_schedule(&betas);
         let initial = self.initial_state.as_deref();
+        let stop = self.stop.as_ref();
         let results: Vec<(Vec<u8>, f64, u64)> = if self.parallel {
             (0..self.num_reads)
                 .into_par_iter()
                 .map(|r| {
-                    Self::one_read(&compiled, &tables, read_seed(self.seed, r as u64), initial)
+                    Self::one_read(
+                        &compiled,
+                        &tables,
+                        read_seed(self.seed, r as u64),
+                        initial,
+                        stop,
+                    )
                 })
                 .collect()
         } else {
             (0..self.num_reads)
                 .map(|r| {
-                    Self::one_read(&compiled, &tables, read_seed(self.seed, r as u64), initial)
+                    Self::one_read(
+                        &compiled,
+                        &tables,
+                        read_seed(self.seed, r as u64),
+                        initial,
+                        stop,
+                    )
                 })
                 .collect()
         };
@@ -308,6 +344,7 @@ impl Sampler for SimulatedAnnealer {
         };
         let tables = AcceptanceTable::for_schedule(&betas);
         let initial = self.initial_state.as_deref();
+        let stop = self.stop.as_ref();
         let mut dynamics = SamplerDynamics::default();
         // Read 0 is the probe read (run sequentially, observed per sweep);
         // the remaining reads run exactly as in the plain path. Per-read
@@ -319,6 +356,7 @@ impl Sampler for SimulatedAnnealer {
                 &tables,
                 read_seed(self.seed, 0),
                 initial,
+                stop,
                 config,
                 &mut dynamics,
             ));
@@ -327,13 +365,25 @@ impl Sampler for SimulatedAnnealer {
             (1..self.num_reads)
                 .into_par_iter()
                 .map(|r| {
-                    Self::one_read(&compiled, &tables, read_seed(self.seed, r as u64), initial)
+                    Self::one_read(
+                        &compiled,
+                        &tables,
+                        read_seed(self.seed, r as u64),
+                        initial,
+                        stop,
+                    )
                 })
                 .collect()
         } else {
             (1..self.num_reads)
                 .map(|r| {
-                    Self::one_read(&compiled, &tables, read_seed(self.seed, r as u64), initial)
+                    Self::one_read(
+                        &compiled,
+                        &tables,
+                        read_seed(self.seed, r as u64),
+                        initial,
+                        stop,
+                    )
                 })
                 .collect()
         };
@@ -543,6 +593,62 @@ mod tests {
             .sample(&m);
         let (exact_e, _) = m.brute_force_ground_states();
         assert!((set.lowest_energy().unwrap() - exact_e).abs() < 1e-3 * exact_e.abs());
+    }
+
+    #[test]
+    fn untripped_stop_flag_is_bit_identical() {
+        let (m, _) = gadget();
+        let plain = SimulatedAnnealer::new().with_seed(9).sample(&m);
+        let flagged = SimulatedAnnealer::new()
+            .with_seed(9)
+            .with_stop(StopFlag::new())
+            .sample(&m);
+        assert_eq!(plain, flagged, "an un-tripped flag must not steer");
+    }
+
+    #[test]
+    fn tripped_stop_flag_cancels_before_the_first_sweep() {
+        let (m, _) = gadget();
+        let stop = StopFlag::new();
+        stop.stop();
+        // Every read bails at the first sweep boundary: zero accepted
+        // flips, and the returned states are the random initial states.
+        let sa = SimulatedAnnealer::new()
+            .with_seed(4)
+            .with_num_reads(8)
+            .with_sweeps(4096)
+            .with_stop(stop);
+        let (set, stats) = sa.sample_stats(&m);
+        assert_eq!(set.total_reads(), 8, "cancelled reads still report");
+        assert_eq!(stats.accepted, Some(0));
+        let (probed, _, dynamics) = sa.sample_dynamics(&m, &ProbeConfig::default());
+        assert_eq!(probed, set, "probed cancellation matches plain");
+        assert!(dynamics.beta_acceptance.is_empty());
+    }
+
+    #[test]
+    fn mid_run_stop_keeps_best_state_so_far() {
+        let (m, _) = gadget();
+        let stop = StopFlag::new();
+        let sa = SimulatedAnnealer::new()
+            .with_seed(6)
+            .with_num_reads(2)
+            .with_parallel(false)
+            .with_sweeps(200_000)
+            .with_stop(stop.clone());
+        let trip = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            stop.stop();
+        });
+        let started = std::time::Instant::now();
+        let set = sa.sample(&m);
+        trip.join().unwrap();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "cancellation must cut the 200k-sweep budget short"
+        );
+        assert_eq!(set.total_reads(), 2);
+        assert!(set.lowest_energy().unwrap().is_finite());
     }
 
     #[test]

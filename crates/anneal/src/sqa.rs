@@ -19,7 +19,9 @@
 
 use crate::probes::{Decimator, ProbeConfig, SamplerDynamics, StridedSampler};
 use crate::{read_seed, AcceptCounters, AcceptanceTable, SampleSet, Sampler, SamplerRunStats};
-use qsmt_qubo::{spins_to_state, CompiledIsing, IsingFlipKernel, IsingModel, QuboModel, Var};
+use qsmt_qubo::{
+    spins_to_state, CompiledIsing, IsingFlipKernel, IsingModel, QuboModel, StopFlag, Var,
+};
 use qsmt_telemetry::dynamics::BetaAcceptance;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -36,6 +38,7 @@ pub struct SimulatedQuantumAnnealer {
     gamma_start: f64,
     gamma_end: f64,
     seed: u64,
+    stop: Option<StopFlag>,
 }
 
 impl Default for SimulatedQuantumAnnealer {
@@ -48,6 +51,7 @@ impl Default for SimulatedQuantumAnnealer {
             gamma_start: 3.0,
             gamma_end: 1e-3,
             seed: 0,
+            stop: None,
         }
     }
 }
@@ -105,6 +109,16 @@ impl SimulatedQuantumAnnealer {
         self
     }
 
+    /// Attaches a cooperative [`StopFlag`], polled at sweep granularity:
+    /// once tripped, every read stops annealing Γ and reads out its best
+    /// slice immediately (see
+    /// [`SimulatedAnnealer::with_stop`](crate::SimulatedAnnealer::with_stop)
+    /// for the contract).
+    pub fn with_stop(mut self, stop: StopFlag) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
     /// Inter-slice coupling at transverse field `gamma`.
     fn j_perp(&self, gamma: f64) -> f64 {
         let p = self.trotter_slices as f64;
@@ -138,6 +152,9 @@ impl SimulatedQuantumAnnealer {
             .collect();
         let mut accepted = 0u64;
         for sweep in 0..self.sweeps {
+            if self.stop.as_ref().is_some_and(StopFlag::is_stopped) {
+                break;
+            }
             let f = sweep as f64 / (self.sweeps.max(2) - 1) as f64;
             let gamma = self.gamma_start + (self.gamma_end - self.gamma_start) * f;
             let j_perp = self.j_perp(gamma);
@@ -206,6 +223,9 @@ impl SimulatedQuantumAnnealer {
             .fold(f64::INFINITY, f64::min);
         trace.push(0, best);
         for sweep in 0..self.sweeps {
+            if self.stop.as_ref().is_some_and(StopFlag::is_stopped) {
+                break;
+            }
             let sweep_started = latency.will_record().then(Instant::now);
             let best_before = best;
             let f = sweep as f64 / (self.sweeps.max(2) - 1) as f64;
@@ -402,6 +422,37 @@ mod tests {
         let a = SimulatedQuantumAnnealer::new().with_seed(9).sample(&m);
         let b = SimulatedQuantumAnnealer::new().with_seed(9).sample(&m);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn untripped_stop_flag_is_bit_identical() {
+        let m = frustrated();
+        let plain = SimulatedQuantumAnnealer::new().with_seed(9).sample(&m);
+        let flagged = SimulatedQuantumAnnealer::new()
+            .with_seed(9)
+            .with_stop(StopFlag::new())
+            .sample(&m);
+        assert_eq!(plain, flagged, "an un-tripped flag must not steer");
+    }
+
+    #[test]
+    fn tripped_stop_flag_cancels_before_the_first_sweep() {
+        let m = frustrated();
+        let stop = StopFlag::new();
+        stop.stop();
+        let sqa = SimulatedQuantumAnnealer::new()
+            .with_seed(2)
+            .with_num_reads(4)
+            .with_sweeps(100_000)
+            .with_stop(stop);
+        let started = Instant::now();
+        let (set, stats) = sqa.sample_stats(&m);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "cancelled reads must not run the 100k-sweep budget"
+        );
+        assert_eq!(set.total_reads(), 4);
+        assert_eq!(stats.accepted, Some(0));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
 use crate::problem::{EncodedProblem, Solution};
 use qsmt_anneal::{metrics, ProbeConfig, SampleSet, Sampler, SamplerDynamics, SimulatedAnnealer};
 use qsmt_lint::{lint_qubo, LintConfig, LintReport};
-use qsmt_qubo::{DenseQubo, QuboModel};
+use qsmt_qubo::{DenseQubo, QuboModel, StopFlag};
 use qsmt_telemetry::{
     CompileStats, DynamicsStats, EmbeddingStats, HistogramSummary, PresolveStats, Recorder,
     SamplerStats, SelectStats, SolveReport, StageTiming, StallVerdict,
@@ -48,6 +48,7 @@ pub struct StringSolver {
     reads: usize,
     lint_config: LintConfig,
     deny_lint_errors: bool,
+    stop: Option<StopFlag>,
 }
 
 impl StringSolver {
@@ -61,6 +62,7 @@ impl StringSolver {
             reads: 64,
             lint_config: LintConfig::default(),
             deny_lint_errors: false,
+            stop: None,
         }
     }
 
@@ -123,13 +125,29 @@ impl StringSolver {
         self
     }
 
+    /// Attaches a cooperative deadline: the default annealer polls the
+    /// flag at sweep granularity and winds down as soon as it trips,
+    /// returning the best assignment reached so far (post-selection then
+    /// validates it like any other sample). This is how the solve service
+    /// cancels jobs whose deadline expires mid-anneal. Only the built-in
+    /// sampler is rebuilt — a custom sampler passed to
+    /// [`StringSolver::new`] must wire its own flag (e.g.
+    /// `SimulatedAnnealer::with_stop`).
+    pub fn with_stop(mut self, stop: StopFlag) -> Self {
+        self.stop = Some(stop);
+        self.rebuild_default_sampler();
+        self
+    }
+
     fn rebuild_default_sampler(&mut self) {
-        self.sampler = Arc::new(
-            SimulatedAnnealer::new()
-                .with_num_reads(self.reads)
-                .with_sweeps(384)
-                .with_seed(self.seed),
-        );
+        let mut sampler = SimulatedAnnealer::new()
+            .with_num_reads(self.reads)
+            .with_sweeps(384)
+            .with_seed(self.seed);
+        if let Some(stop) = &self.stop {
+            sampler = sampler.with_stop(stop.clone());
+        }
+        self.sampler = Arc::new(sampler);
     }
 
     /// The sampler's reported name.
@@ -966,6 +984,49 @@ mod tests {
                 target: "héllo".into()
             })
             .is_err());
+    }
+
+    #[test]
+    fn stop_flag_survives_builder_reordering_and_cancels_promptly() {
+        use std::time::{Duration, Instant};
+        // `with_stop` before `with_reads`/`with_seed`: every rebuild of
+        // the default sampler must re-attach the flag.
+        let stop = StopFlag::new();
+        let s = StringSolver::with_defaults()
+            .with_stop(stop.clone())
+            .with_seed(9)
+            .with_reads(4096);
+        stop.stop();
+        let started = Instant::now();
+        // A tripped flag cancels before the first sweep: a read budget
+        // this size would otherwise take far longer than the assertion
+        // allows, and the call still returns a well-formed outcome.
+        let out = s
+            .solve(&Constraint::Equality {
+                target: "hello".into(),
+            })
+            .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "tripped stop flag did not cut the solve short: {:?}",
+            started.elapsed()
+        );
+        let _ = out.valid;
+    }
+
+    #[test]
+    fn untripped_stop_flag_keeps_solves_bit_identical() {
+        let plain = solver().solve(&Constraint::Equality {
+            target: "abc".into(),
+        });
+        let flagged = solver()
+            .with_stop(StopFlag::new())
+            .solve(&Constraint::Equality {
+                target: "abc".into(),
+            });
+        let (plain, flagged) = (plain.unwrap(), flagged.unwrap());
+        assert_eq!(plain.solution, flagged.solution);
+        assert_eq!(plain.energy, flagged.energy);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod kernel;
 mod model;
 mod presolve;
 mod serialize;
+mod stop;
 
 pub use adjacency::CompiledQubo;
 pub use builder::PenaltyBuilder;
@@ -58,6 +59,7 @@ pub use kernel::{FlipKernel, IsingFlipKernel, KernelWatermark};
 pub use model::{QuboModel, Var};
 pub use presolve::{fix_variables, normalize, persistent_assignments, presolve, ReducedModel};
 pub use serialize::{from_qbsolv, to_qbsolv, FormatError};
+pub use stop::StopFlag;
 
 /// A binary assignment: one `0`/`1` entry per variable.
 ///

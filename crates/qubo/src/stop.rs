@@ -1,0 +1,71 @@
+//! Cooperative cancellation for long-running sweep loops.
+//!
+//! A [`StopFlag`] is a cheap, clonable handle over a shared atomic bit.
+//! The owner of a deadline (a solve service worker, a signal handler, a
+//! test harness) calls [`StopFlag::stop`]; sweep loops driving a
+//! [`FlipKernel`](crate::FlipKernel) poll [`StopFlag::is_stopped`] at
+//! sweep granularity and wind down early, returning the best states found
+//! so far. Polling an un-tripped flag is a single relaxed atomic load —
+//! it never touches a sampler's RNG stream, so results are bit-identical
+//! to an un-flagged run until the moment the flag fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation token: set once, observed by many sweep loops.
+///
+/// ```
+/// use qsmt_qubo::StopFlag;
+///
+/// let flag = StopFlag::new();
+/// let observer = flag.clone(); // same underlying bit
+/// assert!(!observer.is_stopped());
+/// flag.stop();
+/// assert!(observer.is_stopped());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// Creates an un-tripped flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag. Idempotent; every clone observes the stop.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has called [`StopFlag::stop`].
+    #[inline]
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_bit() {
+        let a = StopFlag::new();
+        let b = a.clone();
+        assert!(!a.is_stopped() && !b.is_stopped());
+        b.stop();
+        assert!(a.is_stopped() && b.is_stopped());
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_visible_across_threads() {
+        let flag = StopFlag::new();
+        let trip = flag.clone();
+        let t = std::thread::spawn(move || {
+            trip.stop();
+            trip.stop();
+        });
+        t.join().unwrap();
+        assert!(flag.is_stopped());
+    }
+}

@@ -7,7 +7,9 @@
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
 //! qsmt bench [--quick] [--out PATH] [--seed N]  # annealing perf baseline
-//! qsmt serve --metrics-addr ADDR [--seed N]  # Prometheus metrics endpoint
+//! qsmt serve --metrics-addr ADDR [--seed N] [--workers N] [--queue-depth N]
+//!            [--job-timeout MS]              # solve service + metrics endpoint
+//! qsmt submit ADDR <file.smt2> [--seed N] [--reads N] [--job-timeout MS]
 //! qsmt watch ADDR [--format text|json]       # scrape a running endpoint
 //! ```
 //!
@@ -47,7 +49,10 @@ USAGE:
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
              [--stats] [--report <path>] [--trace] [--lint]
   qsmt bench [--quick] [--out <path>] [--seed N]
-  qsmt serve --metrics-addr <host:port> [--seed N]
+  qsmt serve --metrics-addr <host:port> [--seed N] [--workers N]
+             [--queue-depth N] [--job-timeout MS] [--max-requests N]
+  qsmt submit <host:port> <file.smt2> [--seed N] [--reads N]
+              [--job-timeout MS]
   qsmt watch <host:port> [--format text|json]
 
 SAMPLERS:
@@ -62,13 +67,22 @@ OBSERVABILITY (see docs/OBSERVABILITY.md):
   --flight <path>  on solve failure, dump the flight-recorder ring
                    buffer to <path> as JSON
 
-LIVE METRICS (see docs/OBSERVABILITY.md):
-  qsmt serve       exercise every sampler + the QPU pipeline, then expose
-                   /metrics (Prometheus text format), /flight (JSON ring
-                   buffer), and /healthz on --metrics-addr; port 0 picks
-                   a free port and prints it
+SOLVE SERVICE (see docs/OBSERVABILITY.md):
+  qsmt serve       concurrent solve service + live metrics: POST /solve
+                   enqueues SMT-LIB scripts into a bounded queue drained
+                   by --workers threads; GET /jobs/<id> returns status
+                   and the schema-v4 run report; a full queue answers
+                   429 with Retry-After; per-job deadlines cancel
+                   mid-anneal; SIGINT or --max-requests drains
+                   gracefully. Also exposes /metrics (Prometheus text
+                   format), /flight (JSON ring buffer), and /healthz on
+                   --metrics-addr; port 0 picks a free port and prints it
+  qsmt submit      blocking client: POST a script to a running service,
+                   poll the job to a terminal state, print its final
+                   status document (non-zero exit on reject/fail/timeout)
   qsmt watch       one-shot scrape of a running serve endpoint
-                   (--format json fetches /flight instead of /metrics)
+                   (--format json fetches /flight instead of /metrics);
+                   connect/read timeouts make it a usable health probe
 
 BENCHMARKS (see docs/PERFORMANCE.md):
   qsmt bench       run the annealing benchmark harness and write a
@@ -109,7 +123,11 @@ const DEMO: &str = r#"
 struct Options {
     sampler: String,
     seed: u64,
+    /// Whether `--seed` was given explicitly (submit only forwards it then).
+    seed_set: bool,
     reads: usize,
+    /// Whether `--reads` was given explicitly.
+    reads_set: bool,
     goal: usize,
     stats: bool,
     report: Option<String>,
@@ -122,6 +140,11 @@ struct Options {
     flight: Option<String>,
     max_requests: Option<u64>,
     check_overhead: bool,
+    workers: usize,
+    queue_depth: usize,
+    job_timeout_ms: u64,
+    /// Whether `--job-timeout` was given explicitly.
+    job_timeout_set: bool,
 }
 
 impl Default for Options {
@@ -129,7 +152,9 @@ impl Default for Options {
         Self {
             sampler: "sa".into(),
             seed: 0,
+            seed_set: false,
             reads: 64,
+            reads_set: false,
             goal: 0,
             stats: false,
             report: None,
@@ -142,6 +167,10 @@ impl Default for Options {
             flight: None,
             max_requests: None,
             check_overhead: false,
+            workers: 4,
+            queue_depth: 16,
+            job_timeout_ms: 30_000,
+            job_timeout_set: false,
         }
     }
 }
@@ -169,11 +198,38 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                 opts.seed = value("--seed")?
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?;
+                opts.seed_set = true;
             }
             "--reads" => {
                 opts.reads = value("--reads")?
                     .parse()
                     .map_err(|_| "--reads expects an integer".to_string())?;
+                opts.reads_set = true;
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_string())?;
+                if opts.workers == 0 {
+                    return Err("--workers expects at least 1".into());
+                }
+            }
+            "--queue-depth" => {
+                opts.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth expects an integer".to_string())?;
+                if opts.queue_depth == 0 {
+                    return Err("--queue-depth expects at least 1".into());
+                }
+            }
+            "--job-timeout" => {
+                opts.job_timeout_ms = value("--job-timeout")?
+                    .parse()
+                    .map_err(|_| "--job-timeout expects milliseconds".to_string())?;
+                if opts.job_timeout_ms == 0 {
+                    return Err("--job-timeout expects at least 1 ms".into());
+                }
+                opts.job_timeout_set = true;
             }
             "--goal" => {
                 opts.goal = value("--goal")?
@@ -578,8 +634,41 @@ fn main() -> ExitCode {
                 .metrics_addr
                 .as_deref()
                 .ok_or_else(|| "serve requires --metrics-addr <host:port>".to_string())?;
-            qsmt::serve::serve(addr, opts.seed, opts.max_requests)
+            qsmt::serve::serve(&qsmt::serve::ServeConfig {
+                addr: addr.to_string(),
+                seed: opts.seed,
+                workers: opts.workers,
+                queue_depth: opts.queue_depth,
+                job_timeout: std::time::Duration::from_millis(opts.job_timeout_ms),
+                max_requests: opts.max_requests,
+            })
         }),
+        Some((cmd, rest)) if cmd == "submit" => {
+            let Some((addr, rest)) = rest.split_first() else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let Some((path, flags)) = rest.split_first() else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            match (
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
+                parse_flags(flags),
+            ) {
+                (Ok(source), Ok(opts)) => {
+                    let submit_opts = qsmt::serve::SubmitOptions {
+                        seed: opts.seed_set.then_some(opts.seed),
+                        reads: opts.reads_set.then_some(opts.reads as u64),
+                        timeout_ms: opts.job_timeout_set.then_some(opts.job_timeout_ms),
+                    };
+                    qsmt::serve::submit(addr, &source, &submit_opts).map(|doc| {
+                        println!("{}", doc.pretty());
+                    })
+                }
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
         Some((cmd, rest)) if cmd == "watch" => {
             let Some((addr, flags)) = rest.split_first() else {
                 eprintln!("{USAGE}");

@@ -70,5 +70,5 @@ pub use qsmt_core::{
 };
 pub use qsmt_lint::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
 pub use qsmt_qpu::{ChainBreakResolution, ChainStrength, QpuSimulator, Topology};
-pub use qsmt_qubo::{IsingModel, QuboModel};
+pub use qsmt_qubo::{IsingModel, QuboModel, StopFlag};
 pub use qsmt_smtlib::{SatStatus, Script};

@@ -1,23 +1,43 @@
-//! `qsmt serve` — live annealing dynamics over HTTP.
+//! `qsmt serve` — the concurrent solve service and live metrics endpoint.
 //!
 //! Binds a plain-TCP HTTP/1.1 listener (no framework, no dependencies)
-//! and exposes three read-only endpoints:
+//! and exposes:
 //!
+//! * `POST /solve` — enqueue an SMT-LIB script into the bounded job
+//!   queue; answers `202` with a job id, `429` + `Retry-After` when the
+//!   queue is full (backpressure), `503` while draining;
+//! * `GET /jobs/<id>` — job status; completed jobs embed the full
+//!   schema-v4 run report;
+//! * `GET /jobs` — job-table summary;
 //! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
 //!   global [`qsmt_metrics::Registry`];
 //! * `GET /flight` — JSON dump of the global flight-recorder ring buffer;
-//! * `GET /healthz` — liveness probe.
+//! * `GET /healthz` — liveness probe;
+//! * `POST /shutdown` — request a graceful drain.
+//!
+//! Jobs are drained by a worker pool ([`ServeConfig::workers`]) running
+//! the ordinary [`StringSolver`](qsmt_core::StringSolver) pipeline with
+//! per-job seeds; each job carries a deadline that trips a cooperative
+//! [`StopFlag`](qsmt_qubo::StopFlag) threaded into the annealing sweep
+//! loops, so timeouts cancel mid-anneal. SIGINT/SIGTERM and the
+//! `--max-requests` cap trigger a graceful drain: stop accepting,
+//! finish every accepted job, flush metrics, print a drain summary.
 //!
 //! Before binding, [`serve`] *exercises* the full sampler family — all
 //! six annealing samplers via their trajectory-probe path, plus a QPU
 //! simulator submission — so a scrape sees live series for every
 //! subsystem the moment the socket opens. The bound address is printed
 //! as `metrics listening on http://<addr>` (port 0 is supported and
-//! resolves to the kernel-assigned port), which is what `qsmt watch`
-//! and the end-to-end scrape test parse.
+//! resolves to the kernel-assigned port), which is what `qsmt watch`,
+//! `qsmt submit`, and the end-to-end tests parse.
 //!
-//! Metric names and the scrape walkthrough are catalogued in
-//! `docs/OBSERVABILITY.md`.
+//! Metric names, the job lifecycle, and the scrape walkthrough are
+//! catalogued in `docs/OBSERVABILITY.md`.
+
+pub mod http;
+mod service;
+
+pub use service::{ServeConfig, Service};
 
 use qsmt_anneal::{
     ParallelTempering, PopulationAnnealer, ProbeConfig, Sampler, SimulatedAnnealer,
@@ -26,8 +46,11 @@ use qsmt_anneal::{
 use qsmt_metrics::{FlightRecorder, Registry};
 use qsmt_qpu::{QpuSimulator, Topology};
 use qsmt_qubo::QuboModel;
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use qsmt_telemetry::Json;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Probe sizing used by the exercise pass: full probes, but traces and
 /// per-β series capped low enough that label cardinality stays scrape-
@@ -287,114 +310,184 @@ fn describe_metrics(registry: &Registry) {
     }
 }
 
-/// One HTTP response, status line plus body.
-fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    // A client that hangs up mid-response is its own problem.
-    let _ = stream.write_all(response.as_bytes());
-}
-
-/// Reads the request line of an HTTP request and returns the path, or
-/// `None` for anything unparseable.
-fn request_path(stream: &mut TcpStream) -> Option<String> {
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf).ok()?;
-    let head = String::from_utf8_lossy(&buf[..n]);
-    let mut parts = head.lines().next()?.split_whitespace();
-    let method = parts.next()?;
-    let path = parts.next()?;
-    if method != "GET" {
-        return None;
-    }
-    Some(path.to_string())
-}
-
-/// Serves one accepted connection against the registry and recorder.
-fn handle(mut stream: TcpStream, registry: &Registry, flight: &FlightRecorder) {
-    match request_path(&mut stream).as_deref() {
-        Some("/metrics") => respond(
-            &mut stream,
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            &registry.render_prometheus(),
-        ),
-        Some("/flight") => respond(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &flight.to_json().pretty(),
-        ),
-        Some("/healthz") => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
-        Some(_) => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
-        None => respond(
-            &mut stream,
-            "400 Bad Request",
-            "text/plain",
-            "bad request\n",
-        ),
-    }
-}
-
-/// Runs the metrics endpoint: exercise the samplers, bind `addr`, print
-/// the resolved address, then serve until the process is killed (or, if
-/// `max_requests` is set, until that many requests were answered —
-/// the hook the end-to-end test uses to terminate deterministically).
+/// Runs the solve service: exercise the samplers, bind the address,
+/// print the resolved endpoint, spawn the worker pool, then serve until
+/// a drain is requested — by SIGINT/SIGTERM, `POST /shutdown`, or (when
+/// [`ServeConfig::max_requests`] is set) after that many requests were
+/// accepted, the hook the end-to-end tests use to terminate
+/// deterministically. Draining finishes every accepted job before the
+/// process exits and prints a one-line summary accounting for all of
+/// them.
 ///
 /// # Errors
 /// Returns an error when the address cannot be parsed or bound.
-pub fn serve(addr: &str, seed: u64, max_requests: Option<u64>) -> Result<(), String> {
+pub fn serve(config: &ServeConfig) -> Result<(), String> {
     let registry = qsmt_metrics::global();
     let flight = qsmt_metrics::global_flight();
-    exercise(registry, flight, seed);
-    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    exercise(registry, flight, config.seed);
+    let svc = Arc::new(Service::new(config));
+    service::install_shutdown_handler();
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
-    // Parsed by `qsmt watch` users and the e2e scrape test; keep stable.
+    // Parsed by `qsmt watch`/`qsmt submit` users and the e2e tests;
+    // keep stable.
     println!("metrics listening on http://{local}");
+    eprintln!(
+        "solve service ready: {} workers, queue depth {}, job timeout {} ms",
+        config.workers.max(1),
+        config.queue_depth.max(1),
+        config.job_timeout.as_millis()
+    );
+    // Nonblocking accept so the loop can poll the shutdown flags
+    // between connections.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure listener: {e}"))?;
+    let workers = svc.spawn_workers(config.workers);
     let mut served = 0u64;
-    for stream in listener.incoming() {
-        match stream {
-            Ok(s) => handle(s, registry, flight),
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !service::shutdown_signalled() && !svc.drain_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets must block: handlers read bodies and
+                // write full responses.
+                let _ = stream.set_nonblocking(false);
+                served += 1;
+                let handler_svc = Arc::clone(&svc);
+                connections.push(thread::spawn(move || {
+                    service::handle_connection(stream, &handler_svc);
+                }));
+                if config.max_requests.is_some_and(|max| served >= max) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
             Err(_) => continue,
         }
-        served += 1;
-        if max_requests.is_some_and(|max| served >= max) {
-            break;
-        }
+        connections.retain(|conn| !conn.is_finished());
     }
+    // Graceful drain: refuse new connections, let in-flight handlers
+    // finish (so their submissions land in the queue), then drain the
+    // pool — every accepted job reaches a terminal state.
+    drop(listener);
+    for conn in connections {
+        let _ = conn.join();
+    }
+    svc.request_drain();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    registry.gauge_set("qsmt_serve_queue_depth", &[], 0.0);
+    flight.record("serve.drained", served as f64);
+    // Best-effort: a supervisor that already closed our stdout must not
+    // turn a clean drain into a broken-pipe panic.
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "{}", svc.drain_summary());
     Ok(())
 }
 
 /// One-shot scrape client (`qsmt watch`): GETs a path from a running
-/// `qsmt serve` endpoint and returns the response body.
+/// `qsmt serve` endpoint and returns the response body. Connect and
+/// read both carry timeouts, so an unreachable endpoint fails fast with
+/// a non-zero exit instead of hanging a health probe.
 ///
 /// # Errors
-/// Returns an error when the endpoint is unreachable or replies with a
-/// non-200 status.
+/// Returns an error when the endpoint is unreachable, a timeout fires,
+/// or the endpoint replies with a non-200 status.
 pub fn fetch(addr: &str, path: &str) -> Result<String, String> {
-    let addr = addr.trim_start_matches("http://");
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
-    stream
-        .write_all(request.as_bytes())
-        .map_err(|e| format!("cannot send request: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("cannot read response: {e}"))?;
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| "malformed HTTP response".to_string())?;
-    let status = head.lines().next().unwrap_or_default();
-    if !status.contains("200") {
-        return Err(format!("{addr}{path} answered {status}"));
+    let (status, body) = http::http_request(addr, "GET", path, None)?;
+    if status != 200 {
+        return Err(format!(
+            "{}{path} answered HTTP {status}",
+            addr.trim_start_matches("http://")
+        ));
     }
-    Ok(body.to_string())
+    Ok(body)
+}
+
+/// Options for the [`submit`] client (`qsmt submit`).
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Per-job RNG seed (`?seed=`); server picks one when absent.
+    pub seed: Option<u64>,
+    /// Sampler reads override (`?reads=`).
+    pub reads: Option<u64>,
+    /// Job deadline override in milliseconds (`?timeout_ms=`).
+    pub timeout_ms: Option<u64>,
+}
+
+/// Blocking submit client (`qsmt submit`): POSTs an SMT-LIB script to a
+/// running solve service, polls the job until it reaches a terminal
+/// state, and returns the job's final status document.
+///
+/// # Errors
+/// Returns an error when the service is unreachable, refuses the job
+/// (429 queue-full or 503 draining), the job fails or times out, or the
+/// service answers with malformed JSON.
+pub fn submit(addr: &str, source: &str, opts: &SubmitOptions) -> Result<Json, String> {
+    let mut path = String::from("/solve");
+    let mut sep = '?';
+    for (key, value) in [
+        ("seed", opts.seed),
+        ("reads", opts.reads),
+        ("timeout_ms", opts.timeout_ms),
+    ] {
+        if let Some(v) = value {
+            path.push(sep);
+            path.push_str(&format!("{key}={v}"));
+            sep = '&';
+        }
+    }
+    let (status, body) = http::http_request(addr, "POST", &path, Some(source))?;
+    match status {
+        202 => {}
+        429 => return Err(format!("server overloaded, retry later (429): {body}")),
+        503 => return Err(format!("server is draining (503): {body}")),
+        other => return Err(format!("submission refused (HTTP {other}): {body}")),
+    }
+    let accepted = qsmt_telemetry::parse(&body).map_err(|e| format!("malformed 202 body: {e}"))?;
+    let id = accepted
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("202 body lacks a job id: {body}"))?
+        .to_string();
+
+    // Poll until terminal. The server enforces the real deadline; the
+    // client cap only guards against a vanished server.
+    let poll_cap = Duration::from_millis(opts.timeout_ms.unwrap_or(0).max(60_000) * 2);
+    let started = Instant::now();
+    loop {
+        thread::sleep(Duration::from_millis(50));
+        let (status, body) = http::http_request(addr, "GET", &format!("/jobs/{id}"), None)?;
+        if status != 200 {
+            return Err(format!("job {id} lookup answered HTTP {status}: {body}"));
+        }
+        let doc = qsmt_telemetry::parse(&body).map_err(|e| format!("malformed status: {e}"))?;
+        match doc.get("status").and_then(Json::as_str) {
+            Some("completed") => return Ok(doc),
+            Some("failed") => {
+                let error = doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error");
+                return Err(format!("job {id} failed: {error}"));
+            }
+            Some("timed_out") => {
+                let site = doc.get("where").and_then(Json::as_str).unwrap_or("unknown");
+                return Err(format!("job {id} timed out ({site})"));
+            }
+            Some("queued" | "running") => {}
+            other => return Err(format!("job {id} reported unknown status {other:?}")),
+        }
+        if started.elapsed() > poll_cap {
+            return Err(format!("gave up polling job {id} after {poll_cap:?}"));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -457,17 +550,18 @@ mod tests {
 
     #[test]
     fn serve_answers_and_honors_request_cap() {
-        use std::thread;
         // Bind on an OS-assigned port in-process, scrape it, and let the
         // request cap terminate the loop.
         let registry = qsmt_metrics::global();
         let flight = qsmt_metrics::global_flight();
         exercise(registry, flight, 1);
+        let svc = Arc::new(Service::new(&ServeConfig::default()));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
+        let server_svc = Arc::clone(&svc);
         let server = thread::spawn(move || {
             for s in listener.incoming().take(3).flatten() {
-                handle(s, qsmt_metrics::global(), qsmt_metrics::global_flight());
+                service::handle_connection(s, &server_svc);
             }
         });
         let metrics = fetch(&addr.to_string(), "/metrics").unwrap();

@@ -1,0 +1,774 @@
+//! The concurrent solve service behind `qsmt serve`.
+//!
+//! Architecture: a bounded job queue (`Mutex<VecDeque>` + `Condvar`)
+//! drained by a fixed worker pool. Each worker runs the ordinary
+//! [`Script`] → [`StringSolver`] pipeline with a per-job seed and a
+//! per-job deadline; the deadline trips a [`StopFlag`] that the
+//! annealing sweep loops poll, so cancellation lands mid-anneal without
+//! poisoning RNG streams (an un-tripped flag is bit-identical to no
+//! flag at all — pinned by sampler tests).
+//!
+//! Backpressure is explicit: when the queue is full, `POST /solve`
+//! answers `429 Too Many Requests` with a `Retry-After` hint instead of
+//! buffering unboundedly. Draining (SIGINT, `POST /shutdown`, or the
+//! `--max-requests` cap) stops intake with `503`, finishes every
+//! accepted job, flushes metrics, and prints a one-line summary that
+//! accounts for every job the service ever accepted.
+
+use super::http::{read_request, respond, respond_with, Request};
+use qsmt_core::StringSolver;
+use qsmt_metrics::{FlightRecorder, Registry};
+use qsmt_qubo::StopFlag;
+use qsmt_smtlib::Script;
+use qsmt_telemetry::{GoalReport, Json, RunReport};
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on a single job's `reads` override, so one request
+/// cannot monopolize a worker for hours.
+const MAX_READS: usize = 1_000_000;
+/// Hard ceiling on a per-job timeout override (one hour).
+const MAX_TIMEOUT_MS: u64 = 3_600_000;
+
+/// Configuration for [`super::serve`] — everything the CLI flags carry.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Base RNG seed; job `n` defaults to `seed + n` unless the request
+    /// overrides it with `?seed=`.
+    pub seed: u64,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue answers 429.
+    pub queue_depth: usize,
+    /// Default per-job deadline (`?timeout_ms=` overrides per request).
+    pub job_timeout: Duration,
+    /// Stop after answering this many HTTP requests, then drain
+    /// gracefully (the hook the end-to-end tests use).
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            seed: 0,
+            workers: 4,
+            queue_depth: 16,
+            job_timeout: Duration::from_secs(30),
+            max_requests: None,
+        }
+    }
+}
+
+/// One queued solve request.
+struct Job {
+    id: u64,
+    source: String,
+    seed: u64,
+    reads: Option<usize>,
+    timeout: Duration,
+    submitted: Instant,
+    deadline: Instant,
+}
+
+/// Lifecycle of a job as reported by `GET /jobs/<id>`. Every accepted
+/// job ends in exactly one of the three terminal states.
+enum JobStatus {
+    Queued,
+    Running,
+    Completed {
+        report: Json,
+    },
+    Failed {
+        error: String,
+    },
+    TimedOut {
+        site: &'static str,
+        timeout: Duration,
+    },
+}
+
+impl JobStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed { .. } => "completed",
+            JobStatus::Failed { .. } => "failed",
+            JobStatus::TimedOut { .. } => "timed_out",
+        }
+    }
+}
+
+/// Drain-summary tallies; the accepted count must equal the sum of the
+/// three terminal counts once the service has drained.
+#[derive(Default)]
+struct Tally {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+/// What `POST /solve` decided to do with a submission.
+enum SubmitOutcome {
+    Accepted { id: u64 },
+    QueueFull { retry_after_secs: u64 },
+    Draining,
+    BadRequest { error: String },
+}
+
+/// Shared state of the solve service: the bounded queue, the job table,
+/// and the drain flag. One instance per `qsmt serve` process, shared by
+/// the accept loop, the connection handlers, and the worker pool.
+pub struct Service {
+    registry: &'static Registry,
+    flight: &'static FlightRecorder,
+    base_seed: u64,
+    queue_depth: usize,
+    job_timeout: Duration,
+    queue: Mutex<VecDeque<Job>>,
+    queue_ready: Condvar,
+    jobs: Mutex<HashMap<u64, JobStatus>>,
+    draining: AtomicBool,
+    next_id: AtomicU64,
+    tally: Tally,
+}
+
+impl Service {
+    /// Builds the service against the global registry and flight
+    /// recorder and registers HELP text for its metric family.
+    pub fn new(config: &ServeConfig) -> Self {
+        let registry = qsmt_metrics::global();
+        for (name, help) in [
+            (
+                "qsmt_serve_queue_depth",
+                "Jobs waiting in the bounded solve queue.",
+            ),
+            (
+                "qsmt_serve_jobs_accepted_total",
+                "Solve jobs admitted to the queue.",
+            ),
+            (
+                "qsmt_serve_jobs_rejected_total",
+                "Solve jobs refused with 429 because the queue was full.",
+            ),
+            (
+                "qsmt_serve_jobs_completed_total",
+                "Solve jobs that ran to completion.",
+            ),
+            (
+                "qsmt_serve_jobs_failed_total",
+                "Solve jobs that errored or panicked.",
+            ),
+            (
+                "qsmt_serve_jobs_timed_out_total",
+                "Solve jobs cancelled by their deadline (queued or mid-anneal).",
+            ),
+            (
+                "qsmt_serve_job_wait_us",
+                "Time jobs spent queued before a worker picked them up, microseconds.",
+            ),
+            (
+                "qsmt_serve_job_latency_us",
+                "Submit-to-terminal-state latency per job, microseconds, by outcome.",
+            ),
+            (
+                "qsmt_serve_http_requests_total",
+                "HTTP requests answered, by route.",
+            ),
+        ] {
+            registry.describe(name, help);
+        }
+        registry.gauge_set("qsmt_serve_queue_depth", &[], 0.0);
+        Self {
+            registry,
+            flight: qsmt_metrics::global_flight(),
+            base_seed: config.seed,
+            queue_depth: config.queue_depth.max(1),
+            job_timeout: config.job_timeout,
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            tally: Tally::default(),
+        }
+    }
+
+    /// Stops intake and wakes every idle worker so the pool can drain.
+    pub fn request_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            self.flight.record("serve.drain_requested", 0.0);
+        }
+        self.queue_ready.notify_all();
+    }
+
+    /// Whether a drain has been requested.
+    pub fn drain_requested(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Spawns the worker pool; the returned handles join once the
+    /// service drains.
+    pub fn spawn_workers(self: &Arc<Self>, workers: usize) -> Vec<thread::JoinHandle<()>> {
+        (0..workers.max(1))
+            .map(|i| {
+                let svc = Arc::clone(self);
+                thread::Builder::new()
+                    .name(format!("qsmt-worker-{i}"))
+                    .spawn(move || svc.worker_loop())
+                    .expect("spawn worker thread")
+            })
+            .collect()
+    }
+
+    /// One-line account of everything the service did, printed on
+    /// drain. `accepted` always equals `completed + failed + timed_out`
+    /// after the pool joins — no accepted job is ever lost.
+    pub fn drain_summary(&self) -> String {
+        format!(
+            "drained: accepted={} completed={} failed={} timed_out={} rejected={}",
+            self.tally.accepted.load(Ordering::SeqCst),
+            self.tally.completed.load(Ordering::SeqCst),
+            self.tally.failed.load(Ordering::SeqCst),
+            self.tally.timed_out.load(Ordering::SeqCst),
+            self.tally.rejected.load(Ordering::SeqCst),
+        )
+    }
+
+    fn set_queue_gauge(&self, depth: usize) {
+        self.registry
+            .gauge_set("qsmt_serve_queue_depth", &[], depth as f64);
+    }
+
+    fn submit(&self, req: &Request) -> SubmitOutcome {
+        if self.drain_requested() {
+            return SubmitOutcome::Draining;
+        }
+        if req.body.trim().is_empty() {
+            return SubmitOutcome::BadRequest {
+                error: "empty body; POST an SMT-LIB script".into(),
+            };
+        }
+        let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match req.query_param(key) {
+                None => Ok(None),
+                Some(raw) => raw
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| format!("query parameter {key}={raw:?} is not an integer")),
+            }
+        };
+        let (seed, reads, timeout_ms) = match (
+            parse_u64("seed"),
+            parse_u64("reads"),
+            parse_u64("timeout_ms"),
+        ) {
+            (Ok(s), Ok(r), Ok(t)) => (s, r, t),
+            (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+                return SubmitOutcome::BadRequest { error: e }
+            }
+        };
+        let reads = reads.map(|r| (r as usize).clamp(1, MAX_READS));
+        let timeout = Duration::from_millis(
+            timeout_ms
+                .unwrap_or(self.job_timeout.as_millis() as u64)
+                .clamp(1, MAX_TIMEOUT_MS),
+        );
+
+        let mut queue = self.queue.lock().expect("queue lock");
+        if queue.len() >= self.queue_depth {
+            drop(queue);
+            self.tally.rejected.fetch_add(1, Ordering::SeqCst);
+            self.registry
+                .counter_add("qsmt_serve_jobs_rejected_total", &[], 1.0);
+            // Hint: roughly one queue slot should free up per job
+            // timeout in the worst case; 1s is the floor so clients
+            // back off at all.
+            let retry_after_secs = self.job_timeout.as_secs().clamp(1, 30);
+            return SubmitOutcome::QueueFull { retry_after_secs };
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let now = Instant::now();
+        queue.push_back(Job {
+            id,
+            source: req.body.clone(),
+            seed: seed.unwrap_or_else(|| self.base_seed.wrapping_add(id)),
+            reads,
+            timeout,
+            submitted: now,
+            deadline: now + timeout,
+        });
+        let depth = queue.len();
+        drop(queue);
+        self.jobs
+            .lock()
+            .expect("jobs lock")
+            .insert(id, JobStatus::Queued);
+        self.tally.accepted.fetch_add(1, Ordering::SeqCst);
+        self.registry
+            .counter_add("qsmt_serve_jobs_accepted_total", &[], 1.0);
+        self.set_queue_gauge(depth);
+        self.queue_ready.notify_one();
+        SubmitOutcome::Accepted { id }
+    }
+
+    /// Renders one job's status document, or `None` for an unknown id.
+    fn status_json(&self, id: u64) -> Option<String> {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let status = jobs.get(&id)?;
+        let mut pairs = vec![
+            ("id", Json::from(format!("job-{id}"))),
+            ("status", Json::from(status.label())),
+        ];
+        match status {
+            JobStatus::Completed { report } => pairs.push(("report", report.clone())),
+            JobStatus::Failed { error } => pairs.push(("error", Json::from(error.as_str()))),
+            JobStatus::TimedOut { site, timeout } => {
+                pairs.push(("where", Json::from(*site)));
+                pairs.push(("timeout_ms", Json::from(timeout.as_millis() as u64)));
+            }
+            JobStatus::Queued | JobStatus::Running => {}
+        }
+        Some(Json::obj(pairs).pretty())
+    }
+
+    /// Renders the job-table summary for `GET /jobs`.
+    fn jobs_json(&self) -> String {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let mut entries: Vec<(u64, &'static str)> =
+            jobs.iter().map(|(id, s)| (*id, s.label())).collect();
+        entries.sort_unstable();
+        let list = entries
+            .into_iter()
+            .map(|(id, label)| {
+                Json::obj([
+                    ("id", Json::from(format!("job-{id}"))),
+                    ("status", Json::from(label)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("jobs", Json::Arr(list)),
+            (
+                "queue_depth",
+                Json::from(self.queue.lock().expect("queue lock").len()),
+            ),
+            ("draining", Json::from(self.drain_requested())),
+        ])
+        .pretty()
+    }
+
+    /// Worker thread body: pop jobs until the queue is empty *and* a
+    /// drain was requested. Draining still finishes every queued job —
+    /// accepted work is never dropped.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("queue lock");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        self.set_queue_gauge(queue.len());
+                        break Some(job);
+                    }
+                    if self.drain_requested() {
+                        break None;
+                    }
+                    queue = self.queue_ready.wait(queue).expect("queue wait");
+                }
+            };
+            match job {
+                Some(job) => self.run_job(job),
+                None => return,
+            }
+        }
+    }
+
+    /// Runs one job to a terminal state: solve, fail, or time out.
+    fn run_job(&self, job: Job) {
+        let wait_us = job.submitted.elapsed().as_micros() as u64;
+        self.registry
+            .histogram_observe("qsmt_serve_job_wait_us", &[], wait_us as f64);
+
+        // A job whose deadline expired while it sat in the queue never
+        // starts sampling.
+        if Instant::now() >= job.deadline {
+            self.finish(
+                &job,
+                JobStatus::TimedOut {
+                    site: "queue",
+                    timeout: job.timeout,
+                },
+            );
+            return;
+        }
+        self.set_status(job.id, JobStatus::Running);
+        self.flight
+            .record_detail("serve.job_start", job.id as f64, &format!("job-{}", job.id));
+
+        // Deadline timer: trips the stop flag if the solve outlives its
+        // budget; the worker signals `done` to retire it early.
+        let stop = StopFlag::new();
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let timer = {
+            let stop = stop.clone();
+            let done = Arc::clone(&done);
+            let deadline = job.deadline;
+            thread::spawn(move || {
+                let (finished, cv) = &*done;
+                let mut finished = finished.lock().expect("deadline lock");
+                while !*finished {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        stop.stop();
+                        return;
+                    }
+                    let (guard, _timeout) = cv
+                        .wait_timeout(finished, deadline - now)
+                        .expect("deadline wait");
+                    finished = guard;
+                }
+            })
+        };
+
+        let result = catch_unwind(AssertUnwindSafe(|| self.solve_script(&job, &stop)));
+
+        let (finished, cv) = &*done;
+        *finished.lock().expect("deadline lock") = true;
+        cv.notify_all();
+        let _ = timer.join();
+
+        let status = if stop.is_stopped() {
+            // The deadline fired while sampling; whatever came back is a
+            // partial anneal, so the job is timed out, not completed.
+            JobStatus::TimedOut {
+                site: "sampling",
+                timeout: job.timeout,
+            }
+        } else {
+            match result {
+                Ok(Ok(report)) => JobStatus::Completed { report },
+                Ok(Err(error)) => JobStatus::Failed { error },
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                        .unwrap_or_else(|| "solver panicked".to_string());
+                    JobStatus::Failed {
+                        error: format!("solver panicked: {msg}"),
+                    }
+                }
+            }
+        };
+        self.finish(&job, status);
+    }
+
+    /// The actual solve: parse, run the reported pipeline with the
+    /// job's seed/reads and the cancellation flag, and produce a
+    /// schema-v4 [`RunReport`] document.
+    fn solve_script(&self, job: &Job, stop: &StopFlag) -> Result<Json, String> {
+        let script = Script::parse(&job.source).map_err(|e| e.to_string())?;
+        let mut solver = StringSolver::with_defaults()
+            .with_seed(job.seed)
+            .with_stop(stop.clone());
+        if let Some(reads) = job.reads {
+            solver = solver.with_reads(reads);
+        }
+        let started = Instant::now();
+        let (outcome, goals): (_, Vec<GoalReport>) =
+            script.solve_reported(&solver).map_err(|e| e.to_string())?;
+        let report = RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            source: format!("<job-{}>", job.id),
+            status: outcome.status.to_string(),
+            sampler: solver.sampler_name().to_string(),
+            elapsed_us: started.elapsed().as_micros() as u64,
+            goals,
+        };
+        Ok(report.to_json())
+    }
+
+    fn set_status(&self, id: u64, status: JobStatus) {
+        self.jobs.lock().expect("jobs lock").insert(id, status);
+    }
+
+    /// Records a terminal state: job table, tallies, counters, latency.
+    fn finish(&self, job: &Job, status: JobStatus) {
+        let outcome = status.label();
+        let (tally, counter) = match status {
+            JobStatus::Completed { .. } => {
+                (&self.tally.completed, "qsmt_serve_jobs_completed_total")
+            }
+            JobStatus::Failed { .. } => (&self.tally.failed, "qsmt_serve_jobs_failed_total"),
+            JobStatus::TimedOut { .. } => {
+                (&self.tally.timed_out, "qsmt_serve_jobs_timed_out_total")
+            }
+            JobStatus::Queued | JobStatus::Running => unreachable!("finish takes terminal states"),
+        };
+        tally.fetch_add(1, Ordering::SeqCst);
+        self.registry.counter_add(counter, &[], 1.0);
+        self.registry.histogram_observe(
+            "qsmt_serve_job_latency_us",
+            &[("outcome", outcome)],
+            job.submitted.elapsed().as_micros() as f64,
+        );
+        self.flight.record_detail(
+            &format!("serve.job_{outcome}"),
+            job.id as f64,
+            &format!("job-{}", job.id),
+        );
+        self.set_status(job.id, status);
+    }
+}
+
+/// Serves one accepted connection: parse, route, respond, close.
+pub fn handle_connection(mut stream: TcpStream, svc: &Service) {
+    let Some(req) = read_request(&mut stream) else {
+        respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain",
+            "bad request\n",
+        );
+        return;
+    };
+    let route = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/flight") => "flight",
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/jobs") => "jobs",
+        ("GET", p) if p.starts_with("/jobs/") => "job",
+        ("POST", "/solve") => "solve",
+        ("POST", "/shutdown") => "shutdown",
+        _ => "other",
+    };
+    svc.registry
+        .counter_add("qsmt_serve_http_requests_total", &[("route", route)], 1.0);
+    match route {
+        "metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &svc.registry.render_prometheus(),
+        ),
+        "flight" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &svc.flight.to_json().pretty(),
+        ),
+        "healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "jobs" => respond(&mut stream, "200 OK", "application/json", &svc.jobs_json()),
+        "job" => {
+            let raw = req.path["/jobs/".len()..].trim_start_matches("job-");
+            match raw.parse::<u64>().ok().and_then(|id| svc.status_json(id)) {
+                Some(body) => respond(&mut stream, "200 OK", "application/json", &body),
+                None => respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "application/json",
+                    &format!("{{\"error\": \"unknown job {raw:?}\"}}"),
+                ),
+            }
+        }
+        "solve" => match svc.submit(&req) {
+            SubmitOutcome::Accepted { id } => respond(
+                &mut stream,
+                "202 Accepted",
+                "application/json",
+                &Json::obj([
+                    ("id", Json::from(format!("job-{id}"))),
+                    ("status", Json::from("queued")),
+                ])
+                .pretty(),
+            ),
+            SubmitOutcome::QueueFull { retry_after_secs } => respond_with(
+                &mut stream,
+                "429 Too Many Requests",
+                "application/json",
+                &[("Retry-After", &retry_after_secs.to_string())],
+                &Json::obj([
+                    ("error", Json::from("queue full")),
+                    ("retry_after_secs", Json::from(retry_after_secs)),
+                ])
+                .pretty(),
+            ),
+            SubmitOutcome::Draining => respond(
+                &mut stream,
+                "503 Service Unavailable",
+                "application/json",
+                "{\"error\": \"draining\"}",
+            ),
+            SubmitOutcome::BadRequest { error } => respond(
+                &mut stream,
+                "400 Bad Request",
+                "application/json",
+                &Json::obj([("error", Json::from(error))]).pretty(),
+            ),
+        },
+        "shutdown" => {
+            svc.request_drain();
+            respond(&mut stream, "200 OK", "text/plain", "draining\n");
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+static SHUTDOWN_SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    SHUTDOWN_SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that flip the drain flag checked by
+/// the accept loop (no libc crate: `std` already links the platform C
+/// library, so the raw `signal(2)` symbol is available).
+#[cfg(unix)]
+pub fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_shutdown_signal` is async-signal-safe — it only
+    // stores to an atomic — and `signal` is in every libc std links.
+    unsafe {
+        signal(SIGINT, on_shutdown_signal);
+        signal(SIGTERM, on_shutdown_signal);
+    }
+}
+
+/// No-op on platforms without POSIX signals; `POST /shutdown` and
+/// `--max-requests` still drain.
+#[cfg(not(unix))]
+pub fn install_shutdown_handler() {}
+
+/// Whether SIGINT/SIGTERM arrived since the handler was installed.
+pub fn shutdown_signalled() -> bool {
+    SHUTDOWN_SIGNALLED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (
+                p.to_string(),
+                q.split('&')
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect(),
+            ),
+            None => (path.to_string(), Vec::new()),
+        };
+        Request {
+            method: method.into(),
+            path,
+            query,
+            body: body.into(),
+        }
+    }
+
+    const TINY: &str = "(set-logic QF_S)\n(declare-const x String)\n(assert (= x (str.rev \"ab\")))\n(check-sat)\n(get-model)\n";
+
+    #[test]
+    fn submit_solve_and_report_round_trip() {
+        let svc = Arc::new(Service::new(&ServeConfig {
+            queue_depth: 4,
+            ..ServeConfig::default()
+        }));
+        let SubmitOutcome::Accepted { id } =
+            svc.submit(&request("POST", "/solve?seed=7&reads=8", TINY))
+        else {
+            panic!("submission should be accepted");
+        };
+        // Drain synchronously: run the worker loop on this thread.
+        svc.request_drain();
+        svc.worker_loop();
+        let body = svc.status_json(id).expect("job is known");
+        let doc = qsmt_telemetry::parse(&body).expect("status is JSON");
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("completed"));
+        let report = doc.get("report").expect("completed jobs embed a report");
+        assert_eq!(
+            report.get("schema_version").and_then(Json::as_u64),
+            Some(u64::from(RunReport::SCHEMA_VERSION))
+        );
+        assert_eq!(report.get("status").and_then(Json::as_str), Some("sat"));
+        assert_eq!(
+            svc.drain_summary(),
+            "drained: accepted=1 completed=1 failed=0 timed_out=0 rejected=0"
+        );
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint() {
+        let svc = Service::new(&ServeConfig {
+            queue_depth: 1,
+            ..ServeConfig::default()
+        });
+        assert!(matches!(
+            svc.submit(&request("POST", "/solve", TINY)),
+            SubmitOutcome::Accepted { .. }
+        ));
+        let SubmitOutcome::QueueFull { retry_after_secs } =
+            svc.submit(&request("POST", "/solve", TINY))
+        else {
+            panic!("second submission should hit the bounded queue");
+        };
+        assert!(retry_after_secs >= 1);
+    }
+
+    #[test]
+    fn draining_service_refuses_new_work() {
+        let svc = Service::new(&ServeConfig::default());
+        svc.request_drain();
+        assert!(matches!(
+            svc.submit(&request("POST", "/solve", TINY)),
+            SubmitOutcome::Draining
+        ));
+    }
+
+    #[test]
+    fn bad_query_parameters_are_rejected_not_ignored() {
+        let svc = Service::new(&ServeConfig::default());
+        assert!(matches!(
+            svc.submit(&request("POST", "/solve?seed=banana", TINY)),
+            SubmitOutcome::BadRequest { .. }
+        ));
+        assert!(matches!(
+            svc.submit(&request("POST", "/solve", "")),
+            SubmitOutcome::BadRequest { .. }
+        ));
+    }
+
+    #[test]
+    fn queued_job_past_deadline_times_out_without_sampling() {
+        let svc = Arc::new(Service::new(&ServeConfig::default()));
+        let SubmitOutcome::Accepted { id } =
+            svc.submit(&request("POST", "/solve?timeout_ms=1", TINY))
+        else {
+            panic!("submission should be accepted");
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        svc.request_drain();
+        svc.worker_loop();
+        let body = svc.status_json(id).expect("job is known");
+        let doc = qsmt_telemetry::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("timed_out"));
+        assert_eq!(doc.get("where").and_then(Json::as_str), Some("queue"));
+    }
+}

@@ -131,3 +131,58 @@ fn bad_usage_fails_with_usage_text() {
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(stderr.contains("unknown sampler"));
 }
+
+#[test]
+fn watch_unreachable_target_exits_nonzero_fast() {
+    // `qsmt watch` doubles as a health probe: an unreachable scrape
+    // target must produce a prompt non-zero exit with the address in
+    // the error, not a hang (a hung probe reads as healthy to most
+    // supervisors). Port 1 is essentially never listening.
+    let started = std::time::Instant::now();
+    let out = qsmt()
+        .args(["watch", "127.0.0.1:1"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "watch against a dead endpoint must exit non-zero"
+    );
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("127.0.0.1:1"), "stderr: {stderr}");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "watch took {:?}; connect timeout is not bounding the probe",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn serve_and_submit_reject_bad_flag_values() {
+    for args in [
+        ["serve", "--metrics-addr", "127.0.0.1:0", "--workers", "0"],
+        [
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--queue-depth",
+            "0",
+        ],
+        [
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--job-timeout",
+            "0",
+        ],
+    ] {
+        let out = qsmt().args(args).output().expect("binary runs");
+        assert!(!out.status.success(), "{args:?} should be rejected");
+    }
+
+    // submit without enough positional arguments prints usage.
+    let out = qsmt().args(["submit"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("USAGE"), "stderr: {stderr}");
+}

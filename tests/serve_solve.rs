@@ -1,0 +1,362 @@
+//! End-to-end tests for the concurrent solve service: parallel clients
+//! against a bounded queue, deterministic backpressure, mid-anneal
+//! deadline cancellation, and graceful drain accounting. Each test
+//! starts the real `qsmt serve` binary on an ephemeral port; a
+//! kill-on-drop guard makes sure no child outlives a failing test.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Lines, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A tiny script every sampler solves in milliseconds.
+const SCRIPT: &str = "(set-logic QF_S)\n(declare-const x String)\n(assert (= x (str.rev \"ab\")))\n(check-sat)\n(get-model)\n";
+
+struct ServerGuard {
+    child: Child,
+    lines: Lines<BufReader<ChildStdout>>,
+    addr: String,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl ServerGuard {
+    /// Waits for the child to exit and returns the parsed drain-summary
+    /// counters (`accepted`, `completed`, `failed`, `timed_out`,
+    /// `rejected`).
+    fn wait_for_drain(&mut self) -> HashMap<String, u64> {
+        let summary = loop {
+            let line = self
+                .lines
+                .next()
+                .expect("server prints a drain summary before exiting")
+                .expect("stdout is utf8");
+            if let Some(rest) = line.strip_prefix("drained: ") {
+                break rest.to_string();
+            }
+        };
+        let exit = self.child.wait().expect("server exits after drain");
+        assert!(exit.success(), "drained server exit status: {exit:?}");
+        summary
+            .split_whitespace()
+            .filter_map(|kv| kv.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.parse().expect("summary counts parse")))
+            .collect()
+    }
+}
+
+fn spawn_server(extra: &[&str]) -> ServerGuard {
+    let mut args = vec!["serve", "--metrics-addr", "127.0.0.1:0", "--seed", "7"];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qsmt"))
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("qsmt serve starts");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server prints its address before exiting")
+            .expect("stdout is utf8");
+        if let Some(rest) = line.strip_prefix("metrics listening on http://") {
+            break rest.trim().to_string();
+        }
+    };
+    ServerGuard { child, lines, addr }
+}
+
+/// Minimal HTTP/1.1 client returning (status code, headers, body).
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to qsmt serve");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request written");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response read to EOF");
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let (status_line, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    let code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable status line: {status_line}"));
+    (code, headers.to_string(), payload.to_string())
+}
+
+/// Extracts a string field (`"key": "value"`) from a JSON body. Takes
+/// the *last* occurrence: objects serialize with sorted keys, so in a
+/// job-status document the top-level `status` ("completed") prints
+/// after the embedded report's `status` ("sat").
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = body.rfind(&marker)? + marker.len();
+    let end = body[start..].find('"')? + start;
+    Some(body[start..end].to_string())
+}
+
+/// Polls a job until it reaches a terminal state; returns (label, body).
+fn await_terminal(addr: &str, id: &str, cap: Duration) -> (String, String) {
+    let started = Instant::now();
+    loop {
+        let (code, _, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(code, 200, "job {id} lookup failed: {body}");
+        let status = json_str(&body, "status").expect("status field");
+        match status.as_str() {
+            "completed" | "failed" | "timed_out" => return (status, body),
+            "queued" | "running" => {}
+            other => panic!("job {id} reported unknown status {other:?}"),
+        }
+        assert!(
+            started.elapsed() < cap,
+            "job {id} did not reach a terminal state within {cap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Reads one counter sample (no labels) from a /metrics exposition.
+fn metric_value(metrics: &str, name: &str) -> Option<f64> {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn parallel_clients_land_in_exactly_one_terminal_state() {
+    let mut server = spawn_server(&["--workers", "4", "--queue-depth", "4"]);
+    let addr = server.addr.clone();
+
+    // 16 concurrent submissions against a 4-deep queue: each one is
+    // either admitted (202) or explicitly rejected (429) — never hung,
+    // never dropped.
+    let clients: Vec<_> = (0..16)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                request(&addr, "POST", &format!("/solve?reads=256&seed={i}"), SCRIPT)
+            })
+        })
+        .collect();
+    let mut accepted_ids = Vec::new();
+    let mut rejected = 0u64;
+    for client in clients {
+        let (code, headers, body) = client.join().expect("client thread");
+        match code {
+            202 => {
+                let id = json_str(&body, "id").expect("202 body carries a job id");
+                assert_eq!(json_str(&body, "status").as_deref(), Some("queued"));
+                accepted_ids.push(id);
+            }
+            429 => {
+                assert!(
+                    headers.to_lowercase().contains("retry-after:"),
+                    "429 without Retry-After: {headers}"
+                );
+                rejected += 1;
+            }
+            other => panic!("unexpected submit status {other}: {body}"),
+        }
+    }
+    assert!(!accepted_ids.is_empty(), "no job was admitted at all");
+
+    // Every admitted job reaches exactly one terminal state; with a
+    // 60s default deadline and tiny scripts they all complete, and each
+    // completed job embeds a schema-v4 run report.
+    let mut completed = 0u64;
+    let mut timed_out = 0u64;
+    for id in &accepted_ids {
+        let (status, body) = await_terminal(&addr, id, Duration::from_secs(120));
+        match status.as_str() {
+            "completed" => {
+                completed += 1;
+                assert!(
+                    body.contains("\"schema_version\": 4"),
+                    "report is not schema v4: {body}"
+                );
+                assert_eq!(
+                    json_str(&body, "sampler").as_deref(),
+                    Some("simulated-annealing")
+                );
+            }
+            "timed_out" => timed_out += 1,
+            other => panic!("job {id} ended as {other:?}: {body}"),
+        }
+    }
+    assert_eq!(completed + timed_out, accepted_ids.len() as u64);
+
+    // The metrics surface agrees with what the clients observed.
+    let (code, _, metrics) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    assert_eq!(
+        metric_value(&metrics, "qsmt_serve_jobs_accepted_total"),
+        Some(accepted_ids.len() as f64)
+    );
+    assert_eq!(
+        metric_value(&metrics, "qsmt_serve_jobs_completed_total").unwrap_or(0.0),
+        completed as f64
+    );
+    if rejected > 0 {
+        assert_eq!(
+            metric_value(&metrics, "qsmt_serve_jobs_rejected_total"),
+            Some(rejected as f64)
+        );
+    }
+    assert!(
+        metric_value(&metrics, "qsmt_serve_queue_depth").is_some(),
+        "queue depth gauge missing from:\n{metrics}"
+    );
+    assert!(metrics.contains("# HELP qsmt_serve_job_latency_us"));
+
+    // Graceful drain via the admin endpoint: the summary accounts for
+    // every job the service ever accepted.
+    let (code, _, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    let summary = server.wait_for_drain();
+    assert_eq!(summary["accepted"], accepted_ids.len() as u64);
+    assert_eq!(summary["rejected"], rejected);
+    assert_eq!(
+        summary["accepted"],
+        summary["completed"] + summary["failed"] + summary["timed_out"],
+        "drain lost a job: {summary:?}"
+    );
+    assert_eq!(summary["completed"], completed);
+}
+
+#[test]
+fn deadline_cancels_mid_anneal_and_full_queue_rejects() {
+    let mut server = spawn_server(&["--workers", "1", "--queue-depth", "1"]);
+    let addr = server.addr.clone();
+
+    // Job A: a sweep budget that would take far longer than its 2s
+    // deadline (200k reads × 384 sweeps). The deadline must cancel it
+    // mid-anneal via the stop flag, not let it run to completion.
+    let submitted = Instant::now();
+    let (code, _, body) = request(&addr, "POST", "/solve?reads=200000&timeout_ms=2000", SCRIPT);
+    assert_eq!(code, 202, "job A refused: {body}");
+    let job_a = json_str(&body, "id").expect("job id");
+
+    // Give the single worker a moment to pick A up, then fill the
+    // 1-deep queue with B.
+    std::thread::sleep(Duration::from_millis(300));
+    let (code, _, body) = request(&addr, "POST", "/solve?reads=200000&timeout_ms=2000", SCRIPT);
+    assert_eq!(code, 202, "job B refused: {body}");
+    let job_b = json_str(&body, "id").expect("job id");
+
+    // The queue is now full: C must be rejected with backpressure.
+    let (code, headers, body) = request(&addr, "POST", "/solve", SCRIPT);
+    assert_eq!(code, 429, "expected queue-full rejection, got: {body}");
+    let retry_after = headers
+        .lines()
+        .find_map(|h| {
+            h.to_lowercase()
+                .strip_prefix("retry-after:")
+                .map(str::trim)
+                .map(String::from)
+        })
+        .expect("429 carries Retry-After");
+    assert!(retry_after.parse::<u64>().expect("Retry-After is seconds") >= 1);
+
+    // A is cancelled mid-anneal: terminal well before its sweep budget
+    // could finish, and marked as a sampling-site timeout.
+    let (status, body) = await_terminal(&addr, &job_a, Duration::from_secs(60));
+    assert_eq!(status, "timed_out", "job A: {body}");
+    assert_eq!(json_str(&body, "where").as_deref(), Some("sampling"));
+    assert!(
+        submitted.elapsed() < Duration::from_secs(45),
+        "cancellation took {:?}; the deadline did not cut the anneal short",
+        submitted.elapsed()
+    );
+
+    // B times out too (its deadline expired while queued or sampling).
+    let (status, _) = await_terminal(&addr, &job_b, Duration::from_secs(60));
+    assert_eq!(status, "timed_out");
+
+    let (code, _, metrics) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    assert_eq!(
+        metric_value(&metrics, "qsmt_serve_jobs_timed_out_total"),
+        Some(2.0)
+    );
+
+    let (code, _, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    let summary = server.wait_for_drain();
+    assert_eq!(summary["accepted"], 2);
+    assert_eq!(summary["timed_out"], 2);
+    assert_eq!(summary["rejected"], 1);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_drains_without_losing_accepted_jobs() {
+    let mut server = spawn_server(&["--workers", "2", "--queue-depth", "8"]);
+    let addr = server.addr.clone();
+
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        let (code, _, body) = request(&addr, "POST", &format!("/solve?reads=128&seed={i}"), SCRIPT);
+        assert_eq!(code, 202, "submission {i} refused: {body}");
+        ids.push(json_str(&body, "id").expect("job id"));
+    }
+
+    // SIGINT while jobs may still be queued or running: the server must
+    // finish all of them before exiting.
+    let pid = server.child.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-INT", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+
+    let summary = server.wait_for_drain();
+    assert_eq!(summary["accepted"], 4);
+    assert_eq!(
+        summary["accepted"],
+        summary["completed"] + summary["failed"] + summary["timed_out"],
+        "SIGINT drain lost a job: {summary:?}"
+    );
+    assert_eq!(
+        summary["failed"], 0,
+        "jobs failed during drain: {summary:?}"
+    );
+}
+
+#[test]
+fn unknown_job_lookup_is_a_404_not_a_hang() {
+    let mut server = spawn_server(&[
+        "--workers",
+        "1",
+        "--queue-depth",
+        "1",
+        "--max-requests",
+        "1",
+    ]);
+    let addr = server.addr.clone();
+    let (code, _, body) = request(&addr, "GET", "/jobs/999", "");
+    assert_eq!(code, 404, "body: {body}");
+    assert!(body.contains("unknown job"));
+    // --max-requests doubles as the drain trigger here.
+    let summary = server.wait_for_drain();
+    assert_eq!(summary["accepted"], 0);
+}
