@@ -47,12 +47,14 @@
 pub mod encode;
 pub mod ops;
 
+mod cache;
 mod constraint;
 mod error;
 mod pipeline;
 mod problem;
 mod solver;
 
+pub use cache::{CacheLookup, SolveCache};
 pub use constraint::Constraint;
 pub use error::ConstraintError;
 pub use ops::BiasProfile;

@@ -1,19 +1,33 @@
 //! The solver facade: constraint → QUBO → sampler → decoded, validated
 //! answer, with a stage trace reproducing the paper's Figure 1 pipeline.
 
+use crate::cache::{CacheLookup, SolveCache};
 use crate::constraint::Constraint;
 use crate::error::ConstraintError;
 use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
 use crate::problem::{EncodedProblem, Solution};
-use qsmt_anneal::{metrics, ProbeConfig, SampleSet, Sampler, SamplerDynamics, SimulatedAnnealer};
+use qsmt_anneal::{
+    metrics, BetaSchedule, ProbeConfig, SampleSet, Sampler, SamplerDynamics, SimulatedAnnealer,
+};
 use qsmt_lint::{lint_qubo, LintConfig, LintReport};
-use qsmt_qubo::{DenseQubo, QuboModel, StopFlag};
+use qsmt_qubo::{DenseQubo, ModelFingerprint, QuboModel, StopFlag};
 use qsmt_telemetry::{
-    CompileStats, DynamicsStats, EmbeddingStats, HistogramSummary, PresolveStats, Recorder,
-    SamplerStats, SelectStats, SolveReport, StageTiming, StallVerdict,
+    CacheStats, CompileStats, DynamicsStats, EmbeddingStats, HistogramSummary, PresolveStats,
+    Recorder, SamplerStats, SelectStats, SolveReport, StageTiming, StallVerdict,
 };
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Sweeps for the reverse-annealing refinement pass on a shape-hash warm
+/// start: a quarter of the cold default (384), starting from a cached
+/// ground state instead of a random one. The moderately hot entry
+/// temperature lets the seed escape shallow local minima without erasing
+/// the structure it carries.
+const WARM_START_SWEEPS: usize = 96;
+/// Hot-end inverse temperature for the warm-start schedule.
+const WARM_START_BETA_MIN: f64 = 2.0;
+/// Cold-end inverse temperature for the warm-start schedule.
+const WARM_START_BETA_MAX: f64 = 12.0;
 
 /// The quantum(-simulated) string SMT solver.
 ///
@@ -49,6 +63,7 @@ pub struct StringSolver {
     lint_config: LintConfig,
     deny_lint_errors: bool,
     stop: Option<StopFlag>,
+    cache: Option<Arc<SolveCache>>,
 }
 
 impl StringSolver {
@@ -63,6 +78,7 @@ impl StringSolver {
             lint_config: LintConfig::default(),
             deny_lint_errors: false,
             stop: None,
+            cache: None,
         }
     }
 
@@ -139,6 +155,58 @@ impl StringSolver {
         self
     }
 
+    /// Attaches a shared [`SolveCache`]. Subsequent solves first consult
+    /// the cache: an exact fingerprint hit replays the cached sample set
+    /// through the (deterministic) post-selection path — bit-identical to
+    /// the original solve, no sampling; a shape hit seeds a short
+    /// reverse-annealing refinement from the cached ground state; a miss
+    /// solves normally and inserts the result. Cancelled (stop-flagged)
+    /// solves are never inserted. See `docs/CACHING.md`.
+    pub fn with_cache(mut self, cache: Arc<SolveCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Warm starts splice an initial state into the built-in annealer, so
+    /// they only apply when this solver actually samples with it.
+    fn can_warm_start(&self) -> bool {
+        self.sampler.name() == "simulated-annealing"
+    }
+
+    /// A completed solve may be cached; one cut short by the cooperative
+    /// stop flag carries a truncated sample set and must not be.
+    fn completed_without_cancel(&self) -> bool {
+        self.stop.as_ref().is_none_or(|s| !s.is_stopped())
+    }
+
+    /// The reverse-annealing sampler for a shape-hash warm start: same
+    /// seed and read budget as the cold path, but a short, moderately hot
+    /// schedule starting from the cached ground state.
+    fn warm_sampler(&self, state: Vec<u8>) -> SimulatedAnnealer {
+        let mut sampler = SimulatedAnnealer::new()
+            .with_num_reads(self.reads)
+            .with_seed(self.seed)
+            .with_schedule(BetaSchedule::Geometric {
+                beta_min: WARM_START_BETA_MIN,
+                beta_max: WARM_START_BETA_MAX,
+                sweeps: WARM_START_SWEEPS,
+            })
+            .with_initial_state(state);
+        if let Some(stop) = &self.stop {
+            sampler = sampler.with_stop(stop.clone());
+        }
+        sampler
+    }
+
+    /// Caches a finished solve unless it was cancelled mid-anneal.
+    fn cache_completed(&self, fp: ModelFingerprint, outcome: &SolveOutcome) {
+        if let Some(cache) = &self.cache {
+            if self.completed_without_cancel() {
+                cache.insert(fp, outcome.problem.num_vars(), &outcome.samples);
+            }
+        }
+    }
+
     fn rebuild_default_sampler(&mut self) {
         let mut sampler = SimulatedAnnealer::new()
             .with_num_reads(self.reads)
@@ -210,8 +278,26 @@ impl StringSolver {
     pub fn solve(&self, constraint: &Constraint) -> Result<SolveOutcome, ConstraintError> {
         let problem = self.encode(constraint)?;
         self.deny_gate(&problem.qubo)?;
-        let samples = self.sampler.sample(&problem.qubo);
-        Ok(self.select(constraint, problem, samples))
+        let Some(cache) = &self.cache else {
+            let samples = self.sampler.sample(&problem.qubo);
+            return Ok(self.select(constraint, problem, samples));
+        };
+        let fp = problem.qubo.fingerprint();
+        match cache.lookup(fp, problem.num_vars(), self.can_warm_start()) {
+            CacheLookup::Exact(samples) => Ok(self.select(constraint, problem, samples)),
+            CacheLookup::Warm(state) => {
+                let samples = self.warm_sampler(state).sample(&problem.qubo);
+                let outcome = self.select(constraint, problem, samples);
+                self.cache_completed(fp, &outcome);
+                Ok(outcome)
+            }
+            CacheLookup::Miss => {
+                let samples = self.sampler.sample(&problem.qubo);
+                let outcome = self.select(constraint, problem, samples);
+                self.cache_completed(fp, &outcome);
+                Ok(outcome)
+            }
+        }
     }
 
     /// Solves with a full stage trace (the paper's Figure 1).
@@ -456,7 +542,7 @@ impl StringSolver {
         let start = begin(&mut stages, &rec, "embed");
         let embedding = {
             let _s = rec.span("embed");
-            Self::probe_embedding(&problem.qubo, self.seed)
+            self.probe_embedding(&problem.qubo)
         };
         stages.last_mut().expect("pushed").dur_us = rec.elapsed_us() - start;
         if let Some(e) = &embedding {
@@ -470,16 +556,68 @@ impl StringSolver {
         }
 
         let start = begin(&mut stages, &rec, "sample");
-        let (samples, run_stats, raw_dynamics) = {
-            let _s = rec.span("sample");
-            // Trajectory probes observe, never steer: the sample set is
-            // bit-identical to the un-probed path (pinned by tests).
-            self.sampler
-                .sample_dynamics(&problem.qubo, &ProbeConfig::default())
-        };
+        // Consult the cache (when attached) before paying for sampling:
+        // an exact fingerprint hit replays the cached sample set, a shape
+        // hit warm-starts a short reverse anneal, a miss samples cold.
+        let lookup = self.cache.as_ref().map(|cache| {
+            let fp = problem.qubo.fingerprint();
+            let t = std::time::Instant::now();
+            let found = cache.lookup(fp, problem.num_vars(), self.can_warm_start());
+            (fp, found, t.elapsed().as_micros() as u64)
+        });
+        let (samples, run_stats, raw_dynamics, sampler_name, cache_outcome, insert_fp) =
+            match lookup {
+                Some((_, CacheLookup::Exact(samples), lookup_us)) => {
+                    rec.event("cache", "exact hit: replaying cached sample set");
+                    (
+                        samples,
+                        qsmt_anneal::SamplerRunStats::default(),
+                        SamplerDynamics::default(),
+                        "cache",
+                        Some(("exact-hit", lookup_us)),
+                        None,
+                    )
+                }
+                Some((fp, CacheLookup::Warm(state), lookup_us)) => {
+                    rec.event("cache", "shape hit: warm-starting reverse anneal");
+                    let _s = rec.span("sample");
+                    let (samples, run_stats, raw) = self
+                        .warm_sampler(state)
+                        .sample_dynamics(&problem.qubo, &ProbeConfig::default());
+                    (
+                        samples,
+                        run_stats,
+                        raw,
+                        self.sampler.name(),
+                        Some(("warm-start", lookup_us)),
+                        Some(fp),
+                    )
+                }
+                other => {
+                    let (cache_outcome, insert_fp) = match &other {
+                        Some((fp, _, lookup_us)) => (Some(("miss", *lookup_us)), Some(*fp)),
+                        None => (None, None),
+                    };
+                    let _s = rec.span("sample");
+                    // Trajectory probes observe, never steer: the sample
+                    // set is bit-identical to the un-probed path (pinned
+                    // by tests).
+                    let (samples, run_stats, raw) = self
+                        .sampler
+                        .sample_dynamics(&problem.qubo, &ProbeConfig::default());
+                    (
+                        samples,
+                        run_stats,
+                        raw,
+                        self.sampler.name(),
+                        cache_outcome,
+                        insert_fp,
+                    )
+                }
+            };
         let sample_us = rec.elapsed_us() - start;
         stages.last_mut().expect("pushed").dur_us = sample_us;
-        let sampling = Self::sampler_stats(self.sampler.name(), &samples, run_stats, sample_us);
+        let sampling = Self::sampler_stats(sampler_name, &samples, run_stats, sample_us);
         let dynamics = Self::dynamics_stats(raw_dynamics, run_stats.acceptance_rate());
         if let Some(d) = &dynamics {
             rec.event(
@@ -487,6 +625,13 @@ impl StringSolver {
                 format!("{} trajectory", d.stall_verdict.as_str()),
             );
         }
+        let cache_stats = cache_outcome.map(|(outcome, lookup_us)| CacheStats {
+            outcome: outcome.to_string(),
+            lookup_us,
+            warm_sweeps: (outcome == "warm-start")
+                .then_some(run_stats.sweeps)
+                .flatten(),
+        });
 
         let start = begin(&mut stages, &rec, "select");
         let (outcome, decoded, valid_rank) = {
@@ -499,6 +644,10 @@ impl StringSolver {
             decoded_states: decoded,
             valid_rank,
         };
+
+        if let Some(fp) = insert_fp {
+            self.cache_completed(fp, &outcome);
+        }
 
         let total_us = rec.elapsed_us();
         let report = SolveReport {
@@ -516,6 +665,7 @@ impl StringSolver {
             sampling,
             select,
             dynamics,
+            cache: cache_stats,
             spans: rec.finish(),
         };
         Ok((outcome, report))
@@ -602,14 +752,27 @@ impl StringSolver {
     /// admits a minor embedding, yielding chain statistics for the report.
     /// Returns `None` for empty models, models too large to probe cheaply
     /// (> 512 variables), and problems the router cannot place within the
-    /// size ladder.
-    fn probe_embedding(model: &QuboModel, seed: u64) -> Option<EmbeddingStats> {
+    /// size ladder. When a [`SolveCache`] is attached, embeddings are
+    /// reused across structurally identical models via the shape hash —
+    /// minor embedding depends only on the adjacency structure, so a
+    /// coefficient change never invalidates it.
+    fn probe_embedding(&self, model: &QuboModel) -> Option<EmbeddingStats> {
         let n = model.num_vars();
         if n == 0 || n > 512 {
             return None;
         }
-        let problem = qsmt_qpu::QpuSimulator::problem_graph(model);
         let start = std::time::Instant::now();
+        let shape = self.cache.as_ref().map(|c| (c, model.fingerprint().shape));
+        if let Some((cache, shape)) = &shape {
+            if let Some((topology, emb)) = cache.embedding_get(*shape) {
+                return Some(EmbeddingStats::from_chains(
+                    topology,
+                    emb.chains(),
+                    start.elapsed().as_micros() as u64,
+                ));
+            }
+        }
+        let problem = qsmt_qpu::QpuSimulator::problem_graph(model);
         // Smallest C(m, m, 4) with at least n qubits, then grow the grid
         // until the router finds a placement (denser problems need slack).
         let mut m = 1usize;
@@ -618,12 +781,16 @@ impl StringSolver {
         }
         for grid in m..m + 4 {
             let topo = qsmt_qpu::Topology::chimera(grid, grid, 4);
-            if let Ok(emb) = qsmt_qpu::embed(&problem, topo.graph(), seed, 2) {
-                return Some(EmbeddingStats::from_chains(
+            if let Ok(emb) = qsmt_qpu::embed(&problem, topo.graph(), self.seed, 2) {
+                let stats = EmbeddingStats::from_chains(
                     topo.name(),
                     emb.chains(),
                     start.elapsed().as_micros() as u64,
-                ));
+                );
+                if let Some((cache, shape)) = shape {
+                    cache.embedding_insert(shape, topo.name(), emb);
+                }
+                return Some(stats);
             }
         }
         None
@@ -1027,6 +1194,106 @@ mod tests {
         let (plain, flagged) = (plain.unwrap(), flagged.unwrap());
         assert_eq!(plain.solution, flagged.solution);
         assert_eq!(plain.energy, flagged.energy);
+    }
+
+    /// Delegates to a real annealer but counts invocations, so a test
+    /// can prove an exact cache hit never reaches the sampler. Reports
+    /// the built-in annealer's name to keep warm starts eligible.
+    struct CountingSampler {
+        inner: SimulatedAnnealer,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Sampler for CountingSampler {
+        fn sample(&self, model: &QuboModel) -> SampleSet {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.sample(model)
+        }
+
+        fn name(&self) -> &'static str {
+            "simulated-annealing"
+        }
+    }
+
+    #[test]
+    fn exact_cache_hit_replays_without_invoking_the_sampler() {
+        let counting = Arc::new(CountingSampler {
+            inner: SimulatedAnnealer::new().with_num_reads(64).with_sweeps(384),
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let cache = Arc::new(SolveCache::new(16));
+        let s = StringSolver::new(counting.clone()).with_cache(cache);
+        let c = Constraint::Reverse { input: "ab".into() };
+        let cold = s.solve(&c).unwrap();
+        assert_eq!(counting.calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        let hit = s.solve(&c).unwrap();
+        assert_eq!(
+            counting.calls.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "exact hit must not sample again"
+        );
+        // The cached sample set replays through deterministic
+        // post-selection, so the hit is bit-identical to the cold solve.
+        assert_eq!(hit.solution, cold.solution);
+        assert_eq!(hit.energy, cold.energy);
+        assert_eq!(hit.samples, cold.samples);
+    }
+
+    #[test]
+    fn cancelled_solves_are_never_cached() {
+        let cache = Arc::new(SolveCache::new(16));
+        let stop = StopFlag::new();
+        let s = StringSolver::with_defaults()
+            .with_cache(cache.clone())
+            .with_stop(stop.clone());
+        stop.stop();
+        // A tripped flag truncates the anneal; whatever partial sample
+        // set comes back must not poison the cache.
+        let _ = s
+            .solve(&Constraint::Equality {
+                target: "hi".into(),
+            })
+            .unwrap();
+        assert!(cache.is_empty(), "cancelled solve leaked into the cache");
+    }
+
+    #[test]
+    fn reported_cache_outcomes_cover_miss_exact_hit_and_warm_start() {
+        let cache = Arc::new(SolveCache::new(16));
+        let s = StringSolver::with_defaults()
+            .with_seed(11)
+            .with_cache(cache);
+
+        // Cold solve: a miss that runs the full 384-sweep schedule.
+        let c = Constraint::Reverse { input: "ab".into() };
+        let (cold_out, cold) = s.solve_reported(&c).unwrap();
+        let stats = cold.cache.as_ref().expect("cache attached");
+        assert_eq!(stats.outcome, "miss");
+        assert_eq!(stats.warm_sweeps, None);
+        let cold_sweeps = cold.sampling.sweeps.expect("SA reports sweeps");
+        assert_eq!(cold_sweeps, 384);
+
+        // Exact repeat: replayed from cache, sampler labelled as such.
+        let (hit_out, hit) = s.solve_reported(&c).unwrap();
+        let stats = hit.cache.as_ref().expect("cache attached");
+        assert_eq!(stats.outcome, "exact-hit");
+        assert_eq!(hit.sampling.sampler, "cache");
+        assert_eq!(hit_out.solution, cold_out.solution);
+        assert_eq!(hit_out.samples, cold_out.samples);
+
+        // Same shape, different coefficients: the cached ground state
+        // seeds a short reverse anneal instead of a cold run.
+        let near = Constraint::Reverse { input: "cd".into() };
+        let (warm_out, warm) = s.solve_reported(&near).unwrap();
+        let stats = warm.cache.as_ref().expect("cache attached");
+        assert_eq!(stats.outcome, "warm-start");
+        let warm_sweeps = stats.warm_sweeps.expect("warm starts report sweeps");
+        assert!(
+            warm_sweeps < cold_sweeps,
+            "warm start ({warm_sweeps} sweeps) must beat the cold schedule ({cold_sweeps})"
+        );
+        assert!(warm_out.valid, "warm-started solve still post-selects");
+        assert_eq!(warm_out.solution.as_text(), Some("dc"));
     }
 
     #[test]

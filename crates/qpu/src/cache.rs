@@ -1,0 +1,195 @@
+//! Shape-keyed minor-embedding cache.
+//!
+//! Minor embedding is the dominant reusable cost on the hardware path:
+//! it depends only on the problem's *adjacency structure*, never on its
+//! coefficients. Two models with the same shape fingerprint
+//! (`qsmt_qubo::ModelFingerprint::shape`) therefore share an embedding
+//! verbatim. [`EmbeddingCache`] memoizes `(shape hash) → (topology name,
+//! embedding)` behind a mutex with a bounded least-recently-used
+//! eviction policy, so structurally repeated models skip the embedding
+//! search entirely (see `docs/CACHING.md`).
+//!
+//! The cache is metrics-free by design — `qsmt-qpu` sits below the
+//! metrics crate in the dependency graph — and instead exposes atomic
+//! [`hits`](EmbeddingCache::hits) / [`misses`](EmbeddingCache::misses)
+//! counters that the owning solve cache publishes as
+//! `qsmt_cache_embedding_*` series.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::embedding::Embedding;
+
+/// One cached embedding with its LRU tick.
+struct Slot {
+    topology: String,
+    embedding: Embedding,
+    last_used: u64,
+}
+
+/// A bounded, shape-keyed cache of minor embeddings.
+///
+/// Keys are coefficient-blind shape hashes; values carry the hardware
+/// topology name the embedding was found on, so callers can report which
+/// graph a reused embedding targets. A capacity of zero disables the
+/// cache (every lookup misses, inserts are dropped).
+pub struct EmbeddingCache {
+    slots: Mutex<HashMap<u64, Slot>>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EmbeddingCache {
+    /// Creates a cache holding at most `capacity` embeddings.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the embedding cached for `shape`, returning the topology
+    /// name it was found on and a clone of the embedding. Counts a hit
+    /// or miss either way.
+    pub fn get(&self, shape: u64) -> Option<(String, Embedding)> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut slots = self.slots.lock().expect("embedding cache poisoned");
+        match slots.get_mut(&shape) {
+            Some(slot) => {
+                slot.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((slot.topology.clone(), slot.embedding.clone()))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Caches `embedding` (found on topology `topology`) under `shape`,
+    /// evicting the least-recently-used entry when full. No-op when the
+    /// capacity is zero.
+    pub fn insert(&self, shape: u64, topology: &str, embedding: Embedding) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut slots = self.slots.lock().expect("embedding cache poisoned");
+        if !slots.contains_key(&shape) && slots.len() >= self.capacity {
+            // O(n) scan for the coldest slot — capacities are small and
+            // bounded, so a linked-list LRU would be needless machinery.
+            if let Some(&coldest) = slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key)
+            {
+                slots.remove(&coldest);
+            }
+        }
+        slots.insert(
+            shape,
+            Slot {
+                topology: topology.to_string(),
+                embedding,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of embeddings currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("embedding cache poisoned").len()
+    }
+
+    /// True when no embeddings are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups that found a cached embedding.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::embed;
+    use crate::topology::Topology;
+    use qsmt_qubo::QuboModel;
+
+    fn toy_embedding() -> Embedding {
+        let mut m = QuboModel::new(3);
+        m.add_quadratic(0, 1, 1.0);
+        m.add_quadratic(1, 2, 1.0);
+        let topo = Topology::chimera(2, 2, 4);
+        embed(
+            &crate::simulator::QpuSimulator::problem_graph(&m),
+            topo.graph(),
+            7,
+            16,
+        )
+        .expect("toy model embeds on chimera")
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters_track() {
+        let cache = EmbeddingCache::new(4);
+        assert!(cache.get(42).is_none());
+        assert_eq!(cache.misses(), 1);
+        let emb = toy_embedding();
+        cache.insert(42, "chimera-2x2x4", emb.clone());
+        let (name, cached) = cache.get(42).expect("inserted entry is retrievable");
+        assert_eq!(name, "chimera-2x2x4");
+        assert_eq!(cached, emb);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_entry() {
+        let cache = EmbeddingCache::new(2);
+        let emb = toy_embedding();
+        cache.insert(1, "a", emb.clone());
+        cache.insert(2, "b", emb.clone());
+        cache.get(1); // warm key 1 so key 2 is coldest
+        cache.insert(3, "c", emb);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = EmbeddingCache::new(0);
+        cache.insert(1, "a", toy_embedding());
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_replaces_without_evicting() {
+        let cache = EmbeddingCache::new(2);
+        let emb = toy_embedding();
+        cache.insert(1, "a", emb.clone());
+        cache.insert(2, "b", emb.clone());
+        cache.insert(1, "a2", emb);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1).expect("present").0, "a2");
+        assert!(cache.get(2).is_some());
+    }
+}

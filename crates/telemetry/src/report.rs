@@ -284,6 +284,40 @@ impl SelectStats {
     }
 }
 
+/// Solve-cache interaction of one solve (schema v5).
+///
+/// Present whenever the solver had a cache attached — including misses,
+/// so dashboards can compute hit rates from reports alone. `None` (JSON
+/// `null`) means the solver ran cache-less, which keeps the section
+/// additive over v4 reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheStats {
+    /// What the lookup found: `"exact-hit"` (cached sample set replayed,
+    /// no sampling), `"warm-start"` (shape hit seeded a reverse anneal),
+    /// or `"miss"` (cold solve, result inserted).
+    pub outcome: String,
+    /// Cache lookup latency, microseconds.
+    pub lookup_us: u64,
+    /// Sweeps the warm-started refinement ran; `None` unless the outcome
+    /// is `"warm-start"`. Compare against the cold default (384) to see
+    /// the warm-start saving.
+    pub warm_sweeps: Option<u64>,
+}
+
+impl CacheStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("outcome", Json::from(self.outcome.as_str())),
+            ("lookup_us", Json::from(self.lookup_us)),
+            (
+                "warm_sweeps",
+                self.warm_sweeps.map_or(Json::Null, Json::from),
+            ),
+        ])
+    }
+}
+
 /// One top-level stage timing within a solve, in execution order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageTiming {
@@ -341,6 +375,9 @@ pub struct SolveReport {
     /// Solver-dynamics trajectory statistics; `None` when the sampler has
     /// no probes (additive in schema v4, serialized as `null` when absent).
     pub dynamics: Option<DynamicsStats>,
+    /// Solve-cache interaction; `None` when no cache was attached
+    /// (additive in schema v5, serialized as `null` when absent).
+    pub cache: Option<CacheStats>,
     /// Raw span/event log recorded during the solve.
     pub spans: Vec<SpanRecord>,
 }
@@ -378,6 +415,10 @@ impl SolveReport {
                 self.dynamics
                     .as_ref()
                     .map_or(Json::Null, DynamicsStats::to_json),
+            ),
+            (
+                "cache",
+                self.cache.as_ref().map_or(Json::Null, CacheStats::to_json),
             ),
             (
                 "spans",
@@ -422,6 +463,15 @@ impl SolveReport {
             out.push_str(&format!(
                 "  embedding: {} → {} qubits on {}, max chain {}\n",
                 e.num_logical, e.num_physical_qubits, e.topology, e.max_chain_length
+            ));
+        }
+        if let Some(c) = &self.cache {
+            out.push_str(&format!(
+                "  cache: {} ({} µs lookup{})\n",
+                c.outcome,
+                c.lookup_us,
+                c.warm_sweeps
+                    .map_or(String::new(), |s| format!(", {s} warm sweeps"))
             ));
         }
         let s = &self.sampling;
@@ -539,6 +589,10 @@ pub struct RunReport {
     pub status: String,
     /// Sampler used for every solve in the run.
     pub sampler: String,
+    /// Where the answers came from: `"cache"` when every solve in the run
+    /// was an exact cache hit (no sampling anywhere), `"solver"`
+    /// otherwise (additive in schema v5).
+    pub served_from: String,
     /// End-to-end wall-clock for the run, microseconds.
     pub elapsed_us: u64,
     /// Per-goal reports in declaration order.
@@ -549,11 +603,13 @@ impl RunReport {
     /// Current schema version. v2 added the additive `lint` field on
     /// `SolveReport` (and the `lint` stage label); v3 added the additive
     /// `proposals_per_sec` / `flips_per_sec` throughput fields on
-    /// `sampling`; v4 adds the additive `dynamics` section (trajectory
+    /// `sampling`; v4 added the additive `dynamics` section (trajectory
     /// probes: energy trace, per-β acceptance, swap/ESS stats, stall
-    /// verdict). Earlier readers keep working because no existing field
+    /// verdict); v5 adds the additive `cache` section on `SolveReport`
+    /// (lookup outcome and warm-start sweeps) and `served_from` on the
+    /// run. Earlier readers keep working because no existing field
     /// changed.
-    pub const SCHEMA_VERSION: u32 = 4;
+    pub const SCHEMA_VERSION: u32 = 5;
 
     /// Serializes as a JSON object.
     pub fn to_json(&self) -> Json {
@@ -562,6 +618,7 @@ impl RunReport {
             ("source", Json::from(self.source.as_str())),
             ("status", Json::from(self.status.as_str())),
             ("sampler", Json::from(self.sampler.as_str())),
+            ("served_from", Json::from(self.served_from.as_str())),
             ("elapsed_us", Json::from(self.elapsed_us)),
             (
                 "goals",
@@ -650,6 +707,11 @@ mod tests {
                 valid_rank: Some(0),
             },
             dynamics: Some(sample_dynamics()),
+            cache: Some(CacheStats {
+                outcome: "warm-start".into(),
+                lookup_us: 12,
+                warm_sweeps: Some(96),
+            }),
             spans: vec![],
         }
     }
@@ -743,9 +805,11 @@ mod tests {
         r.sampling.proposals = None;
         r.select.valid_rank = None;
         r.lint = None;
+        r.cache = None;
         let j = r.to_json();
         assert_eq!(j.get("lint"), Some(&Json::Null));
         assert_eq!(j.get("embedding"), Some(&Json::Null));
+        assert_eq!(j.get("cache"), Some(&Json::Null));
         assert_eq!(
             j.get("sampling").unwrap().get("proposals"),
             Some(&Json::Null)
@@ -763,6 +827,7 @@ mod tests {
             source: "x.smt2".into(),
             status: "sat".into(),
             sampler: "simulated-annealing".into(),
+            served_from: "solver".into(),
             elapsed_us: 2000,
             goals: vec![GoalReport {
                 name: "x".into(),
@@ -774,7 +839,11 @@ mod tests {
             }],
         };
         let doc = parse(&run.to_json().pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(5));
+        assert_eq!(
+            doc.get("served_from").and_then(Json::as_str),
+            Some("solver")
+        );
         let goals = doc.get("goals").and_then(Json::as_arr).unwrap();
         assert_eq!(
             goals[0].get("kind").and_then(Json::as_str),
@@ -833,6 +902,32 @@ mod tests {
             .and_then(Json::as_arr)
             .unwrap();
         assert_eq!(betas[0].get("accepted").and_then(Json::as_u64), Some(320));
+    }
+
+    #[test]
+    fn schema_v5_is_additive_over_v4() {
+        // A v4-shaped report (no cache section) still serializes every
+        // key with `cache` as null; a v5 report keeps every v4 key.
+        let mut v4 = sample_report();
+        v4.cache = None;
+        let v4_doc = parse(&v4.to_json().pretty()).unwrap();
+        assert_eq!(v4_doc.get("cache"), Some(&Json::Null));
+        let v5_doc = parse(&sample_report().to_json().pretty()).unwrap();
+        let (Json::Obj(v4_map), Json::Obj(v5_map)) = (&v4_doc, &v5_doc) else {
+            panic!("reports serialize as objects");
+        };
+        for key in v4_map.keys() {
+            assert!(v5_map.contains_key(key), "v5 dropped v4 key {key}");
+        }
+        let cache = v5_doc.get("cache").unwrap();
+        assert_eq!(
+            cache.get("outcome").and_then(Json::as_str),
+            Some("warm-start")
+        );
+        assert_eq!(cache.get("warm_sweeps").and_then(Json::as_u64), Some(96));
+        let text = sample_report().render_stats();
+        assert!(text.contains("cache: warm-start"), "{text}");
+        assert!(text.contains("96 warm sweeps"), "{text}");
     }
 
     #[test]

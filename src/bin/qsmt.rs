@@ -51,6 +51,7 @@ USAGE:
   qsmt bench [--quick] [--out <path>] [--seed N]
   qsmt serve --metrics-addr <host:port> [--seed N] [--workers N]
              [--queue-depth N] [--job-timeout MS] [--max-requests N]
+             [--cache-entries N] [--no-cache]
   qsmt submit <host:port> <file.smt2> [--seed N] [--reads N]
               [--job-timeout MS]
   qsmt watch <host:port> [--format text|json]
@@ -71,10 +72,13 @@ SOLVE SERVICE (see docs/OBSERVABILITY.md):
   qsmt serve       concurrent solve service + live metrics: POST /solve
                    enqueues SMT-LIB scripts into a bounded queue drained
                    by --workers threads; GET /jobs/<id> returns status
-                   and the schema-v4 run report; a full queue answers
+                   and the schema-v5 run report; a full queue answers
                    429 with Retry-After; per-job deadlines cancel
                    mid-anneal; SIGINT or --max-requests drains
-                   gracefully. Also exposes /metrics (Prometheus text
+                   gracefully. Repeat submissions are answered from a
+                   fingerprint-keyed solution cache (docs/CACHING.md):
+                   --cache-entries N sizes it (default 256), --no-cache
+                   disables it. Also exposes /metrics (Prometheus text
                    format), /flight (JSON ring buffer), and /healthz on
                    --metrics-addr; port 0 picks a free port and prints it
   qsmt submit      blocking client: POST a script to a running service,
@@ -145,6 +149,8 @@ struct Options {
     job_timeout_ms: u64,
     /// Whether `--job-timeout` was given explicitly.
     job_timeout_set: bool,
+    /// Solve-cache capacity for `serve`; 0 means `--no-cache`.
+    cache_entries: usize,
 }
 
 impl Default for Options {
@@ -171,6 +177,7 @@ impl Default for Options {
             queue_depth: 16,
             job_timeout_ms: 30_000,
             job_timeout_set: false,
+            cache_entries: 256,
         }
     }
 }
@@ -251,6 +258,12 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "--max-requests expects an integer".to_string())?,
                 );
             }
+            "--cache-entries" => {
+                opts.cache_entries = value("--cache-entries")?
+                    .parse()
+                    .map_err(|_| "--cache-entries expects an integer".to_string())?;
+            }
+            "--no-cache" => opts.cache_entries = 0,
             "--check-overhead" => opts.check_overhead = true,
             "--format" => {
                 let fmt = value("--format")?;
@@ -408,6 +421,9 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
             source: source_name.to_string(),
             status: outcome.status.to_string(),
             sampler: solver.sampler_name().to_string(),
+            // The one-shot CLI path runs cache-less; only `qsmt serve`
+            // can answer a run from cache.
+            served_from: "solver".to_string(),
             elapsed_us,
             goals,
         };
@@ -641,6 +657,7 @@ fn main() -> ExitCode {
                 queue_depth: opts.queue_depth,
                 job_timeout: std::time::Duration::from_millis(opts.job_timeout_ms),
                 max_requests: opts.max_requests,
+                cache_entries: opts.cache_entries,
             })
         }),
         Some((cmd, rest)) if cmd == "submit" => {

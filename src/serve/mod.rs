@@ -7,7 +7,8 @@
 //!   queue; answers `202` with a job id, `429` + `Retry-After` when the
 //!   queue is full (backpressure), `503` while draining;
 //! * `GET /jobs/<id>` — job status; completed jobs embed the full
-//!   schema-v4 run report;
+//!   schema-v5 run report (including the per-solve `cache` section and
+//!   the top-level `served_from` marker);
 //! * `GET /jobs` — job-table summary;
 //! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
 //!   global [`qsmt_metrics::Registry`];
@@ -19,7 +20,11 @@
 //! the ordinary [`StringSolver`](qsmt_core::StringSolver) pipeline with
 //! per-job seeds; each job carries a deadline that trips a cooperative
 //! [`StopFlag`](qsmt_qubo::StopFlag) threaded into the annealing sweep
-//! loops, so timeouts cancel mid-anneal. SIGINT/SIGTERM and the
+//! loops, so timeouts cancel mid-anneal. Workers share one
+//! [`SolveCache`](qsmt_core::SolveCache) (`--cache-entries`,
+//! `--no-cache`): repeat submissions replay the cached answer without
+//! sampling, and same-shape near-misses warm-start a short reverse
+//! anneal — see `docs/CACHING.md`. SIGINT/SIGTERM and the
 //! `--max-requests` cap trigger a graceful drain: stop accepting,
 //! finish every accepted job, flush metrics, print a drain summary.
 //!

@@ -16,7 +16,7 @@
 //! accounts for every job the service ever accepted.
 
 use super::http::{read_request, respond, respond_with, Request};
-use qsmt_core::StringSolver;
+use qsmt_core::{SolveCache, StringSolver};
 use qsmt_metrics::{FlightRecorder, Registry};
 use qsmt_qubo::StopFlag;
 use qsmt_smtlib::Script;
@@ -52,6 +52,9 @@ pub struct ServeConfig {
     /// Stop after answering this many HTTP requests, then drain
     /// gracefully (the hook the end-to-end tests use).
     pub max_requests: Option<u64>,
+    /// Solution/embedding cache capacity (entries per level); 0 disables
+    /// caching entirely (`--no-cache`). See `docs/CACHING.md`.
+    pub cache_entries: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +66,7 @@ impl Default for ServeConfig {
             queue_depth: 16,
             job_timeout: Duration::from_secs(30),
             max_requests: None,
+            cache_entries: 256,
         }
     }
 }
@@ -141,6 +145,10 @@ pub struct Service {
     draining: AtomicBool,
     next_id: AtomicU64,
     tally: Tally,
+    /// Shared solve cache, `None` when disabled. Every worker consults
+    /// the same instance, so a result one worker computed answers exact
+    /// repeats on any other worker without sampling.
+    cache: Option<Arc<SolveCache>>,
 }
 
 impl Service {
@@ -201,6 +209,8 @@ impl Service {
             draining: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             tally: Tally::default(),
+            cache: (config.cache_entries > 0)
+                .then(|| Arc::new(SolveCache::new(config.cache_entries))),
         }
     }
 
@@ -474,8 +484,8 @@ impl Service {
     }
 
     /// The actual solve: parse, run the reported pipeline with the
-    /// job's seed/reads and the cancellation flag, and produce a
-    /// schema-v4 [`RunReport`] document.
+    /// job's seed/reads, the cancellation flag, and the shared solve
+    /// cache, and produce a schema-v5 [`RunReport`] document.
     fn solve_script(&self, job: &Job, stop: &StopFlag) -> Result<Json, String> {
         let script = Script::parse(&job.source).map_err(|e| e.to_string())?;
         let mut solver = StringSolver::with_defaults()
@@ -484,14 +494,30 @@ impl Service {
         if let Some(reads) = job.reads {
             solver = solver.with_reads(reads);
         }
+        if let Some(cache) = &self.cache {
+            solver = solver.with_cache(Arc::clone(cache));
+        }
         let started = Instant::now();
         let (outcome, goals): (_, Vec<GoalReport>) =
             script.solve_reported(&solver).map_err(|e| e.to_string())?;
+        // The run was served from cache only when nothing sampled: at
+        // least one solve, and every solve an exact hit.
+        let solves = goals.iter().flat_map(|g| g.solves.iter());
+        let served_from = if goals.iter().any(|g| !g.solves.is_empty())
+            && solves
+                .clone()
+                .all(|s| s.cache.as_ref().is_some_and(|c| c.outcome == "exact-hit"))
+        {
+            "cache"
+        } else {
+            "solver"
+        };
         let report = RunReport {
             schema_version: RunReport::SCHEMA_VERSION,
             source: format!("<job-{}>", job.id),
             status: outcome.status.to_string(),
             sampler: solver.sampler_name().to_string(),
+            served_from: served_from.to_string(),
             elapsed_us: started.elapsed().as_micros() as u64,
             goals,
         };

@@ -44,8 +44,15 @@ fn table1_palindrome_report_has_documented_schema() {
     let doc = report_for("table1_row2_palindrome.smt2", &[]);
 
     // Top level.
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(5));
     assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
+    // The one-shot CLI path runs cache-less (schema v5): the run is
+    // always served by the solver, and the per-solve cache section is
+    // present-but-null.
+    assert_eq!(
+        doc.get("served_from").and_then(Json::as_str),
+        Some("solver")
+    );
     assert_eq!(
         doc.get("sampler").and_then(Json::as_str),
         Some("simulated-annealing")
@@ -215,6 +222,10 @@ fn table1_palindrome_report_has_documented_schema() {
         .and_then(|h| h.get("p50"))
         .and_then(Json::as_f64)
         .is_some());
+
+    // Cache section (schema v5): present as a key, null when the solver
+    // had no cache attached (the CLI path).
+    assert_eq!(solve.get("cache"), Some(&Json::Null));
 
     // Select stage found a valid answer.
     let select = solve.get("select").expect("select");

@@ -113,6 +113,17 @@ fn json_str(body: &str, key: &str) -> Option<String> {
     Some(body[start..end].to_string())
 }
 
+/// Extracts an unsigned numeric field (`"key": 123`) from a JSON body,
+/// last occurrence, mirroring [`json_str`].
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\": ");
+    let start = body.rfind(&marker)? + marker.len();
+    let end = body[start..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(body.len(), |i| i + start);
+    body[start..end].parse().ok()
+}
+
 /// Polls a job until it reaches a terminal state; returns (label, body).
 fn await_terminal(addr: &str, id: &str, cap: Duration) -> (String, String) {
     let started = Instant::now();
@@ -182,7 +193,7 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
 
     // Every admitted job reaches exactly one terminal state; with a
     // 60s default deadline and tiny scripts they all complete, and each
-    // completed job embeds a schema-v4 run report.
+    // completed job embeds a schema-v5 run report.
     let mut completed = 0u64;
     let mut timed_out = 0u64;
     for id in &accepted_ids {
@@ -191,8 +202,8 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
             "completed" => {
                 completed += 1;
                 assert!(
-                    body.contains("\"schema_version\": 4"),
-                    "report is not schema v4: {body}"
+                    body.contains("\"schema_version\": 5"),
+                    "report is not schema v5: {body}"
                 );
                 assert_eq!(
                     json_str(&body, "sampler").as_deref(),
@@ -340,6 +351,114 @@ fn sigint_drains_without_losing_accepted_jobs() {
         summary["failed"], 0,
         "jobs failed during drain: {summary:?}"
     );
+}
+
+#[test]
+fn repeat_submissions_hit_the_cache_and_near_repeats_warm_start() {
+    // A single worker keeps the sequence deterministic: each job is
+    // fully terminal (and cached) before the next one is submitted.
+    let mut server = spawn_server(&["--workers", "1"]);
+    let addr = server.addr.clone();
+
+    // Same shape as SCRIPT (a 2-char reverse) with different character
+    // targets: different coefficients, identical adjacency structure.
+    let near_script = SCRIPT.replace("\"ab\"", "\"cd\"");
+
+    // Cold solve: a cache miss that samples the full schedule and
+    // inserts the result.
+    let (code, _, body) = request(&addr, "POST", "/solve?reads=1024&seed=7", SCRIPT);
+    assert_eq!(code, 202, "cold submission refused: {body}");
+    let cold_id = json_str(&body, "id").expect("job id");
+    let (status, cold_body) = await_terminal(&addr, &cold_id, Duration::from_secs(120));
+    assert_eq!(status, "completed", "cold job: {cold_body}");
+    assert_eq!(
+        json_str(&cold_body, "served_from").as_deref(),
+        Some("solver")
+    );
+    assert_eq!(json_str(&cold_body, "outcome").as_deref(), Some("miss"));
+    let cold_answer = json_str(&cold_body, "answer").expect("cold answer");
+    assert_eq!(cold_answer, "ba");
+    let cold_sweeps = json_u64(&cold_body, "sweeps").expect("cold sweep count");
+    assert_eq!(cold_sweeps, 384, "cold solves run the full schedule");
+    let cold_elapsed = json_u64(&cold_body, "elapsed_us").expect("cold elapsed");
+
+    // Exact repeat (even under a different seed and read budget): the
+    // cached sample set is replayed without invoking a sampler, the
+    // answer is bit-identical, and the run is marked served-from-cache.
+    let (code, _, body) = request(&addr, "POST", "/solve?reads=1024&seed=99", SCRIPT);
+    assert_eq!(code, 202, "repeat submission refused: {body}");
+    let hit_id = json_str(&body, "id").expect("job id");
+    let (status, hit_body) = await_terminal(&addr, &hit_id, Duration::from_secs(120));
+    assert_eq!(status, "completed", "cache-hit job: {hit_body}");
+    assert_eq!(json_str(&hit_body, "served_from").as_deref(), Some("cache"));
+    assert_eq!(json_str(&hit_body, "outcome").as_deref(), Some("exact-hit"));
+    assert!(
+        hit_body.contains("\"sampler\": \"cache\""),
+        "exact hit must not invoke a sampler: {hit_body}"
+    );
+    assert_eq!(
+        json_str(&hit_body, "answer").as_deref(),
+        Some(cold_answer.as_str()),
+        "cached answer must be bit-identical to the fresh solve"
+    );
+    let hit_elapsed = json_u64(&hit_body, "elapsed_us").expect("hit elapsed");
+    assert!(
+        hit_elapsed < cold_elapsed,
+        "cache hit ({hit_elapsed} µs) should be faster than the cold solve ({cold_elapsed} µs)"
+    );
+
+    // Near repeat: same adjacency structure, different coefficients.
+    // The shape key matches, so the solver warm-starts a short reverse
+    // anneal from the cached ground state instead of a full cold run.
+    let (code, _, body) = request(&addr, "POST", "/solve?reads=1024&seed=5", &near_script);
+    assert_eq!(code, 202, "near-repeat submission refused: {body}");
+    let warm_id = json_str(&body, "id").expect("job id");
+    let (status, warm_body) = await_terminal(&addr, &warm_id, Duration::from_secs(120));
+    assert_eq!(status, "completed", "warm-start job: {warm_body}");
+    assert_eq!(
+        json_str(&warm_body, "served_from").as_deref(),
+        Some("solver")
+    );
+    assert_eq!(
+        json_str(&warm_body, "outcome").as_deref(),
+        Some("warm-start")
+    );
+    assert_eq!(json_str(&warm_body, "answer").as_deref(), Some("dc"));
+    assert_eq!(json_str(&warm_body, "status").as_deref(), Some("completed"));
+    let warm_sweeps = json_u64(&warm_body, "warm_sweeps").expect("warm sweep count");
+    assert!(
+        warm_sweeps < cold_sweeps,
+        "warm start ({warm_sweeps} sweeps) must reach the answer in fewer \
+         sweeps than a cold solve ({cold_sweeps})"
+    );
+
+    // The metrics surface shows both cache paths.
+    let (code, _, metrics) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    assert_eq!(
+        metric_value(&metrics, "qsmt_cache_exact_hits_total"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&metrics, "qsmt_cache_warm_starts_total"),
+        Some(1.0)
+    );
+    assert_eq!(metric_value(&metrics, "qsmt_cache_misses_total"), Some(1.0));
+    assert!(
+        metric_value(&metrics, "qsmt_cache_entries").unwrap_or(0.0) >= 1.0,
+        "entry gauge missing from:\n{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "qsmt_cache_lookup_us_count").unwrap_or(0.0) >= 3.0,
+        "every lookup lands in the latency histogram:\n{metrics}"
+    );
+    assert!(metrics.contains("# HELP qsmt_cache_hits_total"));
+
+    let (code, _, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    let summary = server.wait_for_drain();
+    assert_eq!(summary["accepted"], 3);
+    assert_eq!(summary["completed"], 3);
 }
 
 #[test]
