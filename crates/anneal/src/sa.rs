@@ -9,7 +9,18 @@ use qsmt_telemetry::dynamics::BetaAcceptance;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Sweeps for a [`SimulatedAnnealer::reverse_anneal_from`] refinement
+/// pass: a quarter of the cold default (384), starting from a known-good
+/// state instead of a random one.
+pub const WARM_START_SWEEPS: usize = 96;
+/// Hot-end inverse temperature of the reverse-annealing schedule —
+/// moderately hot, so the seeded state can adjust without melting.
+pub const WARM_START_BETA_MIN: f64 = 2.0;
+/// Cold-end inverse temperature of the reverse-annealing schedule.
+pub const WARM_START_BETA_MAX: f64 = 12.0;
 
 /// The simulated annealing sampler — the direct analog of the D-Wave
 /// simulated annealer the paper ran its experiments on.
@@ -123,6 +134,28 @@ impl SimulatedAnnealer {
         );
         self.initial_state = Some(state);
         self
+    }
+
+    /// Reverse-annealing preset: keep this sampler's reads, seed, and
+    /// stop flag, but start every read from `state` under a short,
+    /// moderately hot schedule ([`WARM_START_SWEEPS`] sweeps, geometric
+    /// β [`WARM_START_BETA_MIN`] → [`WARM_START_BETA_MAX`]). The hot
+    /// entry lets the seed escape shallow local minima without erasing
+    /// the structure it carries; the quarter-length schedule suffices
+    /// because the walk begins near a basin instead of at a random
+    /// corner of the hypercube. This is the solve cache's warm path
+    /// (`docs/CACHING.md`), reachable polymorphically through
+    /// [`Sampler::warm_started`].
+    ///
+    /// # Panics
+    /// Panics at sample time if the state length does not match the model.
+    pub fn reverse_anneal_from(self, state: Vec<u8>) -> Self {
+        self.with_initial_state(state)
+            .with_schedule(BetaSchedule::Geometric {
+                beta_min: WARM_START_BETA_MIN,
+                beta_max: WARM_START_BETA_MAX,
+                sweeps: WARM_START_SWEEPS,
+            })
     }
 
     /// Attaches a cooperative [`StopFlag`]: every read polls it at sweep
@@ -311,6 +344,14 @@ impl Sampler for SimulatedAnnealer {
 
     fn name(&self) -> &'static str {
         "simulated-annealing"
+    }
+
+    fn supports_initial_state(&self) -> bool {
+        true
+    }
+
+    fn warm_started(&self, state: Vec<u8>) -> Option<Arc<dyn Sampler>> {
+        Some(Arc::new(self.clone().reverse_anneal_from(state)))
     }
 
     fn sample_stats(&self, model: &QuboModel) -> (SampleSet, SamplerRunStats) {

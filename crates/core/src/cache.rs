@@ -9,7 +9,11 @@
 //!    with equal exact keys have identical energy landscapes, so the
 //!    cached sample set is replayed through the deterministic
 //!    post-selection path and the answer is bit-identical to a fresh
-//!    solve, with zero sampling.
+//!    solve, with zero sampling. Entries remember the read budget and
+//!    seed they were computed under: a request with a *larger* read
+//!    budget than the cached solve is not answered from cache (it falls
+//!    through to the warm path), and replays disclose the originating
+//!    configuration in the report.
 //! 2. **Warm starts** — keyed by the coefficient-blind
 //!    [`ModelFingerprint::shape`]. A structurally identical model with
 //!    different coefficients seeds reverse annealing
@@ -35,9 +39,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// A cached exact-hit entry: the full sample set of a completed solve.
+/// A cached exact-hit entry: the full sample set of a completed solve,
+/// plus the read budget and seed it was computed under so lookups can
+/// honor (and reports can disclose) the originating configuration.
 struct ExactEntry {
     samples: SampleSet,
+    reads: u64,
+    seed: u64,
     last_used: u64,
 }
 
@@ -53,7 +61,17 @@ struct ShapeEntry {
 pub enum CacheLookup {
     /// Exact-key hit: replaying this sample set through post-selection
     /// reproduces the original answer bit-for-bit, no sampling needed.
-    Exact(SampleSet),
+    /// Only returned when the cached read budget covers the requester's,
+    /// so a replay never silently under-delivers solve quality.
+    Exact {
+        /// The cached sample set, ready for post-selection.
+        samples: SampleSet,
+        /// Read budget the cached solve ran with (≥ the requester's).
+        reads: u64,
+        /// Seed the cached solve ran with — disclosed in the report so
+        /// a replay under a different per-job seed is visible.
+        seed: u64,
+    },
     /// Shape-key hit: this ground state seeds a reverse anneal.
     Warm(Vec<u8>),
     /// Nothing cached for either key.
@@ -122,13 +140,23 @@ impl SolveCache {
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Looks up a model by fingerprint. `allow_warm` gates the shape-key
-    /// fallback: callers whose sampler cannot accept an initial state
-    /// pass `false`, and a shape hit is then counted (truthfully) as a
-    /// miss. Publishes `qsmt_cache_*` lookup metrics.
-    pub fn lookup(&self, fp: ModelFingerprint, num_vars: usize, allow_warm: bool) -> CacheLookup {
+    /// Looks up a model by fingerprint. `reads` is the requester's read
+    /// budget: an exact entry cached under a *smaller* budget is not
+    /// replayed (it would silently under-deliver solve quality) and the
+    /// lookup falls through to the warm path, which samples at the
+    /// requested budget. `allow_warm` gates the shape-key fallback:
+    /// callers whose sampler cannot accept an initial state pass
+    /// `false`, and a shape hit is then counted (truthfully) as a miss.
+    /// Publishes `qsmt_cache_*` lookup metrics.
+    pub fn lookup(
+        &self,
+        fp: ModelFingerprint,
+        num_vars: usize,
+        reads: u64,
+        allow_warm: bool,
+    ) -> CacheLookup {
         let start = Instant::now();
-        let result = self.lookup_inner(fp, num_vars, allow_warm);
+        let result = self.lookup_inner(fp, num_vars, reads, allow_warm);
         let reg = qsmt_metrics::global();
         reg.histogram_observe(
             "qsmt_cache_lookup_us",
@@ -136,7 +164,7 @@ impl SolveCache {
             start.elapsed().as_micros() as f64,
         );
         match &result {
-            CacheLookup::Exact(_) => {
+            CacheLookup::Exact { .. } => {
                 reg.counter_add("qsmt_cache_hits_total", &[], 1.0);
                 reg.counter_add("qsmt_cache_exact_hits_total", &[], 1.0);
             }
@@ -151,13 +179,28 @@ impl SolveCache {
         result
     }
 
-    fn lookup_inner(&self, fp: ModelFingerprint, num_vars: usize, allow_warm: bool) -> CacheLookup {
+    fn lookup_inner(
+        &self,
+        fp: ModelFingerprint,
+        num_vars: usize,
+        reads: u64,
+        allow_warm: bool,
+    ) -> CacheLookup {
         let tick = self.next_tick();
         {
             let mut exact = self.exact.lock().expect("solve cache poisoned");
             if let Some(entry) = exact.get_mut(&fp.exact) {
-                entry.last_used = tick;
-                return CacheLookup::Exact(entry.samples.clone());
+                // A cached sample set computed under a smaller read
+                // budget than requested is not a usable answer; fall
+                // through to the warm path, which honors the budget.
+                if entry.reads >= reads {
+                    entry.last_used = tick;
+                    return CacheLookup::Exact {
+                        samples: entry.samples.clone(),
+                        reads: entry.reads,
+                        seed: entry.seed,
+                    };
+                }
             }
         }
         if allow_warm {
@@ -176,10 +219,12 @@ impl SolveCache {
 
     /// Caches a completed solve: the full sample set under the exact key
     /// and its lowest-energy state as a warm-start seed under the shape
-    /// key. Callers must not insert cancelled (stop-flagged) partial
-    /// results — a truncated sample set would replay as a worse answer
-    /// than a fresh solve. Updates the `qsmt_cache_entries` gauge.
-    pub fn insert(&self, fp: ModelFingerprint, num_vars: usize, samples: &SampleSet) {
+    /// key. `seed` is the RNG seed the solve ran with; the read budget
+    /// is taken from the sample set itself. Callers must not insert
+    /// cancelled (stop-flagged) partial results — a truncated sample set
+    /// would replay as a worse answer than a fresh solve. Updates the
+    /// `qsmt_cache_entries` gauge.
+    pub fn insert(&self, fp: ModelFingerprint, num_vars: usize, seed: u64, samples: &SampleSet) {
         if self.capacity == 0 {
             return;
         }
@@ -197,6 +242,8 @@ impl SolveCache {
                 fp.exact,
                 ExactEntry {
                     samples: samples.clone(),
+                    reads: samples.total_reads() as u64,
+                    seed,
                     last_used: tick,
                 },
             );
@@ -286,24 +333,56 @@ mod tests {
     fn exact_hit_returns_the_cached_sample_set() {
         let cache = SolveCache::new(8);
         let set = samples(vec![1, 0, 1], -3.0);
-        cache.insert(fp(1), 3, &set);
-        match cache.lookup(fp(1), 3, true) {
-            CacheLookup::Exact(cached) => assert_eq!(cached, set),
+        cache.insert(fp(1), 3, 7, &set);
+        match cache.lookup(fp(1), 3, 1, true) {
+            CacheLookup::Exact {
+                samples: cached,
+                reads,
+                seed,
+            } => {
+                assert_eq!(cached, set);
+                assert_eq!(reads, 1);
+                assert_eq!(seed, 7);
+            }
             _ => panic!("expected exact hit"),
         }
+    }
+
+    #[test]
+    fn exact_hits_honor_the_read_budget() {
+        let cache = SolveCache::new(8);
+        // Cached under a 2-read budget.
+        let set = SampleSet::from_reads(vec![(vec![1, 0], -1.0), (vec![0, 1], 3.0)]);
+        cache.insert(fp(9), 2, 0, &set);
+        // Asking for more reads than the entry carries must not replay
+        // it — the warm path (same shape entry) honors the budget.
+        assert!(matches!(
+            cache.lookup(fp(9), 2, 3, true),
+            CacheLookup::Warm(_)
+        ));
+        assert!(matches!(cache.lookup(fp(9), 2, 3, false), CacheLookup::Miss));
+        // Equal or smaller budgets are served from cache.
+        assert!(matches!(
+            cache.lookup(fp(9), 2, 2, true),
+            CacheLookup::Exact { .. }
+        ));
+        assert!(matches!(
+            cache.lookup(fp(9), 2, 1, true),
+            CacheLookup::Exact { .. }
+        ));
     }
 
     #[test]
     fn shape_hit_yields_the_ground_state_as_seed() {
         let cache = SolveCache::new(8);
         let set = SampleSet::from_reads(vec![(vec![1, 1, 0], 2.0), (vec![0, 1, 1], -5.0)]);
-        cache.insert(fp(2), 3, &set);
+        cache.insert(fp(2), 3, 0, &set);
         // Same shape, different exact key: a coefficient change.
         let near = ModelFingerprint {
             exact: 999,
             shape: fp(2).shape,
         };
-        match cache.lookup(near, 3, true) {
+        match cache.lookup(near, 3, 1, true) {
             CacheLookup::Warm(state) => assert_eq!(state, vec![0, 1, 1]),
             _ => panic!("expected warm hit"),
         }
@@ -312,49 +391,49 @@ mod tests {
     #[test]
     fn warm_hits_are_suppressed_when_disallowed() {
         let cache = SolveCache::new(8);
-        cache.insert(fp(3), 2, &samples(vec![1, 0], 0.0));
+        cache.insert(fp(3), 2, 0, &samples(vec![1, 0], 0.0));
         let near = ModelFingerprint {
             exact: 777,
             shape: fp(3).shape,
         };
-        assert!(matches!(cache.lookup(near, 2, false), CacheLookup::Miss));
+        assert!(matches!(cache.lookup(near, 2, 1, false), CacheLookup::Miss));
     }
 
     #[test]
     fn lru_evicts_the_coldest_result() {
         let cache = SolveCache::new(2);
-        cache.insert(fp(1), 1, &samples(vec![0], 0.0));
-        cache.insert(fp(2), 1, &samples(vec![1], 1.0));
+        cache.insert(fp(1), 1, 0, &samples(vec![0], 0.0));
+        cache.insert(fp(2), 1, 0, &samples(vec![1], 1.0));
         // Touch entry 1 so entry 2 is coldest, then overflow.
         assert!(matches!(
-            cache.lookup(fp(1), 1, true),
-            CacheLookup::Exact(_)
+            cache.lookup(fp(1), 1, 1, true),
+            CacheLookup::Exact { .. }
         ));
-        cache.insert(fp(3), 1, &samples(vec![0], 2.0));
+        cache.insert(fp(3), 1, 0, &samples(vec![0], 2.0));
         assert_eq!(cache.len(), 2);
         assert!(matches!(
-            cache.lookup(fp(1), 1, true),
-            CacheLookup::Exact(_)
+            cache.lookup(fp(1), 1, 1, true),
+            CacheLookup::Exact { .. }
         ));
-        assert!(matches!(cache.lookup(fp(2), 1, false), CacheLookup::Miss));
+        assert!(matches!(cache.lookup(fp(2), 1, 1, false), CacheLookup::Miss));
         assert!(matches!(
-            cache.lookup(fp(3), 1, true),
-            CacheLookup::Exact(_)
+            cache.lookup(fp(3), 1, 1, true),
+            CacheLookup::Exact { .. }
         ));
     }
 
     #[test]
     fn zero_capacity_disables_everything() {
         let cache = SolveCache::new(0);
-        cache.insert(fp(1), 1, &samples(vec![1], 0.0));
+        cache.insert(fp(1), 1, 0, &samples(vec![1], 0.0));
         assert!(cache.is_empty());
-        assert!(matches!(cache.lookup(fp(1), 1, true), CacheLookup::Miss));
+        assert!(matches!(cache.lookup(fp(1), 1, 1, true), CacheLookup::Miss));
     }
 
     #[test]
     fn empty_sample_sets_are_not_cached() {
         let cache = SolveCache::new(4);
-        cache.insert(fp(1), 1, &SampleSet::from_reads(vec![]));
+        cache.insert(fp(1), 1, 0, &SampleSet::from_reads(vec![]));
         assert!(cache.is_empty());
     }
 
@@ -367,13 +446,13 @@ mod tests {
         b.scale(3.0); // same shape, different exact
 
         let cache = SolveCache::new(4);
-        cache.insert(a.fingerprint(), 2, &samples(vec![1, 0], -1.0));
+        cache.insert(a.fingerprint(), 2, 0, &samples(vec![1, 0], -1.0));
         assert!(matches!(
-            cache.lookup(a.fingerprint(), 2, true),
-            CacheLookup::Exact(_)
+            cache.lookup(a.fingerprint(), 2, 1, true),
+            CacheLookup::Exact { .. }
         ));
         assert!(matches!(
-            cache.lookup(b.fingerprint(), 2, true),
+            cache.lookup(b.fingerprint(), 2, 1, true),
             CacheLookup::Warm(_)
         ));
     }

@@ -7,7 +7,7 @@ use crate::error::ConstraintError;
 use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
 use crate::problem::{EncodedProblem, Solution};
 use qsmt_anneal::{
-    metrics, BetaSchedule, ProbeConfig, SampleSet, Sampler, SamplerDynamics, SimulatedAnnealer,
+    metrics, ProbeConfig, SampleSet, Sampler, SamplerDynamics, SimulatedAnnealer,
 };
 use qsmt_lint::{lint_qubo, LintConfig, LintReport};
 use qsmt_qubo::{DenseQubo, ModelFingerprint, QuboModel, StopFlag};
@@ -17,17 +17,6 @@ use qsmt_telemetry::{
 };
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Sweeps for the reverse-annealing refinement pass on a shape-hash warm
-/// start: a quarter of the cold default (384), starting from a cached
-/// ground state instead of a random one. The moderately hot entry
-/// temperature lets the seed escape shallow local minima without erasing
-/// the structure it carries.
-const WARM_START_SWEEPS: usize = 96;
-/// Hot-end inverse temperature for the warm-start schedule.
-const WARM_START_BETA_MIN: f64 = 2.0;
-/// Cold-end inverse temperature for the warm-start schedule.
-const WARM_START_BETA_MAX: f64 = 12.0;
 
 /// The quantum(-simulated) string SMT solver.
 ///
@@ -156,21 +145,18 @@ impl StringSolver {
     }
 
     /// Attaches a shared [`SolveCache`]. Subsequent solves first consult
-    /// the cache: an exact fingerprint hit replays the cached sample set
-    /// through the (deterministic) post-selection path — bit-identical to
-    /// the original solve, no sampling; a shape hit seeds a short
-    /// reverse-annealing refinement from the cached ground state; a miss
-    /// solves normally and inserts the result. Cancelled (stop-flagged)
-    /// solves are never inserted. See `docs/CACHING.md`.
+    /// the cache: an exact fingerprint hit — eligible only when the
+    /// cached entry's read budget covers this solver's — replays the
+    /// cached sample set through the (deterministic) post-selection path,
+    /// bit-identical to the solve that populated it, no sampling; a shape
+    /// hit seeds a short reverse-annealing refinement from the cached
+    /// ground state through the configured sampler
+    /// ([`Sampler::warm_started`]); a miss solves normally and inserts
+    /// the result. Cancelled (stop-flagged) solves are never inserted.
+    /// See `docs/CACHING.md`.
     pub fn with_cache(mut self, cache: Arc<SolveCache>) -> Self {
         self.cache = Some(cache);
         self
-    }
-
-    /// Warm starts splice an initial state into the built-in annealer, so
-    /// they only apply when this solver actually samples with it.
-    fn can_warm_start(&self) -> bool {
-        self.sampler.name() == "simulated-annealing"
     }
 
     /// A completed solve may be cached; one cut short by the cooperative
@@ -179,30 +165,21 @@ impl StringSolver {
         self.stop.as_ref().is_none_or(|s| !s.is_stopped())
     }
 
-    /// The reverse-annealing sampler for a shape-hash warm start: same
-    /// seed and read budget as the cold path, but a short, moderately hot
-    /// schedule starting from the cached ground state.
-    fn warm_sampler(&self, state: Vec<u8>) -> SimulatedAnnealer {
-        let mut sampler = SimulatedAnnealer::new()
-            .with_num_reads(self.reads)
-            .with_seed(self.seed)
-            .with_schedule(BetaSchedule::Geometric {
-                beta_min: WARM_START_BETA_MIN,
-                beta_max: WARM_START_BETA_MAX,
-                sweeps: WARM_START_SWEEPS,
-            })
-            .with_initial_state(state);
-        if let Some(stop) = &self.stop {
-            sampler = sampler.with_stop(stop.clone());
-        }
-        sampler
+    /// The reverse-annealing sampler for a shape-hash warm start: the
+    /// *configured* sampler, re-seeded with the cached ground state via
+    /// [`Sampler::warm_started`] so its own reads/seed/stop configuration
+    /// (and any instrumentation a custom sampler carries) stays in
+    /// charge. `None` when the sampler cannot accept an initial state —
+    /// callers then sample cold.
+    fn warm_sampler(&self, state: Vec<u8>) -> Option<Arc<dyn Sampler>> {
+        self.sampler.warm_started(state)
     }
 
     /// Caches a finished solve unless it was cancelled mid-anneal.
     fn cache_completed(&self, fp: ModelFingerprint, outcome: &SolveOutcome) {
         if let Some(cache) = &self.cache {
             if self.completed_without_cancel() {
-                cache.insert(fp, outcome.problem.num_vars(), &outcome.samples);
+                cache.insert(fp, outcome.problem.num_vars(), self.seed, &outcome.samples);
             }
         }
     }
@@ -283,10 +260,14 @@ impl StringSolver {
             return Ok(self.select(constraint, problem, samples));
         };
         let fp = problem.qubo.fingerprint();
-        match cache.lookup(fp, problem.num_vars(), self.can_warm_start()) {
-            CacheLookup::Exact(samples) => Ok(self.select(constraint, problem, samples)),
+        let allow_warm = self.sampler.supports_initial_state();
+        match cache.lookup(fp, problem.num_vars(), self.reads as u64, allow_warm) {
+            CacheLookup::Exact { samples, .. } => Ok(self.select(constraint, problem, samples)),
             CacheLookup::Warm(state) => {
-                let samples = self.warm_sampler(state).sample(&problem.qubo);
+                let samples = match self.warm_sampler(state) {
+                    Some(warm) => warm.sample(&problem.qubo),
+                    None => self.sampler.sample(&problem.qubo),
+                };
                 let outcome = self.select(constraint, problem, samples);
                 self.cache_completed(fp, &outcome);
                 Ok(outcome)
@@ -562,40 +543,55 @@ impl StringSolver {
         let lookup = self.cache.as_ref().map(|cache| {
             let fp = problem.qubo.fingerprint();
             let t = std::time::Instant::now();
-            let found = cache.lookup(fp, problem.num_vars(), self.can_warm_start());
+            let allow_warm = self.sampler.supports_initial_state();
+            let found = cache.lookup(fp, problem.num_vars(), self.reads as u64, allow_warm);
             (fp, found, t.elapsed().as_micros() as u64)
         });
         let (samples, run_stats, raw_dynamics, sampler_name, cache_outcome, insert_fp) =
             match lookup {
-                Some((_, CacheLookup::Exact(samples), lookup_us)) => {
+                Some((
+                    _,
+                    CacheLookup::Exact {
+                        samples,
+                        reads,
+                        seed,
+                    },
+                    lookup_us,
+                )) => {
                     rec.event("cache", "exact hit: replaying cached sample set");
                     (
                         samples,
                         qsmt_anneal::SamplerRunStats::default(),
                         SamplerDynamics::default(),
                         "cache",
-                        Some(("exact-hit", lookup_us)),
+                        Some(("exact-hit", lookup_us, Some((reads, seed)))),
                         None,
                     )
                 }
                 Some((fp, CacheLookup::Warm(state), lookup_us)) => {
                     rec.event("cache", "shape hit: warm-starting reverse anneal");
                     let _s = rec.span("sample");
-                    let (samples, run_stats, raw) = self
-                        .warm_sampler(state)
+                    // `supports_initial_state` gated the warm lookup, so
+                    // the configured sampler provides the warm variant;
+                    // fall back to a cold run if a custom sampler breaks
+                    // that contract.
+                    let warm = self.warm_sampler(state);
+                    let (samples, run_stats, raw) = warm
+                        .as_deref()
+                        .unwrap_or(&*self.sampler)
                         .sample_dynamics(&problem.qubo, &ProbeConfig::default());
                     (
                         samples,
                         run_stats,
                         raw,
                         self.sampler.name(),
-                        Some(("warm-start", lookup_us)),
+                        Some(("warm-start", lookup_us, None)),
                         Some(fp),
                     )
                 }
                 other => {
                     let (cache_outcome, insert_fp) = match &other {
-                        Some((fp, _, lookup_us)) => (Some(("miss", *lookup_us)), Some(*fp)),
+                        Some((fp, _, lookup_us)) => (Some(("miss", *lookup_us, None)), Some(*fp)),
                         None => (None, None),
                     };
                     let _s = rec.span("sample");
@@ -625,12 +621,14 @@ impl StringSolver {
                 format!("{} trajectory", d.stall_verdict.as_str()),
             );
         }
-        let cache_stats = cache_outcome.map(|(outcome, lookup_us)| CacheStats {
+        let cache_stats = cache_outcome.map(|(outcome, lookup_us, source)| CacheStats {
             outcome: outcome.to_string(),
             lookup_us,
             warm_sweeps: (outcome == "warm-start")
                 .then_some(run_stats.sweeps)
                 .flatten(),
+            source_reads: source.map(|(reads, _)| reads),
+            source_seed: source.map(|(_, seed)| seed),
         });
 
         let start = begin(&mut stages, &rec, "select");
@@ -1197,11 +1195,22 @@ mod tests {
     }
 
     /// Delegates to a real annealer but counts invocations, so a test
-    /// can prove an exact cache hit never reaches the sampler. Reports
-    /// the built-in annealer's name to keep warm starts eligible.
+    /// can prove an exact cache hit never reaches the sampler and a warm
+    /// start goes through the configured sampler — not a silently
+    /// substituted built-in. The name is deliberately custom: warm-start
+    /// eligibility is a trait capability, not a name match.
     struct CountingSampler {
         inner: SimulatedAnnealer,
-        calls: std::sync::atomic::AtomicUsize,
+        calls: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl CountingSampler {
+        fn with_defaults() -> Self {
+            Self {
+                inner: SimulatedAnnealer::new().with_num_reads(64).with_sweeps(384),
+                calls: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            }
+        }
     }
 
     impl Sampler for CountingSampler {
@@ -1211,24 +1220,35 @@ mod tests {
         }
 
         fn name(&self) -> &'static str {
-            "simulated-annealing"
+            "counting-sa"
+        }
+
+        fn supports_initial_state(&self) -> bool {
+            true
+        }
+
+        fn warm_started(&self, state: Vec<u8>) -> Option<Arc<dyn Sampler>> {
+            // Keep the instrumentation: the warm variant shares this
+            // sampler's call counter.
+            Some(Arc::new(CountingSampler {
+                inner: self.inner.clone().reverse_anneal_from(state),
+                calls: Arc::clone(&self.calls),
+            }))
         }
     }
 
     #[test]
     fn exact_cache_hit_replays_without_invoking_the_sampler() {
-        let counting = Arc::new(CountingSampler {
-            inner: SimulatedAnnealer::new().with_num_reads(64).with_sweeps(384),
-            calls: std::sync::atomic::AtomicUsize::new(0),
-        });
+        let counting = Arc::new(CountingSampler::with_defaults());
+        let calls = Arc::clone(&counting.calls);
         let cache = Arc::new(SolveCache::new(16));
-        let s = StringSolver::new(counting.clone()).with_cache(cache);
+        let s = StringSolver::new(counting).with_cache(cache);
         let c = Constraint::Reverse { input: "ab".into() };
         let cold = s.solve(&c).unwrap();
-        assert_eq!(counting.calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
         let hit = s.solve(&c).unwrap();
         assert_eq!(
-            counting.calls.load(std::sync::atomic::Ordering::SeqCst),
+            calls.load(std::sync::atomic::Ordering::SeqCst),
             1,
             "exact hit must not sample again"
         );
@@ -1237,6 +1257,54 @@ mod tests {
         assert_eq!(hit.solution, cold.solution);
         assert_eq!(hit.energy, cold.energy);
         assert_eq!(hit.samples, cold.samples);
+    }
+
+    #[test]
+    fn warm_starts_go_through_the_configured_sampler() {
+        let counting = Arc::new(CountingSampler::with_defaults());
+        let calls = Arc::clone(&counting.calls);
+        let cache = Arc::new(SolveCache::new(16));
+        let s = StringSolver::new(counting).with_cache(cache);
+        s.solve(&Constraint::Reverse { input: "ab".into() }).unwrap();
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // Same shape, different coefficients: a warm start. The counter
+        // advancing proves the custom sampler (via its warm variant) ran
+        // the refinement — not a silently substituted built-in annealer.
+        let warm = s.solve(&Constraint::Reverse { input: "cd".into() }).unwrap();
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::SeqCst),
+            2,
+            "warm start must sample through the configured sampler"
+        );
+        assert!(warm.valid);
+        assert_eq!(warm.solution.as_text(), Some("dc"));
+    }
+
+    #[test]
+    fn larger_read_budgets_are_not_answered_from_cache() {
+        let cache = Arc::new(SolveCache::new(16));
+        let c = Constraint::Reverse { input: "ab".into() };
+        // Populate the cache with a small-budget solve …
+        StringSolver::with_defaults()
+            .with_seed(11)
+            .with_reads(8)
+            .with_cache(Arc::clone(&cache))
+            .solve(&c)
+            .unwrap();
+        // … then ask for more reads: the cached 8-read set must not be
+        // replayed; the shape entry warm-starts a solve at full budget.
+        let out = StringSolver::with_defaults()
+            .with_seed(11)
+            .with_reads(64)
+            .with_cache(cache)
+            .solve(&c)
+            .unwrap();
+        assert_eq!(
+            out.samples.total_reads(),
+            64,
+            "requested read budget must be honored, not the cached one"
+        );
+        assert!(out.valid);
     }
 
     #[test]
@@ -1270,6 +1338,7 @@ mod tests {
         let stats = cold.cache.as_ref().expect("cache attached");
         assert_eq!(stats.outcome, "miss");
         assert_eq!(stats.warm_sweeps, None);
+        assert_eq!(stats.source_reads, None);
         let cold_sweeps = cold.sampling.sweeps.expect("SA reports sweeps");
         assert_eq!(cold_sweeps, 384);
 
@@ -1278,6 +1347,9 @@ mod tests {
         let stats = hit.cache.as_ref().expect("cache attached");
         assert_eq!(stats.outcome, "exact-hit");
         assert_eq!(hit.sampling.sampler, "cache");
+        // The report discloses which solve populated the entry.
+        assert_eq!(stats.source_reads, Some(64));
+        assert_eq!(stats.source_seed, Some(11));
         assert_eq!(hit_out.solution, cold_out.solution);
         assert_eq!(hit_out.samples, cold_out.samples);
 

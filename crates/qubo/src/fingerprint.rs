@@ -10,9 +10,13 @@
 //!
 //! Two keys are derived per model:
 //!
-//! * **exact** — over `num_vars`, the offset, every nonzero linear
-//!   coefficient `(i, bits(cᵢ))`, and every quadratic term
-//!   `(i, j, bits(q₍ᵢⱼ₎))` in sorted order. Equal exact keys mean the
+//! * **exact** — over `num_vars`, the offset, the count of nonzero
+//!   linear terms, every nonzero linear coefficient `(i, bits(cᵢ))`, and
+//!   every quadratic term `(i, j, bits(q₍ᵢⱼ₎))` in sorted order. The
+//!   count word domain-separates the two sections: without it, a linear
+//!   term `(j, c)` would absorb the same words as an edge `(0, j, c)`
+//!   (the packed edge key `(0<<32)|j` equals `j`), making models with
+//!   different energy landscapes collide. Equal exact keys mean the
 //!   models have identical energy landscapes, so a cached answer can be
 //!   served verbatim.
 //! * **shape** — coefficient-blind: only `num_vars` and the sorted edge
@@ -28,6 +32,8 @@
 //! given model it returns the same value **across process runs, platforms,
 //! and term-insertion orders**. It is part of the cache's on-the-wire
 //! semantics and must only change with a documented cache-format bump.
+//! The current format is **v2**: v1 lacked the linear-term count and
+//! allowed linear/edge aliasing (see the `exact` bullet above).
 //! The fingerprint is *not* canonical under variable renaming: permuting
 //! variable indices produces a different (equally stable) fingerprint —
 //! graph-isomorphism canonicalization is out of scope.
@@ -121,6 +127,12 @@ pub fn fingerprint(model: &QuboModel) -> ModelFingerprint {
 
     let mut exact = absorb(0x65_78_61_63_74, model.num_vars() as u64); // "exact"
     exact = absorb(exact, coeff_bits(model.offset()));
+    // Domain separator between the linear and quadratic sections: the
+    // nonzero linear-term count makes the word stream self-delimiting,
+    // so a linear term (j, c) can never alias an edge ((0<<32)|j, c)
+    // whose packed key collapses to j (fingerprint format v2).
+    let nonzero_linear = model.linear_terms().iter().filter(|&&c| c != 0.0).count();
+    exact = absorb(exact, nonzero_linear as u64);
     for (i, &c) in model.linear_terms().iter().enumerate() {
         // Zero linear coefficients are skipped (with their index) so a
         // model grown with untouched variables hashes like one built at
@@ -219,6 +231,19 @@ mod tests {
         a.add_quadratic(1, 2, 3.0);
         a.add_quadratic(1, 2, -3.0);
         assert_eq!(a.fingerprint(), sample().fingerprint());
+    }
+
+    #[test]
+    fn linear_term_never_aliases_an_edge_from_var_zero() {
+        // Format-v1 regression: linear term (j, c) absorbed the same
+        // words as edge (0, j, c), so these two models — with different
+        // energy landscapes — hashed identically and an exact cache hit
+        // would replay the wrong sample set.
+        let mut lin = QuboModel::new(2);
+        lin.add_linear(1, 2.0);
+        let mut edge = QuboModel::new(2);
+        edge.add_quadratic(0, 1, 2.0);
+        assert_ne!(lin.fingerprint().exact, edge.fingerprint().exact);
     }
 
     #[test]

@@ -302,6 +302,14 @@ pub struct CacheStats {
     /// is `"warm-start"`. Compare against the cold default (384) to see
     /// the warm-start saving.
     pub warm_sweeps: Option<u64>,
+    /// Read budget of the solve that populated the replayed entry
+    /// (always ≥ this job's budget — lookups never replay a smaller
+    /// one); `None` unless the outcome is `"exact-hit"`.
+    pub source_reads: Option<u64>,
+    /// Seed of the solve that populated the replayed entry, so a replay
+    /// under a different per-job seed is visible in the report; `None`
+    /// unless the outcome is `"exact-hit"`.
+    pub source_seed: Option<u64>,
 }
 
 impl CacheStats {
@@ -313,6 +321,14 @@ impl CacheStats {
             (
                 "warm_sweeps",
                 self.warm_sweeps.map_or(Json::Null, Json::from),
+            ),
+            (
+                "source_reads",
+                self.source_reads.map_or(Json::Null, Json::from),
+            ),
+            (
+                "source_seed",
+                self.source_seed.map_or(Json::Null, Json::from),
             ),
         ])
     }
@@ -467,11 +483,15 @@ impl SolveReport {
         }
         if let Some(c) = &self.cache {
             out.push_str(&format!(
-                "  cache: {} ({} µs lookup{})\n",
+                "  cache: {} ({} µs lookup{}{})\n",
                 c.outcome,
                 c.lookup_us,
                 c.warm_sweeps
-                    .map_or(String::new(), |s| format!(", {s} warm sweeps"))
+                    .map_or(String::new(), |s| format!(", {s} warm sweeps")),
+                match (c.source_reads, c.source_seed) {
+                    (Some(r), Some(s)) => format!(", from reads={r} seed={s}"),
+                    _ => String::new(),
+                }
             ));
         }
         let s = &self.sampling;
@@ -711,6 +731,8 @@ mod tests {
                 outcome: "warm-start".into(),
                 lookup_us: 12,
                 warm_sweeps: Some(96),
+                source_reads: None,
+                source_seed: None,
             }),
             spans: vec![],
         }
@@ -925,9 +947,33 @@ mod tests {
             Some("warm-start")
         );
         assert_eq!(cache.get("warm_sweeps").and_then(Json::as_u64), Some(96));
+        assert_eq!(cache.get("source_reads"), Some(&Json::Null));
+        assert_eq!(cache.get("source_seed"), Some(&Json::Null));
         let text = sample_report().render_stats();
         assert!(text.contains("cache: warm-start"), "{text}");
         assert!(text.contains("96 warm sweeps"), "{text}");
+
+        // Exact hits disclose the originating solve's configuration.
+        let mut hit = sample_report();
+        hit.cache = Some(CacheStats {
+            outcome: "exact-hit".into(),
+            lookup_us: 3,
+            warm_sweeps: None,
+            source_reads: Some(1024),
+            source_seed: Some(7),
+        });
+        let hit_doc = parse(&hit.to_json().pretty()).unwrap();
+        let hit_cache = hit_doc.get("cache").unwrap();
+        assert_eq!(
+            hit_cache.get("source_reads").and_then(Json::as_u64),
+            Some(1024)
+        );
+        assert_eq!(hit_cache.get("source_seed").and_then(Json::as_u64), Some(7));
+        assert!(
+            hit.render_stats().contains("from reads=1024 seed=7"),
+            "{}",
+            hit.render_stats()
+        );
     }
 
     #[test]

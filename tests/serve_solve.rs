@@ -382,10 +382,13 @@ fn repeat_submissions_hit_the_cache_and_near_repeats_warm_start() {
     assert_eq!(cold_sweeps, 384, "cold solves run the full schedule");
     let cold_elapsed = json_u64(&cold_body, "elapsed_us").expect("cold elapsed");
 
-    // Exact repeat (even under a different seed and read budget): the
-    // cached sample set is replayed without invoking a sampler, the
-    // answer is bit-identical, and the run is marked served-from-cache.
-    let (code, _, body) = request(&addr, "POST", "/solve?reads=1024&seed=99", SCRIPT);
+    // Exact repeat under a different seed and a *smaller* read budget:
+    // the cached 1024-read sample set covers a 256-read request, so it
+    // is replayed without invoking a sampler, the answer is
+    // bit-identical, and the run is marked served-from-cache. (A larger
+    // budget would NOT be answered from cache — the entry's quality
+    // would under-deliver — and falls through to a warm start.)
+    let (code, _, body) = request(&addr, "POST", "/solve?reads=256&seed=99", SCRIPT);
     assert_eq!(code, 202, "repeat submission refused: {body}");
     let hit_id = json_str(&body, "id").expect("job id");
     let (status, hit_body) = await_terminal(&addr, &hit_id, Duration::from_secs(120));
@@ -395,6 +398,16 @@ fn repeat_submissions_hit_the_cache_and_near_repeats_warm_start() {
     assert!(
         hit_body.contains("\"sampler\": \"cache\""),
         "exact hit must not invoke a sampler: {hit_body}"
+    );
+    assert_eq!(
+        json_u64(&hit_body, "source_reads"),
+        Some(1024),
+        "the report must disclose the originating read budget: {hit_body}"
+    );
+    assert_eq!(
+        json_u64(&hit_body, "source_seed"),
+        Some(7),
+        "the report must disclose the originating seed: {hit_body}"
     );
     assert_eq!(
         json_str(&hit_body, "answer").as_deref(),
