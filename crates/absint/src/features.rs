@@ -1,0 +1,184 @@
+//! Static routing features.
+//!
+//! A fixed-schema vector of script-level facts, cheap to compute and
+//! independent of any solve: problem size, operator mix, and how much
+//! the abstract domains narrowed. ROADMAP item 3 (portfolio routing)
+//! wants exactly this as input — the fields below are stable so a
+//! future router can train against recorded reports.
+
+use crate::domain::StrDomain;
+use crate::ir::{AbsAssert, AbsProgram};
+use qsmt_telemetry::Json;
+
+/// The static feature vector. All counts are over the lowered program;
+/// domain-derived fields reflect the post-fixpoint state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FeatureVector {
+    /// Declared string variables.
+    pub string_vars: usize,
+    /// Declared Int variables.
+    pub int_vars: usize,
+    /// Total assertions (including unsupported shapes).
+    pub assertions: usize,
+    /// `(= (str.len x) n)` assertions.
+    pub len_eqs: usize,
+    /// `str.contains` assertions.
+    pub contains: usize,
+    /// `str.prefixof` assertions.
+    pub prefixes: usize,
+    /// `str.suffixof` assertions.
+    pub suffixes: usize,
+    /// `str.at` pin assertions.
+    pub pins: usize,
+    /// `str.in_re` assertions.
+    pub regexes: usize,
+    /// Ground equalities (`x = <ground term>`).
+    pub ground_eqs: usize,
+    /// Variable–variable equalities.
+    pub var_eqs: usize,
+    /// Palindrome (`x = str.rev x`) assertions.
+    pub self_reverses: usize,
+    /// indexOf definitions over Int variables.
+    pub index_ofs: usize,
+    /// Assertions outside the abstract fragment.
+    pub unsupported: usize,
+    /// Connected components of the variable/equality constraint graph
+    /// (string variables linked by `=`); isolated variables count as
+    /// their own component.
+    pub eq_classes: usize,
+    /// Variables whose final length interval is degenerate.
+    pub exact_len_vars: usize,
+    /// Positions across all variables proven to hold one character.
+    pub pinned_positions: usize,
+    /// Mean admissible-character count over all materialized positions
+    /// of exact-length variables (128.0 = fully unconstrained); 0 when
+    /// no variable has an exact length.
+    pub avg_position_width: f64,
+}
+
+impl FeatureVector {
+    /// Computes the vector from a lowered program and its final
+    /// domains.
+    pub fn compute(program: &AbsProgram, domains: &[StrDomain]) -> FeatureVector {
+        let mut f = FeatureVector {
+            string_vars: program.string_vars.len(),
+            int_vars: program.int_vars,
+            assertions: program.asserts.len(),
+            ..FeatureVector::default()
+        };
+        for (_, a) in &program.asserts {
+            match a {
+                AbsAssert::LenEq { .. } => f.len_eqs += 1,
+                AbsAssert::Contains { .. } => f.contains += 1,
+                AbsAssert::PrefixLit { .. } => f.prefixes += 1,
+                AbsAssert::SuffixLit { .. } => f.suffixes += 1,
+                AbsAssert::PinAt { .. } => f.pins += 1,
+                AbsAssert::InRegex { .. } => f.regexes += 1,
+                AbsAssert::GroundEq { .. } => f.ground_eqs += 1,
+                AbsAssert::VarEq { .. } => f.var_eqs += 1,
+                AbsAssert::SelfReverse { .. } => f.self_reverses += 1,
+                AbsAssert::IndexOfDef => f.index_ofs += 1,
+                AbsAssert::Unsupported => f.unsupported += 1,
+            }
+        }
+
+        // Connected components under var-var equality.
+        let n = program.string_vars.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for (_, a) in &program.asserts {
+            if let AbsAssert::VarEq { a, b } = a {
+                let (ra, rb) = (find(&mut parent, *a), find(&mut parent, *b));
+                parent[ra] = rb;
+            }
+        }
+        let mut roots: Vec<usize> = (0..n).map(|v| find(&mut parent, v)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        f.eq_classes = roots.len();
+
+        let mut positions = 0usize;
+        let mut width_sum = 0f64;
+        for d in domains {
+            if let Some(len) = d.len.exact_value() {
+                f.exact_len_vars += 1;
+                for i in 0..len {
+                    positions += 1;
+                    width_sum += f64::from(d.at(i).len());
+                }
+            }
+            f.pinned_positions += d.pins().len();
+        }
+        if positions > 0 {
+            f.avg_position_width = width_sum / positions as f64;
+        }
+        f
+    }
+
+    /// JSON object with one key per field.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("string_vars", Json::Num(self.string_vars as f64)),
+            ("int_vars", Json::Num(self.int_vars as f64)),
+            ("assertions", Json::Num(self.assertions as f64)),
+            ("len_eqs", Json::Num(self.len_eqs as f64)),
+            ("contains", Json::Num(self.contains as f64)),
+            ("prefixes", Json::Num(self.prefixes as f64)),
+            ("suffixes", Json::Num(self.suffixes as f64)),
+            ("pins", Json::Num(self.pins as f64)),
+            ("regexes", Json::Num(self.regexes as f64)),
+            ("ground_eqs", Json::Num(self.ground_eqs as f64)),
+            ("var_eqs", Json::Num(self.var_eqs as f64)),
+            ("self_reverses", Json::Num(self.self_reverses as f64)),
+            ("index_ofs", Json::Num(self.index_ofs as f64)),
+            ("unsupported", Json::Num(self.unsupported as f64)),
+            ("eq_classes", Json::Num(self.eq_classes as f64)),
+            ("exact_len_vars", Json::Num(self.exact_len_vars as f64)),
+            ("pinned_positions", Json::Num(self.pinned_positions as f64)),
+            ("avg_position_width", Json::Num(self.avg_position_width)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+
+    #[test]
+    fn counts_ops_and_domain_facts() {
+        let program = AbsProgram {
+            string_vars: vec!["s".to_string(), "t".to_string()],
+            int_vars: 1,
+            asserts: vec![
+                (
+                    0,
+                    AbsAssert::PinAt {
+                        var: 0,
+                        index: 0,
+                        ch: 'q',
+                    },
+                ),
+                (1, AbsAssert::LenEq { var: 0, n: 2 }),
+                (2, AbsAssert::IndexOfDef),
+            ],
+        };
+        let a = analyze(program);
+        let f = &a.features;
+        assert_eq!((f.string_vars, f.int_vars, f.assertions), (2, 1, 3));
+        assert_eq!((f.pins, f.len_eqs, f.index_ofs), (1, 1, 1));
+        assert_eq!(f.eq_classes, 2);
+        assert_eq!(f.exact_len_vars, 1);
+        assert_eq!(f.pinned_positions, 1);
+        // Position 0 pinned (width 1), position 1 free (width 128).
+        assert!((f.avg_position_width - 64.5).abs() < 1e-9);
+        let json = f.to_json();
+        assert_eq!(json.get("pins").and_then(Json::as_f64), Some(1.0));
+    }
+}

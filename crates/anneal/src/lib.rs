@@ -61,9 +61,7 @@ pub use polished::Polished;
 pub use population::PopulationAnnealer;
 pub use probes::{ProbeConfig, SamplerDynamics};
 pub use random::RandomSampler;
-pub use sa::{
-    SimulatedAnnealer, WARM_START_BETA_MAX, WARM_START_BETA_MIN, WARM_START_SWEEPS,
-};
+pub use sa::{SimulatedAnnealer, WARM_START_BETA_MAX, WARM_START_BETA_MIN, WARM_START_SWEEPS};
 pub use sampleset::{EnergyStats, Sample, SampleSet};
 pub use seeding::read_seed;
 

@@ -222,6 +222,10 @@ impl ClassicalSolver {
                         .find(|(i, _)| i == index)
                         .is_none_or(|(_, c)| c == *ch)
             }),
+            // Pins are statically derived from (and redundant with) the
+            // wrapped constraint, so the classical semantics are the
+            // inner constraint's semantics.
+            Constraint::Pinned { inner, .. } => self.solve(inner),
             Constraint::All(parts) => {
                 // Conjunctions must share one generated length; take it
                 // from the first part that exposes one.

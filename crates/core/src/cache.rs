@@ -360,7 +360,10 @@ mod tests {
             cache.lookup(fp(9), 2, 3, true),
             CacheLookup::Warm(_)
         ));
-        assert!(matches!(cache.lookup(fp(9), 2, 3, false), CacheLookup::Miss));
+        assert!(matches!(
+            cache.lookup(fp(9), 2, 3, false),
+            CacheLookup::Miss
+        ));
         // Equal or smaller budgets are served from cache.
         assert!(matches!(
             cache.lookup(fp(9), 2, 2, true),
@@ -415,7 +418,10 @@ mod tests {
             cache.lookup(fp(1), 1, 1, true),
             CacheLookup::Exact { .. }
         ));
-        assert!(matches!(cache.lookup(fp(2), 1, 1, false), CacheLookup::Miss));
+        assert!(matches!(
+            cache.lookup(fp(2), 1, 1, false),
+            CacheLookup::Miss
+        ));
         assert!(matches!(
             cache.lookup(fp(3), 1, 1, true),
             CacheLookup::Exact { .. }

@@ -151,6 +151,19 @@ pub enum Constraint {
         /// The conjoined parts.
         Vec<Constraint>,
     ),
+    /// Extension — a string constraint whose QUBO is shrunk by fixing
+    /// the bits of statically-proven character positions before
+    /// sampling (absint domain tightening, see `docs/ABSINT.md`). The
+    /// pins must be redundant with `inner` — they are derived by a
+    /// sound analysis of the same script — so fixing them preserves
+    /// the ground-state set while the sampler only sees the free bits.
+    Pinned {
+        /// The constraint being tightened; must decode to
+        /// [`crate::problem::DecodeScheme::AsciiString`].
+        inner: Box<Constraint>,
+        /// `(position, character)` pairs proven to hold.
+        pins: Vec<(usize, char)>,
+    },
 }
 
 impl Constraint {
@@ -269,6 +282,50 @@ impl Constraint {
                         .join(" ∧ "),
                 })
             }
+            Constraint::Pinned { inner, pins } => {
+                let enc = inner.encode_with(strength, bias)?;
+                let len = match &enc.decode {
+                    crate::problem::DecodeScheme::AsciiString { len } => *len,
+                    other => {
+                        return Err(ConstraintError::IncompatibleConjunction {
+                            reason: format!(
+                            "pinned constraint {:?} does not generate a string (decode {other:?})",
+                            inner.describe()
+                        ),
+                        })
+                    }
+                };
+                // Each pin fixes the 7 bits of one character slot.
+                let mut fixed: Vec<(u32, u8)> =
+                    Vec::with_capacity(pins.len() * crate::encode::BITS_PER_CHAR);
+                for &(pos, ch) in pins {
+                    if pos >= len {
+                        return Err(ConstraintError::IndexOutOfRange {
+                            index: pos,
+                            substring: 1,
+                            total: len,
+                        });
+                    }
+                    let bits = crate::encode::char_to_bits(ch)?;
+                    for (b, &bit) in bits.iter().enumerate() {
+                        fixed.push((crate::encode::bit_index(pos, b), bit));
+                    }
+                }
+                fixed.sort_unstable_by_key(|&(i, _)| i);
+                fixed.dedup();
+                let reduced = qsmt_qubo::fix_variables(&enc.qubo, &fixed);
+                let description = format!(
+                    "{} with {} position(s) pinned statically",
+                    enc.description,
+                    pins.len()
+                );
+                Ok(EncodedProblem {
+                    qubo: reduced.model,
+                    decode: crate::problem::DecodeScheme::AsciiStringReduced { len, fixed },
+                    name: enc.name,
+                    description,
+                })
+            }
         }
     }
 
@@ -297,6 +354,8 @@ impl Constraint {
             // A conjunction inherits one shared bias; the printable bias is
             // the safe symmetric choice (palindrome parts stay mirrored).
             Constraint::All(_) => BiasProfile::printable(),
+            // Pinning does not change which encoder runs underneath.
+            Constraint::Pinned { inner, .. } => Self::default_bias(inner),
             _ => BiasProfile::none(),
         }
     }
@@ -355,6 +414,15 @@ impl Constraint {
                 t.len() == *len && t.as_bytes().get(*index) == Some(&(*ch as u8))
             }
             (Constraint::All(parts), sol) => parts.iter().all(|p| p.validate(sol)),
+            (Constraint::Pinned { inner, pins }, sol) => {
+                inner.validate(sol)
+                    && match sol {
+                        Solution::Text(t) => pins
+                            .iter()
+                            .all(|&(i, ch)| t.as_bytes().get(i) == Some(&(ch as u8))),
+                        _ => false,
+                    }
+            }
             _ => false,
         }
     }
@@ -406,6 +474,9 @@ impl Constraint {
                 .map(Constraint::describe)
                 .collect::<Vec<_>>()
                 .join(" ∧ "),
+            Constraint::Pinned { inner, pins } => {
+                format!("{} with {} pin(s)", inner.describe(), pins.len())
+            }
         }
     }
 }
@@ -604,6 +675,56 @@ mod tests {
             let t = sol.as_text().expect("text");
             assert!(t.starts_with('a') && t.ends_with('a'), "{t:?}");
         }
+    }
+
+    #[test]
+    fn pinned_constraint_shrinks_model_and_preserves_ground_states() {
+        // CharAt pins S[0] = 'a' at the QUBO level; the absint pin for
+        // the same position removes those 7 bits from the model.
+        let inner = Constraint::CharAt {
+            ch: 'a',
+            index: 0,
+            len: 3,
+        };
+        let full = inner.encode().expect("encodes");
+        assert_eq!(full.num_vars(), 21);
+        let pinned = Constraint::Pinned {
+            inner: Box::new(inner.clone()),
+            pins: vec![(0, 'a')],
+        };
+        let p = pinned.encode().expect("encodes");
+        assert_eq!(p.num_vars(), 14, "7 bits fixed away");
+        let (_, states) = qsmt_anneal::ExactSolver::new().ground_states(&p.qubo);
+        assert!(!states.is_empty());
+        for st in states.iter().take(16) {
+            let sol = p.decode_state(st).expect("decodes");
+            let t = sol.as_text().expect("text");
+            assert_eq!(t.len(), 3);
+            assert!(t.starts_with('a'), "{t:?}");
+            assert!(inner.validate(&sol));
+            assert!(pinned.validate(&sol));
+        }
+    }
+
+    #[test]
+    fn pinned_constraint_rejects_out_of_range_and_non_string_inner() {
+        let out_of_range = Constraint::Pinned {
+            inner: Box::new(Constraint::CharAt {
+                ch: 'a',
+                index: 0,
+                len: 3,
+            }),
+            pins: vec![(3, 'x')],
+        };
+        assert!(out_of_range.encode().is_err());
+        let non_string = Constraint::Pinned {
+            inner: Box::new(Constraint::LengthUnary {
+                desired: 2,
+                slots: 3,
+            }),
+            pins: vec![(0, 'a')],
+        };
+        assert!(non_string.encode().is_err());
     }
 
     #[test]

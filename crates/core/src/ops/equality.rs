@@ -110,10 +110,10 @@ mod tests {
         let p = Equality::new("a").encode().unwrap();
         let target = crate::encode::string_to_bits("a").unwrap();
         let ground = p.qubo.energy(&target);
-        let mut flipped = target.clone();
+        let mut flipped = target;
         flipped[0] ^= 1;
         assert_eq!(p.qubo.energy(&flipped), ground + 1.0);
-        let mut two = flipped.clone();
+        let mut two = flipped;
         two[3] ^= 1;
         assert_eq!(p.qubo.energy(&two), ground + 2.0);
     }

@@ -23,6 +23,19 @@ pub enum DecodeScheme {
         /// Number of character slots.
         chars: usize,
     },
+    /// An [`AsciiString`](DecodeScheme::AsciiString) encoding whose
+    /// QUBO was shrunk by fixing bit variables up front (absint domain
+    /// tightening, see `docs/ABSINT.md`): the sampler only sees the
+    /// free bits, and decoding re-inserts the fixed ones before reading
+    /// off the string.
+    AsciiStringReduced {
+        /// Number of characters in the generated string.
+        len: usize,
+        /// `(original bit index, fixed value)` pairs, sorted and unique
+        /// by bit index. The free bits, in ascending original order,
+        /// correspond one-to-one to the reduced state.
+        fixed: Vec<(u32, u8)>,
+    },
 }
 
 /// A decoded answer.
@@ -118,6 +131,27 @@ impl EncodedProblem {
                     .count();
                 Ok(Solution::Length(full_groups))
             }
+            DecodeScheme::AsciiStringReduced { len, fixed } => {
+                let total = len * BITS_PER_CHAR;
+                let expected = total - fixed.len();
+                if state.len() != expected {
+                    return Err(DecodeError::BadLength { len: state.len() });
+                }
+                // Lift the reduced state back to the full 7·len bits:
+                // fixed bits at their original indices, free bits in
+                // ascending order from the sampler state.
+                let mut bits = vec![u8::MAX; total];
+                for &(i, b) in fixed {
+                    bits[i as usize] = b;
+                }
+                let mut free = state.iter();
+                for slot in &mut bits {
+                    if *slot == u8::MAX {
+                        *slot = *free.next().expect("free bit count checked above");
+                    }
+                }
+                Ok(Solution::Text(bits_to_string(&bits)?))
+            }
         }
     }
 
@@ -180,6 +214,24 @@ mod tests {
         partial.push(0);
         partial.extend(vec![0u8; 14]);
         assert_eq!(p.decode_state(&partial).unwrap(), Solution::Length(0));
+    }
+
+    #[test]
+    fn reduced_ascii_decode_reinserts_fixed_bits() {
+        // "hi" with position 0 fixed to 'h': bits 0..7 fixed, free
+        // state carries only the 7 bits of 'i'.
+        let full = string_to_bits("hi").unwrap();
+        let fixed: Vec<(u32, u8)> = full[..7]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as u32, b))
+            .collect();
+        let p = problem(DecodeScheme::AsciiStringReduced { len: 2, fixed }, 7);
+        assert_eq!(
+            p.decode_state(&full[7..]).unwrap(),
+            Solution::Text("hi".into())
+        );
+        assert!(p.decode_state(&full).is_err(), "full state is too long");
     }
 
     #[test]

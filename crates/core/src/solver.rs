@@ -6,9 +6,7 @@ use crate::constraint::Constraint;
 use crate::error::ConstraintError;
 use crate::ops::{BiasProfile, DEFAULT_STRENGTH};
 use crate::problem::{EncodedProblem, Solution};
-use qsmt_anneal::{
-    metrics, ProbeConfig, SampleSet, Sampler, SamplerDynamics, SimulatedAnnealer,
-};
+use qsmt_anneal::{metrics, ProbeConfig, SampleSet, Sampler, SamplerDynamics, SimulatedAnnealer};
 use qsmt_lint::{lint_qubo, LintConfig, LintReport};
 use qsmt_qubo::{DenseQubo, ModelFingerprint, QuboModel, StopFlag};
 use qsmt_telemetry::{
@@ -1265,12 +1263,15 @@ mod tests {
         let calls = Arc::clone(&counting.calls);
         let cache = Arc::new(SolveCache::new(16));
         let s = StringSolver::new(counting).with_cache(cache);
-        s.solve(&Constraint::Reverse { input: "ab".into() }).unwrap();
+        s.solve(&Constraint::Reverse { input: "ab".into() })
+            .unwrap();
         assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
         // Same shape, different coefficients: a warm start. The counter
         // advancing proves the custom sampler (via its warm variant) ran
         // the refinement — not a silently substituted built-in annealer.
-        let warm = s.solve(&Constraint::Reverse { input: "cd".into() }).unwrap();
+        let warm = s
+            .solve(&Constraint::Reverse { input: "cd".into() })
+            .unwrap();
         assert_eq!(
             calls.load(std::sync::atomic::Ordering::SeqCst),
             2,

@@ -207,15 +207,22 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// Sorts diagnostics into the canonical order (severity descending,
-    /// then code, then first variable). Passes push in discovery order;
-    /// the driver calls this once at the end.
+    /// Sorts diagnostics into the canonical order: severity descending,
+    /// then code, then variable indices, then message, then metric —
+    /// a *total* order, so serialized output is identical regardless of
+    /// the passes' discovery order. Passes push in discovery order; the
+    /// driver calls this once at the end.
     pub fn finish(&mut self) {
         self.diagnostics.sort_by(|a, b| {
             b.severity
                 .cmp(&a.severity)
                 .then_with(|| a.code.as_str().cmp(b.code.as_str()))
                 .then_with(|| a.vars.cmp(&b.vars))
+                .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| match (a.metric, b.metric) {
+                    (Some(x), Some(y)) => x.total_cmp(&y),
+                    (a, b) => a.is_some().cmp(&b.is_some()),
+                })
         });
     }
 
@@ -328,6 +335,35 @@ mod tests {
                 "non-kebab code string {s}"
             );
         }
+    }
+
+    #[test]
+    fn finish_is_a_total_order_regardless_of_discovery_order() {
+        // Same findings pushed in two different discovery orders must
+        // serialize byte-identically — JSON consumers diff reports.
+        let findings = || {
+            vec![
+                Diagnostic::new(LintCode::PenaltyGap, "tight gap")
+                    .with_vars(vec![0])
+                    .with_metric(0.5),
+                Diagnostic::new(LintCode::PenaltyGap, "wide gap")
+                    .with_vars(vec![0])
+                    .with_metric(2.0),
+                Diagnostic::new(LintCode::PenaltyGap, "tight gap").with_vars(vec![1]),
+                Diagnostic::new(LintCode::DynamicRange, "range"),
+            ]
+        };
+        let mut forward = LintReport::default();
+        for d in findings() {
+            forward.push(d);
+        }
+        forward.finish();
+        let mut reverse = LintReport::default();
+        for d in findings().into_iter().rev() {
+            reverse.push(d);
+        }
+        reverse.finish();
+        assert_eq!(forward.to_json().pretty(), reverse.to_json().pretty());
     }
 
     #[test]

@@ -566,7 +566,7 @@ mod tests {
         );
         assert_eq!(first.embedding, second.embedding);
         // A different coefficient pattern with the same structure also hits.
-        let mut m2 = m.clone();
+        let mut m2 = m;
         m2.add_linear(0, 0.25);
         qpu.sample_qubo(&m2).unwrap();
         assert_eq!(qpu.cached_embeddings(), 1);

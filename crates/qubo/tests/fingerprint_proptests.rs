@@ -113,15 +113,16 @@ proptest! {
         // for the documented cross-run stability guarantee.
         let a = t.build(&(0..t.len()).collect::<Vec<_>>());
         let b = t.build(&(0..t.len()).collect::<Vec<_>>());
+        let dup = a.clone();
         prop_assert_eq!(a.fingerprint(), b.fingerprint());
-        prop_assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        prop_assert_eq!(a.fingerprint(), dup.fingerprint());
     }
 
     #[test]
     fn dropping_an_edge_moves_the_shape(t in arb_terms()) {
         prop_assume!(!t.quadratic.is_empty());
         let full = t.build(&(0..t.len()).collect::<Vec<_>>());
-        let mut trimmed = t.clone();
+        let mut trimmed = t;
         let removed = trimmed.quadratic.pop().expect("non-empty");
         let slim = trimmed.build(&(0..trimmed.len()).collect::<Vec<_>>());
         // Only assert when the dropped term was the sole contribution to

@@ -165,9 +165,9 @@ proptest! {
         let red = presolve(&a);
         prop_assert!(red.model.check_invariants().is_ok());
         let n = a.num_vars().max(b.num_vars());
-        let mut merged = a.clone();
+        let mut merged = a;
         merged.grow_to(n);
-        let mut b2 = b.clone();
+        let mut b2 = b;
         b2.grow_to(n);
         merged.merge(&b2);
         prop_assert!(merged.check_invariants().is_ok());
@@ -177,7 +177,7 @@ proptest! {
     fn normalize_preserves_ground_states(m in arb_model()) {
         prop_assume!(m.max_abs_coefficient() > 0.0);
         let (_, before) = m.brute_force_ground_states();
-        let mut scaled = m.clone();
+        let mut scaled = m;
         normalize(&mut scaled, 1.0);
         let (_, after) = scaled.brute_force_ground_states();
         let mut a = before;
@@ -191,9 +191,9 @@ proptest! {
     fn merge_energy_is_sum_of_part_energies(a in arb_model(), b in arb_model()) {
         let n = a.num_vars().max(b.num_vars());
         let mut merged = QuboModel::new(n);
-        let mut a2 = a.clone();
+        let mut a2 = a;
         a2.grow_to(n);
-        let mut b2 = b.clone();
+        let mut b2 = b;
         b2.grow_to(n);
         merged.merge(&a2);
         merged.merge(&b2);

@@ -19,7 +19,7 @@ pub fn enumerate_matches(re: &Regex, len: usize, alphabet: &[char], limit: usize
     dfs(
         &nfa,
         &accept,
-        nfa.start_set(),
+        &nfa.start_set(),
         len,
         alphabet,
         limit,
@@ -33,7 +33,7 @@ pub fn enumerate_matches(re: &Regex, len: usize, alphabet: &[char], limit: usize
 fn dfs(
     nfa: &Nfa,
     accept: &[Vec<bool>],
-    set: Vec<bool>,
+    set: &[bool],
     remaining: usize,
     alphabet: &[char],
     limit: usize,
@@ -44,7 +44,7 @@ fn dfs(
         return;
     }
     if remaining == 0 {
-        if nfa.is_accepting(&set) {
+        if nfa.is_accepting(set) {
             out.push(buf.clone());
         }
         return;
@@ -58,10 +58,10 @@ fn dfs(
         return;
     }
     for &c in alphabet {
-        let next = nfa.step(&set, c);
+        let next = nfa.step(set, c);
         if next.iter().any(|&b| b) {
             buf.push(c);
-            dfs(nfa, accept, next, remaining - 1, alphabet, limit, buf, out);
+            dfs(nfa, accept, &next, remaining - 1, alphabet, limit, buf, out);
             buf.pop();
         }
         if out.len() >= limit {

@@ -35,11 +35,14 @@
 
 #![warn(missing_docs)]
 
+mod absint;
 mod ast;
 mod compile;
 mod lexer;
 mod script;
 mod sexpr;
+
+pub use absint::{apply_tightenings, lower, AbsintRun};
 
 pub use ast::{AstError, Command, RegLan, Sort, Term};
 pub use compile::{compile, reglan_to_regex, CompileError, Goal};

@@ -123,9 +123,51 @@ impl Script {
     /// Propagates compilation errors and non-unsat encoding errors.
     pub fn solve(&self, solver: &StringSolver) -> Result<ScriptOutcome, ScriptError> {
         let goals = self.compile()?;
+        Self::solve_goals(&goals, solver)
+    }
+
+    /// Runs the abstract-interpretation pass over the script (see
+    /// `docs/ABSINT.md`): lowering, fixpoint, certificate, tightenings,
+    /// and routing features. Purely static — no QUBO is built.
+    pub fn absint(&self) -> crate::absint::AbsintRun {
+        crate::absint::AbsintRun::over(&self.commands)
+    }
+
+    /// Like [`Script::solve`], but runs the abstract-interpretation
+    /// pass first. A statically refuted script (certificate confirmed
+    /// by the replay checker) returns `unsat` without compiling
+    /// anything; otherwise the derived domain tightenings are applied
+    /// to the compiled goals so pinned positions never reach the
+    /// sampler. The returned [`AbsintRun`](crate::absint::AbsintRun)
+    /// carries the verdict, certificate, and accounting either way.
+    ///
+    /// # Errors
+    /// Propagates compilation errors and non-unsat encoding errors.
+    pub fn solve_absint(
+        &self,
+        solver: &StringSolver,
+    ) -> Result<(ScriptOutcome, crate::absint::AbsintRun), ScriptError> {
+        let mut run = self.absint();
+        if run.is_refuted() {
+            return Ok((
+                ScriptOutcome {
+                    status: SatStatus::Unsat,
+                    model: Vec::new(),
+                },
+                run,
+            ));
+        }
+        let goals = self.compile()?;
+        let (goals, eliminated) = crate::absint::apply_tightenings(goals, &run.analysis);
+        run.vars_eliminated = eliminated;
+        let out = Self::solve_goals(&goals, solver)?;
+        Ok((out, run))
+    }
+
+    fn solve_goals(goals: &[Goal], solver: &StringSolver) -> Result<ScriptOutcome, ScriptError> {
         let mut model = Vec::with_capacity(goals.len());
         let mut status = SatStatus::Sat;
-        for goal in &goals {
+        for goal in goals {
             match goal {
                 Goal::StringConstraint { name, constraint } => match solver.solve(constraint) {
                     Ok(out) => {
@@ -194,9 +236,54 @@ impl Script {
         &self,
         solver: &StringSolver,
     ) -> Result<(ScriptOutcome, Vec<qsmt_telemetry::GoalReport>), ScriptError> {
+        let goals = self.compile()?;
+        Self::solve_goals_reported(&goals, solver)
+    }
+
+    /// Like [`Script::solve_reported`], but with the
+    /// abstract-interpretation pass in front, exactly as in
+    /// [`Script::solve_absint`]: statically refuted scripts return
+    /// `unsat` with no goal reports, and tightenings shrink the QUBOs
+    /// of everything else. This is the entry point behind the default
+    /// `qsmt solve` and the serve loop.
+    ///
+    /// # Errors
+    /// Propagates compilation errors and non-unsat encoding errors.
+    pub fn solve_reported_absint(
+        &self,
+        solver: &StringSolver,
+    ) -> Result<
+        (
+            ScriptOutcome,
+            Vec<qsmt_telemetry::GoalReport>,
+            crate::absint::AbsintRun,
+        ),
+        ScriptError,
+    > {
+        let mut run = self.absint();
+        if run.is_refuted() {
+            return Ok((
+                ScriptOutcome {
+                    status: SatStatus::Unsat,
+                    model: Vec::new(),
+                },
+                Vec::new(),
+                run,
+            ));
+        }
+        let goals = self.compile()?;
+        let (goals, eliminated) = crate::absint::apply_tightenings(goals, &run.analysis);
+        run.vars_eliminated = eliminated;
+        let (out, reports) = Self::solve_goals_reported(&goals, solver)?;
+        Ok((out, reports, run))
+    }
+
+    fn solve_goals_reported(
+        goals: &[Goal],
+        solver: &StringSolver,
+    ) -> Result<(ScriptOutcome, Vec<qsmt_telemetry::GoalReport>), ScriptError> {
         use qsmt_telemetry::{GoalKind, GoalReport};
 
-        let goals = self.compile()?;
         let mut model = Vec::with_capacity(goals.len());
         let mut reports = Vec::with_capacity(goals.len());
         let mut status = SatStatus::Sat;
@@ -209,7 +296,7 @@ impl Script {
                 reports,
             ))
         };
-        for goal in &goals {
+        for goal in goals {
             match goal {
                 Goal::StringConstraint { name, constraint } => {
                     match solver.solve_reported(constraint) {
@@ -508,6 +595,46 @@ mod tests {
         assert_eq!(lints.len(), 1);
         assert!(lints[0].unsat);
         assert!(lints[0].reports.is_empty());
+    }
+
+    #[test]
+    fn solve_absint_refutes_statically_without_compiling() {
+        // Compilation alone would also catch this (contains longer than
+        // the length), but the absint path decides before compile and
+        // carries a checkable certificate.
+        let script = Script::parse(
+            "(declare-const s String)\
+             (assert (str.contains s \"toolong\"))\
+             (assert (= (str.len s) 3))",
+        )
+        .unwrap();
+        let (out, run) = script.solve_absint(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Unsat);
+        assert!(out.model.is_empty());
+        assert!(run.is_refuted());
+        assert!(run.analysis.verify_certificate().is_ok());
+        let (rout, reports, _) = script.solve_reported_absint(&solver()).unwrap();
+        assert_eq!(rout.status, SatStatus::Unsat);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn solve_absint_tightens_sat_scripts_and_keeps_answers_valid() {
+        let script = Script::parse(
+            "(declare-const s String)\
+             (assert (= (str.at s 0) \"q\"))\
+             (assert (= (str.at s 2) \"z\"))\
+             (assert (= (str.len s) 4))",
+        )
+        .unwrap();
+        let (out, run) = script.solve_absint(&solver()).unwrap();
+        assert_eq!(out.status, SatStatus::Sat);
+        assert_eq!(run.vars_eliminated, 14);
+        let ModelValue::Str(s) = &out.model[0].1 else {
+            panic!("string model expected");
+        };
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('q') && s.as_bytes()[2] == b'z', "{s:?}");
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub use dynamics::{
 pub use json::{parse, Json, JsonParseError};
 pub use recorder::{Recorder, SpanGuard, SpanRecord, TraceDisplay};
 pub use report::{
-    CacheStats, CompileStats, EmbeddingStats, GoalKind, GoalReport, LintStats, PresolveStats,
-    QuboShape, RunReport, SamplerStats, SelectStats, SolveReport, StageTiming,
+    AbsintStats, CacheStats, CompileStats, EmbeddingStats, GoalKind, GoalReport, LintStats,
+    PresolveStats, QuboShape, RunReport, SamplerStats, SelectStats, SolveReport, StageTiming,
 };

@@ -334,6 +334,49 @@ impl CacheStats {
     }
 }
 
+/// Script-level abstract-interpretation statistics (schema v6).
+///
+/// Present when the absint pass ran over the script before any goal was
+/// compiled; `None` (JSON `null`) means the pass was disabled, which
+/// keeps the section additive over v5 reports. The full analysis
+/// (certificate steps, domain summaries) is available via `qsmt lint
+/// --format json`; the run report carries the routing-relevant summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsintStats {
+    /// The verdict: `"unsat"` (refuted with a checkable certificate) or
+    /// `"unknown"` (nothing refuted; tightenings may still apply).
+    pub verdict: String,
+    /// Wall-clock time of lowering + fixpoint, microseconds.
+    pub time_us: u64,
+    /// Fixpoint rounds until stabilization.
+    pub iterations: u64,
+    /// Domain-narrowing rule applications recorded during the fixpoint.
+    pub domains_narrowed: u64,
+    /// QUBO bit variables eliminated by applying tightenings (0 when
+    /// the verdict is `"unsat"` — nothing is compiled).
+    pub vars_eliminated: u64,
+    /// Steps in the unsat certificate (0 when the verdict is
+    /// `"unknown"`).
+    pub certificate_steps: u64,
+    /// The static routing feature vector (see `docs/ABSINT.md`).
+    pub features: Json,
+}
+
+impl AbsintStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("verdict", Json::from(self.verdict.as_str())),
+            ("time_us", Json::from(self.time_us)),
+            ("iterations", Json::from(self.iterations)),
+            ("domains_narrowed", Json::from(self.domains_narrowed)),
+            ("vars_eliminated", Json::from(self.vars_eliminated)),
+            ("certificate_steps", Json::from(self.certificate_steps)),
+            ("features", self.features.clone()),
+        ])
+    }
+}
+
 /// One top-level stage timing within a solve, in execution order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageTiming {
@@ -615,6 +658,10 @@ pub struct RunReport {
     pub served_from: String,
     /// End-to-end wall-clock for the run, microseconds.
     pub elapsed_us: u64,
+    /// Script-level abstract-interpretation summary; `None` when the
+    /// pass was disabled (additive in schema v6, serialized as `null`
+    /// when absent).
+    pub absint: Option<AbsintStats>,
     /// Per-goal reports in declaration order.
     pub goals: Vec<GoalReport>,
 }
@@ -627,9 +674,12 @@ impl RunReport {
     /// probes: energy trace, per-β acceptance, swap/ESS stats, stall
     /// verdict); v5 adds the additive `cache` section on `SolveReport`
     /// (lookup outcome and warm-start sweeps) and `served_from` on the
-    /// run. Earlier readers keep working because no existing field
-    /// changed.
-    pub const SCHEMA_VERSION: u32 = 5;
+    /// run; v6 adds the additive `absint` section on the run (script
+    /// abstract-interpretation verdict, fixpoint accounting, eliminated
+    /// variables, certificate size, and routing features) and the
+    /// `"absint"` value for `served_from`. Earlier readers keep working
+    /// because no existing field changed.
+    pub const SCHEMA_VERSION: u32 = 6;
 
     /// Serializes as a JSON object.
     pub fn to_json(&self) -> Json {
@@ -640,6 +690,12 @@ impl RunReport {
             ("sampler", Json::from(self.sampler.as_str())),
             ("served_from", Json::from(self.served_from.as_str())),
             ("elapsed_us", Json::from(self.elapsed_us)),
+            (
+                "absint",
+                self.absint
+                    .as_ref()
+                    .map_or(Json::Null, AbsintStats::to_json),
+            ),
             (
                 "goals",
                 Json::Arr(self.goals.iter().map(GoalReport::to_json).collect()),
@@ -851,6 +907,15 @@ mod tests {
             sampler: "simulated-annealing".into(),
             served_from: "solver".into(),
             elapsed_us: 2000,
+            absint: Some(AbsintStats {
+                verdict: "unknown".into(),
+                time_us: 40,
+                iterations: 2,
+                domains_narrowed: 3,
+                vars_eliminated: 14,
+                certificate_steps: 0,
+                features: Json::obj([("string_vars", Json::from(1u64))]),
+            }),
             goals: vec![GoalReport {
                 name: "x".into(),
                 kind: GoalKind::Pipeline,
@@ -861,7 +926,7 @@ mod tests {
             }],
         };
         let doc = parse(&run.to_json().pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(5));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
         assert_eq!(
             doc.get("served_from").and_then(Json::as_str),
             Some("solver")
@@ -874,6 +939,57 @@ mod tests {
         assert_eq!(
             goals[0].get("solves").and_then(Json::as_arr).unwrap().len(),
             1
+        );
+    }
+
+    #[test]
+    fn schema_v6_is_additive_over_v5() {
+        // A v5-shaped run (no absint section) still serializes every key
+        // with `absint` as null; a v6 run keeps every v5 key.
+        let run = |absint: Option<AbsintStats>| RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            source: "x.smt2".into(),
+            status: "unsat".into(),
+            sampler: "simulated-annealing".into(),
+            served_from: "absint".into(),
+            elapsed_us: 120,
+            absint,
+            goals: vec![],
+        };
+        let v5_doc = parse(&run(None).to_json().pretty()).unwrap();
+        assert_eq!(v5_doc.get("absint"), Some(&Json::Null));
+        let v6 = run(Some(AbsintStats {
+            verdict: "unsat".into(),
+            time_us: 55,
+            iterations: 2,
+            domains_narrowed: 4,
+            vars_eliminated: 0,
+            certificate_steps: 3,
+            features: Json::obj([("assertions", Json::from(2u64))]),
+        }));
+        let v6_doc = parse(&v6.to_json().pretty()).unwrap();
+        let (Json::Obj(v5_map), Json::Obj(v6_map)) = (&v5_doc, &v6_doc) else {
+            panic!("reports serialize as objects");
+        };
+        for key in v5_map.keys() {
+            assert!(v6_map.contains_key(key), "v6 dropped v5 key {key}");
+        }
+        let absint = v6_doc.get("absint").unwrap();
+        assert_eq!(absint.get("verdict").and_then(Json::as_str), Some("unsat"));
+        assert_eq!(
+            absint.get("certificate_steps").and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            absint
+                .get("features")
+                .and_then(|f| f.get("assertions"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            v6_doc.get("served_from").and_then(Json::as_str),
+            Some("absint")
         );
     }
 

@@ -33,7 +33,7 @@ fn main() {
     let framed = Expr::input().append("!>>").prepend("<<");
     let contains_ping = Cond::Contains(framed.clone(), "ping".into());
     let ends_z = Cond::EndsWith(framed.clone(), "z!>>".into());
-    let starts_admin = Cond::StartsWith(framed.clone(), "<<admin".into());
+    let starts_admin = Cond::StartsWith(framed, "<<admin".into());
 
     let program = Program::new("router", 5)
         .branch("PING-HANDLER", vec![(contains_ping.clone(), true)])

@@ -3,7 +3,8 @@
 //! ```text
 //! qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
 //!                        [--stats] [--report <path>] [--trace] [--lint]
-//! qsmt lint  <file.smt2> [--format text|json]  # static formulation analysis
+//!                        [--no-absint]
+//! qsmt lint  <file.smt2> [--format text|json] [--no-absint]  # static analysis
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
 //! qsmt bench [--quick] [--out PATH] [--seed N]  # annealing perf baseline
@@ -44,10 +45,12 @@ qsmt — quantum-based SMT solving for string theory
 USAGE:
   qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
                          [--stats] [--report <path>] [--trace] [--lint]
-  qsmt lint  <file.smt2> [--format text|json]
+                         [--no-absint]
+  qsmt lint  <file.smt2> [--format text|json] [--no-absint]
   qsmt dump  <file.smt2> [--goal K]
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
              [--stats] [--report <path>] [--trace] [--lint]
+             [--no-absint]
   qsmt bench [--quick] [--out <path>] [--seed N]
   qsmt serve --metrics-addr <host:port> [--seed N] [--workers N]
              [--queue-depth N] [--job-timeout MS] [--max-requests N]
@@ -102,6 +105,14 @@ STATIC ANALYSIS (see docs/LINTS.md):
                    diagnostics (--format json for machine-readable output)
   --lint           deny-on-error mode for solve/demo: refuse to sample an
                    encoding the linter can prove unsound
+
+ABSTRACT INTERPRETATION (see docs/ABSINT.md):
+  solve/demo/lint run a script-level abstract-interpretation pass by
+  default: statically refuted scripts answer unsat immediately with a
+  replay-checked certificate, proven character pins shrink the QUBO
+  before presolve, and the report gains an `absint` section (schema v6)
+  --no-absint      skip the pass (compile every goal as written)
+  --absint         force the default on explicitly
 ";
 
 const DEMO: &str = r#"
@@ -151,6 +162,9 @@ struct Options {
     job_timeout_set: bool,
     /// Solve-cache capacity for `serve`; 0 means `--no-cache`.
     cache_entries: usize,
+    /// Script-level abstract interpretation before compiling
+    /// (`--no-absint` opts out; see docs/ABSINT.md).
+    absint: bool,
 }
 
 impl Default for Options {
@@ -178,6 +192,7 @@ impl Default for Options {
             job_timeout_ms: 30_000,
             job_timeout_set: false,
             cache_entries: 256,
+            absint: true,
         }
     }
 }
@@ -264,6 +279,8 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--cache-entries expects an integer".to_string())?;
             }
             "--no-cache" => opts.cache_entries = 0,
+            "--absint" => opts.absint = true,
+            "--no-absint" => opts.absint = false,
             "--check-overhead" => opts.check_overhead = true,
             "--format" => {
                 let fmt = value("--format")?;
@@ -365,20 +382,41 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
         )
     };
     let started = Instant::now();
-    let (outcome, goals) = if opts.wants_telemetry() {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let (outcome, goals, absint_run) = if opts.absint {
+        if opts.wants_telemetry() {
+            let (outcome, goals, run) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    script.solve_reported_absint(&solver)
+                }))
+                .map_err(surface_panic)?
+                .map_err(|e| e.to_string())?;
+            (outcome, goals, Some(run))
+        } else {
+            let (outcome, run) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                script.solve_absint(&solver)
+            }))
+            .map_err(surface_panic)?
+            .map_err(|e| e.to_string())?;
+            (outcome, Vec::new(), Some(run))
+        }
+    } else if opts.wants_telemetry() {
+        let (outcome, goals) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             script.solve_reported(&solver)
         }))
         .map_err(surface_panic)?
-        .map_err(|e| e.to_string())?
+        .map_err(|e| e.to_string())?;
+        (outcome, goals, None)
     } else {
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| script.solve(&solver)))
                 .map_err(surface_panic)?
                 .map_err(|e| e.to_string())?;
-        (outcome, Vec::new())
+        (outcome, Vec::new(), None)
     };
     let elapsed_us = started.elapsed().as_micros() as u64;
+    let refuted_statically = absint_run
+        .as_ref()
+        .is_some_and(qsmt::smtlib::AbsintRun::is_refuted);
 
     println!("{}", outcome.status);
     if !outcome.model.is_empty() {
@@ -390,6 +428,18 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
     }
 
     if opts.stats {
+        if let Some(run) = &absint_run {
+            let stats = run.to_stats();
+            println!(
+                "; absint: verdict {}, {} iteration(s), {} narrowing(s), {} vars eliminated, {} certificate step(s), {:.3} ms",
+                stats.verdict,
+                stats.iterations,
+                stats.domains_narrowed,
+                stats.vars_eliminated,
+                stats.certificate_steps,
+                stats.time_us as f64 / 1000.0
+            );
+        }
         for goal in &goals {
             println!(
                 "; goal {} ({}): {} solve(s), {:.3} ms",
@@ -421,10 +471,16 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
             source: source_name.to_string(),
             status: outcome.status.to_string(),
             sampler: solver.sampler_name().to_string(),
-            // The one-shot CLI path runs cache-less; only `qsmt serve`
-            // can answer a run from cache.
-            served_from: "solver".to_string(),
+            // The one-shot CLI path runs cache-less; a run can only be
+            // served by the static analyzer (a confirmed refutation) or
+            // the solver itself.
+            served_from: if refuted_statically {
+                "absint".to_string()
+            } else {
+                "solver".to_string()
+            },
             elapsed_us,
+            absint: absint_run.as_ref().map(qsmt::smtlib::AbsintRun::to_stats),
             goals,
         };
         std::fs::write(path, report.to_json().pretty())
@@ -442,6 +498,10 @@ fn run_lint(source: &str, source_name: &str, opts: &Options) -> Result<bool, Str
     let solver = StringSolver::with_defaults();
     let goals = script.lint(&solver).map_err(|e| e.to_string())?;
     let any_errors = goals.iter().any(qsmt::smtlib::GoalLint::has_errors);
+    // Script-level abstract interpretation rides along: informational
+    // diagnostics (and the full analysis in JSON mode) that never count
+    // toward the error budget — the lint gate stays a formulation gate.
+    let absint = opts.absint.then(|| script.absint());
 
     if opts.format == "json" {
         let goal_values: Vec<Json> = goals
@@ -467,9 +527,26 @@ fn run_lint(source: &str, source_name: &str, opts: &Options) -> Result<bool, Str
             ("source", Json::Str(source_name.to_string())),
             ("goals", Json::Arr(goal_values)),
             ("has_errors", Json::Bool(any_errors)),
+            (
+                "absint",
+                absint
+                    .as_ref()
+                    .map_or(Json::Null, |run| run.analysis.to_json()),
+            ),
         ]);
         println!("{}", doc.pretty());
     } else {
+        if let Some(run) = &absint {
+            println!(
+                "script: absint verdict {} ({} iteration(s), {} narrowing(s))",
+                run.analysis.verdict.as_str(),
+                run.analysis.iterations,
+                run.analysis.domains_narrowed
+            );
+            for d in run.analysis.diagnostics() {
+                println!("  info[{}]: {}", d.code, d.message);
+            }
+        }
         for g in &goals {
             if g.unsat {
                 println!("goal {}: unsat at encode time (nothing to lint)", g.name);

@@ -48,6 +48,7 @@
 pub mod bench;
 pub mod serve;
 
+pub use qsmt_absint as absint;
 pub use qsmt_anneal as anneal;
 pub use qsmt_baseline as baseline;
 pub use qsmt_core as core;

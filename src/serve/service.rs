@@ -397,14 +397,14 @@ impl Service {
                 }
             };
             match job {
-                Some(job) => self.run_job(job),
+                Some(job) => self.run_job(&job),
                 None => return,
             }
         }
     }
 
     /// Runs one job to a terminal state: solve, fail, or time out.
-    fn run_job(&self, job: Job) {
+    fn run_job(&self, job: &Job) {
         let wait_us = job.submitted.elapsed().as_micros() as u64;
         self.registry
             .histogram_observe("qsmt_serve_job_wait_us", &[], wait_us as f64);
@@ -413,7 +413,7 @@ impl Service {
         // starts sampling.
         if Instant::now() >= job.deadline {
             self.finish(
-                &job,
+                job,
                 JobStatus::TimedOut {
                     site: "queue",
                     timeout: job.timeout,
@@ -450,7 +450,7 @@ impl Service {
             })
         };
 
-        let result = catch_unwind(AssertUnwindSafe(|| self.solve_script(&job, &stop)));
+        let result = catch_unwind(AssertUnwindSafe(|| self.solve_script(job, &stop)));
 
         let (finished, cv) = &*done;
         *finished.lock().expect("deadline lock") = true;
@@ -480,12 +480,13 @@ impl Service {
                 }
             }
         };
-        self.finish(&job, status);
+        self.finish(job, status);
     }
 
-    /// The actual solve: parse, run the reported pipeline with the
-    /// job's seed/reads, the cancellation flag, and the shared solve
-    /// cache, and produce a schema-v5 [`RunReport`] document.
+    /// The actual solve: parse, run the abstract-interpretation pass
+    /// and then the reported pipeline with the job's seed/reads, the
+    /// cancellation flag, and the shared solve cache, and produce a
+    /// schema-v6 [`RunReport`] document.
     fn solve_script(&self, job: &Job, stop: &StopFlag) -> Result<Json, String> {
         let script = Script::parse(&job.source).map_err(|e| e.to_string())?;
         let mut solver = StringSolver::with_defaults()
@@ -498,12 +499,17 @@ impl Service {
             solver = solver.with_cache(Arc::clone(cache));
         }
         let started = Instant::now();
-        let (outcome, goals): (_, Vec<GoalReport>) =
-            script.solve_reported(&solver).map_err(|e| e.to_string())?;
-        // The run was served from cache only when nothing sampled: at
-        // least one solve, and every solve an exact hit.
+        let (outcome, goals, absint_run): (_, Vec<GoalReport>, _) = script
+            .solve_reported_absint(&solver)
+            .map_err(|e| e.to_string())?;
+        // Provenance, in decision order: a confirmed static refutation
+        // never touches a sampler; otherwise the run was served from
+        // cache only when nothing sampled (at least one solve, every
+        // solve an exact hit); anything else is the solver's work.
         let solves = goals.iter().flat_map(|g| g.solves.iter());
-        let served_from = if goals.iter().any(|g| !g.solves.is_empty())
+        let served_from = if absint_run.is_refuted() {
+            "absint"
+        } else if goals.iter().any(|g| !g.solves.is_empty())
             && solves
                 .clone()
                 .all(|s| s.cache.as_ref().is_some_and(|c| c.outcome == "exact-hit"))
@@ -519,6 +525,7 @@ impl Service {
             sampler: solver.sampler_name().to_string(),
             served_from: served_from.to_string(),
             elapsed_us: started.elapsed().as_micros() as u64,
+            absint: Some(absint_run.to_stats()),
             goals,
         };
         Ok(report.to_json())

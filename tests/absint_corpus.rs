@@ -1,0 +1,140 @@
+//! Corpus gate for the abstract interpreter: every script in
+//! `benchmarks/` is lowered and analysed, and the stable shape of the
+//! result — verdict, certificate rule sequence, and per-variable
+//! tightenings — must match the checked-in snapshot
+//! (`benchmarks/absint_expected.json`). Every unsat verdict is replayed
+//! through the independent certificate checker before it is accepted.
+//!
+//! To regenerate the snapshot after an intentional change:
+//!
+//! ```text
+//! QSMT_BLESS=1 cargo test --test absint_corpus
+//! ```
+
+use qsmt::telemetry::{parse, Json};
+use qsmt::Script;
+use std::collections::BTreeMap;
+
+fn benchmarks_dir() -> String {
+    format!("{}/benchmarks", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn snapshot_path() -> String {
+    format!("{}/absint_expected.json", benchmarks_dir())
+}
+
+/// Reduces one analysis to its stable shape. Domain internals, timing,
+/// and feature values may evolve without churning the snapshot; the
+/// verdict, the certificate's rule sequence, and the derived
+/// tightenings may not.
+fn summarize(script: &Script) -> Json {
+    let run = script.absint();
+    let analysis = &run.analysis;
+    let rules: Vec<Json> = analysis
+        .certificate
+        .as_ref()
+        .map(|c| {
+            c.steps
+                .iter()
+                .map(|s| Json::Str(s.rule.as_str().to_string()))
+                .collect()
+        })
+        .unwrap_or_default();
+    let tightenings: Vec<Json> = analysis
+        .tightenings
+        .iter()
+        .map(|t| {
+            Json::obj([
+                ("var", Json::Str(t.var.clone())),
+                (
+                    "exact_len",
+                    t.exact_len.map_or(Json::Null, |n| Json::Num(n as f64)),
+                ),
+                (
+                    "pins",
+                    Json::Arr(
+                        t.pins
+                            .iter()
+                            .map(|&(i, c)| Json::Str(format!("{i}:{c}")))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("verdict", Json::Str(analysis.verdict.as_str().to_string())),
+        ("certificate_rules", Json::Arr(rules)),
+        ("tightenings", Json::Arr(tightenings)),
+    ])
+}
+
+#[test]
+fn corpus_analyses_match_expected_snapshot_and_certificates_replay() {
+    let dir = benchmarks_dir();
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .expect("benchmarks dir")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".smt2").then_some(name)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus must not be empty");
+
+    let mut actual = BTreeMap::new();
+    for name in &files {
+        let src = std::fs::read_to_string(format!("{dir}/{name}")).expect("read benchmark");
+        let script = Script::parse(&src).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        let run = script.absint();
+
+        // Hard invariants, independent of the snapshot: unsat verdicts
+        // must replay through the checker, and only the `unsat_*`
+        // benchmarks may be refuted.
+        if run.analysis.verdict.as_str() == "unsat" {
+            run.analysis
+                .verify_certificate()
+                .unwrap_or_else(|e| panic!("{name}: certificate replay failed: {e}"));
+            assert!(
+                name.starts_with("unsat_"),
+                "{name}: satisfiable benchmark wrongly refuted"
+            );
+        } else {
+            assert!(
+                !name.starts_with("unsat_"),
+                "{name}: known-unsat benchmark no longer refuted statically"
+            );
+        }
+
+        actual.insert(name.clone(), summarize(&script));
+    }
+    let actual = Json::Obj(actual);
+
+    if std::env::var("QSMT_BLESS").is_ok() {
+        std::fs::write(snapshot_path(), actual.pretty()).expect("write snapshot");
+        eprintln!("blessed {}", snapshot_path());
+        return;
+    }
+
+    let expected_text = std::fs::read_to_string(snapshot_path()).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run `QSMT_BLESS=1 cargo test --test absint_corpus` \
+             to generate it",
+            snapshot_path()
+        )
+    });
+    let expected = parse(&expected_text).expect("snapshot is valid JSON");
+    if actual != expected {
+        let actual_pretty = actual.pretty();
+        let expected_pretty = expected.pretty();
+        for (a, e) in actual_pretty.lines().zip(expected_pretty.lines()) {
+            if a != e {
+                eprintln!("- {e}\n+ {a}");
+            }
+        }
+        panic!(
+            "absint corpus snapshot drifted; if the change is intentional run \
+             `QSMT_BLESS=1 cargo test --test absint_corpus` and commit the result"
+        );
+    }
+}

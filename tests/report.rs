@@ -44,15 +44,25 @@ fn table1_palindrome_report_has_documented_schema() {
     let doc = report_for("table1_row2_palindrome.smt2", &[]);
 
     // Top level.
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(5));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
     assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
-    // The one-shot CLI path runs cache-less (schema v5): the run is
-    // always served by the solver, and the per-solve cache section is
-    // present-but-null.
+    // The one-shot CLI path runs cache-less: a sat run is always served
+    // by the solver, and the per-solve cache section is present-but-null.
     assert_eq!(
         doc.get("served_from").and_then(Json::as_str),
         Some("solver")
     );
+    // Abstract-interpretation section (schema v6): the palindrome script
+    // is not statically refutable, so the verdict is "unknown" — but the
+    // stage ran and its stats are populated.
+    let absint = doc.get("absint").expect("absint section");
+    assert_ne!(absint, &Json::Null, "absint runs by default");
+    assert_eq!(
+        absint.get("verdict").and_then(Json::as_str),
+        Some("unknown")
+    );
+    assert!(absint.get("iterations").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(absint.get("features").is_some(), "routing features present");
     assert_eq!(
         doc.get("sampler").and_then(Json::as_str),
         Some("simulated-annealing")
@@ -320,6 +330,30 @@ fn unsat_report_has_status_and_no_goals() {
     let goals = doc.get("goals").and_then(Json::as_arr).unwrap();
     assert!(
         goals.is_empty(),
-        "encode-time unsat never reaches the sampler"
+        "statically-refuted scripts never reach the sampler"
     );
+    // Schema v6: the refutation is attributed to the abstract
+    // interpreter, with a non-empty checked certificate.
+    assert_eq!(
+        doc.get("served_from").and_then(Json::as_str),
+        Some("absint")
+    );
+    let absint = doc.get("absint").expect("absint section");
+    assert_eq!(absint.get("verdict").and_then(Json::as_str), Some("unsat"));
+    assert!(
+        absint
+            .get("certificate_steps")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+}
+
+#[test]
+fn no_absint_flag_disables_the_stage_and_keeps_schema_additive() {
+    let doc = report_for("table1_row2_palindrome.smt2", &["--no-absint"]);
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
+    // The key stays present (additive schema) but is null when opted out.
+    assert_eq!(doc.get("absint"), Some(&Json::Null));
 }

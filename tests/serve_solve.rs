@@ -193,7 +193,7 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
 
     // Every admitted job reaches exactly one terminal state; with a
     // 60s default deadline and tiny scripts they all complete, and each
-    // completed job embeds a schema-v5 run report.
+    // completed job embeds a schema-v6 run report.
     let mut completed = 0u64;
     let mut timed_out = 0u64;
     for id in &accepted_ids {
@@ -202,8 +202,8 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
             "completed" => {
                 completed += 1;
                 assert!(
-                    body.contains("\"schema_version\": 5"),
-                    "report is not schema v5: {body}"
+                    body.contains("\"schema_version\": 6"),
+                    "report is not schema v6: {body}"
                 );
                 assert_eq!(
                     json_str(&body, "sampler").as_deref(),
@@ -472,6 +472,47 @@ fn repeat_submissions_hit_the_cache_and_near_repeats_warm_start() {
     let summary = server.wait_for_drain();
     assert_eq!(summary["accepted"], 3);
     assert_eq!(summary["completed"], 3);
+}
+
+#[test]
+fn statically_refuted_jobs_are_served_from_absint() {
+    let mut server = spawn_server(&["--workers", "1"]);
+    let addr = server.addr.clone();
+
+    // `x` must both contain a 7-char literal and have length 3: the
+    // abstract interpreter refutes this before compilation, so the job
+    // completes as unsat without ever touching a sampler.
+    let unsat_script = "(set-logic QF_S)\n(declare-const x String)\n\
+                        (assert (str.contains x \"toolong\"))\n\
+                        (assert (= (str.len x) 3))\n(check-sat)\n(get-model)\n";
+    let (code, _, body) = request(&addr, "POST", "/solve?reads=64&seed=7", unsat_script);
+    assert_eq!(code, 202, "submission refused: {body}");
+    let id = json_str(&body, "id").expect("job id");
+    let (status, body) = await_terminal(&addr, &id, Duration::from_secs(120));
+    assert_eq!(status, "completed", "absint job: {body}");
+    assert_eq!(
+        json_str(&body, "served_from").as_deref(),
+        Some("absint"),
+        "static refutation must be attributed to the interpreter: {body}"
+    );
+    assert!(
+        body.contains("\"verdict\": \"unsat\""),
+        "absint section missing its verdict: {body}"
+    );
+    assert!(
+        json_u64(&body, "certificate_steps").unwrap_or(0) >= 1,
+        "refutation must carry a checkable certificate: {body}"
+    );
+    assert!(
+        body.contains("\"goals\": []"),
+        "refuted scripts must not report solved goals: {body}"
+    );
+
+    let (code, _, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    let summary = server.wait_for_drain();
+    assert_eq!(summary["accepted"], 1);
+    assert_eq!(summary["completed"], 1);
 }
 
 #[test]

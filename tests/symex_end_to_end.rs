@@ -106,10 +106,7 @@ fn replace_all_paths() {
             "sanitized-bb",
             vec![(Cond::StartsWith(sanitized.clone(), "bb".into()), true)],
         )
-        .branch(
-            "had-a",
-            vec![(Cond::Contains(sanitized.clone(), "a".into()), true)],
-        );
+        .branch("had-a", vec![(Cond::Contains(sanitized, "a".into()), true)]);
     let report = PathExplorer::new(&solver()).explore(&program).unwrap();
     // "had-a" is provably dead: the sanitized value cannot contain 'a'.
     assert_eq!(report.branches[2].status, BranchStatus::Infeasible);
