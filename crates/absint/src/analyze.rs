@@ -9,15 +9,10 @@
 //! the loop reaches a fixpoint. A generous iteration cap is kept anyway
 //! as a defensive backstop.
 
-use crate::domain::{CharSet, LenInterval, StrDomain};
+use crate::domain::{CharSet, LenInterval, StrDomain, MAX_TRACKED_LEN};
 use crate::features::FeatureVector;
 use crate::ir::{AbsAssert, AbsProgram};
 use qsmt_redex::positional_sets;
-
-/// Positional regex analysis is skipped above this length — the NFA
-/// acceptance table is O(len · states) and corpus scripts are tiny, so
-/// the cap only guards against adversarial inputs.
-const MAX_POSITIONAL_LEN: usize = 512;
 
 /// Defensive cap on fixpoint rounds (the lattice height bounds real
 /// runs far below this).
@@ -306,9 +301,10 @@ fn apply(
                 d.narrow_len(LenInterval::between(regex.min_len(), hi))
             });
             // With an exact length the positional marginals refine (or
-            // refute) every position at once.
+            // refute) every position at once. Skipped above the tracked
+            // cap — the NFA acceptance table is O(len · states).
             let exact = domains[*var].len.exact_value();
-            if let Some(n) = exact.filter(|&n| n <= MAX_POSITIONAL_LEN) {
+            if let Some(n) = exact.filter(|&n| n <= MAX_TRACKED_LEN) {
                 if domains[*var].is_empty() {
                     return changed;
                 }
@@ -352,7 +348,8 @@ fn apply(
             ca || cb
         }
         AbsAssert::SelfReverse { var } => narrow(domains, log, index, Rule::Mirror, *var, |d| {
-            let Some(n) = d.len.exact_value() else {
+            // Capped: a huge exact length would make this loop O(n).
+            let Some(n) = d.len.exact_value().filter(|&n| n <= MAX_TRACKED_LEN) else {
                 return false;
             };
             let mut c = false;

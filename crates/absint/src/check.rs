@@ -15,7 +15,7 @@
 //! normalization pass — just a linear fold over the certificate.
 
 use crate::analyze::{Certificate, Rule};
-use crate::domain::{CharSet, LenInterval, StrDomain};
+use crate::domain::{CharSet, LenInterval, StrDomain, MAX_TRACKED_LEN};
 use crate::ir::{AbsAssert, AbsProgram};
 use qsmt_redex::positional_sets;
 
@@ -112,8 +112,12 @@ pub fn check(cert: &Certificate, program: &AbsProgram) -> Result<(), CheckError>
             }
             (Rule::RegexEmptyAtLen, AbsAssert::InRegex { var, regex }) if *var == step.var => {
                 // Only a refutation if the length really is exact and
-                // the regex really has no match of that length.
-                let Some(n) = domains[*var].len.exact_value() else {
+                // the regex really has no match of that length. The
+                // analyzer never emits positional steps above the
+                // tracked cap, so one in a certificate is bogus — and
+                // executing it would make replay O(len · states).
+                let Some(n) = domains[*var].len.exact_value().filter(|&n| n <= MAX_TRACKED_LEN)
+                else {
                     return Err(mismatch());
                 };
                 if positional_sets(regex, n, &ascii).is_some() {
@@ -122,7 +126,8 @@ pub fn check(cert: &Certificate, program: &AbsProgram) -> Result<(), CheckError>
                 domains[*var].conflict = true;
             }
             (Rule::RegexChars, AbsAssert::InRegex { var, regex }) if *var == step.var => {
-                let Some(n) = domains[*var].len.exact_value() else {
+                let Some(n) = domains[*var].len.exact_value().filter(|&n| n <= MAX_TRACKED_LEN)
+                else {
                     return Err(mismatch());
                 };
                 match positional_sets(regex, n, &ascii) {
@@ -146,7 +151,8 @@ pub fn check(cert: &Certificate, program: &AbsProgram) -> Result<(), CheckError>
                 domains[step.var].meet_with(&snapshot);
             }
             (Rule::Mirror, AbsAssert::SelfReverse { var }) if *var == step.var => {
-                let Some(n) = domains[*var].len.exact_value() else {
+                let Some(n) = domains[*var].len.exact_value().filter(|&n| n <= MAX_TRACKED_LEN)
+                else {
                     return Err(mismatch());
                 };
                 for i in 0..n / 2 {
@@ -241,6 +247,42 @@ mod tests {
             s.after = "⊥ (fabricated)".to_string();
         }
         assert!(check(cert, &a.program).is_ok());
+    }
+
+    #[test]
+    fn positional_step_above_the_tracked_cap_is_rejected() {
+        // A crafted certificate citing a positional regex step at a
+        // huge exact length must be rejected, not replayed (replay
+        // would be O(len · states)).
+        let program = AbsProgram {
+            string_vars: vec!["s".to_string()],
+            int_vars: 0,
+            asserts: vec![
+                (0, AbsAssert::LenEq { var: 0, n: 1 << 30 }),
+                (
+                    1,
+                    AbsAssert::InRegex {
+                        var: 0,
+                        regex: qsmt_redex::parse("a").unwrap(),
+                    },
+                ),
+            ],
+        };
+        let step = |assertion, rule| DerivStep {
+            assertion,
+            rule,
+            var: 0,
+            before: String::new(),
+            after: String::new(),
+        };
+        let cert = Certificate {
+            var: 0,
+            steps: vec![step(0, Rule::LenEq), step(1, Rule::RegexChars)],
+        };
+        assert!(matches!(
+            check(&cert, &program),
+            Err(CheckError::RuleMismatch { step: 1, .. })
+        ));
     }
 
     #[test]

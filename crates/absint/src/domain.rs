@@ -16,6 +16,21 @@
 //! shrink; the domains have finite height over a fixed script, which is
 //! what guarantees the analyzer's fixpoint terminates.
 
+/// Largest string length / position index the positional domains track.
+///
+/// Positional arrays (`front`/`back`) allocate one 16-byte [`CharSet`]
+/// per tracked position, and several passes (pins, mirror, positional
+/// regex analysis) iterate over an exact length. An untrusted script
+/// asserting `(= (str.at s 1000000000) "a")` or a multi-gigabyte
+/// `str.len` must not translate into an allocation or an O(n) loop, so
+/// every entry point clamps here: narrowing *beyond* the cap is simply
+/// dropped (a sound weakening — the analysis just knows less), and
+/// length-directed passes bail out when the exact length exceeds it.
+/// Front ends should screen literals above the cap to
+/// [`Unsupported`](crate::AbsAssert::Unsupported) so the feature vector
+/// still counts them.
+pub const MAX_TRACKED_LEN: usize = 512;
+
 /// A set of ASCII characters (code points 0–127) as a 128-bit mask.
 ///
 /// The whole solver stack works over 7-bit ASCII (see
@@ -217,7 +232,12 @@ impl StrDomain {
 
     /// Meets the character set at absolute position `i` (raising the
     /// length floor to `i + 1`); returns whether anything changed.
+    /// Positions at or beyond [`MAX_TRACKED_LEN`] are not tracked: the
+    /// call is a no-op (sound — dropping a constraint only weakens).
     pub fn narrow_front(&mut self, i: usize, cs: CharSet) -> bool {
+        if i >= MAX_TRACKED_LEN {
+            return false;
+        }
         let mut changed = self.narrow_len(LenInterval::at_least(i + 1));
         if self.front.len() <= i {
             self.front.resize(i + 1, CharSet::FULL);
@@ -236,7 +256,12 @@ impl StrDomain {
 
     /// Meets the character set at position `len - 1 - j` (raising the
     /// length floor to `j + 1`); returns whether anything changed.
+    /// Offsets at or beyond [`MAX_TRACKED_LEN`] are not tracked: the
+    /// call is a no-op (sound — dropping a constraint only weakens).
     pub fn narrow_back(&mut self, j: usize, cs: CharSet) -> bool {
+        if j >= MAX_TRACKED_LEN {
+            return false;
+        }
         let mut changed = self.narrow_len(LenInterval::at_least(j + 1));
         if self.back.len() <= j {
             self.back.resize(j + 1, CharSet::FULL);
@@ -309,9 +334,11 @@ impl StrDomain {
 
     /// Positions pinned to a single character, available only when the
     /// length is exact (otherwise "position i" is not absolute for the
-    /// back-anchored part). Sorted by position.
+    /// back-anchored part). Sorted by position. Empty above
+    /// [`MAX_TRACKED_LEN`] so an adversarial exact length cannot turn
+    /// this into an O(n) scan.
     pub fn pins(&self) -> Vec<(usize, char)> {
-        let Some(n) = self.len.exact_value() else {
+        let Some(n) = self.len.exact_value().filter(|&n| n <= MAX_TRACKED_LEN) else {
             return Vec::new();
         };
         (0..n)
@@ -401,6 +428,21 @@ mod tests {
         d.narrow_len(LenInterval::exact(3));
         d.normalize();
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn narrowing_beyond_the_cap_is_a_cheap_no_op() {
+        let mut d = StrDomain::top();
+        // Would allocate gigabytes of CharSets (and overflow `i + 1` at
+        // usize::MAX) without the cap.
+        assert!(!d.narrow_front(1_000_000_000, CharSet::singleton('a')));
+        assert!(!d.narrow_back(usize::MAX, CharSet::singleton('a')));
+        assert!(d.front.is_empty() && d.back.is_empty());
+        assert!(!d.is_empty());
+        // A huge exact length yields no pins instead of an O(n) scan.
+        d.narrow_len(LenInterval::exact(usize::MAX - 1));
+        assert!(d.pins().is_empty());
+        assert!(!d.normalize());
     }
 
     #[test]

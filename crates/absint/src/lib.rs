@@ -35,7 +35,7 @@ pub mod ir;
 
 pub use analyze::{analyze, Analysis, Certificate, DerivStep, Rule, Tightening, Verdict};
 pub use check::{check, CheckError};
-pub use domain::{CharSet, LenInterval, StrDomain};
+pub use domain::{CharSet, LenInterval, StrDomain, MAX_TRACKED_LEN};
 pub use features::FeatureVector;
 pub use ir::{AbsAssert, AbsProgram};
 

@@ -16,9 +16,9 @@
 //! tightenings to the compiled goals via [`apply_tightenings`] so
 //! statically pinned positions never reach the sampler.
 
-use crate::ast::{Command, Sort, Term};
+use crate::ast::{Command, RegLan, Sort, Term};
 use crate::compile::{reglan_to_regex, Goal};
-use qsmt_absint::{analyze, AbsAssert, AbsProgram, Analysis, Verdict};
+use qsmt_absint::{analyze, AbsAssert, AbsProgram, Analysis, Verdict, MAX_TRACKED_LEN};
 use qsmt_core::Constraint;
 use std::collections::HashMap;
 
@@ -58,18 +58,40 @@ fn ascii(lit: &str) -> bool {
     lit.chars().all(|c| (c as u32) < 128)
 }
 
+/// Same screen for regex literals: `positional_sets` analyzes the
+/// language over the ASCII alphabet, so a non-ASCII literal or range
+/// endpoint would (unsoundly) read as "matches nothing" at an exact
+/// length. Such regexes lower to `Unsupported` instead. Walked on the
+/// `RegLan` before conversion so a huge non-ASCII `re.range` is never
+/// expanded.
+fn reglan_ascii(r: &RegLan) -> bool {
+    match r {
+        RegLan::ToRe(s) => ascii(s),
+        RegLan::Range(a, b) => (*a as u32) < 128 && (*b as u32) < 128,
+        RegLan::AllChar => true,
+        RegLan::Plus(inner) | RegLan::Star(inner) | RegLan::Opt(inner) => reglan_ascii(inner),
+        RegLan::Union(parts) | RegLan::Concat(parts) => parts.iter().all(reglan_ascii),
+    }
+}
+
+/// Screens an integer literal used as a length or position: values the
+/// positional domains do not track (see
+/// [`qsmt_absint::MAX_TRACKED_LEN`]) lower to `Unsupported` so an
+/// untrusted script cannot request giant per-position allocations or
+/// O(n) passes.
+fn tracked_len(n: u64) -> Option<usize> {
+    (n <= MAX_TRACKED_LEN as u64).then_some(n as usize)
+}
+
 fn lower_assert(term: &Term, index: &HashMap<&str, usize>) -> AbsAssert {
     let var = |name: &str| index.get(name).copied();
     match term {
         Term::Eq(a, b) => match (a.as_ref(), b.as_ref()) {
             (Term::StrLen(inner), Term::IntLit(n)) | (Term::IntLit(n), Term::StrLen(inner)) => {
                 match inner.as_ref() {
-                    Term::Var(name) => match var(name) {
-                        Some(v) => AbsAssert::LenEq {
-                            var: v,
-                            n: *n as usize,
-                        },
-                        None => AbsAssert::Unsupported,
+                    Term::Var(name) => match (var(name), tracked_len(*n)) {
+                        (Some(v), Some(n)) => AbsAssert::LenEq { var: v, n },
+                        _ => AbsAssert::Unsupported,
                     },
                     _ => AbsAssert::Unsupported,
                 }
@@ -80,12 +102,18 @@ fn lower_assert(term: &Term, index: &HashMap<&str, usize>) -> AbsAssert {
                     return AbsAssert::Unsupported;
                 };
                 let mut chars = c.chars();
-                match (var(name), chars.next(), chars.next()) {
-                    (Some(v), Some(ch), None) if ascii(c) => AbsAssert::PinAt {
-                        var: v,
-                        index: *n as usize,
-                        ch,
-                    },
+                match (var(name), chars.next(), chars.next(), tracked_len(*n)) {
+                    // A pin at index i implies len ≥ i + 1, so the
+                    // index must be strictly below the tracked cap.
+                    (Some(v), Some(ch), None, Some(index))
+                        if ascii(c) && index < MAX_TRACKED_LEN =>
+                    {
+                        AbsAssert::PinAt {
+                            var: v,
+                            index,
+                            ch,
+                        }
+                    }
                     _ => AbsAssert::Unsupported,
                 }
             }
@@ -145,11 +173,11 @@ fn lower_assert(term: &Term, index: &HashMap<&str, usize>) -> AbsAssert {
         },
         Term::StrInRe(t, r) => match t.as_ref() {
             Term::Var(name) => match var(name) {
-                Some(v) => AbsAssert::InRegex {
+                Some(v) if reglan_ascii(r) => AbsAssert::InRegex {
                     var: v,
                     regex: reglan_to_regex(r),
                 },
-                None => AbsAssert::Unsupported,
+                _ => AbsAssert::Unsupported,
             },
             _ => AbsAssert::Unsupported,
         },
@@ -172,10 +200,20 @@ fn eval_ground(term: &Term) -> Option<String> {
         }
         Term::StrReplace(a, b, c) => {
             let (s, from, to) = (eval_ground(a)?, eval_ground(b)?, eval_ground(c)?);
+            // Empty pattern: SMT-LIB defines (str.replace s "" t) =
+            // t ++ s, which `replacen` happens to agree with (the first
+            // empty match is at position 0).
             Some(s.replacen(&from, &to, 1))
         }
         Term::StrReplaceAll(a, b, c) => {
             let (s, from, to) = (eval_ground(a)?, eval_ground(b)?, eval_ground(c)?);
+            // Empty pattern: SMT-LIB defines (str.replace_all s "" t) =
+            // s, but Rust's `replace` interleaves t at every char
+            // boundary — folding with it would manufacture a wrong
+            // GroundEq fact (and a bogus certified refutation).
+            if from.is_empty() {
+                return Some(s);
+            }
             Some(s.replace(&from, &to))
         }
         _ => None,
@@ -349,6 +387,84 @@ mod tests {
             "{:?}",
             p.asserts[0].1
         );
+    }
+
+    #[test]
+    fn empty_pattern_replace_all_is_identity() {
+        // SMT-LIB: (str.replace_all s "" t) = s. Rust's str::replace
+        // would give "ZaZbZ" here.
+        let p = program(
+            "(declare-const x String)\
+             (assert (= x (str.replace_all \"ab\" \"\" \"Z\")))",
+        );
+        assert!(
+            matches!(&p.asserts[0].1, AbsAssert::GroundEq { value, .. } if value == "ab"),
+            "{:?}",
+            p.asserts[0].1
+        );
+        // The review's end-to-end scenario: x = "ab" with length 2 is
+        // satisfiable and must not be served as a certified unsat.
+        let script = Script::parse(
+            "(declare-const x String)\
+             (assert (= x (str.replace_all \"ab\" \"\" \"Z\")))\
+             (assert (= (str.len x) 2))",
+        )
+        .unwrap();
+        assert!(!AbsintRun::over(script.commands()).is_refuted());
+    }
+
+    #[test]
+    fn empty_pattern_replace_prepends() {
+        // SMT-LIB: (str.replace s "" t) = t ++ s.
+        let p = program(
+            "(declare-const x String)\
+             (assert (= x (str.replace \"ab\" \"\" \"Z\")))",
+        );
+        assert!(
+            matches!(&p.asserts[0].1, AbsAssert::GroundEq { value, .. } if value == "Zab"),
+            "{:?}",
+            p.asserts[0].1
+        );
+    }
+
+    #[test]
+    fn huge_length_and_index_literals_lower_to_unsupported() {
+        // Untrusted scripts must not be able to request multi-GB
+        // per-position allocations or O(n) passes.
+        let p = program(
+            "(declare-const s String)\
+             (assert (= (str.at s 1000000000) \"a\"))\
+             (assert (= (str.len s) 18446744073709551615))\
+             (assert (= (str.at s 512) \"a\"))\
+             (assert (= (str.len s) 512))",
+        );
+        assert!(matches!(p.asserts[0].1, AbsAssert::Unsupported));
+        assert!(matches!(p.asserts[1].1, AbsAssert::Unsupported));
+        // Index 512 implies len ≥ 513 — beyond the tracked positions.
+        assert!(matches!(p.asserts[2].1, AbsAssert::Unsupported));
+        // A length at the cap itself is still tracked.
+        assert!(matches!(p.asserts[3].1, AbsAssert::LenEq { var: 0, n: 512 }));
+    }
+
+    #[test]
+    fn non_ascii_regex_literals_lower_to_unsupported() {
+        // positional_sets works over the ASCII alphabet, so "é" would
+        // read as "matches nothing" at an exact length and refute the
+        // satisfiable script below.
+        let p = program(
+            "(declare-const s String)\
+             (assert (str.in_re s (str.to_re \"é\")))\
+             (assert (str.in_re s (re.++ (str.to_re \"a\") (re.* (str.to_re \"é\")))))",
+        );
+        assert!(matches!(p.asserts[0].1, AbsAssert::Unsupported));
+        assert!(matches!(p.asserts[1].1, AbsAssert::Unsupported));
+        let script = Script::parse(
+            "(declare-const s String)\
+             (assert (str.in_re s (str.to_re \"é\")))\
+             (assert (= (str.len s) 1))",
+        )
+        .unwrap();
+        assert!(!AbsintRun::over(script.commands()).is_refuted());
     }
 
     #[test]

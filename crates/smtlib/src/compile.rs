@@ -12,6 +12,13 @@ use qsmt_core::{Constraint, Pipeline, Start, Step};
 use qsmt_redex::{ClassSet, Regex};
 use std::collections::HashMap;
 
+/// Largest `str.len` a script may assert. The encoding spends 7 QUBO
+/// bits per character, so anything near this bound is already far past
+/// solvable — the cap exists so an adversarial length surfaces as a
+/// [`CompileError`] instead of a capacity-overflow panic when the bit
+/// vectors allocate.
+pub const MAX_STRING_LEN: u64 = 1 << 20;
+
 /// One solvable goal extracted from the script.
 #[derive(Debug, Clone)]
 pub enum Goal {
@@ -165,6 +172,14 @@ fn absorb(term: &Term, facts: &mut HashMap<String, Facts>) -> Result<(), Compile
                 let Term::Var(name) = inner.as_ref() else {
                     return err("str.len is only supported on a variable");
                 };
+                // Per-character QUBO encoding: a length beyond any
+                // practical model must be a clean error, not a
+                // capacity-overflow panic when the bit vectors allocate.
+                if *n > MAX_STRING_LEN {
+                    return err(format!(
+                        "str.len {n} exceeds the supported maximum of {MAX_STRING_LEN}"
+                    ));
+                }
                 let f = get(facts, name)?;
                 if let Some(prev) = f.len {
                     if prev != *n as usize {
@@ -427,6 +442,19 @@ mod tests {
             .map(|e| parse_command(e).unwrap())
             .collect();
         compile(&cmds).unwrap()
+    }
+
+    #[test]
+    fn absurd_length_is_a_clean_compile_error() {
+        let cmds: Vec<Command> = parse_sexprs(
+            "(declare-const s String)(assert (= (str.len s) 18446744073709551615))",
+        )
+        .unwrap()
+        .iter()
+        .map(|e| parse_command(e).unwrap())
+        .collect();
+        let e = compile(&cmds).expect_err("must not panic on allocation");
+        assert!(e.message.contains("exceeds the supported maximum"), "{e:?}");
     }
 
     #[test]
