@@ -116,7 +116,10 @@ pub fn check(cert: &Certificate, program: &AbsProgram) -> Result<(), CheckError>
                 // analyzer never emits positional steps above the
                 // tracked cap, so one in a certificate is bogus — and
                 // executing it would make replay O(len · states).
-                let Some(n) = domains[*var].len.exact_value().filter(|&n| n <= MAX_TRACKED_LEN)
+                let Some(n) = domains[*var]
+                    .len
+                    .exact_value()
+                    .filter(|&n| n <= MAX_TRACKED_LEN)
                 else {
                     return Err(mismatch());
                 };
@@ -126,7 +129,10 @@ pub fn check(cert: &Certificate, program: &AbsProgram) -> Result<(), CheckError>
                 domains[*var].conflict = true;
             }
             (Rule::RegexChars, AbsAssert::InRegex { var, regex }) if *var == step.var => {
-                let Some(n) = domains[*var].len.exact_value().filter(|&n| n <= MAX_TRACKED_LEN)
+                let Some(n) = domains[*var]
+                    .len
+                    .exact_value()
+                    .filter(|&n| n <= MAX_TRACKED_LEN)
                 else {
                     return Err(mismatch());
                 };
@@ -151,7 +157,10 @@ pub fn check(cert: &Certificate, program: &AbsProgram) -> Result<(), CheckError>
                 domains[step.var].meet_with(&snapshot);
             }
             (Rule::Mirror, AbsAssert::SelfReverse { var }) if *var == step.var => {
-                let Some(n) = domains[*var].len.exact_value().filter(|&n| n <= MAX_TRACKED_LEN)
+                let Some(n) = domains[*var]
+                    .len
+                    .exact_value()
+                    .filter(|&n| n <= MAX_TRACKED_LEN)
                 else {
                     return Err(mismatch());
                 };

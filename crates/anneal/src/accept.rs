@@ -23,10 +23,18 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-/// Beyond `ΔE = LN_CUTOFF/β` the acceptance probability is `< 2⁻⁵³`:
-/// reject without an RNG draw. (`53·ln 2 ≈ 36.7`; a margin is added so the
-/// table's last bucket lower bound stays comfortably above `f64` noise.)
-const LN_CUTOFF: f64 = 40.0;
+/// Exp-underflow hard-reject cutoff, in units of `β·ΔE`.
+///
+/// Beyond `ΔE = LN_ACCEPT_CUTOFF/β` the acceptance probability
+/// `exp(−β·ΔE)` is `< 2⁻⁵³` — below the resolution of a 53-bit uniform
+/// draw — so the proposal is rejected without consulting the RNG at all.
+/// (`53·ln 2 ≈ 36.7`; a margin is added so the table's last bucket lower
+/// bound stays comfortably above `f64` noise.)
+///
+/// Public so the scalar path, the batched [word path]
+/// (AcceptanceTable::threshold_u64), and any external reimplementation
+/// share one definition of "impossibly uphill" and cannot drift.
+pub const LN_ACCEPT_CUTOFF: f64 = 40.0;
 
 /// Number of table buckets. 512 gives a per-bucket probability ratio of
 /// `exp(−40/512) ≈ 0.925`, i.e. < 8% of consulted proposals fall into the
@@ -93,7 +101,7 @@ impl AcceptanceTable {
             beta.is_finite() && beta > 0.0,
             "acceptance table needs a positive finite β"
         );
-        let cutoff = LN_CUTOFF / beta;
+        let cutoff = LN_ACCEPT_CUTOFF / beta;
         let step = cutoff / BUCKETS as f64;
         let probs = (0..=BUCKETS)
             .map(|k| (-beta * k as f64 * step).exp())
@@ -161,6 +169,51 @@ impl AcceptanceTable {
         }
         counters.exact_exp += 1;
         u < (-self.beta * delta).exp()
+    }
+
+    /// Batched Metropolis decision for up to 64 replica lanes of one
+    /// variable: returns an acceptance mask with bit `r` set iff lane
+    /// `r`'s `deltas[r]` is accepted at this table's β.
+    ///
+    /// The scalar fast paths are lifted to whole-word operations — the
+    /// early-accept (`ΔE ≤ 0`) and hard-reject (`ΔE ≥ cutoff`, see
+    /// [`LN_ACCEPT_CUTOFF`]) masks are built branch-free across all
+    /// lanes, and only the residual lanes walk the bracket table. Each
+    /// residual lane draws **exactly one** uniform from its own RNG, in
+    /// lane order — the same draw [`AcceptanceTable::accept`] would make
+    /// — so lane `r`'s decision and RNG stream are bit-identical to a
+    /// scalar run of that replica (pinned by
+    /// `batched_threshold_is_bit_exact_with_scalar_accept`).
+    ///
+    /// # Panics
+    /// Panics when `deltas` and `rngs` disagree in length or exceed 64
+    /// lanes.
+    pub fn threshold_u64(&self, deltas: &[f64], rngs: &mut [SmallRng]) -> u64 {
+        let lanes = deltas.len();
+        assert!(lanes <= 64, "threshold_u64 takes at most 64 lanes");
+        assert_eq!(lanes, rngs.len(), "one RNG stream per lane");
+        let mut early = 0u64;
+        let mut hard = 0u64;
+        // Branch-free sweep: two compares per lane, no RNG, no table.
+        // (LLVM vectorizes this into compare-to-mask ops; keep it simple.)
+        for (r, &d) in deltas.iter().enumerate() {
+            early |= u64::from(d <= 0.0) << r;
+            hard |= u64::from(d >= self.cutoff) << r;
+        }
+        let mut accept = early;
+        let mut pending = !(early | hard);
+        if lanes < 64 {
+            pending &= (1u64 << lanes) - 1;
+        }
+        // Residual lanes (strictly uphill, below cutoff): one uniform
+        // draw each, bracketed exactly like the scalar path.
+        while pending != 0 {
+            let r = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            let u = rngs[r].gen::<f64>();
+            accept |= u64::from(self.accept_with(deltas[r], u)) << r;
+        }
+        accept
     }
 
     /// The table-bracketed decision for an already-drawn uniform `u`;
@@ -264,6 +317,60 @@ mod tests {
             // The bracket should resolve the overwhelming majority of
             // uphill draws without an exact exp.
             assert!(counters.exact_exp_fraction() < 0.1);
+        }
+    }
+
+    #[test]
+    fn batched_threshold_is_bit_exact_with_scalar_accept() {
+        // For every lane: same decision AND same RNG stream position as
+        // the scalar path — the multi-replica kernel leans on both.
+        let mut delta_rng = SmallRng::seed_from_u64(5);
+        for &beta in &[0.05, 1.0, 9.0, 150.0] {
+            let t = AcceptanceTable::new(beta);
+            for lanes in [1usize, 3, 17, 64] {
+                let mut batched: Vec<SmallRng> = (0..lanes)
+                    .map(|r| SmallRng::seed_from_u64(1000 + r as u64))
+                    .collect();
+                let mut scalar: Vec<SmallRng> = (0..lanes)
+                    .map(|r| SmallRng::seed_from_u64(1000 + r as u64))
+                    .collect();
+                for _ in 0..500 {
+                    let deltas: Vec<f64> = (0..lanes)
+                        .map(|_| delta_rng.gen_range(-1.0..1.0) * t.cutoff * 1.5)
+                        .collect();
+                    let mask = t.threshold_u64(&deltas, &mut batched);
+                    for (r, s_rng) in scalar.iter_mut().enumerate() {
+                        let want = t.accept(deltas[r], s_rng);
+                        assert_eq!(
+                            (mask >> r) & 1 == 1,
+                            want,
+                            "β={beta} lanes={lanes} lane={r} δ={}",
+                            deltas[r]
+                        );
+                    }
+                }
+                // Streams still aligned after thousands of decisions.
+                for (b, s) in batched.iter_mut().zip(scalar.iter_mut()) {
+                    assert_eq!(b.gen::<u64>(), s.gen::<u64>());
+                }
+                // No stray bits above the active lanes.
+                if lanes < 64 {
+                    let all_accept = vec![-1.0f64; lanes];
+                    let mask = t.threshold_u64(&all_accept, &mut batched);
+                    assert_eq!(mask, (1u64 << lanes) - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn public_cutoff_constant_matches_table_cutoff() {
+        for &beta in &[0.5, 2.0, 40.0] {
+            let t = AcceptanceTable::new(beta);
+            assert_eq!(t.cutoff, LN_ACCEPT_CUTOFF / beta);
+            // At the documented cutoff the true probability is below a
+            // 53-bit draw's resolution.
+            assert!((-LN_ACCEPT_CUTOFF).exp() < (2.0f64).powi(-53));
         }
     }
 

@@ -175,6 +175,7 @@ impl Sampler for SteepestDescent {
             proposals: Some(scans * model.num_vars() as u64),
             accepted: Some(flips),
             elapsed_us: Some(elapsed_us),
+            replicas: None,
         };
         (SampleSet::from_reads(reads), stats)
     }
@@ -224,6 +225,7 @@ impl Sampler for SteepestDescent {
             proposals: Some(scans * model.num_vars() as u64),
             accepted: Some(flips),
             elapsed_us: Some(elapsed_us),
+            replicas: None,
         };
         (SampleSet::from_reads(reads), stats, dynamics)
     }

@@ -41,6 +41,7 @@ mod accept;
 mod descent;
 mod exact;
 pub mod metrics;
+pub mod multi;
 mod polished;
 mod population;
 pub mod probes;
@@ -54,7 +55,7 @@ mod tabu;
 mod tempering;
 pub mod tune;
 
-pub use accept::{AcceptCounters, AcceptanceTable};
+pub use accept::{AcceptCounters, AcceptanceTable, LN_ACCEPT_CUTOFF};
 pub use descent::SteepestDescent;
 pub use exact::ExactSolver;
 pub use polished::Polished;
@@ -87,6 +88,7 @@ mod sampler_stats_tests {
             proposals: Some(100),
             accepted: Some(25),
             elapsed_us: None,
+            replicas: None,
         };
         assert_eq!(full.acceptance_rate(), Some(0.25));
         let empty = SamplerRunStats {
@@ -94,6 +96,7 @@ mod sampler_stats_tests {
             proposals: Some(0),
             accepted: Some(0),
             elapsed_us: None,
+            replicas: None,
         };
         assert_eq!(empty.acceptance_rate(), None);
     }
@@ -105,6 +108,7 @@ mod sampler_stats_tests {
             proposals: Some(2_000_000),
             accepted: Some(500_000),
             elapsed_us: Some(1_000_000),
+            replicas: Some(64),
         };
         assert_eq!(stats.proposals_per_sec(), Some(2_000_000.0));
         assert_eq!(stats.flips_per_sec(), Some(500_000.0));
@@ -148,6 +152,11 @@ pub struct SamplerRunStats {
     /// proposals/flips-per-second throughput surface and the
     /// `BENCH_annealing.json` perf baseline.
     pub elapsed_us: Option<u64>,
+    /// Replica lanes the sampler advances together per sweep — the width
+    /// of its bit-sliced [`qsmt_qubo::MultiReplicaKernel`] batch (SA: up
+    /// to 64 reads per word; PT: the ladder size). `None` for samplers
+    /// that walk one configuration at a time.
+    pub replicas: Option<u64>,
 }
 
 impl SamplerRunStats {

@@ -219,6 +219,10 @@ impl PopulationAnnealer {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            // The population walks one configuration at a time (resampling
+            // clones states mid-run, which the bit-sliced kernel cannot
+            // express cheaply), so no word-level replica batch to report.
+            replicas: None,
         }
     }
 }

@@ -4,7 +4,9 @@ use crate::probes::{aggregate_betas, Decimator, ProbeConfig, SamplerDynamics, St
 use crate::{
     read_seed, AcceptCounters, AcceptanceTable, BetaSchedule, SampleSet, Sampler, SamplerRunStats,
 };
-use qsmt_qubo::{CompiledQubo, FlipKernel, KernelWatermark, QuboModel, StopFlag, Var};
+use qsmt_qubo::{
+    CompiledQubo, FlipKernel, KernelWatermark, MultiReplicaKernel, QuboModel, StopFlag, Var, LANES,
+};
 use qsmt_telemetry::dynamics::BetaAcceptance;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +23,10 @@ pub const WARM_START_SWEEPS: usize = 96;
 pub const WARM_START_BETA_MIN: f64 = 2.0;
 /// Cold-end inverse temperature of the reverse-annealing schedule.
 pub const WARM_START_BETA_MAX: f64 = 12.0;
+
+/// What one bit-sliced read block yields: the block's `(state, energy)`
+/// pairs in read order, plus its accepted-flip count.
+type BlockResult = (Vec<(Vec<u8>, f64)>, u64);
 
 /// The simulated annealing sampler — the direct analog of the D-Wave
 /// simulated annealer the paper ran its experiments on.
@@ -174,9 +180,23 @@ impl SimulatedAnnealer {
         self.num_reads
     }
 
-    /// One independent anneal. The returned `u64` counts accepted flips —
-    /// a pure side observation that never touches the RNG stream, so
-    /// results are bit-identical whether or not the count is used.
+    /// Replica lanes the bit-sliced kernel advances per sweep: a full
+    /// word ([`LANES`]) once there are that many reads, fewer for small
+    /// batches, `None` when there are no reads at all. Surfaced through
+    /// [`SamplerRunStats::replicas`].
+    fn replicas_per_block(&self) -> Option<u64> {
+        (self.num_reads > 0).then(|| self.num_reads.min(LANES) as u64)
+    }
+
+    /// One independent anneal on the scalar [`FlipKernel`] — the
+    /// reference twin of the bit-sliced block path. Production sampling
+    /// goes through [`SimulatedAnnealer::read_block`]; this stays as the
+    /// ground truth the bit-identity tests compare lanes against (and is
+    /// the shape [`SimulatedAnnealer::one_read_probed`] mirrors). The
+    /// returned `u64` counts accepted flips — a pure side observation
+    /// that never touches the RNG stream, so results are bit-identical
+    /// whether or not the count is used.
+    #[cfg(test)]
     fn one_read(
         compiled: &CompiledQubo,
         tables: &[AcceptanceTable],
@@ -291,8 +311,74 @@ impl SimulatedAnnealer {
         (kernel.into_state(), energy, accepted)
     }
 
+    /// One block of up to [`LANES`] reads advanced in lockstep by the
+    /// bit-sliced [`MultiReplicaKernel`]: the block's reads are the
+    /// global read indices `first_read..first_read + lanes`, and lane
+    /// `r` of the block is bit-identical to a scalar
+    /// [`SimulatedAnnealer::one_read`] of read `first_read + r` — each
+    /// lane keeps its own `read_seed`-derived RNG stream, draws its
+    /// initial state from that stream, and every float op happens in
+    /// scalar order. Returns the block's `(state, energy)` pairs in read
+    /// order plus its accepted-flip count.
+    fn read_block(
+        compiled: &CompiledQubo,
+        tables: &[AcceptanceTable],
+        seed: u64,
+        first_read: usize,
+        lanes: usize,
+        initial: Option<&[u8]>,
+        stop: Option<&StopFlag>,
+    ) -> (Vec<(Vec<u8>, f64)>, u64) {
+        let n = compiled.num_vars();
+        let mut rngs: Vec<SmallRng> = (first_read..first_read + lanes)
+            .map(|r| SmallRng::seed_from_u64(read_seed(seed, r as u64)))
+            .collect();
+        let states: Vec<Vec<u8>> = rngs
+            .iter_mut()
+            .map(|rng| match initial {
+                Some(init) => {
+                    assert_eq!(init.len(), n, "initial state length mismatch");
+                    init.to_vec()
+                }
+                None => (0..n).map(|_| rng.gen_range(0..=1u8)).collect(),
+            })
+            .collect();
+        let mut kernel = MultiReplicaKernel::new(compiled, &states);
+        let mut accepted = 0u64;
+        for table in tables {
+            // Cooperative cancellation at sweep granularity, exactly like
+            // the scalar read: the whole block winds down together.
+            if stop.is_some_and(StopFlag::is_stopped) {
+                break;
+            }
+            accepted += crate::multi::sweep_word(&mut kernel, compiled, table, &mut rngs);
+        }
+        #[cfg(debug_assertions)]
+        for r in 0..kernel.lanes() {
+            debug_assert!(
+                (kernel.energy(r) - compiled.energy(&kernel.state(r))).abs()
+                    < FlipKernel::drift_tolerance(compiled),
+                "incremental energy drifted from recomputed energy (lane {r})"
+            );
+        }
+        (kernel.into_reads(), accepted)
+    }
+
+    /// Partitions `reads` (a range of global read indices) into blocks of
+    /// at most [`LANES`] consecutive reads.
+    fn blocks(reads: std::ops::Range<usize>) -> Vec<(usize, usize)> {
+        reads
+            .clone()
+            .step_by(LANES)
+            .map(|start| (start, LANES.min(reads.end - start)))
+            .collect()
+    }
+
     /// Runs all reads, returning raw `(state, energy)` pairs plus the
-    /// total accepted-flip count and the realized sweep count.
+    /// total accepted-flip count and the realized sweep count. Reads run
+    /// in blocks of up to [`LANES`] on the bit-sliced kernel; the
+    /// partition never changes results because every read keeps its own
+    /// RNG stream.
     fn run_reads(&self, model: &QuboModel) -> (Vec<(Vec<u8>, f64)>, u64, u64) {
         let compiled = CompiledQubo::compile(model);
         let betas = match &self.schedule {
@@ -300,38 +386,28 @@ impl SimulatedAnnealer {
             None => BetaSchedule::auto(&compiled, self.sweeps).realize(),
         };
         // One acceptance table per β, built once and shared read-only by
-        // every read.
+        // every block.
         let tables = AcceptanceTable::for_schedule(&betas);
         let initial = self.initial_state.as_deref();
         let stop = self.stop.as_ref();
-        let results: Vec<(Vec<u8>, f64, u64)> = if self.parallel {
-            (0..self.num_reads)
+        let blocks = Self::blocks(0..self.num_reads);
+        let results: Vec<BlockResult> = if self.parallel {
+            blocks
                 .into_par_iter()
-                .map(|r| {
-                    Self::one_read(
-                        &compiled,
-                        &tables,
-                        read_seed(self.seed, r as u64),
-                        initial,
-                        stop,
-                    )
+                .map(|(start, lanes)| {
+                    Self::read_block(&compiled, &tables, self.seed, start, lanes, initial, stop)
                 })
                 .collect()
         } else {
-            (0..self.num_reads)
-                .map(|r| {
-                    Self::one_read(
-                        &compiled,
-                        &tables,
-                        read_seed(self.seed, r as u64),
-                        initial,
-                        stop,
-                    )
+            blocks
+                .into_iter()
+                .map(|(start, lanes)| {
+                    Self::read_block(&compiled, &tables, self.seed, start, lanes, initial, stop)
                 })
                 .collect()
         };
-        let accepted = results.iter().map(|(_, _, a)| a).sum();
-        let reads = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        let accepted = results.iter().map(|(_, a)| a).sum();
+        let reads = results.into_iter().flat_map(|(reads, _)| reads).collect();
         (reads, accepted, betas.len() as u64)
     }
 }
@@ -364,6 +440,7 @@ impl Sampler for SimulatedAnnealer {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            replicas: self.replicas_per_block(),
         };
         (SampleSet::from_reads(reads), stats)
     }
@@ -402,35 +479,30 @@ impl Sampler for SimulatedAnnealer {
                 &mut dynamics,
             ));
         }
-        let rest: Vec<(Vec<u8>, f64, u64)> = if self.parallel {
-            (1..self.num_reads)
+        // Reads 1.. run on the bit-sliced block path exactly as in the
+        // plain run; lane streams are independent of the probe read's.
+        let blocks = Self::blocks(1..self.num_reads.max(1));
+        let rest: Vec<BlockResult> = if self.parallel {
+            blocks
                 .into_par_iter()
-                .map(|r| {
-                    Self::one_read(
-                        &compiled,
-                        &tables,
-                        read_seed(self.seed, r as u64),
-                        initial,
-                        stop,
-                    )
+                .map(|(start, lanes)| {
+                    Self::read_block(&compiled, &tables, self.seed, start, lanes, initial, stop)
                 })
                 .collect()
         } else {
-            (1..self.num_reads)
-                .map(|r| {
-                    Self::one_read(
-                        &compiled,
-                        &tables,
-                        read_seed(self.seed, r as u64),
-                        initial,
-                        stop,
-                    )
+            blocks
+                .into_iter()
+                .map(|(start, lanes)| {
+                    Self::read_block(&compiled, &tables, self.seed, start, lanes, initial, stop)
                 })
                 .collect()
         };
-        results.extend(rest);
-        let accepted: u64 = results.iter().map(|(_, _, a)| a).sum();
-        let reads: Vec<(Vec<u8>, f64)> = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        let mut accepted: u64 = results.iter().map(|(_, _, a)| a).sum();
+        let mut reads: Vec<(Vec<u8>, f64)> = results.into_iter().map(|(s, e, _)| (s, e)).collect();
+        for (block_reads, block_accepted) in rest {
+            accepted += block_accepted;
+            reads.extend(block_reads);
+        }
         let sweeps = betas.len() as u64;
         let elapsed_us = started.elapsed().as_micros() as u64;
         let proposals = sweeps * model.num_vars() as u64 * self.num_reads as u64;
@@ -439,6 +511,7 @@ impl Sampler for SimulatedAnnealer {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            replicas: self.replicas_per_block(),
         };
         (SampleSet::from_reads(reads), stats, dynamics)
     }
@@ -634,6 +707,43 @@ mod tests {
             .sample(&m);
         let (exact_e, _) = m.brute_force_ground_states();
         assert!((set.lowest_energy().unwrap() - exact_e).abs() < 1e-3 * exact_e.abs());
+    }
+
+    #[test]
+    fn block_path_is_bit_identical_to_scalar_reads() {
+        // The production block path must reproduce the scalar reference
+        // read-for-read, bit-for-bit — states, energies, and accept
+        // counts. 70 reads exercises a full 64-lane word plus a 6-lane
+        // tail block.
+        let (m, _) = gadget();
+        let compiled = CompiledQubo::compile(&m);
+        let betas = BetaSchedule::auto(&compiled, 48).realize();
+        let tables = AcceptanceTable::for_schedule(&betas);
+        for initial in [None, Some(vec![1u8, 0, 1, 0, 1, 0])] {
+            let mut sa = SimulatedAnnealer::new()
+                .with_seed(17)
+                .with_num_reads(70)
+                .with_sweeps(48);
+            if let Some(init) = &initial {
+                sa = sa.with_initial_state(init.clone());
+            }
+            let (reads, accepted, _) = sa.run_reads(&m);
+            assert_eq!(reads.len(), 70);
+            let mut scalar_accepted = 0u64;
+            for (r, (state, energy)) in reads.iter().enumerate() {
+                let (s_state, s_energy, s_acc) = SimulatedAnnealer::one_read(
+                    &compiled,
+                    &tables,
+                    read_seed(17, r as u64),
+                    initial.as_deref(),
+                    None,
+                );
+                assert_eq!(*state, s_state, "read {r}");
+                assert_eq!(*energy, s_energy, "read {r} energy must be bit-identical");
+                scalar_accepted += s_acc;
+            }
+            assert_eq!(accepted, scalar_accepted);
+        }
     }
 
     #[test]

@@ -324,6 +324,7 @@ impl Sampler for SimulatedQuantumAnnealer {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            replicas: None,
         };
         (SampleSet::from_reads(reads), stats)
     }
@@ -369,6 +370,7 @@ impl Sampler for SimulatedQuantumAnnealer {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            replicas: None,
         };
         (SampleSet::from_reads(reads), stats, dynamics)
     }

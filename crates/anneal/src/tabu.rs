@@ -220,6 +220,7 @@ impl Sampler for TabuSearch {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            replicas: None,
         };
         (set, stats)
     }
@@ -264,6 +265,7 @@ impl Sampler for TabuSearch {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            replicas: None,
         };
         (SampleSet::from_reads(reads), stats, dynamics)
     }

@@ -2,11 +2,10 @@
 
 use crate::probes::{Decimator, ProbeConfig, SamplerDynamics};
 use crate::{read_seed, AcceptanceTable, SampleSet, Sampler, SamplerRunStats};
-use qsmt_qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
+use qsmt_qubo::{CompiledQubo, MultiReplicaKernel, QuboModel, LANES};
 use qsmt_telemetry::dynamics::{BetaAcceptance, SwapAcceptance};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use std::time::Instant;
 
 /// Parallel tempering: `num_replicas` Metropolis walkers run at a ladder of
@@ -17,8 +16,10 @@ use std::time::Instant;
 /// configurations down the ladder — markedly better mixing than plain SA on
 /// rugged landscapes.
 ///
-/// Replica sweeps run in parallel (rayon); the exchange pass is sequential
-/// and cheap. Deterministic for a fixed seed.
+/// The whole ladder lives in one bit-sliced [`MultiReplicaKernel`] — rung
+/// `r` is lane `r` — so one sweep advances every rung word-at-a-time, and
+/// the exchange pass swaps lanes (state bits, field columns, and energy
+/// move as one coherent unit). Deterministic for a fixed seed.
 #[derive(Debug, Clone)]
 pub struct ParallelTempering {
     num_replicas: usize,
@@ -42,12 +43,6 @@ impl Default for ParallelTempering {
     }
 }
 
-struct Replica {
-    kernel: FlipKernel,
-    rng: SmallRng,
-    accepted: u64,
-}
-
 impl ParallelTempering {
     /// Creates a tempering sampler with 8 replicas, 64 exchange rounds of 4
     /// sweeps each, and a geometric β ladder on [0.05, 10].
@@ -55,9 +50,15 @@ impl ParallelTempering {
         Self::default()
     }
 
-    /// Sets the number of replicas (ladder rungs). Must be ≥ 2.
+    /// Sets the number of replicas (ladder rungs). Must be ≥ 2 and at
+    /// most [`LANES`] (64): the whole ladder rides in one bit-sliced
+    /// kernel word.
     pub fn with_num_replicas(mut self, n: usize) -> Self {
         assert!(n >= 2, "tempering needs at least two replicas");
+        assert!(
+            n <= LANES,
+            "tempering holds the ladder in one bit-sliced word: at most {LANES} replicas"
+        );
         self.num_replicas = n;
         self
     }
@@ -99,23 +100,6 @@ impl ParallelTempering {
             .collect()
     }
 
-    fn sweep(
-        compiled: &CompiledQubo,
-        replica: &mut Replica,
-        table: &AcceptanceTable,
-        sweeps: usize,
-    ) {
-        let n = compiled.num_vars();
-        for _ in 0..sweeps {
-            for i in 0..n {
-                if table.accept(replica.kernel.delta(i as Var), &mut replica.rng) {
-                    replica.kernel.flip(compiled, i as Var);
-                    replica.accepted += 1;
-                }
-            }
-        }
-    }
-
     /// Runs the full exchange schedule, returning the recorded reads and
     /// the total accepted-flip count. When `probes` is supplied, it is
     /// filled with swap/rung/trace observations; the probe hooks sit
@@ -131,62 +115,63 @@ impl ParallelTempering {
         let betas = self.ladder();
         // One acceptance table per ladder rung, built once for the run.
         let tables = AcceptanceTable::for_schedule(&betas);
-        let mut replicas: Vec<Replica> = (0..self.num_replicas)
-            .map(|r| {
-                let mut rng = SmallRng::seed_from_u64(read_seed(self.seed, r as u64));
-                let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
-                Replica {
-                    kernel: FlipKernel::new(&compiled, state),
-                    rng,
-                    accepted: 0,
-                }
-            })
+        let k = self.num_replicas;
+        // Rung r is lane r of one bit-sliced kernel. The RNG streams and
+        // accept counters are indexed by rung and never move: exchanges
+        // swap lanes (configurations), so the counter in slot r always
+        // counts moves judged at β_r — exactly the scalar-kernel
+        // semantics, where only the kernels were swapped wholesale.
+        let mut rngs: Vec<SmallRng> = (0..k)
+            .map(|r| SmallRng::seed_from_u64(read_seed(self.seed, r as u64)))
             .collect();
+        let states: Vec<Vec<u8>> = rngs
+            .iter_mut()
+            .map(|rng| (0..n).map(|_| rng.gen_range(0..=1u8)).collect())
+            .collect();
+        let mut kernel = MultiReplicaKernel::new(&compiled, &states);
+        let mut accepted = vec![0u64; k];
         let mut swap_rng = SmallRng::seed_from_u64(self.seed.wrapping_add(0x5157_2026));
         let mut reads: Vec<(Vec<u8>, f64)> = Vec::with_capacity(self.rounds);
         let mut best = f64::INFINITY;
 
         for round in 0..self.rounds {
-            replicas
-                .par_iter_mut()
-                .zip(tables.par_iter())
-                .for_each(|(rep, table)| {
-                    Self::sweep(&compiled, rep, table, self.sweeps_per_round);
-                });
+            for _ in 0..self.sweeps_per_round {
+                crate::multi::sweep_ladder(
+                    &mut kernel,
+                    &compiled,
+                    &tables,
+                    &mut rngs,
+                    &mut accepted,
+                );
+            }
             // Exchange pass: alternate even/odd adjacent pairs per round so
-            // every rung participates. Swapping the kernels moves state,
+            // every rung participates. Swapping the lanes moves state,
             // local fields, and energy as one coherent unit.
             let start = round % 2;
-            for a in (start..self.num_replicas - 1).step_by(2) {
+            for a in (start..k - 1).step_by(2) {
                 let b = a + 1;
-                let log_ratio = (betas[a] - betas[b])
-                    * (replicas[a].kernel.energy() - replicas[b].kernel.energy());
+                let log_ratio = (betas[a] - betas[b]) * (kernel.energy(a) - kernel.energy(b));
                 let swapped = log_ratio >= 0.0 || swap_rng.gen::<f64>() < log_ratio.exp();
                 if swapped {
-                    let (left, right) = replicas.split_at_mut(b);
-                    std::mem::swap(&mut left[a].kernel, &mut right[0].kernel);
+                    kernel.swap_lanes(a, b);
                 }
                 if let Some(p) = probes.as_deref_mut() {
                     p.swap_attempts[a] += 1;
                     p.swap_accepts[a] += u64::from(swapped);
                 }
             }
-            // Record the coldest replica each round.
-            let coldest = replicas.last().expect("at least two replicas");
-            reads.push((coldest.kernel.state().to_vec(), coldest.kernel.energy()));
+            // Record the coldest replica (the last lane) each round.
+            reads.push((kernel.state(k - 1), kernel.energy(k - 1)));
             if let Some(p) = probes.as_deref_mut() {
-                best = best.min(coldest.kernel.energy());
+                best = best.min(kernel.energy(k - 1));
                 p.trace.push(round as u64 + 1, best);
             }
         }
         if let Some(p) = probes {
-            // `accepted` stays with the rung: only kernels swap, so the
-            // counter in slot k always counts moves judged at β_k.
-            p.rung_accepted = replicas.iter().map(|r| r.accepted).collect();
+            p.rung_accepted.clone_from(&accepted);
             p.betas = betas;
         }
-        let accepted = replicas.iter().map(|r| r.accepted).sum();
-        (reads, accepted)
+        (reads, accepted.iter().sum())
     }
 }
 
@@ -233,6 +218,7 @@ impl Sampler for ParallelTempering {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            replicas: Some(self.num_replicas as u64),
         };
         (SampleSet::from_reads(reads), stats)
     }
@@ -257,6 +243,7 @@ impl Sampler for ParallelTempering {
             proposals: Some(proposals),
             accepted: Some(accepted),
             elapsed_us: Some(elapsed_us),
+            replicas: Some(self.num_replicas as u64),
         };
         let per_rung = sweeps * model.num_vars() as u64;
         let mut dynamics = SamplerDynamics {
@@ -353,6 +340,25 @@ mod tests {
     #[should_panic(expected = "at least two replicas")]
     fn single_replica_rejected() {
         ParallelTempering::new().with_num_replicas(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 replicas")]
+    fn more_than_word_width_replicas_rejected() {
+        ParallelTempering::new().with_num_replicas(65);
+    }
+
+    #[test]
+    fn full_word_ladder_runs_and_reports_replicas() {
+        let (m, _) = double_well();
+        let pt = ParallelTempering::new()
+            .with_num_replicas(64)
+            .with_rounds(4)
+            .with_seed(2);
+        let (set, stats) = pt.sample_stats(&m);
+        assert_eq!(set.total_reads(), 4);
+        assert_eq!(stats.replicas, Some(64));
+        assert!(set.lowest_energy().unwrap().is_finite());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Bench S6 — bit-sliced multi-replica sweeps vs the scalar flip kernel
+//! on the dense n=192 penalty workload (docs/PERFORMANCE.md §bit-sliced).
+//!
+//! One `sweep_word` advances all 64 replica lanes through a full variable
+//! pass, so the interesting number is *effective* proposals per second:
+//! the 64-lane arm does 64× the proposals of the scalar arm per timed
+//! iteration. Criterion reports raw wall-clock per sweep; the `qsmt
+//! bench` harness turns the same workload into the gated
+//! `replica_scaling.flips_speedup` headline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsmt_anneal::{multi, read_seed, AcceptanceTable, BetaSchedule};
+use qsmt_qubo::{CompiledQubo, FlipKernel, MultiReplicaKernel, QuboModel, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 192;
+const SEED: u64 = 1;
+
+/// Coupling-heavy random penalty model — same regime as the root
+/// harness's `dense_penalty_model`: ~25% edge density puts the CSR
+/// neighbor walk, not the RNG, on the critical path.
+fn dense_model() -> QuboModel {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut m = QuboModel::new(N);
+    for i in 0..N as Var {
+        m.add_linear(i, rng.gen_range(-1.0..1.0));
+    }
+    for i in 0..N as Var {
+        for j in (i + 1)..N as Var {
+            if rng.gen_bool(0.25) {
+                m.add_quadratic(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    m
+}
+
+/// Random initial states, one per replica lane, on independent
+/// `read_seed` streams — the exact seeding the SA block path uses.
+fn lane_states(compiled: &CompiledQubo, lanes: usize) -> (Vec<Vec<u8>>, Vec<SmallRng>) {
+    let mut rngs: Vec<SmallRng> = (0..lanes)
+        .map(|r| SmallRng::seed_from_u64(read_seed(SEED, r as u64)))
+        .collect();
+    let states = rngs
+        .iter_mut()
+        .map(|rng| {
+            (0..compiled.num_vars())
+                .map(|_| u8::from(rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect();
+    (states, rngs)
+}
+
+fn bench_multi_replica(c: &mut Criterion) {
+    let compiled = CompiledQubo::compile(&dense_model());
+    let betas = BetaSchedule::auto(&compiled, 16).realize();
+    let tables: Vec<AcceptanceTable> = betas.iter().map(|&b| AcceptanceTable::new(b)).collect();
+
+    let mut g = c.benchmark_group("multi_replica_dense192");
+    // One timed iteration = a full β pass (16 sweeps over 192 vars).
+    for lanes in [1usize, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("bit_sliced", lanes),
+            &lanes,
+            |b, &lanes| {
+                let (states, mut rngs) = lane_states(&compiled, lanes);
+                let mut kernel = MultiReplicaKernel::new(&compiled, &states);
+                b.iter(|| {
+                    let mut accepted = 0u64;
+                    for table in &tables {
+                        accepted += multi::sweep_word(&mut kernel, &compiled, table, &mut rngs);
+                    }
+                    black_box(accepted)
+                });
+            },
+        );
+    }
+    // Scalar reference: 64 sequential FlipKernel walks, the work the
+    // 64-lane word replaces.
+    g.bench_function("scalar_x64", |b| {
+        let (states, mut rngs) = lane_states(&compiled, 64);
+        let mut kernels: Vec<FlipKernel> = states
+            .iter()
+            .map(|s| FlipKernel::new(&compiled, s.clone()))
+            .collect();
+        b.iter(|| {
+            let mut accepted = 0u64;
+            for table in &tables {
+                for (kernel, rng) in kernels.iter_mut().zip(rngs.iter_mut()) {
+                    for i in 0..compiled.num_vars() {
+                        let delta = kernel.delta(i as Var);
+                        if table.accept(delta, rng) {
+                            kernel.flip(&compiled, i as Var);
+                            accepted += 1;
+                        }
+                    }
+                }
+            }
+            black_box(accepted)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multi_replica);
+criterion_main!(benches);

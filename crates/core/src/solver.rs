@@ -732,6 +732,7 @@ impl StringSolver {
             sweeps: run.sweeps,
             proposals: run.proposals,
             accepted: run.accepted,
+            replicas: run.replicas,
             acceptance_rate: run.acceptance_rate(),
             proposals_per_sec: timed.proposals_per_sec(),
             flips_per_sec: timed.flips_per_sec(),

@@ -6,8 +6,9 @@
 //! the style of the paper's Table 1, the equivalent [`IsingModel`] with
 //! lossless conversions in both directions, penalty-function builders, and a
 //! compiled CSR adjacency form ([`CompiledQubo`]) plus the incremental
-//! local-field kernels ([`FlipKernel`], [`IsingFlipKernel`]) that samplers
-//! use for O(1) single-flip energy deltas (see `docs/PERFORMANCE.md`).
+//! local-field kernels ([`FlipKernel`], [`IsingFlipKernel`], and the
+//! bit-sliced 64-replica [`MultiReplicaKernel`]) that samplers use for O(1)
+//! single-flip energy deltas (see `docs/PERFORMANCE.md`).
 //!
 //! ## Model
 //!
@@ -46,6 +47,7 @@ mod ising;
 mod ising_compiled;
 pub mod kernel;
 mod model;
+pub mod multi_kernel;
 mod presolve;
 mod serialize;
 mod stop;
@@ -59,6 +61,7 @@ pub use ising::{spins_to_state, state_to_spins, IsingModel};
 pub use ising_compiled::CompiledIsing;
 pub use kernel::{FlipKernel, IsingFlipKernel, KernelWatermark};
 pub use model::{QuboModel, Var};
+pub use multi_kernel::{MultiReplicaKernel, LANES};
 pub use presolve::{fix_variables, normalize, persistent_assignments, presolve, ReducedModel};
 pub use serialize::{from_qbsolv, to_qbsolv, FormatError};
 pub use stop::StopFlag;

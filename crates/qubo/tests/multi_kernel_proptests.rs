@@ -1,0 +1,223 @@
+//! Property-based bit-identity pin for the bit-sliced
+//! [`MultiReplicaKernel`]: on arbitrary models, fed an arbitrary
+//! accept/reject decision stream, lane `r` of the word-wide kernel must
+//! agree **exactly** — state, energy, and every local field — with an
+//! independent scalar [`FlipKernel`] applying the same decisions, both
+//! mid-stream and after a [`StopFlag`] cancellation cuts the stream
+//! short. Exact means `==` on the floats: the word-wide update performs
+//! the same `mul`/`add` sequence in scalar order (never fused), so the
+//! only tolerated difference is the sign of zero, which `==` treats as
+//! equal.
+
+use proptest::prelude::*;
+use qsmt_qubo::{CompiledQubo, FlipKernel, MultiReplicaKernel, QuboModel, StopFlag, Var, LANES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_model() -> impl Strategy<Value = QuboModel> {
+    let linear = proptest::collection::vec(-5.0f64..5.0, 2..=12);
+    let quads = proptest::collection::vec((0usize..12, 0usize..12, -5.0f64..5.0), 0..=30);
+    (linear, quads).prop_map(|(lin, quads)| {
+        let n = lin.len();
+        let mut m = QuboModel::new(n);
+        for (i, v) in lin.into_iter().enumerate() {
+            m.add_linear(i as u32, v);
+        }
+        for (a, b, v) in quads {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                m.add_quadratic(a as u32, b as u32, v);
+            }
+        }
+        m
+    })
+}
+
+/// A decision stream: `(variable pick, raw lane mask)` pairs.
+fn arb_stream(len_max: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0usize..4096, 0u64..u64::MAX), 0..=len_max)
+}
+
+/// Per-lane initial states drawn from a seeded stream, mirroring how the
+/// samplers derive read initials.
+fn lane_states(n: usize, lanes: usize, seed: u64) -> Vec<Vec<u8>> {
+    (0..lanes)
+        .map(|r| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37));
+            (0..n).map(|_| u8::from(rng.gen_bool(0.5))).collect()
+        })
+        .collect()
+}
+
+/// Asserts lane-by-lane exact agreement of state, energy, and every
+/// local field (via the flip deltas, which read the fields directly).
+fn assert_lanes_match(
+    kernel: &MultiReplicaKernel,
+    scalars: &[FlipKernel],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let n = kernel.num_vars();
+    for (r, scalar) in scalars.iter().enumerate() {
+        prop_assert_eq!(
+            kernel.state(r),
+            scalar.state(),
+            "{}: state lane {}",
+            context,
+            r
+        );
+        prop_assert!(
+            kernel.energy(r) == scalar.energy(),
+            "{}: energy lane {}: {} vs {}",
+            context,
+            r,
+            kernel.energy(r),
+            scalar.energy()
+        );
+        for i in 0..n as Var {
+            prop_assert!(
+                kernel.delta(i, r) == scalar.delta(i),
+                "{}: field lane {} var {}: {} vs {}",
+                context,
+                r,
+                i,
+                kernel.delta(i, r),
+                scalar.delta(i)
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same decision stream, word-wide vs scalar twins: every decision
+    /// `(i, mask)` flips variable `i` in exactly the lanes whose mask
+    /// bit is set. Agreement is checked continuously (the word-wide
+    /// deltas against each scalar's delta before every application) and
+    /// exhaustively at the end.
+    #[test]
+    fn shared_decision_stream_keeps_every_lane_bit_identical(
+        m in arb_model(),
+        lanes in 1usize..=64,
+        seed in 0u64..u64::MAX,
+        stream in arb_stream(120),
+    ) {
+        let c = CompiledQubo::compile(&m);
+        let n = c.num_vars();
+        let states = lane_states(n, lanes, seed);
+        let mut kernel = MultiReplicaKernel::new(&c, &states);
+        let mut scalars: Vec<FlipKernel> = states
+            .iter()
+            .map(|s| FlipKernel::new(&c, s.clone()))
+            .collect();
+        assert_lanes_match(&kernel, &scalars, "after construction")?;
+
+        let mut deltas = [0.0f64; LANES];
+        for (step, &(raw, mask_raw)) in stream.iter().enumerate() {
+            let i = (raw % n) as Var;
+            let mask = mask_raw & kernel.lane_mask();
+            kernel.deltas_into(i as usize, &mut deltas);
+            for (r, scalar) in scalars.iter().enumerate() {
+                prop_assert!(
+                    deltas[r] == scalar.delta(i),
+                    "step {}: delta lane {} var {}: {} vs {}",
+                    step, r, i, deltas[r], scalar.delta(i)
+                );
+            }
+            let applied = kernel.apply_mask_with_deltas(&c, i, mask, &deltas);
+            prop_assert_eq!(applied, mask.count_ones(), "step {}", step);
+            for (r, scalar) in scalars.iter_mut().enumerate() {
+                if mask & (1 << r) != 0 {
+                    scalar.flip(&c, i);
+                }
+            }
+        }
+        assert_lanes_match(&kernel, &scalars, "after stream")?;
+    }
+
+    /// A [`StopFlag`] tripped mid-stream cuts both the word-wide run and
+    /// the scalar twins at the same decision boundary; the states reached
+    /// at the cut must agree exactly — the cancellation contract the
+    /// samplers rely on (stopping never desynchronizes a batch).
+    #[test]
+    fn stop_flag_cancellation_mid_stream_preserves_agreement(
+        m in arb_model(),
+        lanes in 1usize..=64,
+        seed in 0u64..u64::MAX,
+        stream in arb_stream(80),
+        cut_raw in 0usize..4096,
+    ) {
+        let c = CompiledQubo::compile(&m);
+        let n = c.num_vars();
+        let states = lane_states(n, lanes, seed);
+        let stop_at = cut_raw % (stream.len() + 1);
+
+        // Word-wide run: its own flag, tripped at the cut point.
+        let mut kernel = MultiReplicaKernel::new(&c, &states);
+        let flag = StopFlag::new();
+        let mut deltas = [0.0f64; LANES];
+        for (step, &(raw, mask_raw)) in stream.iter().enumerate() {
+            if step == stop_at {
+                flag.stop();
+            }
+            if flag.is_stopped() {
+                break;
+            }
+            let i = (raw % n) as Var;
+            kernel.deltas_into(i as usize, &mut deltas);
+            kernel.apply_mask_with_deltas(&c, i, mask_raw & kernel.lane_mask(), &deltas);
+        }
+
+        // Scalar twins: an independent flag, tripped at the same point.
+        let mut scalars: Vec<FlipKernel> = states
+            .iter()
+            .map(|s| FlipKernel::new(&c, s.clone()))
+            .collect();
+        let scalar_flag = StopFlag::new();
+        let lane_mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        for (step, &(raw, mask_raw)) in stream.iter().enumerate() {
+            if step == stop_at {
+                scalar_flag.stop();
+            }
+            if scalar_flag.is_stopped() {
+                break;
+            }
+            let i = (raw % n) as Var;
+            let mask = mask_raw & lane_mask;
+            for (r, scalar) in scalars.iter_mut().enumerate() {
+                if mask & (1 << r) != 0 {
+                    scalar.flip(&c, i);
+                }
+            }
+        }
+        assert_lanes_match(&kernel, &scalars, "after cancellation")?;
+    }
+
+    /// The packed words always decode to the per-lane states: bit `r` of
+    /// `word(i)` is lane `r`'s value of variable `i`.
+    #[test]
+    fn packed_words_decode_to_lane_states(
+        m in arb_model(),
+        lanes in 1usize..=64,
+        seed in 0u64..u64::MAX,
+        stream in arb_stream(60),
+    ) {
+        let c = CompiledQubo::compile(&m);
+        let n = c.num_vars();
+        let states = lane_states(n, lanes, seed);
+        let mut kernel = MultiReplicaKernel::new(&c, &states);
+        let mut deltas = [0.0f64; LANES];
+        for &(raw, mask_raw) in &stream {
+            let i = (raw % n) as Var;
+            kernel.deltas_into(i as usize, &mut deltas);
+            kernel.apply_mask_with_deltas(&c, i, mask_raw & kernel.lane_mask(), &deltas);
+        }
+        for r in 0..lanes {
+            let decoded = kernel.state(r);
+            for (i, &bit) in decoded.iter().enumerate() {
+                prop_assert_eq!(bit, ((kernel.word(i) >> r) & 1) as u8);
+            }
+        }
+    }
+}

@@ -108,11 +108,7 @@ fn lower_assert(term: &Term, index: &HashMap<&str, usize>) -> AbsAssert {
                     (Some(v), Some(ch), None, Some(index))
                         if ascii(c) && index < MAX_TRACKED_LEN =>
                     {
-                        AbsAssert::PinAt {
-                            var: v,
-                            index,
-                            ch,
-                        }
+                        AbsAssert::PinAt { var: v, index, ch }
                     }
                     _ => AbsAssert::Unsupported,
                 }
@@ -443,7 +439,10 @@ mod tests {
         // Index 512 implies len ≥ 513 — beyond the tracked positions.
         assert!(matches!(p.asserts[2].1, AbsAssert::Unsupported));
         // A length at the cap itself is still tracked.
-        assert!(matches!(p.asserts[3].1, AbsAssert::LenEq { var: 0, n: 512 }));
+        assert!(matches!(
+            p.asserts[3].1,
+            AbsAssert::LenEq { var: 0, n: 512 }
+        ));
     }
 
     #[test]

@@ -446,13 +446,12 @@ mod tests {
 
     #[test]
     fn absurd_length_is_a_clean_compile_error() {
-        let cmds: Vec<Command> = parse_sexprs(
-            "(declare-const s String)(assert (= (str.len s) 18446744073709551615))",
-        )
-        .unwrap()
-        .iter()
-        .map(|e| parse_command(e).unwrap())
-        .collect();
+        let cmds: Vec<Command> =
+            parse_sexprs("(declare-const s String)(assert (= (str.len s) 18446744073709551615))")
+                .unwrap()
+                .iter()
+                .map(|e| parse_command(e).unwrap())
+                .collect();
         let e = compile(&cmds).expect_err("must not panic on allocation");
         assert!(e.message.contains("exceeds the supported maximum"), "{e:?}");
     }

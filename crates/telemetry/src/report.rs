@@ -175,6 +175,11 @@ pub struct SamplerStats {
     pub proposals: Option<u64>,
     /// Proposals accepted, when the sampler counts them.
     pub accepted: Option<u64>,
+    /// Replica lanes the sampler's bit-sliced kernel advances together
+    /// per sweep (SA packs up to 64 reads into one word, PT its whole β
+    /// ladder); `None` for single-configuration samplers (additive in
+    /// schema v7).
+    pub replicas: Option<u64>,
     /// `accepted / proposals`, when both counters exist.
     pub acceptance_rate: Option<f64>,
     /// Proposal throughput in moves/second, when the sampler timed its
@@ -212,6 +217,7 @@ impl SamplerStats {
             ("sweeps", opt_u64(self.sweeps)),
             ("proposals", opt_u64(self.proposals)),
             ("accepted", opt_u64(self.accepted)),
+            ("replicas", opt_u64(self.replicas)),
             ("acceptance_rate", opt_f64(self.acceptance_rate)),
             ("proposals_per_sec", opt_f64(self.proposals_per_sec)),
             ("flips_per_sec", opt_f64(self.flips_per_sec)),
@@ -539,9 +545,11 @@ impl SolveReport {
         }
         let s = &self.sampling;
         out.push_str(&format!(
-            "  sampling: {} reads via {}, best {:.3}, mean {:.3} ± {:.3}, success {:.1}%\n",
+            "  sampling: {} reads via {}{}, best {:.3}, mean {:.3} ± {:.3}, success {:.1}%\n",
             s.reads,
             s.sampler,
+            s.replicas
+                .map_or(String::new(), |r| format!(" ({r} replicas/word)")),
             s.best_energy,
             s.mean_energy,
             s.std_dev_energy,
@@ -677,9 +685,11 @@ impl RunReport {
     /// run; v6 adds the additive `absint` section on the run (script
     /// abstract-interpretation verdict, fixpoint accounting, eliminated
     /// variables, certificate size, and routing features) and the
-    /// `"absint"` value for `served_from`. Earlier readers keep working
-    /// because no existing field changed.
-    pub const SCHEMA_VERSION: u32 = 6;
+    /// `"absint"` value for `served_from`; v7 adds the additive
+    /// `replicas` field on `sampling` (bit-sliced multi-replica kernel
+    /// batch width, `null` for single-configuration samplers). Earlier
+    /// readers keep working because no existing field changed.
+    pub const SCHEMA_VERSION: u32 = 7;
 
     /// Serializes as a JSON object.
     pub fn to_json(&self) -> Json {
@@ -767,6 +777,7 @@ mod tests {
                 sweeps: Some(384),
                 proposals: Some(1000),
                 accepted: Some(400),
+                replicas: Some(64),
                 acceptance_rate: Some(0.4),
                 proposals_per_sec: Some(2.5e6),
                 flips_per_sec: Some(1.0e6),
@@ -926,7 +937,7 @@ mod tests {
             }],
         };
         let doc = parse(&run.to_json().pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(7));
         assert_eq!(
             doc.get("served_from").and_then(Json::as_str),
             Some("solver")
@@ -991,6 +1002,40 @@ mod tests {
             v6_doc.get("served_from").and_then(Json::as_str),
             Some("absint")
         );
+    }
+
+    #[test]
+    fn schema_v7_is_additive_over_v6() {
+        // A v6-shaped report (no replicas counter) still serializes every
+        // key with `replicas` as null; a v7 report keeps every v6 key and
+        // surfaces the batch width in the --stats sampling line.
+        let mut v6 = sample_report();
+        v6.sampling.replicas = None;
+        let v6_doc = parse(&v6.to_json().pretty()).unwrap();
+        assert_eq!(
+            v6_doc.get("sampling").unwrap().get("replicas"),
+            Some(&Json::Null)
+        );
+        let v7_doc = parse(&sample_report().to_json().pretty()).unwrap();
+        let (Some(Json::Obj(v6_map)), Some(Json::Obj(v7_map))) =
+            (v6_doc.get("sampling"), v7_doc.get("sampling"))
+        else {
+            panic!("sampling serializes as an object");
+        };
+        for key in v6_map.keys() {
+            assert!(v7_map.contains_key(key), "v7 dropped v6 key {key}");
+        }
+        assert_eq!(
+            v7_doc
+                .get("sampling")
+                .unwrap()
+                .get("replicas")
+                .and_then(Json::as_u64),
+            Some(64)
+        );
+        let text = sample_report().render_stats();
+        assert!(text.contains("(64 replicas/word)"), "{text}");
+        assert!(!v6.render_stats().contains("replicas/word"));
     }
 
     #[test]

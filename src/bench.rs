@@ -22,6 +22,13 @@
 //!   with probes enabled. The disabled path must stay within 2% of the
 //!   plain path — that bound is asserted by `qsmt bench
 //!   --check-overhead` and enforced in CI.
+//! * **replica_scaling** (schema v3) — the bit-sliced
+//!   [`MultiReplicaKernel`] dimension: the dense Metropolis workload at
+//!   1/8/64 replicas per word (`--replicas N` pins one count), reporting
+//!   *effective* proposals/s and flips/s (scaled by the replica count,
+//!   since one sweep advances every lane). The 64-replica row must reach
+//!   [`MIN_REPLICA_SPEEDUP`]× the scalar row's effective flips/s —
+//!   asserted by `qsmt bench --check-replicas` in the nightly CI job.
 //!
 //! The document shape is versioned ([`SCHEMA_VERSION`]) and checked by
 //! [`validate`]; the CLI re-reads and validates what it wrote, so a
@@ -33,16 +40,18 @@ use crate::anneal::{
     Sampler, SimulatedAnnealer, SimulatedQuantumAnnealer, SteepestDescent, TabuSearch,
 };
 use crate::core::Constraint;
-use crate::qubo::{CompiledQubo, FlipKernel, QuboModel, Var};
+use crate::qubo::{CompiledQubo, FlipKernel, MultiReplicaKernel, QuboModel, Var};
 use crate::telemetry::Json;
-use qsmt_anneal::{ProbeConfig, SamplerRunStats};
+use qsmt_anneal::{multi, read_seed, ProbeConfig, SamplerRunStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Version of the `BENCH_annealing.json` document shape. v2 added the
-/// `probe_overhead` section (trajectory-probe cost gate).
-pub const SCHEMA_VERSION: u32 = 2;
+/// `probe_overhead` section (trajectory-probe cost gate); v3 adds the
+/// `replica_scaling` section (bit-sliced multi-replica kernel throughput
+/// at 1/8/64 replicas per word) and the per-sampler `replicas` field.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Energy tolerance for "hit the ground state" accounting.
 const TOL: f64 = 1e-9;
@@ -50,6 +59,20 @@ const TOL: f64 = 1e-9;
 /// Maximum tolerated throughput cost of the *disabled* probe path
 /// relative to plain `sample_stats`, as a fraction (0.02 = 2%).
 pub const MAX_DISABLED_OVERHEAD: f64 = 0.02;
+
+/// Minimum effective-flips/s multiplier the 64-replica bit-sliced kernel
+/// must reach over the scalar kernel on the dense bench. Asserted by
+/// `qsmt bench --check-replicas` (nightly CI).
+///
+/// The design target is 5× (an order of magnitude is the stretch goal),
+/// but the *enforced* floor is deliberately lower: per-lane RNG stream
+/// hygiene means the word-wide sweep performs exactly the same uniform
+/// draws as 64 scalar sweeps, and those draws alone are ~20% of the
+/// scalar arm's cost — an Amdahl ceiling of ≈5× that noisy single-core
+/// CI hosts measure at 2.5–4.7×. The gate guards the property that the
+/// kernel is genuinely word-parallel (not a regression detector for the
+/// last few percent); `docs/PERFORMANCE.md` has the full breakdown.
+pub const MIN_REPLICA_SPEEDUP: f64 = 2.5;
 
 /// Harness configuration.
 #[derive(Debug, Clone, Default)]
@@ -60,6 +83,11 @@ pub struct BenchOptions {
     pub quick: bool,
     /// Base RNG seed for every timed run.
     pub seed: u64,
+    /// Pin the replica-scaling section to one replica count (the
+    /// `--replicas N` flag, 1..=64). The scalar row is always measured
+    /// too, so speedups stay well-defined; `None` benches the default
+    /// 1/8/64 ladder.
+    pub replicas: Option<usize>,
 }
 
 /// Runs the full harness and returns the bench document.
@@ -81,6 +109,154 @@ pub fn run(opts: &BenchOptions) -> Json {
         ("samplers", sampler_section(&reference, opts)),
         ("formulations", formulation_section(opts)),
         ("probe_overhead", probe_overhead_section(opts)),
+        ("replica_scaling", replica_scaling_section(opts)),
+    ])
+}
+
+/// The dense Metropolis workload on the scalar [`FlipKernel`] path,
+/// seeded exactly like replica lane 0 of the production read path
+/// (`read_seed(seed, 0)` stream, initial state drawn from it). Returns
+/// `(seconds, accepted flips, final energy)`.
+fn scalar_replica_sweeps(
+    compiled: &CompiledQubo,
+    betas: &[f64],
+    passes: usize,
+    seed: u64,
+) -> (f64, u64, f64) {
+    let n = compiled.num_vars();
+    let mut rng = SmallRng::seed_from_u64(read_seed(seed, 0));
+    let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+    let tables = AcceptanceTable::for_schedule(betas);
+    let mut kernel = FlipKernel::new(compiled, state);
+    let mut accepted = 0u64;
+    let started = Instant::now();
+    for _ in 0..passes {
+        for table in &tables {
+            for i in 0..n as Var {
+                if table.accept(kernel.delta(i), &mut rng) {
+                    kernel.flip(compiled, i);
+                    accepted += 1;
+                }
+            }
+        }
+    }
+    (started.elapsed().as_secs_f64(), accepted, kernel.energy())
+}
+
+/// The same workload on the bit-sliced [`MultiReplicaKernel`]: one sweep
+/// advances `replicas` lanes, each with its own `read_seed(seed, lane)`
+/// RNG stream (lane 0 is bit-identical to the scalar arm). Returns
+/// `(seconds, accepted flips across all lanes, lane-0 final energy)`.
+fn multi_replica_sweeps(
+    compiled: &CompiledQubo,
+    betas: &[f64],
+    passes: usize,
+    seed: u64,
+    replicas: usize,
+) -> (f64, u64, f64) {
+    let n = compiled.num_vars();
+    let mut rngs: Vec<SmallRng> = (0..replicas)
+        .map(|r| SmallRng::seed_from_u64(read_seed(seed, r as u64)))
+        .collect();
+    let states: Vec<Vec<u8>> = rngs
+        .iter_mut()
+        .map(|rng| (0..n).map(|_| rng.gen_range(0..=1u8)).collect())
+        .collect();
+    let tables = AcceptanceTable::for_schedule(betas);
+    let mut kernel = MultiReplicaKernel::new(compiled, &states);
+    let mut accepted = 0u64;
+    let started = Instant::now();
+    for _ in 0..passes {
+        for table in &tables {
+            accepted += multi::sweep_word(&mut kernel, compiled, table, &mut rngs);
+        }
+    }
+    (started.elapsed().as_secs_f64(), accepted, kernel.energy(0))
+}
+
+/// Benches the dense Metropolis workload at several replicas-per-word
+/// counts. Throughputs are *effective*: proposals and flips are counted
+/// across every lane a sweep advances, which is what the bit-slicing
+/// buys — the per-word sweep cost is amortized over the whole batch.
+fn replica_scaling_section(opts: &BenchOptions) -> Json {
+    let n = if opts.quick { 128 } else { 192 };
+    let passes = if opts.quick { 4 } else { 20 };
+    let model = dense_penalty_model(n, opts.seed);
+    let compiled = CompiledQubo::compile(&model);
+    let betas = BetaSchedule::auto(&compiled, 256).realize();
+    let ladder: Vec<usize> = match opts.replicas {
+        None => vec![1, 8, 64],
+        Some(1) => vec![1],
+        Some(r) => vec![1, r],
+    };
+    // Warm-up both arms so no row pays first-touch costs in its timer.
+    let _ = scalar_replica_sweeps(&compiled, &betas, 1, opts.seed);
+    let _ = multi_replica_sweeps(
+        &compiled,
+        &betas,
+        1,
+        opts.seed,
+        *ladder.last().expect("ladder"),
+    );
+    let per_replica_proposals = (passes * betas.len() * n) as f64;
+    let mut scalar_pps = f64::NAN;
+    let mut scalar_fps = f64::NAN;
+    let mut headline_speedup = Json::Null;
+    let mut headline_flips_speedup = Json::Null;
+    let mut max_replicas = 1u64;
+    let rows: Vec<Json> = ladder
+        .iter()
+        .map(|&replicas| {
+            let (secs, accepted, energy) = if replicas == 1 {
+                scalar_replica_sweeps(&compiled, &betas, passes, opts.seed)
+            } else {
+                multi_replica_sweeps(&compiled, &betas, passes, opts.seed, replicas)
+            };
+            let effective_proposals = per_replica_proposals * replicas as f64;
+            let pps = effective_proposals / secs.max(1e-12);
+            let fps = accepted as f64 / secs.max(1e-12);
+            if replicas == 1 {
+                scalar_pps = pps;
+                scalar_fps = fps;
+            }
+            let speedup = pps / scalar_pps.max(1e-12);
+            let flips_speedup = fps / scalar_fps.max(1e-12);
+            if replicas as u64 >= max_replicas {
+                max_replicas = replicas as u64;
+                headline_speedup = Json::from(speedup);
+                headline_flips_speedup = Json::from(flips_speedup);
+            }
+            Json::obj([
+                ("replicas", Json::from(replicas)),
+                (
+                    "path",
+                    Json::from(if replicas == 1 {
+                        "scalar-kernel"
+                    } else {
+                        "multi-replica-kernel"
+                    }),
+                ),
+                ("ms", Json::from(secs * 1e3)),
+                ("effective_proposals", Json::from(effective_proposals)),
+                ("effective_proposals_per_sec", Json::from(pps)),
+                ("accepted", Json::from(accepted)),
+                ("effective_flips_per_sec", Json::from(fps)),
+                ("speedup_vs_scalar", Json::from(speedup)),
+                ("flips_speedup_vs_scalar", Json::from(flips_speedup)),
+                // Energy anchors the loops against being optimized away.
+                ("lane0_final_energy", Json::from(energy)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("model_vars", Json::from(n)),
+        ("sweeps_per_pass", Json::from(betas.len())),
+        ("passes", Json::from(passes)),
+        ("max_replicas", Json::from(max_replicas)),
+        ("speedup", headline_speedup),
+        ("flips_speedup", headline_flips_speedup),
+        ("min_flips_speedup", Json::from(MIN_REPLICA_SPEEDUP)),
+        ("rows", Json::Arr(rows)),
     ])
 }
 
@@ -312,6 +488,7 @@ fn sampler_row(name: &'static str, sampler: &dyn Sampler, model: &QuboModel) -> 
         ("flips_per_sec", opt(timed.flips_per_sec())),
         ("sweeps_per_sec", opt(sweeps_per_sec)),
         ("acceptance_rate", opt(timed.acceptance_rate())),
+        ("replicas", timed.replicas.map_or(Json::Null, Json::from)),
         (
             "best_energy",
             set.lowest_energy().map_or(Json::Null, Json::from),
@@ -548,6 +725,62 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             return Err(format!("probe_overhead.{field} must be finite, got {v}"));
         }
     }
+    let scaling = doc
+        .get("replica_scaling")
+        .ok_or("missing replica_scaling section")?;
+    for field in ["speedup", "flips_speedup", "min_flips_speedup"] {
+        let v = scaling
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("replica_scaling.{field} missing or not a number"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "replica_scaling.{field} must be positive and finite, got {v}"
+            ));
+        }
+    }
+    let rows = scaling
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing replica_scaling.rows array")?;
+    if rows.is_empty() {
+        return Err("replica_scaling.rows is empty".into());
+    }
+    match rows[0].get("replicas").and_then(Json::as_u64) {
+        Some(1) => {}
+        other => {
+            return Err(format!(
+                "replica_scaling.rows[0] must be the scalar baseline (replicas=1), got {other:?}"
+            ))
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let r = row
+            .get("replicas")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("replica_scaling.rows[{i}].replicas missing"))?;
+        if !(1..=64).contains(&r) {
+            return Err(format!(
+                "replica_scaling.rows[{i}].replicas out of 1..=64: {r}"
+            ));
+        }
+        for field in [
+            "ms",
+            "effective_proposals_per_sec",
+            "effective_flips_per_sec",
+            "speedup_vs_scalar",
+        ] {
+            let v = row
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("replica_scaling.rows[{i}].{field} missing"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!(
+                    "replica_scaling.rows[{i}].{field} must be positive and finite, got {v}"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -570,6 +803,27 @@ pub fn remeasure_disabled_overhead(opts: &BenchOptions) -> Option<f64> {
     )]))
 }
 
+/// Reads the headline effective-flips/s speedup (largest replica count vs
+/// the scalar row) out of a bench document. Used by `qsmt bench
+/// --check-replicas` and its nightly CI gate.
+pub fn replica_speedup(doc: &Json) -> Option<f64> {
+    doc.get("replica_scaling")?
+        .get("flips_speedup")
+        .and_then(Json::as_f64)
+}
+
+/// Re-times just the replica-scaling section and returns the fresh
+/// headline speedup. `--check-replicas` retries with this before
+/// failing, for the same reason as [`remeasure_disabled_overhead`]: a
+/// genuine kernel regression fails every attempt, a host load spike
+/// passes on re-measurement.
+pub fn remeasure_replica_speedup(opts: &BenchOptions) -> Option<f64> {
+    replica_speedup(&Json::obj([(
+        "replica_scaling",
+        replica_scaling_section(opts),
+    )]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +834,7 @@ mod tests {
         let doc = run(&BenchOptions {
             quick: true,
             seed: 7,
+            replicas: None,
         });
         validate(&doc).expect("self-produced document validates");
         // And it survives a serialize/parse round trip.
@@ -595,6 +850,35 @@ mod tests {
         assert!(validate(&wrong_version)
             .unwrap_err()
             .contains("schema_version"));
+    }
+
+    #[test]
+    fn replica_arms_share_lane_zero_bit_for_bit() {
+        // The scalar row and every multi-replica row run replica 0 on the
+        // same read_seed(seed, 0) stream, so lane 0's final energy is
+        // bit-identical across arms — the rows measure the same walk, not
+        // merely similar workloads.
+        let model = dense_penalty_model(48, 11);
+        let compiled = CompiledQubo::compile(&model);
+        let betas = BetaSchedule::auto(&compiled, 32).realize();
+        let (_, scalar_accepted, scalar_energy) = scalar_replica_sweeps(&compiled, &betas, 2, 11);
+        for replicas in [1usize, 8, 64] {
+            let (_, accepted, energy) = multi_replica_sweeps(&compiled, &betas, 2, 11, replicas);
+            assert_eq!(energy, scalar_energy, "{replicas} replicas, lane 0");
+            assert!(accepted >= scalar_accepted, "{replicas} replicas");
+        }
+        let (_, one_lane_accepted, _) = multi_replica_sweeps(&compiled, &betas, 2, 11, 1);
+        assert_eq!(one_lane_accepted, scalar_accepted);
+    }
+
+    #[test]
+    fn replica_speedup_reads_the_headline_field() {
+        let doc = Json::obj([(
+            "replica_scaling",
+            Json::obj([("flips_speedup", Json::from(6.5))]),
+        )]);
+        assert_eq!(replica_speedup(&doc), Some(6.5));
+        assert_eq!(replica_speedup(&Json::obj([])), None);
     }
 
     #[test]

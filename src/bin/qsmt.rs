@@ -7,7 +7,8 @@
 //! qsmt lint  <file.smt2> [--format text|json] [--no-absint]  # static analysis
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
-//! qsmt bench [--quick] [--out PATH] [--seed N]  # annealing perf baseline
+//! qsmt bench [--quick] [--out PATH] [--seed N] [--replicas N]
+//!            [--check-overhead] [--check-replicas]  # annealing perf baseline
 //! qsmt serve --metrics-addr ADDR [--seed N] [--workers N] [--queue-depth N]
 //!            [--job-timeout MS]              # solve service + metrics endpoint
 //! qsmt submit ADDR <file.smt2> [--seed N] [--reads N] [--job-timeout MS]
@@ -51,7 +52,8 @@ USAGE:
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
              [--stats] [--report <path>] [--trace] [--lint]
              [--no-absint]
-  qsmt bench [--quick] [--out <path>] [--seed N]
+  qsmt bench [--quick] [--out <path>] [--seed N] [--replicas N]
+             [--check-overhead] [--check-replicas]
   qsmt serve --metrics-addr <host:port> [--seed N] [--workers N]
              [--queue-depth N] [--job-timeout MS] [--max-requests N]
              [--cache-entries N] [--no-cache]
@@ -75,7 +77,7 @@ SOLVE SERVICE (see docs/OBSERVABILITY.md):
   qsmt serve       concurrent solve service + live metrics: POST /solve
                    enqueues SMT-LIB scripts into a bounded queue drained
                    by --workers threads; GET /jobs/<id> returns status
-                   and the schema-v5 run report; a full queue answers
+                   and the schema-v7 run report; a full queue answers
                    429 with Retry-After; per-job deadlines cancel
                    mid-anneal; SIGINT or --max-requests drains
                    gracefully. Repeat submissions are answered from a
@@ -94,10 +96,17 @@ SOLVE SERVICE (see docs/OBSERVABILITY.md):
 BENCHMARKS (see docs/PERFORMANCE.md):
   qsmt bench       run the annealing benchmark harness and write a
                    schema-validated BENCH_annealing.json (kernel-vs-naive
-                   sweep throughput, per-sampler rates, time-to-ground
-                   per formulation)
+                   sweep throughput, bit-sliced replica scaling,
+                   per-sampler rates, time-to-ground per formulation)
   --quick          CI smoke mode: shrink every workload
   --out <path>     output path (default BENCH_annealing.json)
+  --replicas N     pin the replica-scaling ladder to one width (1..=64)
+                   instead of the default 1/8/64 sweep
+  --check-overhead fail unless the disabled trajectory-probe path stays
+                   within 2% of plain sampling (retries on noisy hosts)
+  --check-replicas fail unless bit-sliced 64-replica sweeps deliver at
+                   least the gated effective-flips speedup over the
+                   scalar kernel (retries on noisy hosts)
 
 STATIC ANALYSIS (see docs/LINTS.md):
   qsmt lint        run the formulation linter over every goal's compiled
@@ -155,6 +164,10 @@ struct Options {
     flight: Option<String>,
     max_requests: Option<u64>,
     check_overhead: bool,
+    /// Replica ladder override for `bench` (`--replicas N`); None runs
+    /// the default 1/8/64 scaling ladder.
+    replicas: Option<usize>,
+    check_replicas: bool,
     workers: usize,
     queue_depth: usize,
     job_timeout_ms: u64,
@@ -187,6 +200,8 @@ impl Default for Options {
             flight: None,
             max_requests: None,
             check_overhead: false,
+            replicas: None,
+            check_replicas: false,
             workers: 4,
             queue_depth: 16,
             job_timeout_ms: 30_000,
@@ -282,6 +297,16 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
             "--absint" => opts.absint = true,
             "--no-absint" => opts.absint = false,
             "--check-overhead" => opts.check_overhead = true,
+            "--replicas" => {
+                let n: usize = value("--replicas")?
+                    .parse()
+                    .map_err(|_| "--replicas expects an integer".to_string())?;
+                if !(1..=64).contains(&n) {
+                    return Err("--replicas expects 1..=64 (one bit-sliced word)".into());
+                }
+                opts.replicas = Some(n);
+            }
+            "--check-replicas" => opts.check_replicas = true,
             "--format" => {
                 let fmt = value("--format")?;
                 if fmt != "text" && fmt != "json" {
@@ -608,6 +633,7 @@ fn run_bench(opts: &Options) -> Result<(), String> {
     let bench_opts = qsmt::bench::BenchOptions {
         quick: opts.quick,
         seed: opts.seed,
+        replicas: opts.replicas,
     };
     let path = opts.out.as_deref().unwrap_or("BENCH_annealing.json");
     // Snapshot the committed baseline (if any) before overwriting it, so
@@ -687,6 +713,42 @@ fn run_bench(opts: &Options) -> Result<(), String> {
         }
     } else if opts.check_overhead {
         return Err("bench document lacks probe_overhead.disabled_overhead".into());
+    }
+    if let Some(mut speedup) = qsmt::bench::replica_speedup(&reparsed) {
+        let max_replicas = reparsed
+            .get("replica_scaling")
+            .and_then(|s| s.get("max_replicas"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        eprintln!(
+            "replica scaling: {speedup:.2}× effective flips/s at {max_replicas:.0} \
+             replicas/word vs scalar (gate ≥{:.1}×)",
+            qsmt::bench::MIN_REPLICA_SPEEDUP
+        );
+        if opts.check_replicas {
+            // Same retry discipline as --check-overhead: a real regression
+            // fails every remeasure, a noisy host recovers on retry.
+            let mut attempts = 1;
+            while speedup < qsmt::bench::MIN_REPLICA_SPEEDUP && attempts < 3 {
+                attempts += 1;
+                match qsmt::bench::remeasure_replica_speedup(&bench_opts) {
+                    Some(again) => {
+                        speedup = again;
+                        eprintln!("replica scaling retry {attempts}: {speedup:.2}× flips/s");
+                    }
+                    None => break,
+                }
+            }
+            if speedup < qsmt::bench::MIN_REPLICA_SPEEDUP {
+                return Err(format!(
+                    "replica-scaling flips speedup {speedup:.2}× is below the {:.1}× gate \
+                     after {attempts} attempts",
+                    qsmt::bench::MIN_REPLICA_SPEEDUP
+                ));
+            }
+        }
+    } else if opts.check_replicas {
+        return Err("bench document lacks replica_scaling.flips_speedup".into());
     }
     eprintln!("bench report written to {path}");
     Ok(())

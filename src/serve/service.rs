@@ -486,7 +486,7 @@ impl Service {
     /// The actual solve: parse, run the abstract-interpretation pass
     /// and then the reported pipeline with the job's seed/reads, the
     /// cancellation flag, and the shared solve cache, and produce a
-    /// schema-v6 [`RunReport`] document.
+    /// schema-v7 [`RunReport`] document.
     fn solve_script(&self, job: &Job, stop: &StopFlag) -> Result<Json, String> {
         let script = Script::parse(&job.source).map_err(|e| e.to_string())?;
         let mut solver = StringSolver::with_defaults()

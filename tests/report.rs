@@ -44,7 +44,7 @@ fn table1_palindrome_report_has_documented_schema() {
     let doc = report_for("table1_row2_palindrome.smt2", &[]);
 
     // Top level.
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(7));
     assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
     // The one-shot CLI path runs cache-less: a sat run is always served
     // by the solver, and the per-solve cache section is present-but-null.
@@ -151,6 +151,8 @@ fn table1_palindrome_report_has_documented_schema() {
     let sampling = solve.get("sampling").expect("sampling");
     assert_eq!(sampling.get("reads").and_then(Json::as_u64), Some(64));
     assert_eq!(sampling.get("sweeps").and_then(Json::as_u64), Some(384));
+    // Schema v7: SA bit-slices its 64 reads into one word-wide batch.
+    assert_eq!(sampling.get("replicas").and_then(Json::as_u64), Some(64));
     let best = sampling.get("best_energy").and_then(Json::as_f64).unwrap();
     let mean = sampling.get("mean_energy").and_then(Json::as_f64).unwrap();
     let max = sampling.get("max_energy").and_then(Json::as_f64).unwrap();
@@ -352,7 +354,7 @@ fn unsat_report_has_status_and_no_goals() {
 #[test]
 fn no_absint_flag_disables_the_stage_and_keeps_schema_additive() {
     let doc = report_for("table1_row2_palindrome.smt2", &["--no-absint"]);
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(7));
     assert_eq!(doc.get("status").and_then(Json::as_str), Some("sat"));
     // The key stays present (additive schema) but is null when opted out.
     assert_eq!(doc.get("absint"), Some(&Json::Null));

@@ -193,7 +193,7 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
 
     // Every admitted job reaches exactly one terminal state; with a
     // 60s default deadline and tiny scripts they all complete, and each
-    // completed job embeds a schema-v6 run report.
+    // completed job embeds a schema-v7 run report.
     let mut completed = 0u64;
     let mut timed_out = 0u64;
     for id in &accepted_ids {
@@ -202,8 +202,8 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
             "completed" => {
                 completed += 1;
                 assert!(
-                    body.contains("\"schema_version\": 6"),
-                    "report is not schema v6: {body}"
+                    body.contains("\"schema_version\": 7"),
+                    "report is not schema v7: {body}"
                 );
                 assert_eq!(
                     json_str(&body, "sampler").as_deref(),
