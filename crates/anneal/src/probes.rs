@@ -80,6 +80,12 @@ pub struct SamplerDynamics {
     pub sweep_improvement: Vec<f64>,
     /// Acceptance-table fast-path counters from the probe read.
     pub accept_paths: Option<AcceptCounters>,
+    /// Measured wall-clock interval per read, `(offset_us, dur_us)`
+    /// relative to the start of the probed run, indexed by read. Reads
+    /// executed together in one bit-sliced block share the block's
+    /// interval; the probe read (read 0) is timed individually. The
+    /// tracing layer splices these into per-read child spans.
+    pub read_spans: Vec<(u64, u64)>,
 }
 
 impl SamplerDynamics {
@@ -94,6 +100,7 @@ impl SamplerDynamics {
             && self.proposal_latency_ns.is_empty()
             && self.sweep_improvement.is_empty()
             && self.accept_paths.is_none()
+            && self.read_spans.is_empty()
     }
 }
 

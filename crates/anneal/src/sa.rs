@@ -464,11 +464,17 @@ impl Sampler for SimulatedAnnealer {
         let initial = self.initial_state.as_deref();
         let stop = self.stop.as_ref();
         let mut dynamics = SamplerDynamics::default();
+        // Per-read wall-clock intervals relative to `started`, spliced
+        // into job traces as per-read spans. Reads sharing a bit-sliced
+        // block share the block's interval; the probe read is timed on
+        // its own. Only this enabled path pays for the clock reads.
+        let mut read_spans = vec![(0u64, 0u64); self.num_reads];
         // Read 0 is the probe read (run sequentially, observed per sweep);
         // the remaining reads run exactly as in the plain path. Per-read
         // RNG streams are independent, so ordering does not matter.
         let mut results: Vec<(Vec<u8>, f64, u64)> = Vec::with_capacity(self.num_reads);
         if self.num_reads > 0 {
+            let probe_start_us = started.elapsed().as_micros() as u64;
             results.push(Self::one_read_probed(
                 &compiled,
                 &tables,
@@ -478,31 +484,37 @@ impl Sampler for SimulatedAnnealer {
                 config,
                 &mut dynamics,
             ));
+            let probe_end_us = started.elapsed().as_micros() as u64;
+            read_spans[0] = (probe_start_us, probe_end_us.saturating_sub(probe_start_us));
         }
         // Reads 1.. run on the bit-sliced block path exactly as in the
         // plain run; lane streams are independent of the probe read's.
+        // `started` is a Copy Instant, so per-block timestamps from
+        // parallel workers land on the same axis.
+        let timed_block = |(start, lanes): (usize, usize)| {
+            let t0 = started.elapsed().as_micros() as u64;
+            let result =
+                Self::read_block(&compiled, &tables, self.seed, start, lanes, initial, stop);
+            let t1 = started.elapsed().as_micros() as u64;
+            ((start, lanes), result, (t0, t1.saturating_sub(t0)))
+        };
+        type TimedBlock = ((usize, usize), BlockResult, (u64, u64));
         let blocks = Self::blocks(1..self.num_reads.max(1));
-        let rest: Vec<BlockResult> = if self.parallel {
-            blocks
-                .into_par_iter()
-                .map(|(start, lanes)| {
-                    Self::read_block(&compiled, &tables, self.seed, start, lanes, initial, stop)
-                })
-                .collect()
+        let rest: Vec<TimedBlock> = if self.parallel {
+            blocks.into_par_iter().map(timed_block).collect()
         } else {
-            blocks
-                .into_iter()
-                .map(|(start, lanes)| {
-                    Self::read_block(&compiled, &tables, self.seed, start, lanes, initial, stop)
-                })
-                .collect()
+            blocks.into_iter().map(timed_block).collect()
         };
         let mut accepted: u64 = results.iter().map(|(_, _, a)| a).sum();
         let mut reads: Vec<(Vec<u8>, f64)> = results.into_iter().map(|(s, e, _)| (s, e)).collect();
-        for (block_reads, block_accepted) in rest {
+        for ((start, lanes), (block_reads, block_accepted), interval) in rest {
             accepted += block_accepted;
             reads.extend(block_reads);
+            for span in &mut read_spans[start..start + lanes] {
+                *span = interval;
+            }
         }
+        dynamics.read_spans = read_spans;
         let sweeps = betas.len() as u64;
         let elapsed_us = started.elapsed().as_micros() as u64;
         let proposals = sweeps * model.num_vars() as u64 * self.num_reads as u64;
@@ -686,6 +698,20 @@ mod tests {
         let (set, _, dynamics) = sa.sample_dynamics(&m, &ProbeConfig::disabled());
         assert_eq!(set, sa.sample(&m));
         assert!(dynamics.is_empty());
+    }
+
+    #[test]
+    fn probed_runs_time_every_read() {
+        let (m, _) = gadget();
+        // 3 reads: the probe read plus one block of 2.
+        let sa = SimulatedAnnealer::new().with_seed(13).with_num_reads(3);
+        let (_, _, dynamics) = sa.sample_dynamics(&m, &ProbeConfig::default());
+        assert_eq!(dynamics.read_spans.len(), 3);
+        // Reads in the same bit-sliced block share the block interval.
+        assert_eq!(dynamics.read_spans[1], dynamics.read_spans[2]);
+        // The disabled path records nothing (pinned by is_empty above).
+        let (_, _, off) = sa.sample_dynamics(&m, &ProbeConfig::disabled());
+        assert!(off.read_spans.is_empty());
     }
 
     #[test]

@@ -466,6 +466,7 @@ impl StringSolver {
         let start = begin(&mut stages, &rec, "compile");
         let problem = {
             let _s = rec.span("compile");
+            let _t = qsmt_trace::span("compile");
             self.encode(constraint)?
         };
         stages.last_mut().expect("pushed").dur_us = rec.elapsed_us() - start;
@@ -483,6 +484,7 @@ impl StringSolver {
         let start = begin(&mut stages, &rec, "lint");
         let lint_report = {
             let _s = rec.span("lint");
+            let _t = qsmt_trace::span("lint");
             lint_qubo(&problem.qubo, &self.lint_config)
         };
         let lint_us = rec.elapsed_us() - start;
@@ -496,6 +498,7 @@ impl StringSolver {
         let start = begin(&mut stages, &rec, "presolve");
         let presolve = {
             let _s = rec.span("presolve");
+            let _t = qsmt_trace::span("presolve");
             let reduced = qsmt_qubo::presolve(&problem.qubo);
             let original = problem.qubo.num_vars();
             let fixed = reduced.num_fixed();
@@ -521,6 +524,7 @@ impl StringSolver {
         let start = begin(&mut stages, &rec, "embed");
         let embedding = {
             let _s = rec.span("embed");
+            let _t = qsmt_trace::span("embed");
             self.probe_embedding(&problem.qubo)
         };
         stages.last_mut().expect("pushed").dur_us = rec.elapsed_us() - start;
@@ -535,6 +539,10 @@ impl StringSolver {
         }
 
         let start = begin(&mut stages, &rec, "sample");
+        // The trace span stays open until the per-read child spans are
+        // spliced in below, so their intervals nest inside it.
+        let trace_sample = qsmt_trace::span("sample");
+        let trace_base_us = qsmt_trace::active().then(qsmt_trace::now_us);
         // Consult the cache (when attached) before paying for sampling:
         // an exact fingerprint hit replays the cached sample set, a shape
         // hit warm-starts a short reverse anneal, a miss samples cold.
@@ -611,6 +619,16 @@ impl StringSolver {
             };
         let sample_us = rec.elapsed_us() - start;
         stages.last_mut().expect("pushed").dur_us = sample_us;
+        // Splice the sampler's per-read wall-clock intervals (measured
+        // relative to its own start) onto the trace axis as children of
+        // the still-open sample span. `trace_base_us` was captured just
+        // before sampling began, so read intervals stay contained.
+        if let Some(base_us) = trace_base_us {
+            for (i, &(offset_us, dur_us)) in raw_dynamics.read_spans.iter().enumerate() {
+                qsmt_trace::span_at(&format!("read {i}"), base_us + offset_us, dur_us);
+            }
+        }
+        drop(trace_sample);
         let sampling = Self::sampler_stats(sampler_name, &samples, run_stats, sample_us);
         let dynamics = Self::dynamics_stats(raw_dynamics, run_stats.acceptance_rate());
         if let Some(d) = &dynamics {
@@ -632,6 +650,7 @@ impl StringSolver {
         let start = begin(&mut stages, &rec, "select");
         let (outcome, decoded, valid_rank) = {
             let _s = rec.span("select");
+            let _t = qsmt_trace::span("select");
             self.select_counted(constraint, problem, samples)
         };
         stages.last_mut().expect("pushed").dur_us = rec.elapsed_us() - start;

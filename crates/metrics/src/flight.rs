@@ -104,6 +104,14 @@ impl FlightRecorder {
             .next_seq
     }
 
+    /// Events evicted from the ring since creation — how much history
+    /// `qsmt watch` has silently lost to wrapping. Equals
+    /// `recorded_total - len`, since events only leave by eviction.
+    pub fn dropped_total(&self) -> u64 {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        inner.next_seq - inner.events.len() as u64
+    }
+
     /// Snapshot of the retained events, oldest first.
     pub fn snapshot(&self) -> Vec<FlightEvent> {
         self.inner
@@ -116,7 +124,8 @@ impl FlightRecorder {
     }
 
     /// Serializes the ring buffer as a JSON document:
-    /// `{"capacity", "recorded_total", "events": [{seq, t_us, name, value, detail?}]}`.
+    /// `{"capacity", "recorded_total", "dropped_total",
+    /// "events": [{seq, t_us, name, value, detail?}]}`.
     pub fn to_json(&self) -> Json {
         let inner = self.inner.lock().expect("flight recorder poisoned");
         let events: Vec<Json> = inner
@@ -138,6 +147,10 @@ impl FlightRecorder {
         Json::obj([
             ("capacity", Json::from(self.capacity)),
             ("recorded_total", Json::from(inner.next_seq)),
+            (
+                "dropped_total",
+                Json::from(inner.next_seq - inner.events.len() as u64),
+            ),
             ("events", Json::Arr(events)),
         ])
     }
@@ -173,6 +186,11 @@ mod tests {
         assert_eq!(events[2].seq, 9);
         assert_eq!(rec.recorded_total(), 10);
         assert_eq!(rec.capacity(), 3);
+        assert_eq!(rec.dropped_total(), 7);
+        assert_eq!(
+            rec.to_json().get("dropped_total").and_then(Json::as_u64),
+            Some(7)
+        );
     }
 
     #[test]
@@ -184,6 +202,7 @@ mod tests {
         let parsed = qsmt_telemetry::json::parse(&doc.pretty()).expect("valid json");
         assert_eq!(parsed.get("capacity").and_then(Json::as_u64), Some(4));
         assert_eq!(parsed.get("recorded_total").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("dropped_total").and_then(Json::as_u64), Some(0));
         let events = parsed.get("events").and_then(Json::as_arr).unwrap();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].get("name").and_then(Json::as_str), Some("x"));

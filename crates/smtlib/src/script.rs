@@ -260,7 +260,10 @@ impl Script {
         ),
         ScriptError,
     > {
-        let mut run = self.absint();
+        let mut run = {
+            let _t = qsmt_trace::span("absint");
+            self.absint()
+        };
         if run.is_refuted() {
             return Ok((
                 ScriptOutcome {
@@ -297,6 +300,15 @@ impl Script {
             ))
         };
         for goal in goals {
+            let goal_name = match goal {
+                Goal::StringConstraint { name, .. }
+                | Goal::StringPipeline { name, .. }
+                | Goal::IndexQuery { name, .. } => name,
+            };
+            // Gate the label format behind an active trace so untraced
+            // solves pay nothing here.
+            let _goal_span =
+                qsmt_trace::active().then(|| qsmt_trace::span_dyn(format!("goal {goal_name}")));
             match goal {
                 Goal::StringConstraint { name, constraint } => {
                     match solver.solve_reported(constraint) {

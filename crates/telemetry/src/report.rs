@@ -670,6 +670,11 @@ pub struct RunReport {
     /// pass was disabled (additive in schema v6, serialized as `null`
     /// when absent).
     pub absint: Option<AbsintStats>,
+    /// End-to-end trace identifier (additive in schema v8). Serialized
+    /// as a 16-hex-digit **string** (`null` when absent) because JSON
+    /// numbers here are `f64` and cannot round-trip 64-bit ids. The
+    /// same id addresses `GET /jobs/<id>/trace` on a serve instance.
+    pub trace_id: Option<u64>,
     /// Per-goal reports in declaration order.
     pub goals: Vec<GoalReport>,
 }
@@ -687,9 +692,12 @@ impl RunReport {
     /// variables, certificate size, and routing features) and the
     /// `"absint"` value for `served_from`; v7 adds the additive
     /// `replicas` field on `sampling` (bit-sliced multi-replica kernel
-    /// batch width, `null` for single-configuration samplers). Earlier
-    /// readers keep working because no existing field changed.
-    pub const SCHEMA_VERSION: u32 = 7;
+    /// batch width, `null` for single-configuration samplers); v8 adds
+    /// the additive `trace_id` field (16-hex-digit string, `null` when
+    /// tracing was off) and the computed `span_us` per-stage rollup
+    /// object consumed by the `qsmt history` run store. Earlier readers
+    /// keep working because no existing field changed.
+    pub const SCHEMA_VERSION: u32 = 8;
 
     /// Serializes as a JSON object.
     pub fn to_json(&self) -> Json {
@@ -707,10 +715,37 @@ impl RunReport {
                     .map_or(Json::Null, AbsintStats::to_json),
             ),
             (
+                "trace_id",
+                self.trace_id
+                    .map_or(Json::Null, |id| Json::from(format!("{id:016x}"))),
+            ),
+            ("span_us", self.span_us_rollup()),
+            (
                 "goals",
                 Json::Arr(self.goals.iter().map(GoalReport::to_json).collect()),
             ),
         ])
+    }
+
+    /// Total microseconds per stage label, summed across every solve of
+    /// every goal — the flat per-stage rollup (`span_us`, additive in
+    /// schema v8) that the run-history store aggregates percentiles
+    /// over without walking the nested goal/solve/stage tree.
+    pub fn span_us_rollup(&self) -> Json {
+        let mut rollup = std::collections::BTreeMap::new();
+        for goal in &self.goals {
+            for solve in &goal.solves {
+                for stage in &solve.stages {
+                    *rollup.entry(stage.label.clone()).or_insert(0u64) += stage.dur_us;
+                }
+            }
+        }
+        Json::Obj(
+            rollup
+                .into_iter()
+                .map(|(label, us)| (label, Json::from(us)))
+                .collect(),
+        )
     }
 }
 
@@ -927,6 +962,7 @@ mod tests {
                 certificate_steps: 0,
                 features: Json::obj([("string_vars", Json::from(1u64))]),
             }),
+            trace_id: Some(0x00ab_cdef_0123_4567),
             goals: vec![GoalReport {
                 name: "x".into(),
                 kind: GoalKind::Pipeline,
@@ -937,7 +973,15 @@ mod tests {
             }],
         };
         let doc = parse(&run.to_json().pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(8));
+        assert_eq!(
+            doc.get("trace_id").and_then(Json::as_str),
+            Some("00abcdef01234567")
+        );
+        // The flat rollup sums the nested stage timings by label.
+        let span_us = doc.get("span_us").unwrap();
+        assert_eq!(span_us.get("compile").and_then(Json::as_u64), Some(100));
+        assert_eq!(span_us.get("sample").and_then(Json::as_u64), Some(1200));
         assert_eq!(
             doc.get("served_from").and_then(Json::as_str),
             Some("solver")
@@ -965,6 +1009,7 @@ mod tests {
             served_from: "absint".into(),
             elapsed_us: 120,
             absint,
+            trace_id: None,
             goals: vec![],
         };
         let v5_doc = parse(&run(None).to_json().pretty()).unwrap();
@@ -1036,6 +1081,49 @@ mod tests {
         let text = sample_report().render_stats();
         assert!(text.contains("(64 replicas/word)"), "{text}");
         assert!(!v6.render_stats().contains("replicas/word"));
+    }
+
+    #[test]
+    fn schema_v8_is_additive_over_v7() {
+        // A v7-shaped run (tracing off) still serializes every key with
+        // `trace_id` as null and an empty `span_us` rollup; a v8 run
+        // keeps every v7 key and adds the hex trace id.
+        let run = |trace_id: Option<u64>, goals: Vec<GoalReport>| RunReport {
+            schema_version: RunReport::SCHEMA_VERSION,
+            source: "x.smt2".into(),
+            status: "sat".into(),
+            sampler: "simulated-annealing".into(),
+            served_from: "solver".into(),
+            elapsed_us: 2000,
+            absint: None,
+            trace_id,
+            goals,
+        };
+        let goal = GoalReport {
+            name: "x".into(),
+            kind: GoalKind::Constraint,
+            answer: "olleh".into(),
+            valid: true,
+            total_us: 1500,
+            solves: vec![sample_report()],
+        };
+        let v7_doc = parse(&run(None, vec![]).to_json().pretty()).unwrap();
+        assert_eq!(v7_doc.get("trace_id"), Some(&Json::Null));
+        assert_eq!(v7_doc.get("span_us"), Some(&Json::Obj(Default::default())));
+        let v8_doc = parse(&run(Some(0xdead_beef), vec![goal]).to_json().pretty()).unwrap();
+        let (Json::Obj(v7_map), Json::Obj(v8_map)) = (&v7_doc, &v8_doc) else {
+            panic!("reports serialize as objects");
+        };
+        for key in v7_map.keys() {
+            assert!(v8_map.contains_key(key), "v8 dropped v7 key {key}");
+        }
+        assert_eq!(
+            v8_doc.get("trace_id").and_then(Json::as_str),
+            Some("00000000deadbeef")
+        );
+        let span_us = v8_doc.get("span_us").unwrap();
+        assert_eq!(span_us.get("compile").and_then(Json::as_u64), Some(100));
+        assert_eq!(span_us.get("sample").and_then(Json::as_u64), Some(1200));
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Compact self-describing binary span ring.
+//!
+//! The always-on capture sink behind the [`TraceRegistry`](crate::TraceRegistry):
+//! a bounded FIFO of fixed-width span records plus an interned name
+//! table, serializable in one pass. The format is self-describing — a
+//! magic/version header and the embedded name table are all a reader
+//! needs — and [`decode`] is the in-tree reader that pins it.
+//!
+//! ## Wire format (all integers little-endian)
+//!
+//! ```text
+//! magic   4 bytes  "QTRC"
+//! version u16      1
+//! _pad    u16      0
+//! names   u32      count, then per name: len u16 + UTF-8 bytes
+//! records u32      count, then per record ([`RECORD_BYTES`] = 32 bytes):
+//!         trace_id u64, name_id u32, start_us u64, dur_us u64,
+//!         depth u16, tid u16
+//! ```
+
+use crate::SpanRecord;
+use std::collections::{HashMap, VecDeque};
+
+/// Magic bytes opening every export.
+pub const MAGIC: &[u8; 4] = b"QTRC";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Serialized width of one record in bytes.
+pub const RECORD_BYTES: usize = 8 + 4 + 8 + 8 + 2 + 2;
+
+#[derive(Clone, Copy)]
+struct Record {
+    trace_id: u64,
+    name_id: u32,
+    start_us: u64,
+    dur_us: u64,
+    depth: u16,
+    tid: u16,
+}
+
+/// Bounded ring of span records with an interned name table. Pushing
+/// past capacity evicts the oldest record and bumps the drop counter.
+pub struct BinaryRing {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+    records: VecDeque<Record>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl BinaryRing {
+    /// A ring retaining at most `capacity` records.
+    #[must_use]
+    pub fn new(capacity: usize) -> BinaryRing {
+        BinaryRing {
+            names: Vec::new(),
+            ids: HashMap::new(),
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Appends one span for `trace_id`, evicting the oldest at capacity.
+    pub fn record(&mut self, trace_id: u64, span: &SpanRecord) {
+        let name_id = self.intern(&span.name);
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(Record {
+            trace_id,
+            name_id,
+            start_us: span.start_us,
+            dur_us: span.dur_us,
+            depth: span.depth.min(u32::from(u16::MAX)) as u16,
+            tid: span.tid,
+        });
+    }
+
+    /// Records currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Maximum records retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted since construction.
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Serializes the ring; see the module docs for the wire format.
+    #[must_use]
+    pub fn export(&self) -> Vec<u8> {
+        let name_bytes: usize = self.names.iter().map(|n| 2 + n.len()).sum();
+        let mut out = Vec::with_capacity(12 + name_bytes + 4 + self.records.len() * RECORD_BYTES);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        for name in &self.names {
+            let bytes = name.as_bytes();
+            let len = bytes.len().min(usize::from(u16::MAX));
+            out.extend_from_slice(&(len as u16).to_le_bytes());
+            out.extend_from_slice(&bytes[..len]);
+        }
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for r in &self.records {
+            out.extend_from_slice(&r.trace_id.to_le_bytes());
+            out.extend_from_slice(&r.name_id.to_le_bytes());
+            out.extend_from_slice(&r.start_us.to_le_bytes());
+            out.extend_from_slice(&r.dur_us.to_le_bytes());
+            out.extend_from_slice(&r.depth.to_le_bytes());
+            out.extend_from_slice(&r.tid.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One record read back by [`decode`], with its name resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSpan {
+    /// Raw 64-bit trace id the span belongs to.
+    pub trace_id: u64,
+    /// Resolved span label.
+    pub name: String,
+    /// Start, µs since the writing process's trace epoch.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Nesting depth.
+    pub depth: u16,
+    /// Writer-side thread ordinal.
+    pub tid: u16,
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated at byte {}", self.pos))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+/// Decodes a [`BinaryRing::export`] buffer.
+///
+/// # Errors
+/// Returns a description when the magic, version, name table, or
+/// record section is malformed or truncated.
+pub fn decode(bytes: &[u8]) -> Result<Vec<DecodedSpan>, String> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err("bad magic (expected QTRC)".to_string());
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(format!("unsupported version {version}"));
+    }
+    r.u16()?; // pad
+    let name_count = r.u32()? as usize;
+    let mut names = Vec::with_capacity(name_count.min(1 << 16));
+    for _ in 0..name_count {
+        let len = r.u16()? as usize;
+        let raw = r.take(len)?;
+        names.push(
+            std::str::from_utf8(raw)
+                .map_err(|_| "name table entry is not UTF-8".to_string())?
+                .to_string(),
+        );
+    }
+    let record_count = r.u32()? as usize;
+    let mut out = Vec::with_capacity(record_count.min(1 << 20));
+    for _ in 0..record_count {
+        let trace_id = r.u64()?;
+        let name_id = r.u32()? as usize;
+        let start_us = r.u64()?;
+        let dur_us = r.u64()?;
+        let depth = r.u16()?;
+        let tid = r.u16()?;
+        let name = names
+            .get(name_id)
+            .ok_or_else(|| format!("record references unknown name id {name_id}"))?
+            .clone();
+        out.push(DecodedSpan {
+            trace_id,
+            name,
+            start_us,
+            dur_us,
+            depth,
+            tid,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err(format!("{} trailing bytes", bytes.len() - r.pos));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            start_us: start,
+            dur_us: dur,
+            depth: 1,
+            tid: 2,
+        }
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let mut ring = BinaryRing::new(8);
+        ring.record(0xabcd, &span("compile", 10, 5));
+        ring.record(0xabcd, &span("sample", 20, 100));
+        ring.record(0xef01, &span("compile", 30, 6));
+        let decoded = decode(&ring.export()).expect("decodes");
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].name, "compile");
+        assert_eq!(decoded[1].name, "sample");
+        assert_eq!(decoded[2].trace_id, 0xef01);
+        assert_eq!(decoded[1].dur_us, 100);
+        assert_eq!(decoded[2].tid, 2);
+    }
+
+    #[test]
+    fn wrapping_evicts_oldest_and_counts_drops() {
+        let mut ring = BinaryRing::new(2);
+        for i in 0..5u64 {
+            ring.record(1, &span("s", i, 1));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped_total(), 3);
+        let decoded = decode(&ring.export()).unwrap();
+        assert_eq!(decoded[0].start_us, 3);
+        assert_eq!(decoded[1].start_us, 4);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        assert!(decode(b"").is_err());
+        assert!(decode(b"XXXX\x01\x00\x00\x00").is_err());
+        let mut ring = BinaryRing::new(2);
+        ring.record(1, &span("s", 0, 1));
+        let mut bytes = ring.export();
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode(&bytes).is_err());
+        let mut extra = ring.export();
+        extra.push(0);
+        assert!(decode(&extra).is_err());
+    }
+
+    #[test]
+    fn empty_ring_exports_a_valid_document() {
+        let ring = BinaryRing::new(4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 4);
+        assert_eq!(decode(&ring.export()).unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-stage latency history and regression verdicts.
+//!
+//! [`analyze`] reads the `span_us` per-stage rollup out of each stored
+//! run report (schema v8), computes p50/p90/p99 per stage across the
+//! whole store, and compares the newest [`HistoryOptions::recent`] runs
+//! against the [`HistoryOptions::baseline`] runs before them: a stage
+//! whose recent p50 drifted more than [`HistoryOptions::threshold`]
+//! above its baseline p50 is flagged as a [`Regression`]. `qsmt
+//! history` renders the result and exits non-zero when any stage
+//! regressed.
+
+use qsmt_telemetry::Json;
+use std::collections::BTreeMap;
+
+/// Windows and tolerance for [`analyze`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryOptions {
+    /// Newest runs treated as "current behavior".
+    pub recent: usize,
+    /// Runs immediately before the recent window used as the baseline.
+    pub baseline: usize,
+    /// Allowed fractional p50 drift (0.25 = +25%) before a stage is
+    /// flagged.
+    pub threshold: f64,
+}
+
+impl Default for HistoryOptions {
+    fn default() -> Self {
+        HistoryOptions {
+            recent: 5,
+            baseline: 20,
+            threshold: 0.25,
+        }
+    }
+}
+
+/// Latency percentiles for one stage across every stored run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage label (`compile`, `sample`, …).
+    pub label: String,
+    /// Runs that recorded this stage.
+    pub runs: usize,
+    /// Median, µs.
+    pub p50: f64,
+    /// 90th percentile, µs.
+    pub p90: f64,
+    /// 99th percentile, µs.
+    pub p99: f64,
+}
+
+/// One stage whose recent median drifted past the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Stage label.
+    pub label: String,
+    /// Baseline-window median, µs.
+    pub baseline_p50: f64,
+    /// Recent-window median, µs.
+    pub recent_p50: f64,
+    /// Fractional drift: `recent/baseline - 1`.
+    pub drift: f64,
+}
+
+/// Output of [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct HistoryReport {
+    /// Stored runs considered.
+    pub runs: usize,
+    /// Per-stage percentiles, sorted by label.
+    pub stages: Vec<StageStats>,
+    /// Stages that regressed, sorted by label.
+    pub regressions: Vec<Regression>,
+}
+
+impl HistoryReport {
+    /// True when any stage regressed.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; `q` in 0..=1.
+/// Empty input yields 0.
+#[must_use]
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1).min(sorted.len()) - 1]
+}
+
+fn span_us_of(run: &Json) -> Option<&BTreeMap<String, Json>> {
+    match run.get("span_us") {
+        Some(Json::Obj(map)) => Some(map),
+        _ => None,
+    }
+}
+
+/// Analyzes stored run reports, oldest first (the order
+/// [`crate::RunStore::load`] returns).
+#[must_use]
+pub fn analyze(runs: &[Json], opts: &HistoryOptions) -> HistoryReport {
+    // Per-stage series in run order; runs that lack a stage contribute
+    // nothing to it (schema <v8 lines simply have no span_us).
+    let mut series: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for run in runs {
+        let Some(map) = span_us_of(run) else {
+            continue;
+        };
+        for (label, value) in map {
+            if let Some(us) = value.as_f64() {
+                series.entry(label.clone()).or_default().push(us);
+            }
+        }
+    }
+
+    let stages = series
+        .iter()
+        .map(|(label, values)| {
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            StageStats {
+                label: label.clone(),
+                runs: values.len(),
+                p50: percentile(&sorted, 0.50),
+                p90: percentile(&sorted, 0.90),
+                p99: percentile(&sorted, 0.99),
+            }
+        })
+        .collect();
+
+    let recent_n = opts.recent.max(1);
+    let mut regressions = Vec::new();
+    for (label, values) in &series {
+        if values.len() <= recent_n {
+            continue; // no baseline to compare against
+        }
+        let split = values.len() - recent_n;
+        let baseline_start = split.saturating_sub(opts.baseline.max(1));
+        let mut baseline: Vec<f64> = values[baseline_start..split].to_vec();
+        let mut recent: Vec<f64> = values[split..].to_vec();
+        baseline.sort_by(f64::total_cmp);
+        recent.sort_by(f64::total_cmp);
+        let baseline_p50 = percentile(&baseline, 0.50);
+        let recent_p50 = percentile(&recent, 0.50);
+        if baseline_p50 <= 0.0 {
+            continue;
+        }
+        let drift = recent_p50 / baseline_p50 - 1.0;
+        if drift > opts.threshold {
+            regressions.push(Regression {
+                label: label.clone(),
+                baseline_p50,
+                recent_p50,
+                drift,
+            });
+        }
+    }
+
+    HistoryReport {
+        runs: runs.len(),
+        stages,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(compile_us: f64, sample_us: f64) -> Json {
+        let mut span_us = BTreeMap::new();
+        span_us.insert("compile".to_string(), Json::Num(compile_us));
+        span_us.insert("sample".to_string(), Json::Num(sample_us));
+        Json::obj([
+            ("schema_version", Json::from(8u64)),
+            ("span_us", Json::Obj(span_us)),
+        ])
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.90), 90.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn steady_history_reports_stats_and_no_regressions() {
+        let runs: Vec<Json> = (0..20).map(|_| run(100.0, 1000.0)).collect();
+        let report = analyze(&runs, &HistoryOptions::default());
+        assert_eq!(report.runs, 20);
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].label, "compile");
+        assert_eq!(report.stages[0].p50, 100.0);
+        assert_eq!(report.stages[1].p99, 1000.0);
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn injected_drift_is_flagged_on_the_right_stage() {
+        let mut runs: Vec<Json> = (0..20).map(|_| run(100.0, 1000.0)).collect();
+        runs.extend((0..5).map(|_| run(100.0, 2000.0)));
+        let report = analyze(&runs, &HistoryOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        let reg = &report.regressions[0];
+        assert_eq!(reg.label, "sample");
+        assert_eq!(reg.baseline_p50, 1000.0);
+        assert_eq!(reg.recent_p50, 2000.0);
+        assert!((reg.drift - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_or_pre_v8_histories_never_regress() {
+        let runs: Vec<Json> = (0..3).map(|_| run(1.0, 1.0)).collect();
+        assert!(!analyze(&runs, &HistoryOptions::default()).has_regressions());
+        let legacy = vec![Json::obj([("schema_version", Json::from(7u64))])];
+        let report = analyze(&legacy, &HistoryOptions::default());
+        assert_eq!(report.runs, 1);
+        assert!(report.stages.is_empty());
+    }
+}

@@ -29,6 +29,13 @@
 //!   since one sweep advances every lane). The 64-replica row must reach
 //!   [`MIN_REPLICA_SPEEDUP`]× the scalar row's effective flips/s —
 //!   asserted by `qsmt bench --check-replicas` in the nightly CI job.
+//! * **trace_overhead** (schema v4) — the always-on tracing cost gate:
+//!   the dense kernel-sweep workload timed plain and with one *inert*
+//!   [`qsmt_trace::span`] opened per sweep (no trace active, the serving
+//!   default). The span-bearing arm must stay within
+//!   [`MAX_TRACE_OVERHEAD`] (1%) of the plain arm — asserted by `qsmt
+//!   bench --check-trace-overhead` and enforced in both CI bench jobs,
+//!   so instrumenting the solver stays free for untraced solves.
 //!
 //! The document shape is versioned ([`SCHEMA_VERSION`]) and checked by
 //! [`validate`]; the CLI re-reads and validates what it wrote, so a
@@ -50,8 +57,10 @@ use std::time::{Duration, Instant};
 /// Version of the `BENCH_annealing.json` document shape. v2 added the
 /// `probe_overhead` section (trajectory-probe cost gate); v3 adds the
 /// `replica_scaling` section (bit-sliced multi-replica kernel throughput
-/// at 1/8/64 replicas per word) and the per-sampler `replicas` field.
-pub const SCHEMA_VERSION: u32 = 3;
+/// at 1/8/64 replicas per word) and the per-sampler `replicas` field; v4
+/// adds the `trace_overhead` section (inert-span cost gate for the
+/// `qsmt-trace` instrumentation).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Energy tolerance for "hit the ground state" accounting.
 const TOL: f64 = 1e-9;
@@ -59,6 +68,13 @@ const TOL: f64 = 1e-9;
 /// Maximum tolerated throughput cost of the *disabled* probe path
 /// relative to plain `sample_stats`, as a fraction (0.02 = 2%).
 pub const MAX_DISABLED_OVERHEAD: f64 = 0.02;
+
+/// Maximum tolerated cost of an *inert* [`qsmt_trace::span`] per sweep on
+/// the dense kernel workload, as a fraction (0.01 = 1%). With no trace
+/// active on the thread, a span is one thread-local read — no clock, no
+/// allocation — so the instrumented solver must cost untraced solves
+/// nothing measurable. Asserted by `qsmt bench --check-trace-overhead`.
+pub const MAX_TRACE_OVERHEAD: f64 = 0.01;
 
 /// Minimum effective-flips/s multiplier the 64-replica bit-sliced kernel
 /// must reach over the scalar kernel on the dense bench. Asserted by
@@ -110,6 +126,7 @@ pub fn run(opts: &BenchOptions) -> Json {
         ("formulations", formulation_section(opts)),
         ("probe_overhead", probe_overhead_section(opts)),
         ("replica_scaling", replica_scaling_section(opts)),
+        ("trace_overhead", trace_overhead_section(opts)),
     ])
 }
 
@@ -326,6 +343,82 @@ fn probe_overhead_section(opts: &BenchOptions) -> Json {
         ("disabled_overhead", Json::from(off_ratio - 1.0)),
         ("enabled_overhead", Json::from(on_ratio - 1.0)),
         ("max_disabled_overhead", Json::from(MAX_DISABLED_OVERHEAD)),
+    ])
+}
+
+/// The kernel-sweep workload with one [`qsmt_trace::span`] opened per
+/// sweep. The bench process never enters a trace, so every span takes the
+/// inert path — this arm measures exactly what solver instrumentation
+/// costs an untraced solve. Kept as a literal copy of [`kernel_sweeps`]
+/// plus the span (rather than a shared closure-parameterized loop) so
+/// inlining decisions cannot differ between the arms being compared.
+fn spanned_kernel_sweeps(
+    compiled: &CompiledQubo,
+    betas: &[f64],
+    passes: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let n = compiled.num_vars();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let state: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+    let tables = AcceptanceTable::for_schedule(betas);
+    let mut kernel = FlipKernel::new(compiled, state);
+    let started = Instant::now();
+    for _ in 0..passes {
+        for table in &tables {
+            let _span = qsmt_trace::span("bench-sweep");
+            for i in 0..n as Var {
+                if table.accept(kernel.delta(i), &mut rng) {
+                    kernel.flip(compiled, i);
+                }
+            }
+        }
+    }
+    (started.elapsed().as_secs_f64(), kernel.energy())
+}
+
+/// Times the dense kernel-sweep workload plain and with one inert span
+/// per sweep, and reports the overhead fraction gated by
+/// [`MAX_TRACE_OVERHEAD`]. Same noise discipline as
+/// [`probe_overhead_section`]: the arms of one repetition run back to
+/// back (machine-load drift cancels inside the ratio) and the gate reads
+/// the median of per-repetition ratios.
+fn trace_overhead_section(opts: &BenchOptions) -> Json {
+    // A 1% gate needs a timing window well above scheduler noise: size
+    // the workload into the multi-millisecond range per arm.
+    let n = if opts.quick { 128 } else { 192 };
+    let passes = if opts.quick { 24 } else { 48 };
+    let reps: u32 = if opts.quick { 9 } else { 11 };
+    let model = dense_penalty_model(n, opts.seed);
+    let compiled = CompiledQubo::compile(&model);
+    let betas = BetaSchedule::auto(&compiled, 256).realize();
+    // Warm-up both arms so neither pays first-touch costs in its timer;
+    // the spanned warm-up also faults in the trace thread-local.
+    let _ = kernel_sweeps(&compiled, &betas, 1, opts.seed);
+    let _ = spanned_kernel_sweeps(&compiled, &betas, 1, opts.seed);
+    let mut plain_times = Vec::with_capacity(reps as usize);
+    let mut ratios = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let (plain_t, _) = kernel_sweeps(&compiled, &betas, passes, opts.seed);
+        let (spanned_t, _) = spanned_kernel_sweeps(&compiled, &betas, passes, opts.seed);
+        plain_times.push(plain_t);
+        ratios.push(spanned_t / plain_t.max(1e-12));
+    }
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        xs[xs.len() / 2]
+    };
+    let plain_secs = median(&mut plain_times);
+    let ratio = median(&mut ratios);
+    Json::obj([
+        ("model_vars", Json::from(n)),
+        ("sweeps", Json::from(passes * betas.len())),
+        ("span_calls", Json::from(passes * betas.len())),
+        ("repetitions", Json::from(reps)),
+        ("plain_ms", Json::from(plain_secs * 1e3)),
+        ("spans_ms", Json::from(plain_secs * ratio * 1e3)),
+        ("disabled_overhead", Json::from(ratio - 1.0)),
+        ("max_disabled_overhead", Json::from(MAX_TRACE_OVERHEAD)),
     ])
 }
 
@@ -781,6 +874,29 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    let trace = doc
+        .get("trace_overhead")
+        .ok_or("missing trace_overhead section")?;
+    for field in ["plain_ms", "spans_ms"] {
+        let v = trace
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("trace_overhead.{field} missing or not a number"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "trace_overhead.{field} must be positive and finite, got {v}"
+            ));
+        }
+    }
+    let v = trace
+        .get("disabled_overhead")
+        .and_then(Json::as_f64)
+        .ok_or("trace_overhead.disabled_overhead missing or not a number")?;
+    if !v.is_finite() {
+        return Err(format!(
+            "trace_overhead.disabled_overhead must be finite, got {v}"
+        ));
+    }
     Ok(())
 }
 
@@ -821,6 +937,24 @@ pub fn remeasure_replica_speedup(opts: &BenchOptions) -> Option<f64> {
     replica_speedup(&Json::obj([(
         "replica_scaling",
         replica_scaling_section(opts),
+    )]))
+}
+
+/// Reads the inert-span overhead fraction out of a bench document. Used
+/// by `qsmt bench --check-trace-overhead` and its CI gate.
+pub fn trace_overhead(doc: &Json) -> Option<f64> {
+    doc.get("trace_overhead")?
+        .get("disabled_overhead")
+        .and_then(Json::as_f64)
+}
+
+/// Re-times just the trace-overhead section and returns the fresh
+/// overhead fraction. `--check-trace-overhead` retries with this before
+/// failing, with the same rationale as [`remeasure_disabled_overhead`].
+pub fn remeasure_trace_overhead(opts: &BenchOptions) -> Option<f64> {
+    trace_overhead(&Json::obj([(
+        "trace_overhead",
+        trace_overhead_section(opts),
     )]))
 }
 
@@ -879,6 +1013,28 @@ mod tests {
         )]);
         assert_eq!(replica_speedup(&doc), Some(6.5));
         assert_eq!(replica_speedup(&Json::obj([])), None);
+    }
+
+    #[test]
+    fn trace_overhead_reads_the_gate_field() {
+        let doc = Json::obj([(
+            "trace_overhead",
+            Json::obj([("disabled_overhead", Json::from(0.004))]),
+        )]);
+        assert_eq!(trace_overhead(&doc), Some(0.004));
+        assert_eq!(trace_overhead(&Json::obj([])), None);
+    }
+
+    #[test]
+    fn spanned_sweeps_match_plain_sweeps_exactly() {
+        // With no trace active the span arm must perform the identical
+        // walk: same RNG stream, same accepts, same final energy.
+        let m = dense_penalty_model(48, 5);
+        let c = CompiledQubo::compile(&m);
+        let betas = BetaSchedule::auto(&c, 32).realize();
+        let (_, plain_energy) = kernel_sweeps(&c, &betas, 2, 5);
+        let (_, spanned_energy) = spanned_kernel_sweeps(&c, &betas, 2, 5);
+        assert_eq!(plain_energy, spanned_energy);
     }
 
     #[test]

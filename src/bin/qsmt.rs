@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
-//!                        [--stats] [--report <path>] [--trace] [--lint]
-//!                        [--no-absint]
+//!                        [--stats] [--report <path>] [--trace [out.json]]
+//!                        [--lint] [--no-absint]
 //! qsmt lint  <file.smt2> [--format text|json] [--no-absint]  # static analysis
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
 //! qsmt bench [--quick] [--out PATH] [--seed N] [--replicas N]
-//!            [--check-overhead] [--check-replicas]  # annealing perf baseline
+//!            [--check-overhead] [--check-replicas]
+//!            [--check-trace-overhead]        # annealing perf baseline
 //! qsmt serve --metrics-addr ADDR [--seed N] [--workers N] [--queue-depth N]
-//!            [--job-timeout MS]              # solve service + metrics endpoint
+//!            [--job-timeout MS] [--run-store PATH]  # solve service + metrics
 //! qsmt submit ADDR <file.smt2> [--seed N] [--reads N] [--job-timeout MS]
+//!             [--trace <out.json>]
 //! qsmt watch ADDR [--format text|json]       # scrape a running endpoint
+//! qsmt history <store.jsonl> [--recent N] [--baseline N] [--threshold PCT]
 //! ```
 //!
 //! Samplers: `sa` (default), `sqa`, `pt`, `tabu`, `descent`, `exact`,
@@ -20,8 +23,12 @@
 //!
 //! Observability (documented in `docs/OBSERVABILITY.md`): `--stats` prints
 //! per-stage timings and sampler statistics for every solve, `--report
-//! <path>` writes the full JSON run report, and `--trace` prints the raw
-//! span/event log.
+//! <path>` writes the full JSON run report (schema v8, with a `trace_id`
+//! and per-stage `span_us` rollup), `--trace` prints the raw span/event
+//! log, and `--trace <out.json>` instead runs the solve under a trace id
+//! and writes its spans as Chrome trace-event JSON, loadable in Perfetto.
+//! `qsmt history` turns a `--run-store` JSONL file into per-stage latency
+//! percentiles with regression verdicts (non-zero exit on drift).
 //!
 //! Static analysis (documented in `docs/LINTS.md`): `qsmt lint` compiles
 //! every goal's QUBO and runs the formulation linter without sampling,
@@ -45,21 +52,22 @@ qsmt — quantum-based SMT solving for string theory
 
 USAGE:
   qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
-                         [--stats] [--report <path>] [--trace] [--lint]
-                         [--no-absint]
+                         [--stats] [--report <path>] [--trace [out.json]]
+                         [--lint] [--no-absint]
   qsmt lint  <file.smt2> [--format text|json] [--no-absint]
   qsmt dump  <file.smt2> [--goal K]
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
-             [--stats] [--report <path>] [--trace] [--lint]
+             [--stats] [--report <path>] [--trace [out.json]] [--lint]
              [--no-absint]
   qsmt bench [--quick] [--out <path>] [--seed N] [--replicas N]
-             [--check-overhead] [--check-replicas]
+             [--check-overhead] [--check-replicas] [--check-trace-overhead]
   qsmt serve --metrics-addr <host:port> [--seed N] [--workers N]
              [--queue-depth N] [--job-timeout MS] [--max-requests N]
-             [--cache-entries N] [--no-cache]
+             [--cache-entries N] [--no-cache] [--run-store <path>]
   qsmt submit <host:port> <file.smt2> [--seed N] [--reads N]
-              [--job-timeout MS]
+              [--job-timeout MS] [--trace <out.json>]
   qsmt watch <host:port> [--format text|json]
+  qsmt history <store.jsonl> [--recent N] [--baseline N] [--threshold PCT]
 
 SAMPLERS:
   sa (default) | sqa | pt | tabu | descent | exact | population | random
@@ -68,30 +76,52 @@ OBSERVABILITY (see docs/OBSERVABILITY.md):
   --stats          print per-stage timings, sampler statistics, and
                    trajectory-dynamics summaries (stall verdict, latency
                    and improvement percentiles)
-  --report <path>  write the full JSON run report to <path>
-  --trace          print the raw span/event log of every solve
+  --report <path>  write the full JSON run report to <path> (schema v8:
+                   carries the run's trace_id and a per-stage span_us
+                   latency rollup)
+  --trace          print the raw span/event log of every solve;
+                   `--trace <out.json>` instead runs the solve under a
+                   trace id and writes its spans — every report stage
+                   plus per-read sampler spans — as Chrome trace-event
+                   JSON (open in Perfetto or chrome://tracing)
   --flight <path>  on solve failure, dump the flight-recorder ring
                    buffer to <path> as JSON
 
 SOLVE SERVICE (see docs/OBSERVABILITY.md):
   qsmt serve       concurrent solve service + live metrics: POST /solve
                    enqueues SMT-LIB scripts into a bounded queue drained
-                   by --workers threads; GET /jobs/<id> returns status
-                   and the schema-v7 run report; a full queue answers
-                   429 with Retry-After; per-job deadlines cancel
+                   by --workers threads, answering 202 with a job id and
+                   a per-job trace id; GET /jobs/<id> returns status and
+                   the schema-v8 run report; GET /jobs/<id>/trace serves
+                   the job's spans as Chrome trace-event JSON and
+                   GET /traces indexes recent traces; a full queue
+                   answers 429 with Retry-After; per-job deadlines cancel
                    mid-anneal; SIGINT or --max-requests drains
                    gracefully. Repeat submissions are answered from a
                    fingerprint-keyed solution cache (docs/CACHING.md):
                    --cache-entries N sizes it (default 256), --no-cache
-                   disables it. Also exposes /metrics (Prometheus text
-                   format), /flight (JSON ring buffer), and /healthz on
-                   --metrics-addr; port 0 picks a free port and prints it
+                   disables it. --run-store <path> appends every finished
+                   run report to a bounded JSONL history that `qsmt
+                   history` analyzes. Also exposes /metrics (Prometheus
+                   text format), /flight (JSON ring buffer), and /healthz
+                   (queue depth + worker count) on --metrics-addr; port 0
+                   picks a free port and prints it
   qsmt submit      blocking client: POST a script to a running service,
                    poll the job to a terminal state, print its final
-                   status document (non-zero exit on reject/fail/timeout)
+                   status document (non-zero exit on reject/fail/timeout);
+                   --trace <out.json> then fetches the finished job's
+                   Chrome trace-event JSON and writes it to <out.json>
   qsmt watch       one-shot scrape of a running serve endpoint
                    (--format json fetches /flight instead of /metrics);
-                   connect/read timeouts make it a usable health probe
+                   warns when the flight-recorder ring wrapped and
+                   dropped events; connect/read timeouts make it a
+                   usable health probe
+  qsmt history     per-stage latency percentiles (p50/p90/p99) over a
+                   --run-store JSONL file, comparing the newest --recent
+                   N runs (default 5) against the --baseline N runs
+                   before them (default 20); exits non-zero when any
+                   stage's recent p50 drifted more than --threshold PCT
+                   (default 25) above its baseline
 
 BENCHMARKS (see docs/PERFORMANCE.md):
   qsmt bench       run the annealing benchmark harness and write a
@@ -107,6 +137,11 @@ BENCHMARKS (see docs/PERFORMANCE.md):
   --check-replicas fail unless bit-sliced 64-replica sweeps deliver at
                    least the gated effective-flips speedup over the
                    scalar kernel (retries on noisy hosts)
+  --check-trace-overhead
+                   fail unless an inert qsmt-trace span per sweep stays
+                   within 1% of the plain sweep loop — keeps the solver's
+                   tracing instrumentation free for untraced solves
+                   (retries on noisy hosts)
 
 STATIC ANALYSIS (see docs/LINTS.md):
   qsmt lint        run the formulation linter over every goal's compiled
@@ -156,6 +191,9 @@ struct Options {
     stats: bool,
     report: Option<String>,
     trace: bool,
+    /// Chrome trace-event output path (`--trace <out.json>`); None keeps
+    /// the plain text span log.
+    trace_out: Option<String>,
     lint: bool,
     format: String,
     quick: bool,
@@ -178,6 +216,15 @@ struct Options {
     /// Script-level abstract interpretation before compiling
     /// (`--no-absint` opts out; see docs/ABSINT.md).
     absint: bool,
+    /// Run-history JSONL path for `serve` (`--run-store`).
+    run_store: Option<String>,
+    check_trace_overhead: bool,
+    /// `history` recent-window size (`--recent N`).
+    recent: usize,
+    /// `history` baseline-window size (`--baseline N`).
+    baseline: usize,
+    /// `history` allowed fractional p50 drift (`--threshold PCT` / 100).
+    threshold: f64,
 }
 
 impl Default for Options {
@@ -192,6 +239,7 @@ impl Default for Options {
             stats: false,
             report: None,
             trace: false,
+            trace_out: None,
             lint: false,
             format: "text".into(),
             quick: false,
@@ -208,6 +256,11 @@ impl Default for Options {
             job_timeout_set: false,
             cache_entries: 256,
             absint: true,
+            run_store: None,
+            check_trace_overhead: false,
+            recent: 5,
+            baseline: 20,
+            threshold: 0.25,
         }
     }
 }
@@ -277,7 +330,19 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
             "--quick" => opts.quick = true,
             "--out" => opts.out = Some(value("--out")?),
             "--report" => opts.report = Some(value("--report")?),
-            "--trace" => opts.trace = true,
+            "--trace" => {
+                opts.trace = true;
+                // Optional value: `--trace out.json` writes Chrome
+                // trace-event JSON there instead of printing the text
+                // span log. Peek so a following flag keeps its meaning.
+                if it
+                    .clone()
+                    .next()
+                    .is_some_and(|next| !next.starts_with("--"))
+                {
+                    opts.trace_out = it.next().cloned();
+                }
+            }
             "--lint" => opts.lint = true,
             "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
             "--flight" => opts.flight = Some(value("--flight")?),
@@ -294,6 +359,33 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--cache-entries expects an integer".to_string())?;
             }
             "--no-cache" => opts.cache_entries = 0,
+            "--run-store" => opts.run_store = Some(value("--run-store")?),
+            "--check-trace-overhead" => opts.check_trace_overhead = true,
+            "--recent" => {
+                opts.recent = value("--recent")?
+                    .parse()
+                    .map_err(|_| "--recent expects an integer".to_string())?;
+                if opts.recent == 0 {
+                    return Err("--recent expects at least 1".into());
+                }
+            }
+            "--baseline" => {
+                opts.baseline = value("--baseline")?
+                    .parse()
+                    .map_err(|_| "--baseline expects an integer".to_string())?;
+                if opts.baseline == 0 {
+                    return Err("--baseline expects at least 1".into());
+                }
+            }
+            "--threshold" => {
+                let pct: f64 = value("--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold expects a percentage".to_string())?;
+                if !pct.is_finite() || pct <= 0.0 {
+                    return Err("--threshold expects a positive percentage".into());
+                }
+                opts.threshold = pct / 100.0;
+            }
             "--absint" => opts.absint = true,
             "--no-absint" => opts.absint = false,
             "--check-overhead" => opts.check_overhead = true,
@@ -406,6 +498,14 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
             opts.sampler
         )
     };
+    // `--trace <out.json>`: run the whole solve under a local trace so
+    // the same span machinery the serve path uses records every report
+    // stage and per-read sampler span, then export Chrome trace-event
+    // JSON below (docs/OBSERVABILITY.md).
+    let trace_scope = opts.trace_out.as_ref().map(|_| {
+        let id = qsmt::trace::TraceId::derive(opts.seed);
+        (id, qsmt::trace::enter(id, source_name))
+    });
     let started = Instant::now();
     let (outcome, goals, absint_run) = if opts.absint {
         if opts.wants_telemetry() {
@@ -439,6 +539,19 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
         (outcome, Vec::new(), None)
     };
     let elapsed_us = started.elapsed().as_micros() as u64;
+    let trace_id = trace_scope.as_ref().map(|(id, _)| *id);
+    if let Some((id, guard)) = trace_scope {
+        // Dropping the guard drains the thread's span buffer into the
+        // process registry; only then is the export complete.
+        drop(guard);
+        let path = opts.trace_out.as_deref().expect("trace_out implies path");
+        let doc = qsmt::trace::registry()
+            .chrome_json(id)
+            .ok_or_else(|| "trace was evicted before export".to_string())?;
+        std::fs::write(path, doc.pretty())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
     let refuted_statically = absint_run
         .as_ref()
         .is_some_and(qsmt::smtlib::AbsintRun::is_refuted);
@@ -480,7 +593,7 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
             }
         }
     }
-    if opts.trace {
+    if opts.trace && opts.trace_out.is_none() {
         for goal in &goals {
             for solve in &goal.solves {
                 println!("; trace for goal {} — {}", goal.name, solve.constraint);
@@ -505,6 +618,7 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
                 "solver".to_string()
             },
             elapsed_us,
+            trace_id: trace_id.map(qsmt::trace::TraceId::get),
             absint: absint_run.as_ref().map(qsmt::smtlib::AbsintRun::to_stats),
             goals,
         };
@@ -714,6 +828,40 @@ fn run_bench(opts: &Options) -> Result<(), String> {
     } else if opts.check_overhead {
         return Err("bench document lacks probe_overhead.disabled_overhead".into());
     }
+    if let Some(mut overhead) = qsmt::bench::trace_overhead(&reparsed) {
+        eprintln!(
+            "trace overhead: {:+.2}% inert-span path (gate {:.0}%)",
+            overhead * 100.0,
+            qsmt::bench::MAX_TRACE_OVERHEAD * 100.0
+        );
+        if opts.check_trace_overhead {
+            // Same retry discipline as --check-overhead: a genuine span
+            // regression fails every remeasure, a noisy host recovers.
+            let mut attempts = 1;
+            while overhead > qsmt::bench::MAX_TRACE_OVERHEAD && attempts < 3 {
+                attempts += 1;
+                match qsmt::bench::remeasure_trace_overhead(&bench_opts) {
+                    Some(again) => {
+                        overhead = again;
+                        eprintln!(
+                            "trace overhead retry {attempts}: {:+.2}% inert-span path",
+                            overhead * 100.0
+                        );
+                    }
+                    None => break,
+                }
+            }
+            if overhead > qsmt::bench::MAX_TRACE_OVERHEAD {
+                return Err(format!(
+                    "inert-span trace overhead {:.2}% exceeds the {:.0}% gate after {attempts} attempts",
+                    overhead * 100.0,
+                    qsmt::bench::MAX_TRACE_OVERHEAD * 100.0
+                ));
+            }
+        }
+    } else if opts.check_trace_overhead {
+        return Err("bench document lacks trace_overhead.disabled_overhead".into());
+    }
     if let Some(mut speedup) = qsmt::bench::replica_speedup(&reparsed) {
         let max_replicas = reparsed
             .get("replica_scaling")
@@ -752,6 +900,61 @@ fn run_bench(opts: &Options) -> Result<(), String> {
     }
     eprintln!("bench report written to {path}");
     Ok(())
+}
+
+/// `qsmt history`: per-stage latency percentiles over a run-history
+/// store (the JSONL file `qsmt serve --run-store` appends to), with
+/// regression verdicts. Returns whether any stage regressed — mapped to
+/// the process exit code so a drifted deployment fails its health check.
+fn run_history(path: &str, opts: &Options) -> Result<bool, String> {
+    let store = qsmt::trace::RunStore::new(path, qsmt::trace::store::DEFAULT_MAX_LINES);
+    let runs = store
+        .load()
+        .map_err(|e| format!("cannot read run store {path}: {e}"))?;
+    if runs.is_empty() {
+        println!("run store {path}: no runs recorded");
+        return Ok(false);
+    }
+    let report = qsmt::trace::analyze(
+        &runs,
+        &qsmt::trace::HistoryOptions {
+            recent: opts.recent,
+            baseline: opts.baseline,
+            threshold: opts.threshold,
+        },
+    );
+    println!(
+        "run store {path}: {} run(s), {} stage(s)",
+        report.runs,
+        report.stages.len()
+    );
+    println!(
+        "{:<16} {:>6} {:>12} {:>12} {:>12}",
+        "stage", "runs", "p50_us", "p90_us", "p99_us"
+    );
+    for s in &report.stages {
+        println!(
+            "{:<16} {:>6} {:>12.1} {:>12.1} {:>12.1}",
+            s.label, s.runs, s.p50, s.p90, s.p99
+        );
+    }
+    for r in &report.regressions {
+        println!(
+            "REGRESSION {}: p50 {:.1} us -> {:.1} us ({:+.1}%, threshold {:.0}%, \
+             newest {} run(s) vs {} baseline run(s))",
+            r.label,
+            r.baseline_p50,
+            r.recent_p50,
+            r.drift * 100.0,
+            opts.threshold * 100.0,
+            opts.recent,
+            opts.baseline,
+        );
+    }
+    if report.regressions.is_empty() {
+        println!("no stage regressions");
+    }
+    Ok(report.has_regressions())
 }
 
 fn main() -> ExitCode {
@@ -797,6 +1000,7 @@ fn main() -> ExitCode {
                 job_timeout: std::time::Duration::from_millis(opts.job_timeout_ms),
                 max_requests: opts.max_requests,
                 cache_entries: opts.cache_entries,
+                run_store: opts.run_store.clone(),
             })
         }),
         Some((cmd, rest)) if cmd == "submit" => {
@@ -818,8 +1022,21 @@ fn main() -> ExitCode {
                         reads: opts.reads_set.then_some(opts.reads as u64),
                         timeout_ms: opts.job_timeout_set.then_some(opts.job_timeout_ms),
                     };
-                    qsmt::serve::submit(addr, &source, &submit_opts).map(|doc| {
+                    qsmt::serve::submit(addr, &source, &submit_opts).and_then(|doc| {
                         println!("{}", doc.pretty());
+                        // `--trace <out.json>`: fetch the finished job's
+                        // spans as Chrome trace-event JSON (Perfetto).
+                        if let Some(out) = &opts.trace_out {
+                            let id = doc
+                                .get("id")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| "status document lacks a job id".to_string())?;
+                            let body = qsmt::serve::fetch(addr, &format!("/jobs/{id}/trace"))?;
+                            std::fs::write(out, &body)
+                                .map_err(|e| format!("cannot write trace to {out}: {e}"))?;
+                            eprintln!("trace written to {out}");
+                        }
+                        Ok(())
                     })
                 }
                 (Err(e), _) | (_, Err(e)) => Err(e),
@@ -838,8 +1055,38 @@ fn main() -> ExitCode {
                 };
                 let body = qsmt::serve::fetch(addr, path)?;
                 print!("{body}");
+                // Flight-recorder wrap check: when the bounded event
+                // ring has evicted history, say so — otherwise a
+                // watcher reads a seemingly complete event log.
+                let flight = if path == "/flight" {
+                    body
+                } else {
+                    qsmt::serve::fetch(addr, "/flight")?
+                };
+                let dropped = qsmt::telemetry::parse(&flight)
+                    .ok()
+                    .and_then(|doc| doc.get("dropped_total").and_then(Json::as_u64));
+                if let Some(dropped) = dropped.filter(|&d| d > 0) {
+                    eprintln!(
+                        "warning: flight recorder dropped {dropped} event(s) \
+                         (ring wrapped; oldest history lost)"
+                    );
+                }
                 Ok(())
             })
+        }
+        Some((cmd, rest)) if cmd == "history" => {
+            let Some((path, flags)) = rest.split_first() else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            match parse_flags(flags).and_then(|opts| run_history(path, &opts)) {
+                // Stats are already printed; regressions gate the exit
+                // code, mirroring `qsmt lint`.
+                Ok(false) => Ok(()),
+                Ok(true) => return ExitCode::FAILURE,
+                Err(e) => Err(e),
+            }
         }
         _ => {
             eprintln!("{USAGE}");

@@ -23,6 +23,10 @@
 //!   statistics, and JSON run reports (see `docs/OBSERVABILITY.md`);
 //! * [`metrics`] — the sharded metrics registry and flight recorder
 //!   behind live exposition (see `docs/OBSERVABILITY.md`);
+//! * [`trace`] — end-to-end job tracing: hierarchical spans, a
+//!   process-wide trace registry, Chrome trace-event export for
+//!   Perfetto, the always-on binary span ring, and the run-history
+//!   store behind `qsmt history` (see `docs/OBSERVABILITY.md`);
 //! * [`serve`] — the `qsmt serve` Prometheus endpoint and `qsmt watch`
 //!   scrape client;
 //! * [`redex`] — the from-scratch regex/NFA/DFA substrate;
@@ -60,6 +64,7 @@ pub use qsmt_redex as redex;
 pub use qsmt_smtlib as smtlib;
 pub use qsmt_symex as symex;
 pub use qsmt_telemetry as telemetry;
+pub use qsmt_trace as trace;
 
 pub use qsmt_anneal::{
     BetaSchedule, ExactSolver, ParallelTempering, PopulationAnnealer, RandomSampler, Sample,

@@ -4,16 +4,21 @@
 //! and exposes:
 //!
 //! * `POST /solve` — enqueue an SMT-LIB script into the bounded job
-//!   queue; answers `202` with a job id, `429` + `Retry-After` when the
-//!   queue is full (backpressure), `503` while draining;
+//!   queue; answers `202` with a job id *and the job's trace id*,
+//!   `429` + `Retry-After` when the queue is full (backpressure), `503`
+//!   while draining;
 //! * `GET /jobs/<id>` — job status; completed jobs embed the full
-//!   schema-v5 run report (including the per-solve `cache` section and
-//!   the top-level `served_from` marker);
+//!   schema-v8 run report (including the per-solve `cache` section, the
+//!   top-level `served_from` marker, and the job's `trace_id`);
+//! * `GET /jobs/<id>/trace` — the job's spans as a Chrome trace-event
+//!   JSON document, loadable in Perfetto (see `docs/OBSERVABILITY.md`);
 //! * `GET /jobs` — job-table summary;
+//! * `GET /traces` — recent-first index of traces still held by the
+//!   in-process [`qsmt_trace`] registry;
 //! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
 //!   global [`qsmt_metrics::Registry`];
 //! * `GET /flight` — JSON dump of the global flight-recorder ring buffer;
-//! * `GET /healthz` — liveness probe;
+//! * `GET /healthz` — liveness probe with queue depth and worker count;
 //! * `POST /shutdown` — request a graceful drain.
 //!
 //! Jobs are drained by a worker pool ([`ServeConfig::workers`]) running

@@ -21,6 +21,7 @@ use qsmt_metrics::{FlightRecorder, Registry};
 use qsmt_qubo::StopFlag;
 use qsmt_smtlib::Script;
 use qsmt_telemetry::{GoalReport, Json, RunReport};
+use qsmt_trace::{RunStore, TraceId};
 use std::collections::{HashMap, VecDeque};
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +56,10 @@ pub struct ServeConfig {
     /// Solution/embedding cache capacity (entries per level); 0 disables
     /// caching entirely (`--no-cache`). See `docs/CACHING.md`.
     pub cache_entries: usize,
+    /// Path of the bounded JSONL run-history store (`--run-store`);
+    /// every completed job's report is appended for `qsmt history`.
+    /// `None` disables the store.
+    pub run_store: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +72,7 @@ impl Default for ServeConfig {
             job_timeout: Duration::from_secs(30),
             max_requests: None,
             cache_entries: 256,
+            run_store: None,
         }
     }
 }
@@ -74,6 +80,7 @@ impl Default for ServeConfig {
 /// One queued solve request.
 struct Job {
     id: u64,
+    trace_id: TraceId,
     source: String,
     seed: u64,
     reads: Option<usize>,
@@ -124,7 +131,7 @@ struct Tally {
 
 /// What `POST /solve` decided to do with a submission.
 enum SubmitOutcome {
-    Accepted { id: u64 },
+    Accepted { id: u64, trace_id: TraceId },
     QueueFull { retry_after_secs: u64 },
     Draining,
     BadRequest { error: String },
@@ -138,13 +145,24 @@ pub struct Service {
     flight: &'static FlightRecorder,
     base_seed: u64,
     queue_depth: usize,
+    workers: usize,
     job_timeout: Duration,
     queue: Mutex<VecDeque<Job>>,
     queue_ready: Condvar,
     jobs: Mutex<HashMap<u64, JobStatus>>,
+    /// Trace id per accepted job. Kept separately from the job table so
+    /// `GET /jobs/<id>/trace` resolves after the `Job` itself is gone.
+    trace_ids: Mutex<HashMap<u64, TraceId>>,
     draining: AtomicBool,
     next_id: AtomicU64,
     tally: Tally,
+    /// Bounded JSONL store completed reports are appended to
+    /// (`--run-store`); read back by `qsmt history`.
+    run_store: Option<RunStore>,
+    /// Flight-ring drop count already published to the counter; the
+    /// registry is increment-only, so `/metrics` scrapes publish the
+    /// delta since this watermark.
+    flight_dropped_published: AtomicU64,
     /// Shared solve cache, `None` when disabled. Every worker consults
     /// the same instance, so a result one worker computed answers exact
     /// repeats on any other worker without sampling.
@@ -193,22 +211,36 @@ impl Service {
                 "qsmt_serve_http_requests_total",
                 "HTTP requests answered, by route.",
             ),
+            (
+                "qsmt_flight_dropped_total",
+                "Flight-recorder events evicted by ring wrap (history silently lost).",
+            ),
         ] {
             registry.describe(name, help);
         }
         registry.gauge_set("qsmt_serve_queue_depth", &[], 0.0);
+        // Materialize the drop counter at 0 so `qsmt watch` sees the
+        // series before the first wrap.
+        registry.counter_add("qsmt_flight_dropped_total", &[], 0.0);
         Self {
             registry,
             flight: qsmt_metrics::global_flight(),
             base_seed: config.seed,
             queue_depth: config.queue_depth.max(1),
+            workers: config.workers.max(1),
             job_timeout: config.job_timeout,
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
+            trace_ids: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             tally: Tally::default(),
+            run_store: config
+                .run_store
+                .as_ref()
+                .map(|path| RunStore::new(path, qsmt_trace::store::DEFAULT_MAX_LINES)),
+            flight_dropped_published: AtomicU64::new(0),
             cache: (config.cache_entries > 0)
                 .then(|| Arc::new(SolveCache::new(config.cache_entries))),
         }
@@ -308,9 +340,14 @@ impl Service {
             return SubmitOutcome::QueueFull { retry_after_secs };
         }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        // One trace per accepted job, derived from the id (stable under
+        // retries of the same job id, distinct across jobs) and mixed
+        // with the base seed so concurrent instances don't collide.
+        let trace_id = TraceId::derive(self.base_seed.rotate_left(32) ^ id);
         let now = Instant::now();
         queue.push_back(Job {
             id,
+            trace_id,
             source: req.body.clone(),
             seed: seed.unwrap_or_else(|| self.base_seed.wrapping_add(id)),
             reads,
@@ -324,12 +361,25 @@ impl Service {
             .lock()
             .expect("jobs lock")
             .insert(id, JobStatus::Queued);
+        self.trace_ids
+            .lock()
+            .expect("trace ids lock")
+            .insert(id, trace_id);
         self.tally.accepted.fetch_add(1, Ordering::SeqCst);
         self.registry
             .counter_add("qsmt_serve_jobs_accepted_total", &[], 1.0);
         self.set_queue_gauge(depth);
         self.queue_ready.notify_one();
-        SubmitOutcome::Accepted { id }
+        SubmitOutcome::Accepted { id, trace_id }
+    }
+
+    /// The trace id assigned to a job at submission, if the job exists.
+    fn trace_id_of(&self, id: u64) -> Option<TraceId> {
+        self.trace_ids
+            .lock()
+            .expect("trace ids lock")
+            .get(&id)
+            .copied()
     }
 
     /// Renders one job's status document, or `None` for an unknown id.
@@ -340,6 +390,9 @@ impl Service {
             ("id", Json::from(format!("job-{id}"))),
             ("status", Json::from(status.label())),
         ];
+        if let Some(trace_id) = self.trace_id_of(id) {
+            pairs.push(("trace_id", Json::from(trace_id.to_string())));
+        }
         match status {
             JobStatus::Completed { report } => pairs.push(("report", report.clone())),
             JobStatus::Failed { error } => pairs.push(("error", Json::from(error.as_str()))),
@@ -450,7 +503,13 @@ impl Service {
             })
         };
 
-        let result = catch_unwind(AssertUnwindSafe(|| self.solve_script(job, &stop)));
+        // The trace guard lives inside the unwind boundary: its Drop
+        // drains this worker's span buffer into the registry even when
+        // the solver panics mid-stage.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _trace = qsmt_trace::enter(job.trace_id, &format!("job-{}", job.id));
+            self.solve_script(job, &stop)
+        }));
 
         let (finished, cv) = &*done;
         *finished.lock().expect("deadline lock") = true;
@@ -486,7 +545,7 @@ impl Service {
     /// The actual solve: parse, run the abstract-interpretation pass
     /// and then the reported pipeline with the job's seed/reads, the
     /// cancellation flag, and the shared solve cache, and produce a
-    /// schema-v7 [`RunReport`] document.
+    /// schema-v8 [`RunReport`] document carrying the job's trace id.
     fn solve_script(&self, job: &Job, stop: &StopFlag) -> Result<Json, String> {
         let script = Script::parse(&job.source).map_err(|e| e.to_string())?;
         let mut solver = StringSolver::with_defaults()
@@ -526,6 +585,7 @@ impl Service {
             served_from: served_from.to_string(),
             elapsed_us: started.elapsed().as_micros() as u64,
             absint: Some(absint_run.to_stats()),
+            trace_id: Some(job.trace_id.get()),
             goals,
         };
         Ok(report.to_json())
@@ -560,7 +620,26 @@ impl Service {
             job.id as f64,
             &format!("job-{}", job.id),
         );
+        // Completed reports feed the run-history store; a full disk or
+        // bad path degrades to a flight event, never a failed job.
+        if let (Some(store), JobStatus::Completed { report }) = (&self.run_store, &status) {
+            if let Err(e) = store.append(report) {
+                self.flight
+                    .record_detail("serve.run_store_error", job.id as f64, &e.to_string());
+            }
+        }
         self.set_status(job.id, status);
+    }
+
+    /// Publishes newly observed flight-ring drops as counter increments
+    /// (the registry is increment-only, so scrapes publish the delta).
+    fn publish_flight_dropped(&self) {
+        let total = self.flight.dropped_total();
+        let prev = self.flight_dropped_published.swap(total, Ordering::SeqCst);
+        if total > prev {
+            self.registry
+                .counter_add("qsmt_flight_dropped_total", &[], (total - prev) as f64);
+        }
     }
 }
 
@@ -579,7 +658,11 @@ pub fn handle_connection(mut stream: TcpStream, svc: &Service) {
         ("GET", "/metrics") => "metrics",
         ("GET", "/flight") => "flight",
         ("GET", "/healthz") => "healthz",
+        ("GET", "/traces") => "traces",
         ("GET", "/jobs") => "jobs",
+        // The trace route must outrank the generic job arm, which would
+        // otherwise swallow `/jobs/<id>/trace`.
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/trace") => "job_trace",
         ("GET", p) if p.starts_with("/jobs/") => "job",
         ("POST", "/solve") => "solve",
         ("POST", "/shutdown") => "shutdown",
@@ -588,19 +671,62 @@ pub fn handle_connection(mut stream: TcpStream, svc: &Service) {
     svc.registry
         .counter_add("qsmt_serve_http_requests_total", &[("route", route)], 1.0);
     match route {
-        "metrics" => respond(
-            &mut stream,
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            &svc.registry.render_prometheus(),
-        ),
+        "metrics" => {
+            svc.publish_flight_dropped();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &svc.registry.render_prometheus(),
+            );
+        }
         "flight" => respond(
             &mut stream,
             "200 OK",
             "application/json",
             &svc.flight.to_json().pretty(),
         ),
-        "healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "healthz" => {
+            // Readiness with capacity context: load balancers get the
+            // live queue depth and worker count, not a bare 200.
+            let body = Json::obj([
+                ("status", Json::from("ok")),
+                (
+                    "queue_depth",
+                    Json::from(svc.queue.lock().expect("queue lock").len()),
+                ),
+                ("workers", Json::from(svc.workers)),
+                ("draining", Json::from(svc.drain_requested())),
+            ])
+            .pretty();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "traces" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &qsmt_trace::registry().index_json().pretty(),
+        ),
+        "job_trace" => {
+            let raw = req.path["/jobs/".len()..]
+                .strip_suffix("/trace")
+                .unwrap_or("")
+                .trim_start_matches("job-");
+            let doc = raw
+                .parse::<u64>()
+                .ok()
+                .and_then(|id| svc.trace_id_of(id))
+                .and_then(|trace_id| qsmt_trace::registry().chrome_json(trace_id));
+            match doc {
+                Some(doc) => respond(&mut stream, "200 OK", "application/json", &doc.pretty()),
+                None => respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "application/json",
+                    &format!("{{\"error\": \"no trace for job {raw:?} (unknown job or evicted trace)\"}}"),
+                ),
+            }
+        }
         "jobs" => respond(&mut stream, "200 OK", "application/json", &svc.jobs_json()),
         "job" => {
             let raw = req.path["/jobs/".len()..].trim_start_matches("job-");
@@ -615,13 +741,14 @@ pub fn handle_connection(mut stream: TcpStream, svc: &Service) {
             }
         }
         "solve" => match svc.submit(&req) {
-            SubmitOutcome::Accepted { id } => respond(
+            SubmitOutcome::Accepted { id, trace_id } => respond(
                 &mut stream,
                 "202 Accepted",
                 "application/json",
                 &Json::obj([
                     ("id", Json::from(format!("job-{id}"))),
                     ("status", Json::from("queued")),
+                    ("trace_id", Json::from(trace_id.to_string())),
                 ])
                 .pretty(),
             ),
@@ -724,7 +851,7 @@ mod tests {
             queue_depth: 4,
             ..ServeConfig::default()
         }));
-        let SubmitOutcome::Accepted { id } =
+        let SubmitOutcome::Accepted { id, trace_id } =
             svc.submit(&request("POST", "/solve?seed=7&reads=8", TINY))
         else {
             panic!("submission should be accepted");
@@ -741,6 +868,24 @@ mod tests {
             Some(u64::from(RunReport::SCHEMA_VERSION))
         );
         assert_eq!(report.get("status").and_then(Json::as_str), Some("sat"));
+        // The trace id threads end to end: status body, embedded report,
+        // and the registry's Chrome export all carry the submit-time id.
+        let hex = trace_id.to_string();
+        assert_eq!(
+            doc.get("trace_id").and_then(Json::as_str),
+            Some(hex.as_str())
+        );
+        assert_eq!(
+            report.get("trace_id").and_then(Json::as_str),
+            Some(hex.as_str())
+        );
+        let chrome = qsmt_trace::registry()
+            .chrome_json(trace_id)
+            .expect("job trace registered");
+        let text = chrome.to_string();
+        for stage in ["absint", "goal x", "compile", "sample", "read 0", "select"] {
+            assert!(text.contains(&format!("\"{stage}\"")), "missing {stage}");
+        }
         assert_eq!(
             svc.drain_summary(),
             "drained: accepted=1 completed=1 failed=0 timed_out=0 rejected=0"
@@ -791,7 +936,7 @@ mod tests {
     #[test]
     fn queued_job_past_deadline_times_out_without_sampling() {
         let svc = Arc::new(Service::new(&ServeConfig::default()));
-        let SubmitOutcome::Accepted { id } =
+        let SubmitOutcome::Accepted { id, .. } =
             svc.submit(&request("POST", "/solve?timeout_ms=1", TINY))
         else {
             panic!("submission should be accepted");

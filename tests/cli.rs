@@ -111,6 +111,133 @@ fn demo_solves_all_rows() {
 }
 
 #[test]
+fn solve_trace_writes_chrome_json_sharing_the_report_trace_id() {
+    use qsmt::telemetry::Json;
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join(format!("qsmt-cli-trace-{}.json", std::process::id()));
+    let report_path = dir.join(format!("qsmt-cli-report-{}.json", std::process::id()));
+    let out = qsmt()
+        .args([
+            "solve",
+            &corpus("table1_row1_reverse_replace.smt2"),
+            "--seed",
+            "3",
+            "--trace",
+            trace_path.to_str().expect("utf8 path"),
+            "--report",
+            report_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace file is Chrome trace-event JSON: a traceEvents array of
+    // complete ("X") events carrying nesting depth, one per report stage
+    // plus one per sampler read.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let doc = qsmt::telemetry::parse(&trace_text).expect("trace is valid JSON");
+    let trace_id = doc
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .expect("trace document names its trace id")
+        .to_string();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for span in [
+        "compile", "lint", "presolve", "embed", "sample", "select", "read 0",
+    ] {
+        assert!(names.contains(&span), "missing {span} span in {names:?}");
+    }
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("args")
+                    .and_then(|a| a.get("depth"))
+                    .and_then(Json::as_u64)
+                    .is_some_and(|d| d >= 1)
+        }),
+        "no nested complete event in {trace_text}"
+    );
+
+    // The schema-v8 report names the same trace and carries the
+    // per-stage span_us rollup `qsmt history` consumes.
+    let report_text = std::fs::read_to_string(&report_path).expect("report written");
+    let report = qsmt::telemetry::parse(&report_text).expect("report is valid JSON");
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(8));
+    assert_eq!(
+        report.get("trace_id").and_then(Json::as_str),
+        Some(trace_id.as_str()),
+        "report and trace disagree on the trace id"
+    );
+    assert!(
+        matches!(report.get("span_us"), Some(Json::Obj(map)) if !map.is_empty()),
+        "report lacks a populated span_us rollup: {report_text}"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&report_path);
+}
+
+#[test]
+fn history_flags_injected_regression_and_exits_nonzero() {
+    let path = std::env::temp_dir().join(format!("qsmt-cli-history-{}.jsonl", std::process::id()));
+    // 20 steady runs, then 5 whose sample-stage p50 drifted +160%: far
+    // past the default 25% gate, flagged on exactly that stage.
+    let steady = "{\"schema_version\": 8, \"span_us\": {\"compile\": 100, \"sample\": 1000}}\n";
+    let drifted = "{\"schema_version\": 8, \"span_us\": {\"compile\": 100, \"sample\": 2600}}\n";
+    let mut lines = steady.repeat(20);
+    lines.push_str(&drifted.repeat(5));
+    std::fs::write(&path, &lines).expect("store written");
+
+    let out = qsmt()
+        .args(["history", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "drifted history must exit non-zero");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("REGRESSION sample"), "stdout: {stdout}");
+    assert!(
+        !stdout.contains("REGRESSION compile"),
+        "steady stage wrongly flagged: {stdout}"
+    );
+    assert!(
+        stdout.contains("p50_us"),
+        "percentile table missing: {stdout}"
+    );
+
+    // A threshold looser than the drift downgrades it to a clean exit.
+    let out = qsmt()
+        .args([
+            "history",
+            path.to_str().expect("utf8 path"),
+            "--threshold",
+            "200",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "loose threshold should pass");
+    let _ = std::fs::remove_file(&path);
+
+    // A missing store is an empty history, not an error.
+    let out = qsmt()
+        .args(["history", "/nonexistent/store.jsonl"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("no runs recorded"), "stdout: {stdout}");
+}
+
+#[test]
 fn bad_usage_fails_with_usage_text() {
     let out = qsmt().output().expect("binary runs");
     assert!(!out.status.success());

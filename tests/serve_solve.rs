@@ -193,7 +193,7 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
 
     // Every admitted job reaches exactly one terminal state; with a
     // 60s default deadline and tiny scripts they all complete, and each
-    // completed job embeds a schema-v7 run report.
+    // completed job embeds a schema-v8 run report.
     let mut completed = 0u64;
     let mut timed_out = 0u64;
     for id in &accepted_ids {
@@ -202,8 +202,8 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
             "completed" => {
                 completed += 1;
                 assert!(
-                    body.contains("\"schema_version\": 7"),
-                    "report is not schema v7: {body}"
+                    body.contains("\"schema_version\": 8"),
+                    "report is not schema v8: {body}"
                 );
                 assert_eq!(
                     json_str(&body, "sampler").as_deref(),
@@ -513,6 +513,104 @@ fn statically_refuted_jobs_are_served_from_absint() {
     let summary = server.wait_for_drain();
     assert_eq!(summary["accepted"], 1);
     assert_eq!(summary["completed"], 1);
+}
+
+#[test]
+fn trace_rides_the_job_from_submission_to_run_store() {
+    let store_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qsmt-e2e-run-store-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let store_arg = store_path.to_str().expect("utf8 temp path").to_string();
+    let mut server = spawn_server(&["--workers", "1", "--run-store", &store_arg]);
+    let addr = server.addr.clone();
+
+    // The 202 already names the job's trace id.
+    let (code, _, body) = request(&addr, "POST", "/solve?reads=64&seed=7", SCRIPT);
+    assert_eq!(code, 202, "submission refused: {body}");
+    let id = json_str(&body, "id").expect("job id");
+    let trace_id = json_str(&body, "trace_id").expect("202 body carries a trace id");
+    assert_eq!(trace_id.len(), 16, "trace id is 16 hex digits: {trace_id}");
+    assert!(trace_id.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    // The terminal status document and the embedded schema-v8 report
+    // carry the same id (json_str reads the LAST occurrence — the
+    // top-level field — so also check the embedded report's copy).
+    let (status, body) = await_terminal(&addr, &id, Duration::from_secs(120));
+    assert_eq!(status, "completed", "traced job: {body}");
+    assert!(body.contains("\"schema_version\": 8"), "not v8: {body}");
+    assert_eq!(
+        json_str(&body, "trace_id").as_deref(),
+        Some(trace_id.as_str())
+    );
+    assert!(
+        body.contains(&format!("\"trace_id\": \"{trace_id}\"")),
+        "report lost the trace id: {body}"
+    );
+    assert!(
+        body.contains("\"span_us\""),
+        "schema-v8 report lacks the span_us rollup: {body}"
+    );
+
+    // GET /jobs/<id>/trace answers Chrome trace-event JSON for the same
+    // trace id, with nested spans for every report stage and the
+    // per-read sampler spans.
+    let (code, _, trace_body) = request(&addr, "GET", &format!("/jobs/{id}/trace"), "");
+    assert_eq!(code, 200, "trace lookup failed: {trace_body}");
+    assert_eq!(
+        json_str(&trace_body, "trace_id").as_deref(),
+        Some(trace_id.as_str()),
+        "trace document disagrees with the 202 body"
+    );
+    assert!(trace_body.contains("\"traceEvents\""));
+    assert!(trace_body.contains("\"ph\": \"X\""));
+    for span in [
+        "absint", "goal x", "compile", "presolve", "sample", "read 0", "select",
+    ] {
+        assert!(
+            trace_body.contains(&format!("\"{span}\"")),
+            "trace lacks the {span} span: {trace_body}"
+        );
+    }
+
+    // The recent-traces index lists it; the liveness probe reports the
+    // worker pool.
+    let (code, _, index) = request(&addr, "GET", "/traces", "");
+    assert_eq!(code, 200);
+    assert!(index.contains(&trace_id), "index lost the trace: {index}");
+    let (code, _, health) = request(&addr, "GET", "/healthz", "");
+    assert_eq!(code, 200);
+    assert_eq!(json_u64(&health, "workers"), Some(1), "healthz: {health}");
+    assert!(
+        json_u64(&health, "queue_depth").is_some(),
+        "healthz: {health}"
+    );
+
+    // And an unknown job's trace is a clean 404.
+    let (code, _, missing) = request(&addr, "GET", "/jobs/999/trace", "");
+    assert_eq!(code, 404, "body: {missing}");
+
+    let (code, _, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    let summary = server.wait_for_drain();
+    assert_eq!(summary["completed"], 1);
+
+    // The finished report landed in the run-history store, trace id and
+    // span_us rollup included — the line `qsmt history` will analyze.
+    let stored = std::fs::read_to_string(&store_path).expect("run store written");
+    let lines: Vec<&str> = stored.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 1, "store: {stored}");
+    assert!(
+        lines[0].contains(&trace_id),
+        "store lost the trace id: {stored}"
+    );
+    assert!(
+        lines[0].contains("span_us"),
+        "store lost the rollup: {stored}"
+    );
+    let _ = std::fs::remove_file(&store_path);
 }
 
 #[test]
