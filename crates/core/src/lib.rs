@@ -51,6 +51,7 @@ mod cache;
 mod constraint;
 mod error;
 mod pipeline;
+mod portfolio;
 mod problem;
 mod solver;
 
@@ -59,6 +60,10 @@ pub use constraint::Constraint;
 pub use error::ConstraintError;
 pub use ops::BiasProfile;
 pub use pipeline::{Pipeline, PipelineReport, StageReport, Start, Step};
+pub use portfolio::{
+    describe_metrics as describe_portfolio_metrics, member_seed, ClassicalHook, MemberKind,
+    PlanMember, Portfolio, PortfolioOutcome, PortfolioPlan, Router, RoutingFeatures, ScriptFacts,
+};
 pub use problem::{DecodeScheme, EncodedProblem, Solution};
 pub use qsmt_lint::{LintConfig, LintReport};
 pub use solver::{SolveOutcome, SolveTrace, StringSolver, TraceStage};

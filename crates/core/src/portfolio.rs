@@ -1,0 +1,1059 @@
+//! Portfolio solving: structure-aware routing and first-wins racing.
+//!
+//! The paper's pipeline hand-picks one strategy per constraint, but the
+//! enumeration-vs-annealing crossover measured by `crates/bench` is
+//! exactly the question SAT portfolios answer: race complementary
+//! solvers and keep the first winner (the SATzilla/ppfolio insight; see
+//! also Bian et al., arXiv:1811.02524, on matching annealer encodings to
+//! instance structure). This module provides
+//!
+//! * [`RoutingFeatures`] — the structural facts a routing decision is
+//!   made from: model size/density and one-hot structure from the
+//!   compiled QUBO, the constraint's transformation/generation class,
+//!   and (when solving a script) the absint feature vector's summary.
+//! * [`Router`] — a deterministic threshold table mapping features to a
+//!   [`PortfolioPlan`]: which members to race ([`MemberKind`]) and each
+//!   member's read/sweep budget. The thresholds come from the crossover
+//!   bench; `docs/PORTFOLIO.md` records the measured crossover points.
+//! * The first-wins race itself ([`StringSolver::solve_portfolio`]):
+//!   every plan member runs on its own scoped thread with its own
+//!   [`StopFlag`] and RNG stream (derived via `read_seed`, so the
+//!   winner's sample set is bit-identical to running that member alone
+//!   with the same seed), and the instant one member post-selects a
+//!   semantically valid answer it trips every other member's flag.
+//!
+//! Cancellation is cooperative and loss-free: an untripped flag never
+//! touches a sampler's RNG stream, so the winner's result carries no
+//! trace of the race. When no member validates, the primary (first)
+//! member's outcome is returned — the same verdict routing a single
+//! strategy would have produced.
+
+use crate::constraint::Constraint;
+use crate::error::ConstraintError;
+use crate::problem::{EncodedProblem, Solution};
+use crate::solver::{SolveOutcome, StringSolver};
+use qsmt_anneal::{
+    read_seed, ExactSolver, SampleSet, Sampler, SamplerRunStats, SimulatedAnnealer,
+    SimulatedQuantumAnnealer,
+};
+use qsmt_lint::lint_qubo;
+use qsmt_qubo::StopFlag;
+use qsmt_telemetry::{
+    CompileStats, Json, PortfolioMemberStats, PortfolioStats, PresolveStats, Recorder, SelectStats,
+    SolveReport, StageTiming,
+};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Classical-baseline escape hatch: `qsmt-core` cannot depend on
+/// `qsmt-baseline` (the baseline depends on this crate), so callers that
+/// want a classical member inject it as a closure over the constraint.
+/// The hook returns the classical answer, or `None` when the baseline
+/// found nothing within its budget.
+pub type ClassicalHook = Arc<dyn Fn(&Constraint) -> Option<Solution> + Send + Sync>;
+
+/// Salt folded into the base seed before deriving per-member streams, so
+/// member seeds never collide with the per-read streams a solo sampler
+/// derives from the same base seed.
+const MEMBER_SEED_SALT: u64 = 0x706f_7274_666f_6c69;
+
+/// Derives the RNG seed portfolio member `index` runs with, for a solve
+/// whose solver seed is `base`. Pure and deterministic — a solo re-run
+/// of the member with this seed reproduces its samples bit for bit.
+pub fn member_seed(base: u64, index: usize) -> u64 {
+    read_seed(base ^ MEMBER_SEED_SALT, index as u64)
+}
+
+/// The strategies a portfolio plan can race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberKind {
+    /// Gray-code exact enumeration ([`ExactSolver`]); only planned when
+    /// the model fits the enumerable window (≤ the router's var limit).
+    Exact,
+    /// Simulated annealing.
+    Sa,
+    /// Simulated quantum annealing (path-integral Trotter slices).
+    Sqa,
+    /// The classical baseline, injected via [`ClassicalHook`]; only
+    /// planned for transformation-class constraints it computes
+    /// directly.
+    Classical,
+}
+
+impl MemberKind {
+    /// Stable string form used in JSON, metrics labels, and
+    /// `served_from: "portfolio:<member>"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemberKind::Exact => "exact",
+            MemberKind::Sa => "sa",
+            MemberKind::Sqa => "sqa",
+            MemberKind::Classical => "classical",
+        }
+    }
+
+    /// The underlying sampler's long name, for the report's sampling
+    /// section (matches what a solo run of the member would report).
+    pub fn sampler_name(self) -> &'static str {
+        match self {
+            MemberKind::Exact => "exact",
+            MemberKind::Sa => "simulated-annealing",
+            MemberKind::Sqa => "simulated-quantum-annealing",
+            MemberKind::Classical => "classical",
+        }
+    }
+}
+
+/// One member of a portfolio plan: a strategy plus its budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanMember {
+    /// The strategy to run.
+    pub kind: MemberKind,
+    /// Read budget (0 for exact/classical members, which do not sample).
+    pub reads: usize,
+    /// Sweep budget (0 for exact/classical members).
+    pub sweeps: usize,
+}
+
+impl PlanMember {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("member", Json::from(self.kind.as_str())),
+            ("reads", Json::from(self.reads as u64)),
+            ("sweeps", Json::from(self.sweeps as u64)),
+        ])
+    }
+
+    /// Builds this member's sampler, seeded for determinism and wired to
+    /// `stop` for cooperative cancellation. Returns `None` for the
+    /// classical member (it runs through the [`ClassicalHook`], not the
+    /// sampler trait). Passing `stop: None` reproduces a solo run of the
+    /// member — the race winner's samples are bit-identical to it.
+    pub fn sampler(&self, seed: u64, stop: Option<StopFlag>) -> Option<Arc<dyn Sampler>> {
+        match self.kind {
+            MemberKind::Exact => Some(Arc::new(ExactSolver::new())),
+            MemberKind::Sa => {
+                let mut s = SimulatedAnnealer::new()
+                    .with_num_reads(self.reads)
+                    .with_sweeps(self.sweeps)
+                    .with_seed(seed);
+                if let Some(stop) = stop {
+                    s = s.with_stop(stop);
+                }
+                Some(Arc::new(s))
+            }
+            MemberKind::Sqa => {
+                let mut s = SimulatedQuantumAnnealer::new()
+                    .with_num_reads(self.reads)
+                    .with_sweeps(self.sweeps)
+                    .with_seed(seed);
+                if let Some(stop) = stop {
+                    s = s.with_stop(stop);
+                }
+                Some(Arc::new(s))
+            }
+            MemberKind::Classical => None,
+        }
+    }
+}
+
+/// Script-level facts the core solver cannot see on its own, lifted from
+/// the absint [`FeatureVector`](https://docs.rs) by `qsmt-smtlib` (which
+/// depends on both crates). All zero when solving a bare constraint.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScriptFacts {
+    /// Declared string variables in the script.
+    pub string_vars: usize,
+    /// Total assertions.
+    pub assertions: usize,
+    /// `str.in_re` assertions (regex membership — the most degenerate
+    /// generation encodings).
+    pub regexes: usize,
+    /// `str.contains` assertions.
+    pub contains: usize,
+    /// Positions proven by absint to hold exactly one character.
+    pub pinned_positions: usize,
+    /// Mean admissible-character count over materialized positions
+    /// (128.0 = fully unconstrained, 0 when unknown).
+    pub avg_position_width: f64,
+}
+
+/// The feature vector a routing decision is made from: compiled-model
+/// structure (var count, density, one-hot groups from `qsmt-lint`), the
+/// constraint's class, and optional script-level enrichment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingFeatures {
+    /// QUBO variable count of the compiled model.
+    pub num_vars: usize,
+    /// Off-diagonal interaction density: interactions over possible
+    /// pairs (0 for models with fewer than two variables).
+    pub density: f64,
+    /// One-hot cliques recovered from the compiled penalty structure.
+    pub one_hot_groups: usize,
+    /// Whether the constraint is transformation-class (equality, concat,
+    /// replace, reverse, includes): the classical baseline computes
+    /// these directly in linear time, so enumeration never pays off.
+    pub transformation_only: bool,
+    /// Script-level enrichment (all zero for bare constraints).
+    pub script: ScriptFacts,
+}
+
+impl RoutingFeatures {
+    /// Computes the model-level features from a compiled problem and its
+    /// source constraint.
+    pub fn from_problem(problem: &EncodedProblem, constraint: &Constraint) -> Self {
+        let n = problem.qubo.num_vars();
+        let pairs = n.saturating_sub(1) * n / 2;
+        RoutingFeatures {
+            num_vars: n,
+            density: if pairs == 0 {
+                0.0
+            } else {
+                problem.qubo.num_interactions() as f64 / pairs as f64
+            },
+            one_hot_groups: qsmt_lint::infer_groups(&problem.qubo).len(),
+            transformation_only: is_transformation(constraint),
+            script: ScriptFacts::default(),
+        }
+    }
+
+    /// Merges script-level facts (absint feature summary) into the
+    /// vector before routing.
+    pub fn merge_script(&mut self, facts: &ScriptFacts) {
+        self.script = *facts;
+    }
+
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("num_vars", Json::from(self.num_vars as u64)),
+            ("density", Json::from(self.density)),
+            ("one_hot_groups", Json::from(self.one_hot_groups as u64)),
+            ("transformation_only", Json::from(self.transformation_only)),
+            ("string_vars", Json::from(self.script.string_vars as u64)),
+            ("assertions", Json::from(self.script.assertions as u64)),
+            ("regexes", Json::from(self.script.regexes as u64)),
+            ("contains", Json::from(self.script.contains as u64)),
+            (
+                "pinned_positions",
+                Json::from(self.script.pinned_positions as u64),
+            ),
+            (
+                "avg_position_width",
+                Json::from(self.script.avg_position_width),
+            ),
+        ])
+    }
+}
+
+/// Transformation-class constraints have a direct classical answer (the
+/// baseline computes them without search); everything else is a
+/// generation constraint where enumeration or annealing must search.
+fn is_transformation(c: &Constraint) -> bool {
+    match c {
+        Constraint::Equality { .. }
+        | Constraint::Concat { .. }
+        | Constraint::ReplaceAll { .. }
+        | Constraint::ReplaceFirst { .. }
+        | Constraint::Reverse { .. }
+        | Constraint::Includes { .. } => true,
+        Constraint::Pinned { inner, .. } => is_transformation(inner),
+        Constraint::All(parts) => parts.iter().all(is_transformation),
+        _ => false,
+    }
+}
+
+/// A routed portfolio plan: the members to race, their budgets, the
+/// predicted winner class, and the features the decision was made from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioPlan {
+    /// Members in priority order; `members[0]` is the primary — the
+    /// strategy single-strategy routing would have picked, and the
+    /// fallback answer when no member validates.
+    pub members: Vec<PlanMember>,
+    /// The member class the router predicts will win.
+    pub predicted: MemberKind,
+    /// The feature vector the plan was routed from.
+    pub features: RoutingFeatures,
+}
+
+impl PortfolioPlan {
+    /// Serializes as a JSON object (the shape snapshotted by
+    /// `benchmarks/portfolio_expected.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "members",
+                Json::Arr(self.members.iter().map(PlanMember::to_json).collect()),
+            ),
+            ("predicted_winner", Json::from(self.predicted.as_str())),
+            ("features", self.features.to_json()),
+        ])
+    }
+}
+
+/// The deterministic routing table: pure threshold rules from
+/// [`RoutingFeatures`] to a [`PortfolioPlan`]. Thresholds are derived
+/// from the crossover bench in `crates/bench` (see `docs/PORTFOLIO.md`
+/// for the measured crossover data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Router {
+    /// Largest model exact enumeration races on (2^26 Gray-code steps
+    /// stay under a second; beyond that annealers win the crossover).
+    pub exact_var_limit: usize,
+    /// Read budget for annealer members on non-degenerate models.
+    pub base_reads: usize,
+    /// Read budget when the encoding is degenerate (regex membership or
+    /// wide admissible-character positions): post-selection needs more
+    /// reads to surface a valid sample.
+    pub degenerate_reads: usize,
+    /// Sweep budget for racing annealer members.
+    pub anneal_sweeps: usize,
+    /// Read budget of the annealer backstop behind exact/classical
+    /// primaries (generous: the backstop only matters when the primary
+    /// fails, and it is cancelled the instant the primary wins).
+    pub backstop_reads: usize,
+    /// Sweep budget of the annealer backstop.
+    pub backstop_sweeps: usize,
+    /// Mean admissible-character width above which an encoding counts as
+    /// degenerate.
+    pub degenerate_width: f64,
+    /// Whether a classical member may be planned (true only when the
+    /// caller installed a [`ClassicalHook`]).
+    pub classical_enabled: bool,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router {
+            exact_var_limit: 26,
+            base_reads: 64,
+            degenerate_reads: 128,
+            anneal_sweeps: 384,
+            backstop_reads: 256,
+            backstop_sweeps: 4096,
+            degenerate_width: 32.0,
+            classical_enabled: false,
+        }
+    }
+}
+
+impl Router {
+    /// The default threshold table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables (or disables) planning a classical member. Enabled
+    /// automatically by [`Portfolio::with_classical_hook`].
+    pub fn with_classical(mut self, enabled: bool) -> Self {
+        self.classical_enabled = enabled;
+        self
+    }
+
+    /// Overrides the exact-enumeration variable limit (capped at the
+    /// [`ExactSolver`] hard limit of 30).
+    pub fn with_exact_var_limit(mut self, n: usize) -> Self {
+        assert!(n <= 30, "exact enumeration beyond 30 vars is infeasible");
+        self.exact_var_limit = n;
+        self
+    }
+
+    /// Routes a feature vector to a plan. Pure: equal features always
+    /// produce equal plans, which is what lets CI snapshot the routing
+    /// corpus.
+    pub fn route(&self, f: &RoutingFeatures) -> PortfolioPlan {
+        let mut members = Vec::with_capacity(2);
+        let predicted;
+        if self.classical_enabled && f.transformation_only {
+            // Transformation constraints have a direct classical answer;
+            // the annealer backstop covers encodings the baseline's
+            // budget cannot finish.
+            members.push(PlanMember {
+                kind: MemberKind::Classical,
+                reads: 0,
+                sweeps: 0,
+            });
+            members.push(PlanMember {
+                kind: MemberKind::Sa,
+                reads: self.backstop_reads,
+                sweeps: self.backstop_sweeps,
+            });
+            predicted = MemberKind::Classical;
+        } else if f.num_vars <= self.exact_var_limit {
+            // Below the crossover, exhaustive Gray-code enumeration beats
+            // any sampler — and its answer is provably the ground state.
+            members.push(PlanMember {
+                kind: MemberKind::Exact,
+                reads: 0,
+                sweeps: 0,
+            });
+            members.push(PlanMember {
+                kind: MemberKind::Sa,
+                reads: self.backstop_reads,
+                sweeps: self.backstop_sweeps,
+            });
+            predicted = MemberKind::Exact;
+        } else {
+            // Above the crossover: race SA against SQA. Degenerate
+            // encodings (regex membership, wide positions) get a deeper
+            // read budget for post-selection.
+            let degenerate =
+                f.script.regexes > 0 || f.script.avg_position_width > self.degenerate_width;
+            let reads = if degenerate {
+                self.degenerate_reads
+            } else {
+                self.base_reads
+            };
+            members.push(PlanMember {
+                kind: MemberKind::Sa,
+                reads,
+                sweeps: self.anneal_sweeps,
+            });
+            members.push(PlanMember {
+                kind: MemberKind::Sqa,
+                reads: (reads / 2).max(32),
+                sweeps: self.anneal_sweeps,
+            });
+            predicted = MemberKind::Sa;
+        }
+        PortfolioPlan {
+            members,
+            predicted,
+            features: f.clone(),
+        }
+    }
+
+    /// The full threshold table as JSON — snapshotted alongside the
+    /// per-script plans so a threshold change shows up in CI review.
+    pub fn table_json(&self) -> Json {
+        Json::obj([
+            ("exact_var_limit", Json::from(self.exact_var_limit as u64)),
+            ("base_reads", Json::from(self.base_reads as u64)),
+            ("degenerate_reads", Json::from(self.degenerate_reads as u64)),
+            ("anneal_sweeps", Json::from(self.anneal_sweeps as u64)),
+            ("backstop_reads", Json::from(self.backstop_reads as u64)),
+            ("backstop_sweeps", Json::from(self.backstop_sweeps as u64)),
+            ("degenerate_width", Json::from(self.degenerate_width)),
+            ("classical_enabled", Json::from(self.classical_enabled)),
+        ])
+    }
+}
+
+/// Portfolio configuration: a router plus the optional classical hook.
+#[derive(Clone, Default)]
+pub struct Portfolio {
+    router: Router,
+    classical: Option<ClassicalHook>,
+}
+
+impl std::fmt::Debug for Portfolio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Portfolio")
+            .field("router", &self.router)
+            .field("classical", &self.classical.is_some())
+            .finish()
+    }
+}
+
+impl Portfolio {
+    /// A portfolio over the default router, no classical member.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the routing table.
+    pub fn with_router(mut self, router: Router) -> Self {
+        let classical = self.classical.is_some();
+        self.router = router.with_classical(classical);
+        self
+    }
+
+    /// Installs the classical baseline hook and enables classical
+    /// members in the routing table.
+    pub fn with_classical_hook(mut self, hook: ClassicalHook) -> Self {
+        self.classical = Some(hook);
+        self.router = self.router.clone().with_classical(true);
+        self
+    }
+
+    /// The routing table in effect.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+}
+
+/// Everything one member produced during a race.
+struct MemberRun {
+    outcome: SolveOutcome,
+    run_stats: SamplerRunStats,
+    decoded: usize,
+    valid_rank: Option<usize>,
+    elapsed_us: u64,
+    start_offset_us: u64,
+    stopped: bool,
+}
+
+/// The result of a portfolio race, bundled for the reporting layers.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The winner's solve outcome (primary member's when none won).
+    pub outcome: SolveOutcome,
+    /// Which member kind won the race.
+    pub winner: MemberKind,
+    /// Winner's sampler counters (for the report's sampling section).
+    pub run_stats: SamplerRunStats,
+    /// Winner's post-selection counters: decoded states and the energy
+    /// rank of the chosen valid sample.
+    pub decoded: usize,
+    /// Energy-order rank of the winner's chosen valid sample.
+    pub valid_rank: Option<usize>,
+    /// The telemetry record (schema v9 `portfolio` section).
+    pub stats: PortfolioStats,
+}
+
+impl StringSolver {
+    /// Computes the routing features for a constraint under this
+    /// solver's encoder settings, optionally enriched with script facts.
+    ///
+    /// # Errors
+    /// Propagates encoding failures.
+    pub fn routing_features(
+        &self,
+        constraint: &Constraint,
+        facts: Option<&ScriptFacts>,
+    ) -> Result<RoutingFeatures, ConstraintError> {
+        let problem = self.encode(constraint)?;
+        let mut features = RoutingFeatures::from_problem(&problem, constraint);
+        if let Some(facts) = facts {
+            features.merge_script(facts);
+        }
+        Ok(features)
+    }
+
+    /// Solves a constraint by racing a routed portfolio: every plan
+    /// member runs on its own scoped thread with its own stop flag and
+    /// RNG stream, and the first member whose post-selected answer
+    /// validates cancels the rest. See the module docs for the
+    /// determinism and loss-free-cancellation guarantees.
+    ///
+    /// # Errors
+    /// Propagates encoding failures, and — in deny-on-error mode — lint
+    /// rejections, exactly like [`StringSolver::solve`].
+    pub fn solve_portfolio(
+        &self,
+        constraint: &Constraint,
+        portfolio: &Portfolio,
+        facts: Option<&ScriptFacts>,
+    ) -> Result<PortfolioOutcome, ConstraintError> {
+        let problem = self.encode(constraint)?;
+        self.deny_gate(&problem.qubo)?;
+        let mut features = RoutingFeatures::from_problem(&problem, constraint);
+        if let Some(facts) = facts {
+            features.merge_script(facts);
+        }
+        let plan = portfolio.router.route(&features);
+        Ok(self.race(constraint, &problem, &plan, portfolio.classical.as_ref()))
+    }
+
+    /// [`StringSolver::solve_portfolio`] with a full [`SolveReport`]: the
+    /// usual compile/lint/presolve stages, then a `portfolio` stage
+    /// covering the race, the winner's sampling/selection counters, and
+    /// the schema-v9 `portfolio` section.
+    ///
+    /// # Errors
+    /// Propagates encoding failures and — in deny-on-error mode — lint
+    /// rejections.
+    pub fn solve_portfolio_reported(
+        &self,
+        constraint: &Constraint,
+        portfolio: &Portfolio,
+        facts: Option<&ScriptFacts>,
+    ) -> Result<(PortfolioOutcome, SolveReport), ConstraintError> {
+        fn begin(stages: &mut Vec<StageTiming>, rec: &Recorder, label: &str) -> u64 {
+            let start = rec.elapsed_us();
+            stages.push(StageTiming {
+                label: label.to_string(),
+                start_us: start,
+                dur_us: 0,
+            });
+            start
+        }
+
+        let rec = Recorder::new();
+        let mut stages = Vec::with_capacity(4);
+
+        let start = begin(&mut stages, &rec, "compile");
+        let problem = {
+            let _s = rec.span("compile");
+            let _t = qsmt_trace::span("compile");
+            self.encode(constraint)?
+        };
+        stages.last_mut().expect("pushed").dur_us = rec.elapsed_us() - start;
+        let qubo_shape = problem.qubo.shape();
+        rec.event(
+            "encoded",
+            format!("{} vars via {}", qubo_shape.num_vars, problem.name),
+        );
+        let compile = CompileStats {
+            constraint: constraint.describe(),
+            encoding: problem.name.to_string(),
+            time_us: stages.last().expect("pushed").dur_us,
+        };
+
+        let start = begin(&mut stages, &rec, "lint");
+        let lint_report = {
+            let _s = rec.span("lint");
+            let _t = qsmt_trace::span("lint");
+            lint_qubo(&problem.qubo, self.lint_config())
+        };
+        let lint_us = rec.elapsed_us() - start;
+        stages.last_mut().expect("pushed").dur_us = lint_us;
+        rec.event("linted", lint_report.summary());
+        self.deny_gate(&problem.qubo)?;
+        let lint = Some(lint_report.to_stats(lint_us));
+
+        let start = begin(&mut stages, &rec, "presolve");
+        let presolve = {
+            let _s = rec.span("presolve");
+            let _t = qsmt_trace::span("presolve");
+            let reduced = qsmt_qubo::presolve(&problem.qubo);
+            let original = problem.qubo.num_vars();
+            let fixed = reduced.num_fixed();
+            PresolveStats {
+                time_us: 0,
+                original_vars: original,
+                fixed_vars: fixed,
+                reduced_vars: original - fixed,
+                reduction_ratio: if original == 0 {
+                    0.0
+                } else {
+                    fixed as f64 / original as f64
+                },
+            }
+        };
+        let presolve_us = rec.elapsed_us() - start;
+        stages.last_mut().expect("pushed").dur_us = presolve_us;
+        let presolve = PresolveStats {
+            time_us: presolve_us,
+            ..presolve
+        };
+
+        let mut features = RoutingFeatures::from_problem(&problem, constraint);
+        if let Some(facts) = facts {
+            features.merge_script(facts);
+        }
+        let plan = portfolio.router.route(&features);
+        rec.event(
+            "routed",
+            format!(
+                "{} members, predicted {}",
+                plan.members.len(),
+                plan.predicted.as_str()
+            ),
+        );
+
+        let start = begin(&mut stages, &rec, "portfolio");
+        let out = {
+            let _s = rec.span("portfolio");
+            let _t = qsmt_trace::span("portfolio");
+            self.race(constraint, &problem, &plan, portfolio.classical.as_ref())
+        };
+        let race_us = rec.elapsed_us() - start;
+        stages.last_mut().expect("pushed").dur_us = race_us;
+        rec.event(
+            "raced",
+            format!("{} won in {} µs", out.winner.as_str(), out.stats.time_us),
+        );
+
+        let sampling = Self::sampler_stats(
+            out.winner.sampler_name(),
+            &out.outcome.samples,
+            out.run_stats,
+            out.stats.members[out.stats.winner_index as usize].elapsed_us,
+        );
+        let select = SelectStats {
+            time_us: 0,
+            decoded_states: out.decoded,
+            valid_rank: out.valid_rank,
+        };
+
+        let total_us = rec.elapsed_us();
+        let report = SolveReport {
+            constraint: constraint.describe(),
+            solution: out.outcome.solution.to_string(),
+            energy: out.outcome.energy,
+            valid: out.outcome.valid,
+            total_us,
+            stages,
+            compile,
+            qubo: qubo_shape,
+            lint,
+            presolve,
+            embedding: None,
+            sampling,
+            select,
+            dynamics: None,
+            cache: None,
+            portfolio: Some(out.stats.clone()),
+            spans: rec.finish(),
+        };
+        Ok((out, report))
+    }
+
+    /// Runs the first-wins race for an already-routed plan.
+    fn race(
+        &self,
+        constraint: &Constraint,
+        problem: &EncodedProblem,
+        plan: &PortfolioPlan,
+        classical: Option<&ClassicalHook>,
+    ) -> PortfolioOutcome {
+        let n = plan.members.len();
+        let flags: Vec<StopFlag> = (0..n).map(|_| StopFlag::new()).collect();
+        let winner: Mutex<Option<usize>> = Mutex::new(None);
+        let base_seed = self.base_seed();
+        let race_start = Instant::now();
+        let trace_base = qsmt_trace::active().then(qsmt_trace::now_us);
+        // An outer cancellation (a serve job deadline) must reach the
+        // members' flags too; a cheap poll loop relays it and retires
+        // with the race.
+        let race_done = std::sync::atomic::AtomicBool::new(false);
+
+        let runs: Vec<MemberRun> = std::thread::scope(|scope| {
+            if let Some(outer) = self.outer_stop().cloned() {
+                let flags = &flags;
+                let race_done = &race_done;
+                scope.spawn(move || {
+                    while !race_done.load(std::sync::atomic::Ordering::Acquire) {
+                        if outer.is_stopped() {
+                            for f in flags {
+                                f.stop();
+                            }
+                            return;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                });
+            }
+            let handles: Vec<_> = plan
+                .members
+                .iter()
+                .enumerate()
+                .map(|(i, member)| {
+                    let flag = flags[i].clone();
+                    let flags = &flags;
+                    let winner = &winner;
+                    scope.spawn(move || {
+                        let start_offset_us = race_start.elapsed().as_micros() as u64;
+                        let t = Instant::now();
+                        let (outcome, run_stats, decoded, valid_rank) = match member.kind {
+                            MemberKind::Classical => {
+                                let solution = classical.and_then(|hook| hook(constraint));
+                                let valid =
+                                    solution.as_ref().is_some_and(|s| constraint.validate(s));
+                                let solution =
+                                    solution.unwrap_or_else(|| Solution::Text(String::new()));
+                                (
+                                    SolveOutcome {
+                                        problem: problem.clone(),
+                                        samples: SampleSet::default(),
+                                        solution,
+                                        energy: f64::NAN,
+                                        valid,
+                                    },
+                                    SamplerRunStats::default(),
+                                    0,
+                                    None,
+                                )
+                            }
+                            _ => {
+                                let sampler = member
+                                    .sampler(member_seed(base_seed, i), Some(flag.clone()))
+                                    .expect("non-classical members build samplers");
+                                let (samples, run_stats) = sampler.sample_stats(&problem.qubo);
+                                let (outcome, decoded, valid_rank) =
+                                    self.select_counted(constraint, problem.clone(), samples);
+                                (outcome, run_stats, decoded, valid_rank)
+                            }
+                        };
+                        if outcome.valid {
+                            let mut w = winner.lock().expect("winner lock");
+                            if w.is_none() {
+                                *w = Some(i);
+                                for (j, f) in flags.iter().enumerate() {
+                                    if j != i {
+                                        f.stop();
+                                    }
+                                }
+                            }
+                        }
+                        MemberRun {
+                            outcome,
+                            run_stats,
+                            decoded,
+                            valid_rank,
+                            elapsed_us: (t.elapsed().as_micros() as u64).max(1),
+                            start_offset_us,
+                            stopped: flag.is_stopped(),
+                        }
+                    })
+                })
+                .collect();
+            let runs = handles
+                .into_iter()
+                .map(|h| h.join().expect("portfolio member thread"))
+                .collect();
+            race_done.store(true, std::sync::atomic::Ordering::Release);
+            runs
+        });
+        let race_us = (race_start.elapsed().as_micros() as u64).max(1);
+
+        // Winner attribution. When nothing validated, the primary member
+        // stands in so the verdict matches single-strategy routing.
+        let widx = winner.into_inner().expect("winner lock").unwrap_or(0);
+        let winner_kind = plan.members[widx].kind;
+
+        // Member spans, attributed retroactively so no trace context
+        // crosses a thread boundary.
+        if let Some(base) = trace_base {
+            for (i, run) in runs.iter().enumerate() {
+                qsmt_trace::span_at(
+                    &format!("portfolio:{}", plan.members[i].kind.as_str()),
+                    base + run.start_offset_us,
+                    run.elapsed_us,
+                );
+            }
+        }
+
+        let members: Vec<PortfolioMemberStats> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, run)| PortfolioMemberStats {
+                member: plan.members[i].kind.as_str().to_string(),
+                reads: plan.members[i].reads as u64,
+                sweeps: plan.members[i].sweeps as u64,
+                outcome: if i == widx && run.outcome.valid {
+                    "won".to_string()
+                } else if run.stopped && !run.outcome.valid {
+                    "cancelled".to_string()
+                } else {
+                    "lost".to_string()
+                },
+                elapsed_us: run.elapsed_us,
+                stopped: run.stopped,
+                valid: run.outcome.valid,
+            })
+            .collect();
+        let cancelled = members.iter().filter(|m| m.outcome == "cancelled").count();
+
+        let registry = qsmt_metrics::global();
+        registry.counter_add(
+            "qsmt_portfolio_routing_decisions_total",
+            &[("predicted", plan.predicted.as_str())],
+            1.0,
+        );
+        registry.counter_add(
+            "qsmt_portfolio_wins_total",
+            &[("member", winner_kind.as_str())],
+            1.0,
+        );
+        if cancelled > 0 {
+            registry.counter_add(
+                "qsmt_portfolio_cancelled_losers_total",
+                &[],
+                cancelled as f64,
+            );
+        }
+
+        let stats = PortfolioStats {
+            plan: plan.to_json(),
+            predicted: plan.predicted.as_str().to_string(),
+            winner: winner_kind.as_str().to_string(),
+            winner_index: widx as u64,
+            members,
+            time_us: race_us,
+        };
+        let run = &runs[widx];
+        PortfolioOutcome {
+            outcome: run.outcome.clone(),
+            winner: winner_kind,
+            run_stats: run.run_stats,
+            decoded: run.decoded,
+            valid_rank: run.valid_rank,
+            stats,
+        }
+    }
+}
+
+/// Registers the `qsmt_portfolio_*` metric help texts on a registry.
+pub fn describe_metrics(registry: &qsmt_metrics::Registry) {
+    registry.describe(
+        "qsmt_portfolio_routing_decisions_total",
+        "Portfolio routing decisions by predicted winner class",
+    );
+    registry.describe(
+        "qsmt_portfolio_wins_total",
+        "Portfolio races won, by member kind",
+    );
+    registry.describe(
+        "qsmt_portfolio_cancelled_losers_total",
+        "Portfolio members cancelled after another member won",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(num_vars: usize, transformation: bool) -> RoutingFeatures {
+        RoutingFeatures {
+            num_vars,
+            density: 0.1,
+            one_hot_groups: 2,
+            transformation_only: transformation,
+            script: ScriptFacts::default(),
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_size_aware() {
+        let router = Router::new();
+        let small = router.route(&features(20, false));
+        assert_eq!(small.predicted, MemberKind::Exact);
+        assert_eq!(small.members[0].kind, MemberKind::Exact);
+        assert_eq!(small, router.route(&features(20, false)));
+        let big = router.route(&features(200, false));
+        assert_eq!(big.predicted, MemberKind::Sa);
+        assert!(big
+            .members
+            .iter()
+            .all(|m| m.kind != MemberKind::Exact && m.kind != MemberKind::Classical));
+    }
+
+    #[test]
+    fn classical_members_require_opt_in() {
+        let without = Router::new().route(&features(10, true));
+        assert!(without
+            .members
+            .iter()
+            .all(|m| m.kind != MemberKind::Classical));
+        let with = Router::new()
+            .with_classical(true)
+            .route(&features(10, true));
+        assert_eq!(with.members[0].kind, MemberKind::Classical);
+        assert_eq!(with.predicted, MemberKind::Classical);
+    }
+
+    #[test]
+    fn degenerate_scripts_get_deeper_read_budgets() {
+        let router = Router::new();
+        let mut f = features(200, false);
+        let shallow = router.route(&f);
+        f.script.regexes = 1;
+        let deep = router.route(&f);
+        assert!(deep.members[0].reads > shallow.members[0].reads);
+    }
+
+    #[test]
+    fn member_seeds_are_distinct_streams() {
+        assert_ne!(member_seed(7, 0), member_seed(7, 1));
+        assert_ne!(member_seed(7, 0), member_seed(8, 0));
+        assert_eq!(member_seed(7, 1), member_seed(7, 1));
+    }
+
+    #[test]
+    fn exact_wins_small_models_and_cancels_the_backstop() {
+        let solver = StringSolver::with_defaults().with_seed(3);
+        let portfolio = Portfolio::new();
+        let c = Constraint::CharAt {
+            ch: 'q',
+            index: 1,
+            len: 3,
+        };
+        let out = solver.solve_portfolio(&c, &portfolio, None).unwrap();
+        assert!(out.outcome.valid);
+        assert_eq!(out.winner, MemberKind::Exact);
+        assert_eq!(out.stats.members[0].outcome, "won");
+        // The backstop annealer observed the winner's cancellation (or
+        // finished losing); either way the race recorded it.
+        assert_eq!(out.stats.members.len(), 2);
+        assert_ne!(out.stats.members[1].outcome, "won");
+    }
+
+    #[test]
+    fn winner_samples_are_bit_identical_to_a_solo_run() {
+        let solver = StringSolver::with_defaults().with_seed(11);
+        let portfolio = Portfolio::new();
+        let c = Constraint::Palindrome { len: 6 };
+        let out = solver.solve_portfolio(&c, &portfolio, None).unwrap();
+        let widx = out.stats.winner_index as usize;
+        let features = solver.routing_features(&c, None).unwrap();
+        let plan = portfolio.router().route(&features);
+        let member = plan.members[widx];
+        let solo = member
+            .sampler(member_seed(11, widx), None)
+            .expect("winner is sampler-backed")
+            .sample(&solver.encode(&c).unwrap().qubo);
+        assert_eq!(out.outcome.samples, solo);
+    }
+
+    #[test]
+    fn classical_hook_wins_transformation_constraints() {
+        let solver = StringSolver::with_defaults().with_seed(5);
+        let hook: ClassicalHook = Arc::new(|c: &Constraint| match c {
+            Constraint::Reverse { input } => Some(Solution::Text(input.chars().rev().collect())),
+            _ => None,
+        });
+        let portfolio = Portfolio::new().with_classical_hook(hook);
+        let c = Constraint::Reverse {
+            input: "portfolio".into(),
+        };
+        let out = solver.solve_portfolio(&c, &portfolio, None).unwrap();
+        assert_eq!(out.winner, MemberKind::Classical);
+        assert_eq!(out.outcome.solution.as_text(), Some("oiloftrop"));
+        assert!(out.outcome.valid);
+    }
+
+    #[test]
+    fn fallback_returns_the_primary_members_verdict() {
+        // Includes over a haystack without the needle: the valid answer
+        // is Index(None) == the all-zero state; under a tiny read budget
+        // members may or may not validate, but the outcome always comes
+        // from a plan member and the verdict survives.
+        let solver = StringSolver::with_defaults().with_seed(1);
+        let portfolio = Portfolio::new();
+        let c = Constraint::Includes {
+            haystack: "xyz".into(),
+            needle: "ab".into(),
+        };
+        let out = solver.solve_portfolio(&c, &portfolio, None).unwrap();
+        let widx = out.stats.winner_index as usize;
+        assert!(widx < out.stats.members.len());
+        if !out.outcome.valid {
+            assert_eq!(widx, 0, "no winner must fall back to the primary");
+        }
+    }
+
+    #[test]
+    fn plan_json_is_stable_shape() {
+        let plan = Router::new().route(&features(20, false));
+        let j = plan.to_json();
+        assert_eq!(
+            j.get("predicted_winner").and_then(Json::as_str),
+            Some("exact")
+        );
+        let members = j.get("members").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            members[0].get("member").and_then(Json::as_str),
+            Some("exact")
+        );
+        assert!(j.get("features").and_then(|f| f.get("num_vars")).is_some());
+        let table = Router::new().table_json();
+        assert_eq!(
+            table.get("exact_var_limit").and_then(Json::as_u64),
+            Some(26)
+        );
+    }
+}

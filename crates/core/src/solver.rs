@@ -99,6 +99,19 @@ impl StringSolver {
         self
     }
 
+    /// The base seed portfolio member streams are derived from.
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub(crate) fn lint_config(&self) -> &LintConfig {
+        &self.lint_config
+    }
+
+    pub(crate) fn outer_stop(&self) -> Option<&StopFlag> {
+        self.stop.as_ref()
+    }
+
     /// Sets the default sampler's read count. Deeply degenerate encodings
     /// (regex classes over many positions) need more reads for
     /// post-selection to find a valid sample; shallow ones are fine with
@@ -226,7 +239,7 @@ impl StringSolver {
 
     /// Deny gate: when deny-on-error mode is on, lint the compiled model
     /// and reject it if any error-level diagnostic fires.
-    fn deny_gate(&self, qubo: &QuboModel) -> Result<(), ConstraintError> {
+    pub(crate) fn deny_gate(&self, qubo: &QuboModel) -> Result<(), ConstraintError> {
         if !self.deny_lint_errors {
             return Ok(());
         }
@@ -375,7 +388,7 @@ impl StringSolver {
     /// [`StringSolver::select`] plus the counters telemetry wants: how
     /// many distinct states were decoded before the search stopped, and
     /// the energy-order rank of the chosen valid sample.
-    fn select_counted(
+    pub(crate) fn select_counted(
         &self,
         constraint: &Constraint,
         problem: EncodedProblem,
@@ -681,6 +694,7 @@ impl StringSolver {
             select,
             dynamics,
             cache: cache_stats,
+            portfolio: None,
             spans: rec.finish(),
         };
         Ok((outcome, report))
@@ -714,7 +728,7 @@ impl StringSolver {
     }
 
     /// Summarizes a sample set plus sampler counters into telemetry form.
-    fn sampler_stats(
+    pub(crate) fn sampler_stats(
         name: &str,
         samples: &SampleSet,
         run: qsmt_anneal::SamplerRunStats,

@@ -3,7 +3,7 @@
 use crate::ast::{parse_command, Command};
 use crate::compile::{compile, CompileError, Goal};
 use crate::sexpr::{parse_sexprs, SExprError};
-use qsmt_core::{ConstraintError, StringSolver};
+use qsmt_core::{ConstraintError, Portfolio, PortfolioPlan, ScriptFacts, StringSolver};
 
 /// A parsed SMT-LIB script.
 #[derive(Debug, Clone)]
@@ -373,6 +373,209 @@ impl Script {
             }
         }
         Ok((ScriptOutcome { status, model }, reports))
+    }
+
+    /// Lifts the absint feature vector into the core router's
+    /// [`ScriptFacts`] so script-level structure (regex membership,
+    /// pinned positions, admissible-character widths) can steer routing.
+    pub fn script_facts(run: &crate::absint::AbsintRun) -> ScriptFacts {
+        let f = &run.analysis.features;
+        ScriptFacts {
+            string_vars: f.string_vars,
+            assertions: f.assertions,
+            regexes: f.regexes,
+            contains: f.contains,
+            pinned_positions: f.pinned_positions,
+            avg_position_width: f.avg_position_width,
+        }
+    }
+
+    /// Like [`Script::solve_reported_absint`], but string-constraint and
+    /// index-query goals are solved by racing a routed portfolio
+    /// ([`StringSolver::solve_portfolio_reported`]); their reports carry
+    /// the schema-v9 `portfolio` section. Pipeline goals run the normal
+    /// single-strategy path — each stage feeds the next, so there is no
+    /// independent race to win.
+    ///
+    /// # Errors
+    /// Propagates compilation errors and non-unsat encoding errors.
+    pub fn solve_portfolio_reported_absint(
+        &self,
+        solver: &StringSolver,
+        portfolio: &Portfolio,
+    ) -> Result<
+        (
+            ScriptOutcome,
+            Vec<qsmt_telemetry::GoalReport>,
+            crate::absint::AbsintRun,
+        ),
+        ScriptError,
+    > {
+        let mut run = {
+            let _t = qsmt_trace::span("absint");
+            self.absint()
+        };
+        if run.is_refuted() {
+            return Ok((
+                ScriptOutcome {
+                    status: SatStatus::Unsat,
+                    model: Vec::new(),
+                },
+                Vec::new(),
+                run,
+            ));
+        }
+        let facts = Self::script_facts(&run);
+        let goals = self.compile()?;
+        let (goals, eliminated) = crate::absint::apply_tightenings(goals, &run.analysis);
+        run.vars_eliminated = eliminated;
+        let (out, reports) =
+            Self::solve_goals_portfolio_reported(&goals, solver, portfolio, &facts)?;
+        Ok((out, reports, run))
+    }
+
+    fn solve_goals_portfolio_reported(
+        goals: &[Goal],
+        solver: &StringSolver,
+        portfolio: &Portfolio,
+        facts: &ScriptFacts,
+    ) -> Result<(ScriptOutcome, Vec<qsmt_telemetry::GoalReport>), ScriptError> {
+        use qsmt_telemetry::{GoalKind, GoalReport};
+
+        let mut model = Vec::with_capacity(goals.len());
+        let mut reports = Vec::with_capacity(goals.len());
+        let mut status = SatStatus::Sat;
+        let unsat = |reports: Vec<GoalReport>| {
+            Ok((
+                ScriptOutcome {
+                    status: SatStatus::Unsat,
+                    model: Vec::new(),
+                },
+                reports,
+            ))
+        };
+        for goal in goals {
+            let goal_name = match goal {
+                Goal::StringConstraint { name, .. }
+                | Goal::StringPipeline { name, .. }
+                | Goal::IndexQuery { name, .. } => name,
+            };
+            let _goal_span =
+                qsmt_trace::active().then(|| qsmt_trace::span_dyn(format!("goal {goal_name}")));
+            match goal {
+                Goal::StringConstraint { name, constraint } => {
+                    match solver.solve_portfolio_reported(constraint, portfolio, Some(facts)) {
+                        Ok((out, report)) => {
+                            if !out.outcome.valid {
+                                status = SatStatus::Unknown;
+                            }
+                            let text = out
+                                .outcome
+                                .solution
+                                .as_text()
+                                .unwrap_or_default()
+                                .to_string();
+                            model.push((name.clone(), ModelValue::Str(text.clone())));
+                            reports.push(GoalReport {
+                                name: name.clone(),
+                                kind: GoalKind::Constraint,
+                                answer: text,
+                                valid: out.outcome.valid,
+                                total_us: report.total_us,
+                                solves: vec![report],
+                            });
+                        }
+                        Err(e) if is_unsat(&e) => return unsat(reports),
+                        Err(e) => return Err(ScriptError::Encode(e)),
+                    }
+                }
+                Goal::StringPipeline { name, pipeline } => match pipeline.run_reported(solver) {
+                    Ok((report, solves)) => {
+                        if !report.all_valid() {
+                            status = SatStatus::Unknown;
+                        }
+                        let valid = report.all_valid();
+                        model.push((name.clone(), ModelValue::Str(report.final_text.clone())));
+                        reports.push(GoalReport {
+                            name: name.clone(),
+                            kind: GoalKind::Pipeline,
+                            answer: report.final_text,
+                            valid,
+                            total_us: solves.iter().map(|s| s.total_us).sum(),
+                            solves,
+                        });
+                    }
+                    Err(e) if is_unsat(&e) => return unsat(reports),
+                    Err(e) => return Err(ScriptError::Encode(e)),
+                },
+                Goal::IndexQuery { name, constraint } => {
+                    match solver.solve_portfolio_reported(constraint, portfolio, Some(facts)) {
+                        Ok((out, report)) => {
+                            if !out.outcome.valid {
+                                status = SatStatus::Unknown;
+                            }
+                            let value = ModelValue::Int(out.outcome.solution.as_index());
+                            let answer = value.to_string();
+                            model.push((name.clone(), value));
+                            reports.push(GoalReport {
+                                name: name.clone(),
+                                kind: GoalKind::IndexQuery,
+                                answer,
+                                valid: out.outcome.valid,
+                                total_us: report.total_us,
+                                solves: vec![report],
+                            });
+                        }
+                        Err(e) if is_unsat(&e) => return unsat(reports),
+                        Err(e) => return Err(ScriptError::Encode(e)),
+                    }
+                }
+            }
+        }
+        Ok((ScriptOutcome { status, model }, reports))
+    }
+
+    /// The routed portfolio plan for every goal a portfolio run would
+    /// race, without racing anything: the deterministic routing record
+    /// snapshotted by `benchmarks/portfolio_expected.json`. Uses the
+    /// same absint-tightened goals and script facts as
+    /// [`Script::solve_portfolio_reported_absint`]. Pipeline goals never
+    /// race, so their plan is `None`; a statically refuted script
+    /// returns an empty list.
+    ///
+    /// # Errors
+    /// Propagates compilation errors and non-unsat encoding errors.
+    pub fn portfolio_plans(
+        &self,
+        solver: &StringSolver,
+        portfolio: &Portfolio,
+    ) -> Result<Vec<(String, Option<PortfolioPlan>)>, ScriptError> {
+        let run = self.absint();
+        if run.is_refuted() {
+            return Ok(Vec::new());
+        }
+        let facts = Self::script_facts(&run);
+        let goals = self.compile()?;
+        let (goals, _) = crate::absint::apply_tightenings(goals, &run.analysis);
+        let mut plans = Vec::with_capacity(goals.len());
+        for goal in &goals {
+            match goal {
+                Goal::StringConstraint { name, constraint }
+                | Goal::IndexQuery { name, constraint } => {
+                    match solver.routing_features(constraint, Some(&facts)) {
+                        Ok(features) => {
+                            plans.push((name.clone(), Some(portfolio.router().route(&features))));
+                        }
+                        Err(e) if is_unsat(&e) => {
+                            plans.push((name.clone(), None));
+                        }
+                        Err(e) => return Err(ScriptError::Encode(e)),
+                    }
+                }
+                Goal::StringPipeline { name, .. } => plans.push((name.clone(), None)),
+            }
+        }
+        Ok(plans)
     }
 }
 

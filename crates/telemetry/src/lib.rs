@@ -40,5 +40,6 @@ pub use json::{parse, Json, JsonParseError};
 pub use recorder::{Recorder, SpanGuard, SpanRecord, TraceDisplay};
 pub use report::{
     AbsintStats, CacheStats, CompileStats, EmbeddingStats, GoalKind, GoalReport, LintStats,
-    PresolveStats, QuboShape, RunReport, SamplerStats, SelectStats, SolveReport, StageTiming,
+    PortfolioMemberStats, PortfolioStats, PresolveStats, QuboShape, RunReport, SamplerStats,
+    SelectStats, SolveReport, StageTiming,
 };

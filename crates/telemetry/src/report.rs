@@ -340,6 +340,90 @@ impl CacheStats {
     }
 }
 
+/// One portfolio member's run record (schema v9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioMemberStats {
+    /// Stable member kind: `"exact"`, `"sa"`, `"sqa"`, or `"classical"`.
+    pub member: String,
+    /// Read budget the plan allotted (0 for exact/classical members).
+    pub reads: u64,
+    /// Sweep budget the plan allotted (0 for exact/classical members).
+    pub sweeps: u64,
+    /// How the race ended for this member: `"won"` (first valid answer),
+    /// `"cancelled"` (stop flag tripped by the winner before it
+    /// finished), or `"lost"` (finished on its own without winning).
+    pub outcome: String,
+    /// Wall-clock this member ran, microseconds.
+    pub elapsed_us: u64,
+    /// Whether this member's stop flag was tripped. A cancelled annealer
+    /// reports `true`; the winner reports `true` only when another valid
+    /// member crossed the line after it had already won.
+    pub stopped: bool,
+    /// Whether this member's own answer passed semantic validation.
+    pub valid: bool,
+}
+
+impl PortfolioMemberStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("member", Json::from(self.member.as_str())),
+            ("reads", Json::from(self.reads)),
+            ("sweeps", Json::from(self.sweeps)),
+            ("outcome", Json::from(self.outcome.as_str())),
+            ("elapsed_us", Json::from(self.elapsed_us)),
+            ("stopped", Json::from(self.stopped)),
+            ("valid", Json::from(self.valid)),
+        ])
+    }
+}
+
+/// Portfolio-race record of one solve (schema v9).
+///
+/// Present when the solve raced a routed portfolio instead of running a
+/// single sampler; `None` (JSON `null`) keeps the section additive over
+/// v8 reports. See `docs/PORTFOLIO.md` for the routing rules and the
+/// first-wins semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioStats {
+    /// The routed plan: members, budgets, predicted winner, and the
+    /// routing feature vector the decision was made from.
+    pub plan: Json,
+    /// Member kind the router predicted would win.
+    pub predicted: String,
+    /// Member kind that actually won (primary member when nothing
+    /// validated).
+    pub winner: String,
+    /// Index of the winner within the plan's member list.
+    pub winner_index: u64,
+    /// Per-member run records, in plan order.
+    pub members: Vec<PortfolioMemberStats>,
+    /// Wall-clock of the whole race, microseconds.
+    pub time_us: u64,
+}
+
+impl PortfolioStats {
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("plan", self.plan.clone()),
+            ("predicted", Json::from(self.predicted.as_str())),
+            ("winner", Json::from(self.winner.as_str())),
+            ("winner_index", Json::from(self.winner_index)),
+            (
+                "members",
+                Json::Arr(
+                    self.members
+                        .iter()
+                        .map(PortfolioMemberStats::to_json)
+                        .collect(),
+                ),
+            ),
+            ("time_us", Json::from(self.time_us)),
+        ])
+    }
+}
+
 /// Script-level abstract-interpretation statistics (schema v6).
 ///
 /// Present when the absint pass ran over the script before any goal was
@@ -443,6 +527,9 @@ pub struct SolveReport {
     /// Solve-cache interaction; `None` when no cache was attached
     /// (additive in schema v5, serialized as `null` when absent).
     pub cache: Option<CacheStats>,
+    /// Portfolio-race record; `None` when the solve ran a single sampler
+    /// (additive in schema v9, serialized as `null` when absent).
+    pub portfolio: Option<PortfolioStats>,
     /// Raw span/event log recorded during the solve.
     pub spans: Vec<SpanRecord>,
 }
@@ -484,6 +571,12 @@ impl SolveReport {
             (
                 "cache",
                 self.cache.as_ref().map_or(Json::Null, CacheStats::to_json),
+            ),
+            (
+                "portfolio",
+                self.portfolio
+                    .as_ref()
+                    .map_or(Json::Null, PortfolioStats::to_json),
             ),
             (
                 "spans",
@@ -541,6 +634,19 @@ impl SolveReport {
                     (Some(r), Some(s)) => format!(", from reads={r} seed={s}"),
                     _ => String::new(),
                 }
+            ));
+        }
+        if let Some(p) = &self.portfolio {
+            let members: Vec<String> = p
+                .members
+                .iter()
+                .map(|m| format!("{} {} ({} µs)", m.member, m.outcome, m.elapsed_us))
+                .collect();
+            out.push_str(&format!(
+                "  portfolio: {} won (predicted {}) — {}\n",
+                p.winner,
+                p.predicted,
+                members.join(", ")
             ));
         }
         let s = &self.sampling;
@@ -695,9 +801,12 @@ impl RunReport {
     /// batch width, `null` for single-configuration samplers); v8 adds
     /// the additive `trace_id` field (16-hex-digit string, `null` when
     /// tracing was off) and the computed `span_us` per-stage rollup
-    /// object consumed by the `qsmt history` run store. Earlier readers
+    /// object consumed by the `qsmt history` run store; v9 adds the
+    /// additive `portfolio` section on `SolveReport` (routed plan,
+    /// per-member outcome/elapsed, winner) and the
+    /// `"portfolio:<member>"` value for `served_from`. Earlier readers
     /// keep working because no existing field changed.
-    pub const SCHEMA_VERSION: u32 = 8;
+    pub const SCHEMA_VERSION: u32 = 9;
 
     /// Serializes as a JSON object.
     pub fn to_json(&self) -> Json {
@@ -836,6 +945,33 @@ mod tests {
                 source_reads: None,
                 source_seed: None,
             }),
+            portfolio: Some(PortfolioStats {
+                plan: Json::obj([("predicted_winner", Json::from("exact"))]),
+                predicted: "exact".into(),
+                winner: "exact".into(),
+                winner_index: 0,
+                members: vec![
+                    PortfolioMemberStats {
+                        member: "exact".into(),
+                        reads: 0,
+                        sweeps: 0,
+                        outcome: "won".into(),
+                        elapsed_us: 120,
+                        stopped: false,
+                        valid: true,
+                    },
+                    PortfolioMemberStats {
+                        member: "sa".into(),
+                        reads: 256,
+                        sweeps: 4096,
+                        outcome: "cancelled".into(),
+                        elapsed_us: 340,
+                        stopped: true,
+                        valid: false,
+                    },
+                ],
+                time_us: 360,
+            }),
             spans: vec![],
         }
     }
@@ -930,10 +1066,12 @@ mod tests {
         r.select.valid_rank = None;
         r.lint = None;
         r.cache = None;
+        r.portfolio = None;
         let j = r.to_json();
         assert_eq!(j.get("lint"), Some(&Json::Null));
         assert_eq!(j.get("embedding"), Some(&Json::Null));
         assert_eq!(j.get("cache"), Some(&Json::Null));
+        assert_eq!(j.get("portfolio"), Some(&Json::Null));
         assert_eq!(
             j.get("sampling").unwrap().get("proposals"),
             Some(&Json::Null)
@@ -973,7 +1111,10 @@ mod tests {
             }],
         };
         let doc = parse(&run.to_json().pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(8));
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(u64::from(RunReport::SCHEMA_VERSION))
+        );
         assert_eq!(
             doc.get("trace_id").and_then(Json::as_str),
             Some("00abcdef01234567")
@@ -1124,6 +1265,55 @@ mod tests {
         let span_us = v8_doc.get("span_us").unwrap();
         assert_eq!(span_us.get("compile").and_then(Json::as_u64), Some(100));
         assert_eq!(span_us.get("sample").and_then(Json::as_u64), Some(1200));
+    }
+
+    #[test]
+    fn schema_v9_is_additive_over_v8() {
+        // A v8-shaped solve (no portfolio race) still serializes every
+        // key with `portfolio` as null; a v9 solve keeps every v8 key
+        // and nests the plan, per-member records, and winner.
+        let mut v8 = sample_report();
+        v8.portfolio = None;
+        let v8_doc = parse(&v8.to_json().pretty()).unwrap();
+        assert_eq!(v8_doc.get("portfolio"), Some(&Json::Null));
+        let v9_doc = parse(&sample_report().to_json().pretty()).unwrap();
+        let (Json::Obj(v8_map), Json::Obj(v9_map)) = (&v8_doc, &v9_doc) else {
+            panic!("reports serialize as objects");
+        };
+        for key in v8_map.keys() {
+            assert!(v9_map.contains_key(key), "v9 dropped v8 key {key}");
+        }
+        let p = v9_doc.get("portfolio").unwrap();
+        assert_eq!(p.get("winner").and_then(Json::as_str), Some("exact"));
+        assert_eq!(p.get("predicted").and_then(Json::as_str), Some("exact"));
+        assert_eq!(p.get("winner_index").and_then(Json::as_u64), Some(0));
+        let members = p.get("members").and_then(Json::as_arr).unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(
+            members[0].get("outcome").and_then(Json::as_str),
+            Some("won")
+        );
+        assert_eq!(
+            members[1].get("outcome").and_then(Json::as_str),
+            Some("cancelled")
+        );
+        assert_eq!(
+            members[1].get("stopped").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            p.get("plan")
+                .and_then(|j| j.get("predicted_winner"))
+                .and_then(Json::as_str),
+            Some("exact")
+        );
+        let text = sample_report().render_stats();
+        assert!(
+            text.contains("portfolio: exact won (predicted exact)"),
+            "{text}"
+        );
+        assert!(text.contains("sa cancelled"), "{text}");
+        assert!(!v8.render_stats().contains("portfolio:"));
     }
 
     #[test]

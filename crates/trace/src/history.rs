@@ -1,7 +1,7 @@
 //! Per-stage latency history and regression verdicts.
 //!
 //! [`analyze`] reads the `span_us` per-stage rollup out of each stored
-//! run report (schema v8), computes p50/p90/p99 per stage across the
+//! run report (schema v8+), computes p50/p90/p99 per stage across the
 //! whole store, and compares the newest [`HistoryOptions::recent`] runs
 //! against the [`HistoryOptions::baseline`] runs before them: a stage
 //! whose recent p50 drifted more than [`HistoryOptions::threshold`]

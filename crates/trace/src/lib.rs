@@ -52,7 +52,7 @@ use std::time::Instant;
 /// trace" sentinel in the thread-local fast path.
 ///
 /// Rendered and parsed as 16 lowercase hex digits (`{:016x}`), which is
-/// also how run reports (schema v8) and the serve API serialize it:
+/// also how run reports (schema v8+) and the serve API serialize it:
 /// the workspace JSON type stores numbers as `f64`, which cannot
 /// round-trip all 64-bit values, so trace IDs travel as strings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

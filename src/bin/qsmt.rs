@@ -3,7 +3,7 @@
 //! ```text
 //! qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
 //!                        [--stats] [--report <path>] [--trace [out.json]]
-//!                        [--lint] [--no-absint]
+//!                        [--lint] [--no-absint] [--portfolio]
 //! qsmt lint  <file.smt2> [--format text|json] [--no-absint]  # static analysis
 //! qsmt dump  <file.smt2> [--goal K]        # print a goal's QUBO (qbsolv format)
 //! qsmt demo                                 # solve the built-in Table 1 script
@@ -23,12 +23,19 @@
 //!
 //! Observability (documented in `docs/OBSERVABILITY.md`): `--stats` prints
 //! per-stage timings and sampler statistics for every solve, `--report
-//! <path>` writes the full JSON run report (schema v8, with a `trace_id`
+//! <path>` writes the full JSON run report (schema v9, with a `trace_id`
 //! and per-stage `span_us` rollup), `--trace` prints the raw span/event
 //! log, and `--trace <out.json>` instead runs the solve under a trace id
 //! and writes its spans as Chrome trace-event JSON, loadable in Perfetto.
 //! `qsmt history` turns a `--run-store` JSONL file into per-stage latency
 //! percentiles with regression verdicts (non-zero exit on drift).
+//!
+//! Portfolio solving (documented in `docs/PORTFOLIO.md`): `--portfolio`
+//! on `solve`/`demo` races a structure-routed portfolio of strategies
+//! per goal, cancelling the losers the instant one member returns a
+//! satisfying assignment; on `serve` it flips the service default
+//! (individual jobs override with `?portfolio=`), and on `submit` it
+//! requests portfolio mode for the submitted job.
 //!
 //! Static analysis (documented in `docs/LINTS.md`): `qsmt lint` compiles
 //! every goal's QUBO and runs the formulation linter without sampling,
@@ -53,19 +60,20 @@ qsmt — quantum-based SMT solving for string theory
 USAGE:
   qsmt solve <file.smt2> [--sampler NAME] [--seed N] [--reads N]
                          [--stats] [--report <path>] [--trace [out.json]]
-                         [--lint] [--no-absint]
+                         [--lint] [--no-absint] [--portfolio]
   qsmt lint  <file.smt2> [--format text|json] [--no-absint]
   qsmt dump  <file.smt2> [--goal K]
   qsmt demo  [--sampler NAME] [--seed N] [--reads N]
              [--stats] [--report <path>] [--trace [out.json]] [--lint]
-             [--no-absint]
+             [--no-absint] [--portfolio]
   qsmt bench [--quick] [--out <path>] [--seed N] [--replicas N]
              [--check-overhead] [--check-replicas] [--check-trace-overhead]
   qsmt serve --metrics-addr <host:port> [--seed N] [--workers N]
              [--queue-depth N] [--job-timeout MS] [--max-requests N]
              [--cache-entries N] [--no-cache] [--run-store <path>]
+             [--portfolio]
   qsmt submit <host:port> <file.smt2> [--seed N] [--reads N]
-              [--job-timeout MS] [--trace <out.json>]
+              [--job-timeout MS] [--trace <out.json>] [--portfolio]
   qsmt watch <host:port> [--format text|json]
   qsmt history <store.jsonl> [--recent N] [--baseline N] [--threshold PCT]
 
@@ -76,7 +84,7 @@ OBSERVABILITY (see docs/OBSERVABILITY.md):
   --stats          print per-stage timings, sampler statistics, and
                    trajectory-dynamics summaries (stall verdict, latency
                    and improvement percentiles)
-  --report <path>  write the full JSON run report to <path> (schema v8:
+  --report <path>  write the full JSON run report to <path> (schema v9:
                    carries the run's trace_id and a per-stage span_us
                    latency rollup)
   --trace          print the raw span/event log of every solve;
@@ -92,7 +100,7 @@ SOLVE SERVICE (see docs/OBSERVABILITY.md):
                    enqueues SMT-LIB scripts into a bounded queue drained
                    by --workers threads, answering 202 with a job id and
                    a per-job trace id; GET /jobs/<id> returns status and
-                   the schema-v8 run report; GET /jobs/<id>/trace serves
+                   the schema-v9 run report; GET /jobs/<id>/trace serves
                    the job's spans as Chrome trace-event JSON and
                    GET /traces indexes recent traces; a full queue
                    answers 429 with Retry-After; per-job deadlines cancel
@@ -157,6 +165,18 @@ ABSTRACT INTERPRETATION (see docs/ABSINT.md):
   before presolve, and the report gains an `absint` section (schema v6)
   --no-absint      skip the pass (compile every goal as written)
   --absint         force the default on explicitly
+
+PORTFOLIO SOLVING (see docs/PORTFOLIO.md):
+  --portfolio      solve/demo: race a structure-routed portfolio of
+                   strategies per goal (exact enumeration on small
+                   models, simulated + simulated-quantum annealing
+                   otherwise), cancelling losers the instant one member
+                   returns a satisfying assignment; the report's
+                   `portfolio` section (schema v9) records the routing
+                   decision and per-member outcomes. serve: make
+                   portfolio racing the service default (per-job
+                   `?portfolio=` still overrides). submit: request
+                   portfolio mode for the submitted job
 ";
 
 const DEMO: &str = r#"
@@ -225,6 +245,10 @@ struct Options {
     baseline: usize,
     /// `history` allowed fractional p50 drift (`--threshold PCT` / 100).
     threshold: f64,
+    /// Portfolio racing (`--portfolio`): solve/demo race a routed
+    /// portfolio per goal, serve flips its default, submit requests it
+    /// per job (see docs/PORTFOLIO.md).
+    portfolio: bool,
 }
 
 impl Default for Options {
@@ -261,6 +285,7 @@ impl Default for Options {
             recent: 5,
             baseline: 20,
             threshold: 0.25,
+            portfolio: false,
         }
     }
 }
@@ -388,6 +413,7 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
             }
             "--absint" => opts.absint = true,
             "--no-absint" => opts.absint = false,
+            "--portfolio" => opts.portfolio = true,
             "--check-overhead" => opts.check_overhead = true,
             "--replicas" => {
                 let n: usize = value("--replicas")?
@@ -483,7 +509,16 @@ fn run_solve(source: &str, source_name: &str, opts: &Options) -> Result<(), Stri
 
 fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<(), String> {
     let script = Script::parse(source).map_err(|e| e.to_string())?;
-    let solver = StringSolver::new(make_sampler(opts)?).with_deny_lint_errors(opts.lint);
+    // Portfolio mode routes its own sampler per race member, so the base
+    // solver only contributes the seed member streams derive from and
+    // the lint gate (`--sampler` is ignored).
+    let solver = if opts.portfolio {
+        StringSolver::with_defaults()
+            .with_seed(opts.seed)
+            .with_deny_lint_errors(opts.lint)
+    } else {
+        StringSolver::new(make_sampler(opts)?).with_deny_lint_errors(opts.lint)
+    };
     // Samplers with hard limits (the exact enumerator caps at 26
     // variables) signal misuse by panicking; surface that as a normal
     // CLI error instead of a crash.
@@ -507,7 +542,18 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
         (id, qsmt::trace::enter(id, source_name))
     });
     let started = Instant::now();
-    let (outcome, goals, absint_run) = if opts.absint {
+    let (outcome, goals, absint_run) = if opts.portfolio {
+        if !opts.absint {
+            return Err("--portfolio needs the script-level absint pass (drop --no-absint)".into());
+        }
+        let portfolio = qsmt::default_portfolio();
+        let (outcome, goals, run) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            script.solve_portfolio_reported_absint(&solver, &portfolio)
+        }))
+        .map_err(surface_panic)?
+        .map_err(|e| e.to_string())?;
+        (outcome, goals, Some(run))
+    } else if opts.absint {
         if opts.wants_telemetry() {
             let (outcome, goals, run) =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -609,11 +655,26 @@ fn run_solve_inner(source: &str, source_name: &str, opts: &Options) -> Result<()
             source: source_name.to_string(),
             status: outcome.status.to_string(),
             sampler: solver.sampler_name().to_string(),
-            // The one-shot CLI path runs cache-less; a run can only be
-            // served by the static analyzer (a confirmed refutation) or
+            // The one-shot CLI path runs cache-less; a run is served by
+            // the static analyzer (a confirmed refutation), attributed
+            // to the portfolio member that won its races, or credited to
             // the solver itself.
             served_from: if refuted_statically {
                 "absint".to_string()
+            } else if opts.portfolio {
+                let mut winners: Vec<&str> = goals
+                    .iter()
+                    .flat_map(|g| g.solves.iter())
+                    .filter_map(|s| s.portfolio.as_ref())
+                    .map(|p| p.winner.as_str())
+                    .collect();
+                winners.sort_unstable();
+                winners.dedup();
+                match winners[..] {
+                    [] => "solver".to_string(),
+                    [one] => format!("portfolio:{one}"),
+                    _ => "portfolio:mixed".to_string(),
+                }
             } else {
                 "solver".to_string()
             },
@@ -1001,6 +1062,7 @@ fn main() -> ExitCode {
                 max_requests: opts.max_requests,
                 cache_entries: opts.cache_entries,
                 run_store: opts.run_store.clone(),
+                portfolio: opts.portfolio,
             })
         }),
         Some((cmd, rest)) if cmd == "submit" => {
@@ -1021,6 +1083,7 @@ fn main() -> ExitCode {
                         seed: opts.seed_set.then_some(opts.seed),
                         reads: opts.reads_set.then_some(opts.reads as u64),
                         timeout_ms: opts.job_timeout_set.then_some(opts.job_timeout_ms),
+                        portfolio: opts.portfolio.then_some(true),
                     };
                     qsmt::serve::submit(addr, &source, &submit_opts).and_then(|doc| {
                         println!("{}", doc.pretty());

@@ -170,6 +170,25 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
+    http_request_with_headers(addr, method, path, body)
+        .map(|(status, _headers, body)| (status, body))
+}
+
+/// Parsed one-shot response: status code, headers (names lowercased,
+/// values trimmed, in wire order), and body.
+pub type HttpResponse = (u16, Vec<(String, String)>, String);
+
+/// [`http_request`] that also returns the response headers — the
+/// variant `qsmt submit` uses to honor `Retry-After` on a 429.
+///
+/// # Errors
+/// Same failure modes as [`http_request`].
+pub fn http_request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpResponse, String> {
     let addr = addr.trim_start_matches("http://");
     let socket = addr
         .to_socket_addrs()
@@ -201,7 +220,13 @@ pub fn http_request(
         .nth(1)
         .and_then(|code| code.parse::<u16>().ok())
         .ok_or_else(|| format!("malformed HTTP status line from {addr}: {status_line:?}"))?;
-    Ok((status, body.to_string()))
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Ok((status, headers, body.to_string()))
 }
 
 #[cfg(test)]

@@ -6,10 +6,14 @@
 //! * `POST /solve` — enqueue an SMT-LIB script into the bounded job
 //!   queue; answers `202` with a job id *and the job's trace id*,
 //!   `429` + `Retry-After` when the queue is full (backpressure), `503`
-//!   while draining;
+//!   while draining; `?portfolio=1` (or `--portfolio` as the service
+//!   default) races a routed solver portfolio per goal (see
+//!   `docs/PORTFOLIO.md`);
 //! * `GET /jobs/<id>` — job status; completed jobs embed the full
-//!   schema-v8 run report (including the per-solve `cache` section, the
-//!   top-level `served_from` marker, and the job's `trace_id`);
+//!   schema-v9 run report (including the per-solve `cache` and
+//!   `portfolio` sections, the top-level `served_from` marker —
+//!   `"portfolio:<member>"` for portfolio jobs — and the job's
+//!   `trace_id`);
 //! * `GET /jobs/<id>/trace` — the job's spans as a Chrome trace-event
 //!   JSON document, loadable in Perfetto (see `docs/OBSERVABILITY.md`);
 //! * `GET /jobs` — job-table summary;
@@ -429,16 +433,21 @@ pub struct SubmitOptions {
     pub reads: Option<u64>,
     /// Job deadline override in milliseconds (`?timeout_ms=`).
     pub timeout_ms: Option<u64>,
+    /// Portfolio-mode override (`?portfolio=`); the service default
+    /// applies when absent.
+    pub portfolio: Option<bool>,
 }
 
 /// Blocking submit client (`qsmt submit`): POSTs an SMT-LIB script to a
 /// running solve service, polls the job until it reaches a terminal
-/// state, and returns the job's final status document.
+/// state, and returns the job's final status document. A 429 queue-full
+/// answer is retried once after honoring the server's `Retry-After`
+/// hint (header first, then the JSON body's `retry_after_secs`).
 ///
 /// # Errors
 /// Returns an error when the service is unreachable, refuses the job
-/// (429 queue-full or 503 draining), the job fails or times out, or the
-/// service answers with malformed JSON.
+/// (429 queue-full twice, or 503 draining), the job fails or times out,
+/// or the service answers with malformed JSON.
 pub fn submit(addr: &str, source: &str, opts: &SubmitOptions) -> Result<Json, String> {
     let mut path = String::from("/solve");
     let mut sep = '?';
@@ -453,7 +462,35 @@ pub fn submit(addr: &str, source: &str, opts: &SubmitOptions) -> Result<Json, St
             sep = '&';
         }
     }
-    let (status, body) = http::http_request(addr, "POST", &path, Some(source))?;
+    if let Some(portfolio) = opts.portfolio {
+        path.push(sep);
+        path.push_str(if portfolio {
+            "portfolio=1"
+        } else {
+            "portfolio=0"
+        });
+    }
+    let (mut status, mut headers, mut body) =
+        http::http_request_with_headers(addr, "POST", &path, Some(source))?;
+    if status == 429 {
+        // Backpressure is a hint, not a verdict: wait the advertised
+        // interval (capped so a hostile hint cannot hang the client)
+        // and retry exactly once before giving up.
+        let hint = headers
+            .iter()
+            .find(|(name, _)| name == "retry-after")
+            .and_then(|(_, value)| value.parse::<u64>().ok())
+            .or_else(|| {
+                qsmt_telemetry::parse(&body)
+                    .ok()
+                    .and_then(|doc| doc.get("retry_after_secs").and_then(Json::as_u64))
+            })
+            .unwrap_or(1);
+        thread::sleep(Duration::from_secs(hint.clamp(1, 30)));
+        (status, headers, body) =
+            http::http_request_with_headers(addr, "POST", &path, Some(source))?;
+    }
+    let _ = headers;
     match status {
         202 => {}
         429 => return Err(format!("server overloaded, retry later (429): {body}")),

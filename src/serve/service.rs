@@ -60,6 +60,9 @@ pub struct ServeConfig {
     /// every completed job's report is appended for `qsmt history`.
     /// `None` disables the store.
     pub run_store: Option<String>,
+    /// Default solve mode: when true, jobs race a routed portfolio
+    /// (`--portfolio`); individual jobs override with `?portfolio=`.
+    pub portfolio: bool,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +76,7 @@ impl Default for ServeConfig {
             max_requests: None,
             cache_entries: 256,
             run_store: None,
+            portfolio: false,
         }
     }
 }
@@ -84,6 +88,7 @@ struct Job {
     source: String,
     seed: u64,
     reads: Option<usize>,
+    portfolio: bool,
     timeout: Duration,
     submitted: Instant,
     deadline: Instant,
@@ -167,6 +172,12 @@ pub struct Service {
     /// the same instance, so a result one worker computed answers exact
     /// repeats on any other worker without sampling.
     cache: Option<Arc<SolveCache>>,
+    /// Whether jobs race a routed portfolio by default (`--portfolio`);
+    /// `?portfolio=` overrides per job.
+    portfolio_default: bool,
+    /// The portfolio every portfolio-mode job races: default router plus
+    /// the classical baseline member.
+    portfolio: qsmt_core::Portfolio,
 }
 
 impl Service {
@@ -218,6 +229,7 @@ impl Service {
         ] {
             registry.describe(name, help);
         }
+        qsmt_core::describe_portfolio_metrics(registry);
         registry.gauge_set("qsmt_serve_queue_depth", &[], 0.0);
         // Materialize the drop counter at 0 so `qsmt watch` sees the
         // series before the first wrap.
@@ -243,6 +255,8 @@ impl Service {
             flight_dropped_published: AtomicU64::new(0),
             cache: (config.cache_entries > 0)
                 .then(|| Arc::new(SolveCache::new(config.cache_entries))),
+            portfolio_default: config.portfolio,
+            portfolio: crate::default_portfolio(),
         }
     }
 
@@ -320,6 +334,16 @@ impl Service {
                 return SubmitOutcome::BadRequest { error: e }
             }
         };
+        let portfolio = match req.query_param("portfolio") {
+            None => self.portfolio_default,
+            Some("1" | "true" | "on") => true,
+            Some("0" | "false" | "off") => false,
+            Some(raw) => {
+                return SubmitOutcome::BadRequest {
+                    error: format!("query parameter portfolio={raw:?} is not a boolean"),
+                }
+            }
+        };
         let reads = reads.map(|r| (r as usize).clamp(1, MAX_READS));
         let timeout = Duration::from_millis(
             timeout_ms
@@ -351,6 +375,7 @@ impl Service {
             source: req.body.clone(),
             seed: seed.unwrap_or_else(|| self.base_seed.wrapping_add(id)),
             reads,
+            portfolio,
             timeout,
             submitted: now,
             deadline: now + timeout,
@@ -543,9 +568,10 @@ impl Service {
     }
 
     /// The actual solve: parse, run the abstract-interpretation pass
-    /// and then the reported pipeline with the job's seed/reads, the
-    /// cancellation flag, and the shared solve cache, and produce a
-    /// schema-v8 [`RunReport`] document carrying the job's trace id.
+    /// and then the reported pipeline — portfolio racing when the job
+    /// asked for it — with the job's seed/reads, the cancellation flag,
+    /// and the shared solve cache, and produce a schema-v9 [`RunReport`]
+    /// document carrying the job's trace id.
     fn solve_script(&self, job: &Job, stop: &StopFlag) -> Result<Json, String> {
         let script = Script::parse(&job.source).map_err(|e| e.to_string())?;
         let mut solver = StringSolver::with_defaults()
@@ -558,31 +584,50 @@ impl Service {
             solver = solver.with_cache(Arc::clone(cache));
         }
         let started = Instant::now();
-        let (outcome, goals, absint_run): (_, Vec<GoalReport>, _) = script
-            .solve_reported_absint(&solver)
-            .map_err(|e| e.to_string())?;
+        let (outcome, goals, absint_run): (_, Vec<GoalReport>, _) = if job.portfolio {
+            script.solve_portfolio_reported_absint(&solver, &self.portfolio)
+        } else {
+            script.solve_reported_absint(&solver)
+        }
+        .map_err(|e| e.to_string())?;
         // Provenance, in decision order: a confirmed static refutation
-        // never touches a sampler; otherwise the run was served from
-        // cache only when nothing sampled (at least one solve, every
-        // solve an exact hit); anything else is the solver's work.
+        // never touches a sampler; a portfolio run is attributed to the
+        // member that won its races (`portfolio:<member>`, or
+        // `portfolio:mixed` when goals were won by different members);
+        // otherwise the run was served from cache only when nothing
+        // sampled (at least one solve, every solve an exact hit);
+        // anything else is the solver's work.
         let solves = goals.iter().flat_map(|g| g.solves.iter());
         let served_from = if absint_run.is_refuted() {
-            "absint"
+            "absint".to_string()
+        } else if job.portfolio {
+            let mut winners: Vec<&str> = solves
+                .clone()
+                .filter_map(|s| s.portfolio.as_ref())
+                .map(|p| p.winner.as_str())
+                .collect();
+            winners.sort_unstable();
+            winners.dedup();
+            match winners[..] {
+                [] => "solver".to_string(),
+                [one] => format!("portfolio:{one}"),
+                _ => "portfolio:mixed".to_string(),
+            }
         } else if goals.iter().any(|g| !g.solves.is_empty())
             && solves
                 .clone()
                 .all(|s| s.cache.as_ref().is_some_and(|c| c.outcome == "exact-hit"))
         {
-            "cache"
+            "cache".to_string()
         } else {
-            "solver"
+            "solver".to_string()
         };
         let report = RunReport {
             schema_version: RunReport::SCHEMA_VERSION,
             source: format!("<job-{}>", job.id),
             status: outcome.status.to_string(),
             sampler: solver.sampler_name().to_string(),
-            served_from: served_from.to_string(),
+            served_from,
             elapsed_us: started.elapsed().as_micros() as u64,
             absint: Some(absint_run.to_stats()),
             trace_id: Some(job.trace_id.get()),

@@ -145,3 +145,33 @@ proptest! {
         prop_assert!(c.validate(&out.solution));
     }
 }
+
+proptest! {
+    // Races are real threads, so keep the case count modest: the
+    // property is about determinism, not about covering a large space.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// First-wins cancellation is loss-free: whatever member wins a
+    /// portfolio race, its sample set is bit-identical to running that
+    /// member alone with the same derived seed — the winner's stop flag
+    /// is never tripped before it returns, and member RNG streams are
+    /// derived from the base seed, not from race timing.
+    #[test]
+    fn portfolio_winner_samples_are_bit_identical_to_a_solo_run(
+        len in 2usize..=5,
+        seed in 0u64..10_000,
+    ) {
+        let c = Constraint::Palindrome { len };
+        let solver = qsmt::StringSolver::with_defaults().with_seed(seed);
+        let portfolio = qsmt::Portfolio::new();
+        let out = solver.solve_portfolio(&c, &portfolio, None).expect("solves");
+        let widx = out.stats.winner_index as usize;
+        let features = solver.routing_features(&c, None).expect("routes");
+        let plan = portfolio.router().route(&features);
+        let solo = plan.members[widx]
+            .sampler(qsmt::member_seed(seed, widx), None)
+            .expect("winner is sampler-backed")
+            .sample(&solver.encode(&c).expect("encodes").qubo);
+        prop_assert_eq!(out.outcome.samples, solo);
+    }
+}

@@ -202,8 +202,8 @@ fn parallel_clients_land_in_exactly_one_terminal_state() {
             "completed" => {
                 completed += 1;
                 assert!(
-                    body.contains("\"schema_version\": 8"),
-                    "report is not schema v8: {body}"
+                    body.contains("\"schema_version\": 9"),
+                    "report is not schema v9: {body}"
                 );
                 assert_eq!(
                     json_str(&body, "sampler").as_deref(),
@@ -540,7 +540,7 @@ fn trace_rides_the_job_from_submission_to_run_store() {
     // top-level field — so also check the embedded report's copy).
     let (status, body) = await_terminal(&addr, &id, Duration::from_secs(120));
     assert_eq!(status, "completed", "traced job: {body}");
-    assert!(body.contains("\"schema_version\": 8"), "not v8: {body}");
+    assert!(body.contains("\"schema_version\": 9"), "not v9: {body}");
     assert_eq!(
         json_str(&body, "trace_id").as_deref(),
         Some(trace_id.as_str())
@@ -630,4 +630,89 @@ fn unknown_job_lookup_is_a_404_not_a_hang() {
     // --max-requests doubles as the drain trigger here.
     let summary = server.wait_for_drain();
     assert_eq!(summary["accepted"], 0);
+}
+
+/// Extracts a boolean field scoped to the member object that follows a
+/// `"member": "<kind>"` marker — member objects serialize with sorted
+/// keys, so `"stopped"` prints after `"member"` within the same object.
+fn member_bool(body: &str, kind: &str, key: &str) -> Option<bool> {
+    let marker = format!("\"member\": \"{kind}\"");
+    let start = body.find(&marker)? + marker.len();
+    let scope = &body[start..];
+    let end = scope.find('}')?;
+    let field = format!("\"{key}\": ");
+    let at = scope[..end].find(&field)? + field.len();
+    scope[at..]
+        .strip_prefix("true")
+        .map(|_| true)
+        .or_else(|| scope[at..].strip_prefix("false").map(|_| false))
+}
+
+#[test]
+fn portfolio_job_is_won_by_exact_and_cancels_the_annealer_backstop() {
+    // A small pinned-character model: not transformation-class (so the
+    // classical hook sits out), few enough QUBO variables that the
+    // router fields exact enumeration as the primary with a deep
+    // simulated-annealing backstop (docs/PORTFOLIO.md). Exact finishes
+    // in microseconds, wins the race, and trips the backstop's flag.
+    let script = "(set-logic QF_S)\n(declare-const x String)\n(assert (= (str.len x) 3))\n(assert (= (str.at x 1) \"q\"))\n(check-sat)\n(get-model)\n";
+    let mut server = spawn_server(&["--workers", "1", "--queue-depth", "4"]);
+    let addr = server.addr.clone();
+
+    // Portfolio is off by default; this job opts in per-request.
+    let (code, _, body) = request(&addr, "POST", "/solve?portfolio=1&seed=7", script);
+    assert_eq!(code, 202, "submit failed: {body}");
+    let id = json_str(&body, "id").expect("job id");
+    let (status, body) = await_terminal(&addr, &id, Duration::from_secs(120));
+    assert_eq!(status, "completed", "portfolio job failed: {body}");
+
+    // The run is attributed to the member that won the race, and the
+    // schema-v9 report carries the full plan + per-member outcomes.
+    assert_eq!(
+        json_str(&body, "served_from").as_deref(),
+        Some("portfolio:exact")
+    );
+    assert!(body.contains("\"schema_version\": 9"), "not v9: {body}");
+    assert_eq!(json_str(&body, "predicted").as_deref(), Some("exact"));
+    assert_eq!(json_str(&body, "winner").as_deref(), Some("exact"));
+    assert_eq!(json_str(&body, "status").as_deref(), Some("completed"));
+
+    // First-wins cancellation: the annealer backstop observed its
+    // tripped stop flag (it never runs its full 256-read × 4096-sweep
+    // budget once exact has answered), while the winner's own flag
+    // stayed untripped — the bit-identity guarantee depends on it.
+    assert_eq!(member_bool(&body, "sa", "stopped"), Some(true));
+    assert_eq!(member_bool(&body, "exact", "stopped"), Some(false));
+    assert_eq!(member_bool(&body, "exact", "valid"), Some(true));
+
+    // A portfolio-off job of the same script reports no portfolio
+    // section and plain solver attribution.
+    let (code, _, body) = request(&addr, "POST", "/solve?seed=7", script);
+    assert_eq!(code, 202, "submit failed: {body}");
+    let id = json_str(&body, "id").expect("job id");
+    let (status, body) = await_terminal(&addr, &id, Duration::from_secs(120));
+    assert_eq!(status, "completed", "plain job failed: {body}");
+    assert_eq!(json_str(&body, "served_from").as_deref(), Some("solver"));
+    assert!(
+        body.contains("\"portfolio\": null"),
+        "portfolio section should be null: {body}"
+    );
+
+    // The portfolio metrics surface recorded the routing decision, the
+    // exact win, and the cancelled loser.
+    let (code, _, metrics) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    assert!(
+        metrics.contains("qsmt_portfolio_routing_decisions_total"),
+        "routing decisions metric missing from:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("qsmt_portfolio_wins_total"),
+        "wins metric missing from:\n{metrics}"
+    );
+
+    let (code, _, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    let summary = server.wait_for_drain();
+    assert_eq!(summary["completed"], 2);
 }
